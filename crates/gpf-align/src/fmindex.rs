@@ -1,0 +1,307 @@
+//! BWT + FM-index over the concatenated reference genome.
+//!
+//! Alphabet: `$ < A < C < G < T` (any `N` in the reference collapses to `A`,
+//! as bwa does). Backward search runs over sampled occurrence counts; locate
+//! is O(1) because the full suffix array is retained (4 bytes/base — cheap
+//! at this reproduction's genome scale, and it keeps `locate` exact).
+
+use crate::suffix::suffix_array;
+use gpf_formats::base::rank4;
+use gpf_formats::{GenomeInterval, ReferenceGenome};
+
+/// Occurrence-count checkpoint spacing.
+const OCC_SAMPLE: usize = 64;
+
+/// FM-index over a genome.
+pub struct FmIndex {
+    /// Text in 0..=3 ranks (sentinel handled implicitly, conceptually at the
+    /// end of the text).
+    text: Vec<u8>,
+    /// Full suffix array (includes the sentinel suffix at index 0
+    /// conceptually removed — entries address `text`).
+    sa: Vec<u32>,
+    /// BWT characters, 0..=3, with `sentinel_pos` marking where `$` sits.
+    bwt: Vec<u8>,
+    /// Row of the BWT holding the sentinel.
+    sentinel_pos: usize,
+    /// C[c]: number of text characters strictly smaller than `c` (sentinel
+    /// included).
+    c: [usize; 5],
+    /// Sampled cumulative occ counts: `occ_samples[block][c]` = occurrences
+    /// of `c` in `bwt[0 .. block*OCC_SAMPLE)`.
+    occ_samples: Vec<[u32; 4]>,
+    /// Contig start offsets in the concatenated text.
+    contig_offsets: Vec<u64>,
+    /// Contig lengths.
+    contig_lengths: Vec<u64>,
+}
+
+impl FmIndex {
+    /// Build the index over the full reference genome.
+    pub fn build(reference: &ReferenceGenome) -> Self {
+        let (cat, offsets) = reference.concatenated();
+        let lengths = reference.dict().lengths();
+        Self::build_from_text(&cat, offsets, lengths)
+    }
+
+    /// Build from a raw text (exposed for tests).
+    pub fn build_from_text(raw: &[u8], contig_offsets: Vec<u64>, contig_lengths: Vec<u64>) -> Self {
+        let text: Vec<u8> = raw.iter().map(|&b| rank4(b)).collect();
+        let n = text.len();
+        assert!(n > 0, "cannot index an empty genome");
+        let sa = suffix_array(&text);
+
+        // BWT with conceptual sentinel: row 0 of the full BWT matrix is the
+        // sentinel suffix, whose BWT char is text[n-1]; for sa[i]=0 the BWT
+        // char is the sentinel. We store rows for suffixes 0..n and remember
+        // where the sentinel char lives.
+        let mut bwt = Vec::with_capacity(n + 1);
+        bwt.push(text[n - 1]); // row for the sentinel suffix "$"
+        let mut sentinel_pos = 0usize;
+        for (row, &s) in sa.iter().enumerate() {
+            if s == 0 {
+                sentinel_pos = row + 1;
+                bwt.push(0); // placeholder; excluded from occ counts
+            } else {
+                bwt.push(text[s as usize - 1]);
+            }
+        }
+
+        // C array: sentinel counts as the single smallest character.
+        let mut counts = [0usize; 4];
+        for &ch in &text {
+            counts[ch as usize] += 1;
+        }
+        let mut c = [0usize; 5];
+        c[0] = 1; // one sentinel before 'A'
+        for i in 0..4 {
+            c[i + 1] = c[i] + counts[i];
+        }
+        // c[k] = #chars < rank k where rank space is A=0..T=3 shifted by
+        // sentinel: lookup uses c[rank] as "first row of rank" = c[rank].
+
+        // Occ checkpoints.
+        let blocks = bwt.len() / OCC_SAMPLE + 1;
+        let mut occ_samples = Vec::with_capacity(blocks);
+        let mut acc = [0u32; 4];
+        for (i, &ch) in bwt.iter().enumerate() {
+            if i % OCC_SAMPLE == 0 {
+                occ_samples.push(acc);
+            }
+            if i != sentinel_pos {
+                acc[ch as usize] += 1;
+            }
+        }
+        occ_samples.push(acc);
+
+        Self { text, sa, bwt, sentinel_pos, c, occ_samples, contig_offsets, contig_lengths }
+    }
+
+    /// Genome length (bases).
+    pub fn len(&self) -> usize {
+        self.text.len()
+    }
+
+    /// `true` when the indexed text is empty (never, by construction).
+    pub fn is_empty(&self) -> bool {
+        self.text.is_empty()
+    }
+
+    /// occurrences of `ch` in `bwt[0..i)`.
+    fn occ(&self, ch: u8, i: usize) -> usize {
+        let block = i / OCC_SAMPLE;
+        let mut count = self.occ_samples[block][ch as usize] as usize;
+        for (j, &b) in self.bwt[block * OCC_SAMPLE..i].iter().enumerate() {
+            let pos = block * OCC_SAMPLE + j;
+            if b == ch && pos != self.sentinel_pos {
+                count += 1;
+            }
+        }
+        count
+    }
+
+    /// First BWT row whose suffix starts with `ch`.
+    fn c_of(&self, ch: u8) -> usize {
+        self.c[ch as usize]
+    }
+
+    /// Backward-search `pattern` (ASCII ACGT; other characters abort with
+    /// `None`). Returns the SA interval `[lo, hi)` in BWT row space.
+    pub fn backward_search(&self, pattern: &[u8]) -> Option<(usize, usize)> {
+        if pattern.is_empty() {
+            return None;
+        }
+        let mut lo = 0usize;
+        let mut hi = self.bwt.len();
+        for &b in pattern.iter().rev() {
+            if !matches!(b, b'A' | b'C' | b'G' | b'T') {
+                return None;
+            }
+            let ch = rank4(b);
+            lo = self.c_of(ch) + self.occ(ch, lo);
+            hi = self.c_of(ch) + self.occ(ch, hi);
+            if lo >= hi {
+                return None;
+            }
+        }
+        Some((lo, hi))
+    }
+
+    /// Number of occurrences of `pattern`.
+    pub fn count(&self, pattern: &[u8]) -> usize {
+        self.backward_search(pattern).map(|(lo, hi)| hi - lo).unwrap_or(0)
+    }
+
+    /// Text positions of the SA interval (row space from
+    /// [`FmIndex::backward_search`]), capped at `max` results.
+    pub fn locate(&self, lo: usize, hi: usize, max: usize) -> Vec<u32> {
+        let mut out = Vec::with_capacity((hi - lo).min(max));
+        for row in lo..hi.min(lo.saturating_add(max)) {
+            // Row 0 is the sentinel suffix; data rows are offset by one.
+            if row == 0 {
+                continue;
+            }
+            out.push(self.sa[row - 1]);
+        }
+        out
+    }
+
+    /// Find up to `max` text positions where `pattern` occurs.
+    pub fn find(&self, pattern: &[u8], max: usize) -> Vec<u32> {
+        match self.backward_search(pattern) {
+            Some((lo, hi)) => self.locate(lo, hi, max),
+            None => Vec::new(),
+        }
+    }
+
+    /// Convert a concatenated-text position into `(contig, offset)`;
+    /// `None` when a match of `len` bases would span a contig boundary.
+    pub fn resolve(&self, text_pos: u32, len: usize) -> Option<(u32, u64)> {
+        let pos = text_pos as u64;
+        let idx = self.contig_offsets.partition_point(|&o| o <= pos) - 1;
+        let off = pos - self.contig_offsets[idx];
+        if off + len as u64 > self.contig_lengths[idx] {
+            return None;
+        }
+        Some((idx as u32, off))
+    }
+
+    /// The reference window `[start, end)` on a contig as raw 0..=3 ranks
+    /// (for the extender).
+    pub fn contig_window(&self, interval: GenomeInterval) -> &[u8] {
+        let base = self.contig_offsets[interval.contig as usize];
+        &self.text[(base + interval.start) as usize..(base + interval.end) as usize]
+    }
+
+    /// Contig length.
+    pub fn contig_len(&self, contig: u32) -> u64 {
+        self.contig_lengths[contig as usize]
+    }
+
+    /// Number of contigs.
+    pub fn num_contigs(&self) -> usize {
+        self.contig_lengths.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn index(text: &[u8]) -> FmIndex {
+        FmIndex::build_from_text(text, vec![0], vec![text.len() as u64])
+    }
+
+    /// Naive occurrence finder for cross-checking.
+    fn naive_find(text: &[u8], pattern: &[u8]) -> Vec<u32> {
+        (0..=text.len().saturating_sub(pattern.len()))
+            .filter(|&i| &text[i..i + pattern.len()] == pattern)
+            .map(|i| i as u32)
+            .collect()
+    }
+
+    #[test]
+    fn count_and_find_simple() {
+        let text = b"ACGTACGTACGT";
+        let idx = index(text);
+        assert_eq!(idx.count(b"ACGT"), 3);
+        assert_eq!(idx.count(b"CGTA"), 2);
+        assert_eq!(idx.count(b"TTT"), 0);
+        let mut hits = idx.find(b"ACGT", 10);
+        hits.sort();
+        assert_eq!(hits, vec![0, 4, 8]);
+    }
+
+    #[test]
+    fn matches_naive_on_many_patterns() {
+        let mut state = 0xdead_beefu64;
+        let text: Vec<u8> = (0..800)
+            .map(|_| {
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+                b"ACGT"[(state >> 33) as usize % 4]
+            })
+            .collect();
+        let idx = index(&text);
+        for start in (0..700).step_by(37) {
+            for len in [4usize, 8, 15, 31] {
+                let pattern = &text[start..start + len];
+                let mut got = idx.find(pattern, usize::MAX);
+                got.sort();
+                assert_eq!(got, naive_find(&text, pattern), "pattern at {start} len {len}");
+            }
+        }
+    }
+
+    #[test]
+    fn whole_text_is_found_once() {
+        let text = b"GATTACAGATT";
+        let idx = index(text);
+        assert_eq!(idx.find(text, 10), vec![0]);
+    }
+
+    #[test]
+    fn absent_and_invalid_patterns() {
+        let idx = index(b"ACGTACGT");
+        assert_eq!(idx.count(b"AAAAAAAA"), 0);
+        assert_eq!(idx.count(b"ACNT"), 0, "N aborts the search");
+        assert_eq!(idx.count(b""), 0);
+    }
+
+    #[test]
+    fn single_character_counts() {
+        let text = b"AACCGGTTAA";
+        let idx = index(text);
+        assert_eq!(idx.count(b"A"), 4);
+        assert_eq!(idx.count(b"C"), 2);
+        assert_eq!(idx.count(b"G"), 2);
+        assert_eq!(idx.count(b"T"), 2);
+    }
+
+    #[test]
+    fn resolve_maps_contigs_and_rejects_spanning() {
+        let text = b"AAAACCCC"; // two contigs of 4
+        let idx = FmIndex::build_from_text(text, vec![0, 4], vec![4, 4]);
+        assert_eq!(idx.resolve(0, 4), Some((0, 0)));
+        assert_eq!(idx.resolve(4, 4), Some((1, 0)));
+        assert_eq!(idx.resolve(5, 3), Some((1, 1)));
+        assert_eq!(idx.resolve(2, 4), None, "spans the boundary");
+        assert_eq!(idx.num_contigs(), 2);
+        assert_eq!(idx.contig_len(1), 4);
+    }
+
+    #[test]
+    fn contig_window_returns_ranks() {
+        let text = b"ACGTAAAA";
+        let idx = FmIndex::build_from_text(text, vec![0], vec![8]);
+        let w = idx.contig_window(GenomeInterval::new(0, 0, 4));
+        assert_eq!(w, &[0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn repeated_text_counts_all_occurrences() {
+        let text: Vec<u8> = b"ACGT".repeat(50);
+        let idx = index(&text);
+        assert_eq!(idx.count(b"ACGTACGT"), 49);
+        assert_eq!(idx.find(b"ACGTACGT", 5).len(), 5, "locate respects max");
+    }
+}

@@ -1,0 +1,301 @@
+//! SNAP-like hash-table aligner — the baseline integrated by Persona (§5.2.3).
+//!
+//! SNAP trades memory for speed: instead of an FM-index it builds a dense
+//! hash table from fixed-length k-mers ("seeds") to genome locations, looks
+//! up a handful of seeds per read, and verifies candidate locations
+//! directly. Persona uses it single-end; the paper's Figure 11(d) compares
+//! its throughput against GPF's paired-end BWA.
+
+use crate::sw::{fit_align, Scoring};
+use gpf_formats::base::{rank4, reverse_complement};
+use gpf_formats::sam::{SamFlags, SamRecord};
+use gpf_formats::ReferenceGenome;
+use std::collections::HashMap;
+
+/// SNAP-style aligner options.
+#[derive(Debug, Clone)]
+pub struct SnapOptions {
+    /// Seed (k-mer) length; SNAP's default is 20.
+    pub seed_len: usize,
+    /// Stride between indexed genome positions.
+    pub index_stride: usize,
+    /// Seeds looked up per read.
+    pub seeds_per_read: usize,
+    /// Hash buckets larger than this are skipped (repeat filter).
+    pub max_bucket: usize,
+    /// Candidate locations verified per read.
+    pub max_candidates: usize,
+    /// Extension scoring.
+    pub scoring: Scoring,
+    /// Minimum fraction of the perfect score to accept.
+    pub min_score_frac: f64,
+}
+
+impl Default for SnapOptions {
+    fn default() -> Self {
+        Self {
+            seed_len: 20,
+            index_stride: 1,
+            seeds_per_read: 8,
+            max_bucket: 32,
+            max_candidates: 6,
+            scoring: Scoring::default(),
+            min_score_frac: 0.4,
+        }
+    }
+}
+
+/// The hash-based aligner.
+pub struct SnapAligner {
+    table: HashMap<u64, Vec<u32>>,
+    text: Vec<u8>,
+    contig_offsets: Vec<u64>,
+    contig_lengths: Vec<u64>,
+    opts: SnapOptions,
+}
+
+/// Pack a k-mer (ACGT only) into a u64; `None` if it contains other bases.
+fn pack_kmer(kmer: &[u8]) -> Option<u64> {
+    debug_assert!(kmer.len() <= 31);
+    let mut v = 1u64; // leading 1 guards length
+    for &b in kmer {
+        if !matches!(b, b'A' | b'C' | b'G' | b'T') {
+            return None;
+        }
+        v = (v << 2) | rank4(b) as u64;
+    }
+    Some(v)
+}
+
+impl SnapAligner {
+    /// Build the seed table over the reference.
+    pub fn new(reference: &ReferenceGenome) -> Self {
+        Self::with_options(reference, SnapOptions::default())
+    }
+
+    /// Build with explicit options.
+    pub fn with_options(reference: &ReferenceGenome, opts: SnapOptions) -> Self {
+        let (text, contig_offsets) = reference.concatenated();
+        let contig_lengths = reference.dict().lengths();
+        let mut table: HashMap<u64, Vec<u32>> = HashMap::new();
+        let k = opts.seed_len;
+        let mut pos = 0usize;
+        while pos + k <= text.len() {
+            if let Some(key) = pack_kmer(&text[pos..pos + k]) {
+                let bucket = table.entry(key).or_default();
+                if bucket.len() <= opts.max_bucket {
+                    bucket.push(pos as u32);
+                }
+            }
+            pos += opts.index_stride;
+        }
+        Self { table, text, contig_offsets, contig_lengths, opts }
+    }
+
+    /// Approximate index memory footprint in bytes (SNAP's hash index is
+    /// several times larger than an FM-index — visible in reports).
+    pub fn index_bytes(&self) -> usize {
+        self.table.len() * 16 + self.table.values().map(|v| v.len() * 4).sum::<usize>()
+    }
+
+    /// Align a single-end read.
+    pub fn align_read(&self, name: &str, seq: &[u8], qual: &[u8]) -> SamRecord {
+        let k = self.opts.seed_len;
+        let mut best: Option<(i32, u32, bool, gpf_formats::Cigar, u32, u64)> = None;
+        let mut second_score = i32::MIN;
+        for (reverse, oriented) in [(false, seq.to_vec()), (true, reverse_complement(seq))] {
+            if oriented.len() < k {
+                continue;
+            }
+            // Vote on diagonals from a few seeds.
+            let mut votes: HashMap<i64, u32> = HashMap::new();
+            let stride = ((oriented.len() - k) / self.opts.seeds_per_read.max(1)).max(1);
+            let mut off = 0usize;
+            while off + k <= oriented.len() {
+                if let Some(key) = pack_kmer(&oriented[off..off + k]) {
+                    if let Some(bucket) = self.table.get(&key) {
+                        if bucket.len() <= self.opts.max_bucket {
+                            for &hit in bucket {
+                                let diag = hit as i64 - off as i64;
+                                *votes.entry(diag - diag.rem_euclid(8)).or_insert(0) += 1;
+                            }
+                        }
+                    }
+                }
+                off += stride;
+            }
+            let mut ranked: Vec<(i64, u32)> = votes.into_iter().collect();
+            ranked.sort_by_key(|&(d, v)| (std::cmp::Reverse(v), d));
+            for &(diag, _) in ranked.iter().take(self.opts.max_candidates) {
+                if let Some((score, contig, pos, cigar, edit)) =
+                    self.verify(&oriented, diag.max(0) as u64)
+                {
+                    match &best {
+                        Some((bs, ..)) if score <= *bs => {
+                            second_score = second_score.max(score);
+                        }
+                        _ => {
+                            if let Some((bs, ..)) = &best {
+                                second_score = second_score.max(*bs);
+                            }
+                            best = Some((score, contig, reverse, cigar, edit, pos));
+                        }
+                    }
+                }
+            }
+        }
+        let Some((score, contig, reverse, cigar, edit, pos)) = best else {
+            return SamRecord::unmapped(name, seq.to_vec(), qual.to_vec());
+        };
+        let mapq = if second_score == i32::MIN {
+            60
+        } else {
+            (((score - second_score) * 6).clamp(0, 60)) as u8
+        };
+        let (stored_seq, stored_qual) = if reverse {
+            let mut q = qual.to_vec();
+            q.reverse();
+            (reverse_complement(seq), q)
+        } else {
+            (seq.to_vec(), qual.to_vec())
+        };
+        let mut flags = SamFlags::default();
+        if reverse {
+            flags.set(SamFlags::REVERSE);
+        }
+        SamRecord {
+            name: name.to_string(),
+            flags,
+            contig,
+            pos,
+            mapq,
+            cigar,
+            mate_contig: gpf_formats::sam::NO_CONTIG,
+            mate_pos: 0,
+            tlen: 0,
+            seq: stored_seq,
+            qual: stored_qual,
+            read_group: 1,
+            edit_distance: edit as u16,
+        }
+    }
+
+    fn verify(
+        &self,
+        oriented: &[u8],
+        text_start: u64,
+    ) -> Option<(i32, u32, u64, gpf_formats::Cigar, u32)> {
+        // Resolve contig.
+        let idx = self.contig_offsets.partition_point(|&o| o <= text_start) - 1;
+        let pos = text_start - self.contig_offsets[idx];
+        let clen = self.contig_lengths[idx];
+        let pad = 16u64;
+        let w_start = pos.saturating_sub(pad);
+        let w_end = (pos + oriented.len() as u64 + pad).min(clen);
+        if w_end <= w_start {
+            return None;
+        }
+        let base = self.contig_offsets[idx];
+        let window: Vec<u8> = self.text[(base + w_start) as usize..(base + w_end) as usize]
+            .iter()
+            .map(|&b| rank4(b))
+            .collect();
+        let ranks: Vec<u8> = oriented.iter().map(|&b| rank4(b)).collect();
+        let aln = fit_align(&ranks, &window, (pos - w_start) as usize, &self.opts.scoring)?;
+        let perfect = oriented.len() as i32 * self.opts.scoring.match_score;
+        if (aln.score as f64) < self.opts.min_score_frac * perfect as f64 {
+            return None;
+        }
+        Some((
+            aln.score,
+            idx as u32,
+            w_start + aln.window_start as u64,
+            aln.cigar,
+            aln.edit_distance,
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpf_formats::quality::phred_to_char;
+
+    fn reference() -> ReferenceGenome {
+        let mut state = 0xabcdefu64;
+        let mut gen = |n: usize| -> Vec<u8> {
+            (0..n)
+                .map(|_| {
+                    state = state.wrapping_mul(6364136223846793005).wrapping_add(7);
+                    b"ACGT"[(state >> 33) as usize % 4]
+                })
+                .collect()
+        };
+        ReferenceGenome::from_contigs(vec![("chr1", gen(5000))])
+    }
+
+    fn quals(n: usize) -> Vec<u8> {
+        vec![phred_to_char(35); n]
+    }
+
+    #[test]
+    fn aligns_exact_reads() {
+        let r = reference();
+        let snap = SnapAligner::new(&r);
+        for start in [0usize, 777, 2500, 4900 - 100] {
+            let read = r.contig_seq(0)[start..start + 100].to_vec();
+            let rec = snap.align_read("s", &read, &quals(100));
+            assert!(rec.flags.is_mapped(), "start {start}");
+            assert_eq!(rec.pos, start as u64, "start {start}");
+            assert_eq!(rec.edit_distance, 0);
+        }
+    }
+
+    #[test]
+    fn aligns_reverse_reads() {
+        let r = reference();
+        let snap = SnapAligner::new(&r);
+        let read = reverse_complement(&r.contig_seq(0)[1200..1300]);
+        let rec = snap.align_read("rev", &read, &quals(100));
+        assert!(rec.flags.is_mapped());
+        assert!(rec.flags.is_reverse());
+        assert_eq!(rec.pos, 1200);
+    }
+
+    #[test]
+    fn tolerates_scattered_mismatches() {
+        let r = reference();
+        let snap = SnapAligner::new(&r);
+        let mut read = r.contig_seq(0)[3000..3100].to_vec();
+        read[50] = if read[50] == b'A' { b'T' } else { b'A' };
+        let rec = snap.align_read("mm", &read, &quals(100));
+        assert!(rec.flags.is_mapped());
+        assert_eq!(rec.pos, 3000);
+        assert_eq!(rec.edit_distance, 1);
+    }
+
+    #[test]
+    fn unalignable_read_is_unmapped() {
+        let r = reference();
+        let snap = SnapAligner::new(&r);
+        let read: Vec<u8> = (0..100).map(|i| if i % 2 == 0 { b'A' } else { b'C' }).collect();
+        let rec = snap.align_read("junk", &read, &quals(100));
+        assert!(!rec.flags.is_mapped() || rec.edit_distance > 20);
+    }
+
+    #[test]
+    fn index_reports_nonzero_footprint() {
+        let r = reference();
+        let snap = SnapAligner::new(&r);
+        assert!(snap.index_bytes() > 5000 * 2, "dense index: {}", snap.index_bytes());
+    }
+
+    #[test]
+    fn pack_kmer_rejects_n() {
+        assert!(pack_kmer(b"ACGTN").is_none());
+        assert!(pack_kmer(b"ACGT").is_some());
+        assert_ne!(pack_kmer(b"ACGT"), pack_kmer(b"ACGA"));
+        // Leading-1 guard distinguishes lengths.
+        assert_ne!(pack_kmer(b"A"), pack_kmer(b"AA"));
+    }
+}

@@ -1,0 +1,124 @@
+//! Suffix-array construction by prefix doubling.
+//!
+//! O(n log² n) with low constants — comfortably fast for the multi-megabase
+//! synthetic genomes this reproduction indexes, and simple enough to verify
+//! against a naive construction in tests. (bwa uses an induced-sorting
+//! builder; the produced array is identical, so downstream FM-index
+//! behaviour is unaffected by the construction algorithm.)
+
+/// Build the suffix array of `text` (no sentinel required; the empty suffix
+/// is not included — ranks cover suffixes starting at `0..text.len()`).
+///
+/// Ties are resolved as if the text ended with a unique smallest sentinel.
+pub fn suffix_array(text: &[u8]) -> Vec<u32> {
+    let n = text.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    // rank[i] = rank of suffix i by its first k characters.
+    let mut rank: Vec<i64> = text.iter().map(|&b| b as i64).collect();
+    let mut sa: Vec<u32> = (0..n as u32).collect();
+    let mut tmp: Vec<i64> = vec![0; n];
+    let mut k = 1usize;
+    loop {
+        // Sort by (rank[i], rank[i+k]) with -1 beyond the end (sentinel).
+        let key = |i: u32| {
+            let i = i as usize;
+            let second = if i + k < n { rank[i + k] } else { -1 };
+            (rank[i], second)
+        };
+        sa.sort_unstable_by_key(|&i| key(i));
+        // Re-rank.
+        tmp[sa[0] as usize] = 0;
+        for w in 1..n {
+            let prev = sa[w - 1];
+            let cur = sa[w];
+            tmp[cur as usize] =
+                tmp[prev as usize] + if key(prev) == key(cur) { 0 } else { 1 };
+        }
+        rank.copy_from_slice(&tmp);
+        if rank[sa[n - 1] as usize] == (n - 1) as i64 {
+            break;
+        }
+        k *= 2;
+    }
+    sa
+}
+
+/// Naive O(n² log n) suffix array for testing.
+pub fn suffix_array_naive(text: &[u8]) -> Vec<u32> {
+    let mut sa: Vec<u32> = (0..text.len() as u32).collect();
+    sa.sort_by(|&a, &b| text[a as usize..].cmp(&text[b as usize..]));
+    sa
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn banana() {
+        // Sorted suffixes of "banana":
+        // a(5) < ana(3) < anana(1) < banana(0) < na(4) < nana(2).
+        assert_eq!(suffix_array(b"banana"), vec![5, 3, 1, 0, 4, 2]);
+    }
+
+    #[test]
+    fn empty_and_single() {
+        assert!(suffix_array(b"").is_empty());
+        assert_eq!(suffix_array(b"A"), vec![0]);
+    }
+
+    #[test]
+    fn all_same_character() {
+        // "AAAA": shortest suffix sorts first.
+        assert_eq!(suffix_array(b"AAAA"), vec![3, 2, 1, 0]);
+    }
+
+    #[test]
+    fn matches_naive_on_genomic_strings() {
+        let texts: [&[u8]; 4] = [
+            b"ACGTACGTACGT",
+            b"GGGGCCCCAAAATTTT",
+            b"ACACACACACACACACAC",
+            b"TGCATGCATGCAATCGGCTA",
+        ];
+        for t in texts {
+            assert_eq!(suffix_array(t), suffix_array_naive(t), "text {:?}", std::str::from_utf8(t));
+        }
+    }
+
+    #[test]
+    fn matches_naive_on_pseudorandom() {
+        // Deterministic pseudo-random genomic text.
+        let mut state = 0x1234_5678u64;
+        let text: Vec<u8> = (0..500)
+            .map(|_| {
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                b"ACGT"[(state >> 33) as usize % 4]
+            })
+            .collect();
+        assert_eq!(suffix_array(&text), suffix_array_naive(&text));
+    }
+
+    #[test]
+    fn is_a_permutation() {
+        let text = b"CTAGCTAGCATCGATCGTAGCTAGCTGATCGATC";
+        let sa = suffix_array(text);
+        let mut seen = vec![false; text.len()];
+        for &i in &sa {
+            assert!(!seen[i as usize]);
+            seen[i as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn suffixes_are_sorted() {
+        let text = b"GATTACAGATTACAGGGATTACA";
+        let sa = suffix_array(text);
+        for w in sa.windows(2) {
+            assert!(text[w[0] as usize..] < text[w[1] as usize..]);
+        }
+    }
+}

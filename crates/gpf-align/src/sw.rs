@@ -1,0 +1,302 @@
+//! Banded fitting alignment with affine gaps and CIGAR traceback.
+//!
+//! Aligns a whole read against a reference window: the read is global, the
+//! window is local (free leading/trailing reference gaps). This is the
+//! "extension" half of seed-and-extend — BWA-MEM's banded Smith–Waterman.
+//!
+//! Gaps are affine (`gap_open + len × gap_extend`), so a contiguous indel is
+//! preferred over the same bases split into several gaps — essential both
+//! for alignment quality and for unambiguous variant extraction downstream.
+
+use gpf_formats::cigar::{Cigar, CigarOp};
+
+/// Alignment scoring parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct Scoring {
+    /// Score for a base match.
+    pub match_score: i32,
+    /// Penalty (negative) for a mismatch.
+    pub mismatch: i32,
+    /// Penalty (negative) charged once when a gap opens.
+    pub gap_open: i32,
+    /// Penalty (negative) per gap base.
+    pub gap_extend: i32,
+    /// Band half-width (must exceed the largest expected indel).
+    pub band: usize,
+}
+
+impl Default for Scoring {
+    fn default() -> Self {
+        Self { match_score: 2, mismatch: -3, gap_open: -5, gap_extend: -2, band: 16 }
+    }
+}
+
+/// Result of a fitting alignment.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Alignment {
+    /// Total score.
+    pub score: i32,
+    /// Offset of the alignment's first reference base within the window.
+    pub window_start: usize,
+    /// CIGAR over the read (M/I/D only; the caller adds clips).
+    pub cigar: Cigar,
+    /// Edit distance (mismatches + inserted + deleted bases).
+    pub edit_distance: u32,
+}
+
+const NEG: i32 = i32::MIN / 4;
+
+/// DP state indices.
+const S_M: usize = 0;
+const S_X: usize = 1; // gap in reference (read insertion)
+const S_Y: usize = 2; // gap in read (reference deletion)
+
+/// Align `read` (0..=3 ranks) against `window` (0..=3 ranks) with free
+/// reference end gaps, banded around the diagonal `j ≈ i + diag_offset`.
+///
+/// Returns `None` when the band never covers a full-read path.
+pub fn fit_align(read: &[u8], window: &[u8], diag_offset: usize, sc: &Scoring) -> Option<Alignment> {
+    let m = read.len();
+    let n = window.len();
+    if m == 0 || n == 0 || n + sc.band < m {
+        return None;
+    }
+    let band = sc.band;
+    // j counts consumed window characters: 0..=n.
+    let lo = |i: usize| (i + diag_offset).saturating_sub(band);
+    let hi = |i: usize| (i + diag_offset + band + 1).min(n + 1);
+    let width = 2 * band + 1;
+    let cells = (m + 1) * width;
+    // dp[state][cell], bt[state][cell] = predecessor state + op marker.
+    let mut dp = [vec![NEG; cells], vec![NEG; cells], vec![NEG; cells]];
+    // bt codes: 0 = invalid/start, 1..=3 = came from state (code-1).
+    let mut bt = [vec![0u8; cells], vec![0u8; cells], vec![0u8; cells]];
+    let at = |i: usize, j: usize| i * width + (j - lo(i));
+
+    // Row 0: free leading reference gap — start in M with score 0 anywhere.
+    for j in lo(0)..hi(0) {
+        dp[S_M][at(0, j)] = 0;
+    }
+    for i in 1..=m {
+        for j in lo(i)..hi(i) {
+            let cell = at(i, j);
+            // M: consume read[i-1] and window[j-1].
+            if j >= 1 && j - 1 >= lo(i - 1) && j - 1 < hi(i - 1) {
+                let prev = at(i - 1, j - 1);
+                let sub = if read[i - 1] == window[j - 1] { sc.match_score } else { sc.mismatch };
+                let (mut best, mut from) = (NEG, 0u8);
+                for s in [S_M, S_X, S_Y] {
+                    if dp[s][prev] > best {
+                        best = dp[s][prev];
+                        from = s as u8 + 1;
+                    }
+                }
+                if best > NEG {
+                    dp[S_M][cell] = best + sub;
+                    bt[S_M][cell] = from;
+                }
+            }
+            // X: consume read[i-1] only (insertion to reference).
+            if j >= lo(i - 1) && j < hi(i - 1) {
+                let prev = at(i - 1, j);
+                let open = dp[S_M][prev].saturating_add(sc.gap_open + sc.gap_extend);
+                let extend = dp[S_X][prev].saturating_add(sc.gap_extend);
+                if open >= extend && open > NEG {
+                    dp[S_X][cell] = open;
+                    bt[S_X][cell] = S_M as u8 + 1;
+                } else if extend > NEG {
+                    dp[S_X][cell] = extend;
+                    bt[S_X][cell] = S_X as u8 + 1;
+                }
+            }
+            // Y: consume window[j-1] only (deletion from reference).
+            if j >= 1 && j - 1 >= lo(i) {
+                let prev = at(i, j - 1);
+                let open = dp[S_M][prev].saturating_add(sc.gap_open + sc.gap_extend);
+                let extend = dp[S_Y][prev].saturating_add(sc.gap_extend);
+                if open >= extend && open > NEG {
+                    dp[S_Y][cell] = open;
+                    bt[S_Y][cell] = S_M as u8 + 1;
+                } else if extend > NEG {
+                    dp[S_Y][cell] = extend;
+                    bt[S_Y][cell] = S_Y as u8 + 1;
+                }
+            }
+        }
+    }
+
+    // Best end cell on the last row: M or X states (ending in Y would mean a
+    // trailing reference deletion, which the free end gap makes pointless).
+    let (mut best, mut j_end, mut s_end) = (NEG, 0usize, S_M);
+    for j in lo(m)..hi(m) {
+        for s in [S_M, S_X] {
+            if dp[s][at(m, j)] > best {
+                best = dp[s][at(m, j)];
+                j_end = j;
+                s_end = s;
+            }
+        }
+    }
+    if best <= NEG {
+        return None;
+    }
+
+    // Traceback.
+    let mut ops_rev: Vec<CigarOp> = Vec::with_capacity(m + 8);
+    let mut edit = 0u32;
+    let (mut i, mut j, mut s) = (m, j_end, s_end);
+    while i > 0 {
+        let from = bt[s][at(i, j)];
+        if from == 0 {
+            return None; // band broke the path
+        }
+        let prev_state = (from - 1) as usize;
+        match s {
+            S_M => {
+                if read[i - 1] != window[j - 1] {
+                    edit += 1;
+                }
+                ops_rev.push(CigarOp::Match);
+                i -= 1;
+                j -= 1;
+            }
+            S_X => {
+                ops_rev.push(CigarOp::Ins);
+                edit += 1;
+                i -= 1;
+            }
+            _ => {
+                ops_rev.push(CigarOp::Del);
+                edit += 1;
+                j -= 1;
+            }
+        }
+        s = prev_state;
+    }
+    let window_start = j;
+
+    // Run-length encode.
+    let mut runs: Vec<(u32, CigarOp)> = Vec::new();
+    for op in ops_rev.into_iter().rev() {
+        match runs.last_mut() {
+            Some((count, last)) if *last == op => *count += 1,
+            _ => runs.push((1, op)),
+        }
+    }
+    Some(Alignment { score: best, window_start, cigar: Cigar::from_ops(runs), edit_distance: edit })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ranks(s: &[u8]) -> Vec<u8> {
+        s.iter().map(|&b| gpf_formats::base::rank4(b)).collect()
+    }
+
+    fn align(read: &[u8], window: &[u8], diag: usize) -> Alignment {
+        fit_align(&ranks(read), &ranks(window), diag, &Scoring::default()).expect("aligns")
+    }
+
+    #[test]
+    fn perfect_match() {
+        let a = align(b"ACGTACGT", b"TTACGTACGTTT", 2);
+        assert_eq!(a.cigar.to_string(), "8M");
+        assert_eq!(a.window_start, 2);
+        assert_eq!(a.edit_distance, 0);
+        assert_eq!(a.score, 16);
+    }
+
+    #[test]
+    fn single_mismatch() {
+        let a = align(b"ACGTACGT", b"TTACGAACGTTT", 2);
+        assert_eq!(a.cigar.to_string(), "8M");
+        assert_eq!(a.edit_distance, 1);
+        assert_eq!(a.score, 7 * 2 - 3);
+    }
+
+    #[test]
+    fn deletion_from_reference() {
+        let read = b"ACGTACGT";
+        let window = b"GGACGTGGACGTCC"; // window has GG inserted vs read
+        let a = align(read, window, 2);
+        assert_eq!(a.cigar.to_string(), "4M2D4M");
+        assert_eq!(a.edit_distance, 2);
+        assert_eq!(a.score, 8 * 2 - 5 - 2 * 2);
+    }
+
+    #[test]
+    fn insertion_to_reference() {
+        let read = b"ACGTTTACGT";
+        let window = b"GGACGTACGTCC";
+        let a = align(read, window, 2);
+        assert_eq!(a.edit_distance, 2);
+        assert_eq!(a.cigar.read_len(), 10);
+        assert_eq!(a.cigar.ref_span(), 8);
+        let inserted: u32 = a
+            .cigar
+            .0
+            .iter()
+            .filter(|(_, op)| *op == CigarOp::Ins)
+            .map(|&(count, _)| count)
+            .sum();
+        assert_eq!(inserted, 2);
+        assert_eq!(a.score, 8 * 2 - 5 - 2 * 2);
+    }
+
+    #[test]
+    fn affine_gaps_stay_contiguous() {
+        // A 5-base deletion must come out as one 5D op, not split gaps.
+        let read: Vec<u8> = [&b"ACGTACGTCCGGAAT"[..], &b"TGCATGCAGGCCTTA"[..]].concat();
+        let window: Vec<u8> =
+            [&b"ACGTACGTCCGGAAT"[..], &b"GGGTC"[..], &b"TGCATGCAGGCCTTA"[..]].concat();
+        let a = align(&read, &window, 0);
+        assert_eq!(a.cigar.to_string(), "15M5D15M");
+        assert_eq!(a.edit_distance, 5);
+    }
+
+    #[test]
+    fn window_start_is_free() {
+        let a = align(b"CCCC", b"AAAAAACCCC", 0);
+        assert_eq!(a.window_start, 6);
+        assert_eq!(a.cigar.to_string(), "4M");
+    }
+
+    #[test]
+    fn cigar_consumes_whole_read() {
+        let reads: [&[u8]; 3] = [b"ACGT", b"ACGTACGTAC", b"TTTTTTT"];
+        for read in reads {
+            let window: Vec<u8> = [b"GG".as_slice(), read, b"GG".as_slice()].concat();
+            let a = align(read, &window, 2);
+            assert_eq!(a.cigar.read_len(), read.len() as u64);
+        }
+    }
+
+    #[test]
+    fn too_small_window_returns_none() {
+        let r = ranks(b"ACGTACGTACGTACGTACGTACGTACGTACGT");
+        let w = ranks(b"ACG");
+        assert!(fit_align(&r, &w, 0, &Scoring::default()).is_none());
+    }
+
+    #[test]
+    fn empty_inputs_return_none() {
+        assert!(fit_align(&[], &[0, 1], 0, &Scoring::default()).is_none());
+        assert!(fit_align(&[0], &[], 0, &Scoring::default()).is_none());
+    }
+
+    #[test]
+    fn prefers_mismatch_over_two_gaps() {
+        let a = align(b"ACGTACGT", b"ACGAACGT", 0);
+        assert_eq!(a.cigar.to_string(), "8M");
+        assert_eq!(a.edit_distance, 1);
+    }
+
+    #[test]
+    fn mismatch_cheaper_than_open_close() {
+        // With affine costs a single substitution (−3) must beat an
+        // insertion+deletion pair (2 opens = −14).
+        let a = align(b"AAAATAAAA", b"CCAAAACAAAACC", 2);
+        assert_eq!(a.cigar.to_string(), "9M");
+    }
+}

@@ -1,0 +1,87 @@
+//! End-to-end aligner accuracy on simulated reads with known truth.
+
+use gpf_align::{BwaMemAligner, SnapAligner};
+use gpf_workloads::readsim::{ReadSimulator, SimulatorConfig};
+use gpf_workloads::refgen::ReferenceSpec;
+use gpf_workloads::variants::{DonorGenome, VariantSpec};
+
+fn setup() -> (gpf_formats::ReferenceGenome, Vec<gpf_workloads::readsim::SimulatedPair>) {
+    let reference = ReferenceSpec {
+        contig_lengths: vec![120_000, 60_000],
+        seed: 2024,
+        ..Default::default()
+    }
+    .generate();
+    let donor = DonorGenome::generate(&reference, &VariantSpec::default());
+    let cfg = SimulatorConfig {
+        coverage: 1.0,
+        duplicate_rate: 0.0,
+        hotspot_count: 0,
+        ..Default::default()
+    };
+    let pairs = ReadSimulator::new(&reference, &donor, cfg).simulate();
+    (reference, pairs)
+}
+
+#[test]
+fn bwamem_places_most_simulated_pairs_at_truth() {
+    let (reference, pairs) = setup();
+    let aligner = BwaMemAligner::new(&reference);
+    let sample: Vec<_> = pairs.iter().take(150).collect();
+    let mut correct = 0usize;
+    let mut mapped = 0usize;
+    for p in &sample {
+        let (r1, _r2) = aligner.align_pair(&p.pair);
+        if r1.flags.is_mapped() {
+            mapped += 1;
+            if r1.contig == p.truth.contig && r1.pos.abs_diff(p.truth.ref_start1) <= 12 {
+                correct += 1;
+            }
+        }
+    }
+    let map_rate = mapped as f64 / sample.len() as f64;
+    let acc = correct as f64 / mapped.max(1) as f64;
+    assert!(map_rate > 0.9, "mapped rate {map_rate}");
+    assert!(acc > 0.9, "placement accuracy {acc} ({correct}/{mapped})");
+}
+
+#[test]
+fn bwamem_pairs_are_mostly_proper() {
+    let (reference, pairs) = setup();
+    let aligner = BwaMemAligner::new(&reference);
+    let sample: Vec<_> = pairs.iter().take(100).collect();
+    let mut proper = 0usize;
+    for p in &sample {
+        let (r1, _) = aligner.align_pair(&p.pair);
+        if r1.flags.has(gpf_formats::SamFlags::PROPER_PAIR) {
+            proper += 1;
+        }
+    }
+    assert!(
+        proper as f64 / sample.len() as f64 > 0.75,
+        "proper-pair rate {proper}/{}",
+        sample.len()
+    );
+}
+
+#[test]
+fn snap_single_end_agrees_with_bwamem() {
+    let (reference, pairs) = setup();
+    let bwa = BwaMemAligner::new(&reference);
+    let snap = SnapAligner::new(&reference);
+    let mut agree = 0usize;
+    let mut both = 0usize;
+    for p in pairs.iter().take(80) {
+        let r = &p.pair.r1;
+        let a = bwa.align_read(&r.name, &r.seq, &r.qual);
+        let b = snap.align_read(&r.name, &r.seq, &r.qual);
+        if a.flags.is_mapped() && b.flags.is_mapped() {
+            both += 1;
+            if a.contig == b.contig && a.pos.abs_diff(b.pos) <= 8 {
+                agree += 1;
+            }
+        }
+    }
+    assert!(both > 50, "both mapped {both}");
+    assert!(agree as f64 / both as f64 > 0.85, "agreement {agree}/{both}");
+}

@@ -1,0 +1,228 @@
+//! Churchill-like pipeline: static fixed-boundary subregions + file-based
+//! intermediate data.
+//!
+//! Churchill (Kelly et al. 2015) parallelizes the whole WGS pipeline by
+//! dividing the genome into subregions with **fixed boundaries decided at
+//! the beginning of the analysis** and handing intermediate BAM files
+//! between steps through the filesystem. The GPF paper (§5.2.1) attributes
+//! Churchill's ≤1024-core scaling ceiling to "the chromosomal subregion
+//! \[being\] decided at the beginning of the analysis and the inherent load
+//! imbalance of the strategy". This module reproduces both mechanisms: the
+//! equal-length region split never adapts to coverage skew, and every step
+//! round-trips through [`gpf_engine::Dataset::barrier_via_disk`].
+
+use gpf_align::BwaMemAligner;
+use gpf_caller::HaplotypeCaller;
+use gpf_cleaner::bqsr::{apply_recalibration, build_recal_table};
+use gpf_cleaner::realign::{find_realign_intervals, realign_interval};
+use gpf_cleaner::{coordinate_sort, mark_duplicates};
+use gpf_core::partition::PartitionInfo;
+use gpf_engine::{Dataset, EngineConfig, EngineContext, JobRun};
+use gpf_formats::fastq::FastqPair;
+use gpf_formats::sam::SamRecord;
+use gpf_formats::vcf::VcfRecord;
+use gpf_formats::ReferenceGenome;
+use std::sync::Arc;
+
+/// The Churchill-like comparator.
+pub struct ChurchillPipeline {
+    reference: Arc<ReferenceGenome>,
+    aligner: Arc<BwaMemAligner>,
+    /// Fixed subregion length (decided up front, never split).
+    pub region_len: u64,
+    /// Engine partitions for the input FASTQ.
+    pub nparts: usize,
+}
+
+impl ChurchillPipeline {
+    /// Build the pipeline (constructs the aligner index).
+    pub fn new(reference: Arc<ReferenceGenome>, region_len: u64, nparts: usize) -> Self {
+        let aligner = Arc::new(BwaMemAligner::new(&reference));
+        Self { reference, aligner, region_len, nparts }
+    }
+
+    /// Reuse an existing aligner index.
+    pub fn with_aligner(
+        reference: Arc<ReferenceGenome>,
+        aligner: Arc<BwaMemAligner>,
+        region_len: u64,
+        nparts: usize,
+    ) -> Self {
+        Self { reference, aligner, region_len, nparts }
+    }
+
+    /// Run the full pipeline, returning the calls and the recorded job.
+    pub fn run(&self, pairs: &[FastqPair], known: &[VcfRecord]) -> (Vec<VcfRecord>, JobRun) {
+        // Churchill's component tools are native (bwa) and JVM (GATK); its
+        // serialized intermediates are BAM — closest to the Kryo profile.
+        let ctx = EngineContext::new(
+            EngineConfig::kryo().with_parallelism(self.nparts),
+        );
+
+        // --- Aligner: bwa, then BAM to disk. -----------------------------
+        ctx.set_phase("aligner");
+        let fastq = Dataset::from_vec(Arc::clone(&ctx), pairs.to_vec(), self.nparts);
+        let aligner = Arc::clone(&self.aligner);
+        let aligned = fastq
+            .flat_map(move |p| {
+                let (a, b) = aligner.align_pair(p);
+                [a, b]
+            })
+            .barrier_via_disk("bwa->aligned.bam");
+
+        // --- Static subregion split (fixed boundaries, never adapted). ---
+        ctx.set_phase("cleaner");
+        let info = PartitionInfo::new(&self.reference.dict().lengths(), self.region_len);
+        let nregions = info.num_partitions() as usize;
+        let info_route = info.clone();
+        let split = aligned
+            .partition_by(nregions, move |r: &SamRecord| {
+                gpf_core::process::route_record(r, &info_route) as usize
+            })
+            .barrier_via_disk("split->region.bams");
+
+        // --- Per-region cleaning, each step spilling BAMs. ----------------
+        let deduped = split
+            .map_partitions(|part| {
+                let mut records: Vec<SamRecord> = part.to_vec();
+                coordinate_sort(&mut records);
+                mark_duplicates(&mut records);
+                records
+            })
+            .barrier_via_disk("dedup->dedup.bams");
+
+        let reference = Arc::clone(&self.reference);
+        let known_arc = Arc::new(known.to_vec());
+        let known_realign = Arc::clone(&known_arc);
+        let cleaned = deduped
+            .map_partitions(move |part| {
+                let mut records: Vec<SamRecord> = part.to_vec();
+                let intervals = find_realign_intervals(&records, &known_realign, &reference);
+                for iv in &intervals {
+                    realign_interval(&mut records, &reference, iv, &known_realign);
+                }
+                records
+            })
+            .barrier_via_disk("realign->realign.bams");
+
+        let reference = Arc::clone(&self.reference);
+        let known_bqsr = Arc::clone(&known_arc);
+        let recal = cleaned
+            .map_partitions(move |part| {
+                // Churchill recalibrates per region (no global table merge).
+                let mut records: Vec<SamRecord> = part.to_vec();
+                let table = build_recal_table(&records, &reference, &known_bqsr);
+                apply_recalibration(&mut records, &table);
+                records
+            })
+            .barrier_via_disk("bqsr->recal.bams");
+
+        // --- Per-region calling. ------------------------------------------
+        ctx.set_phase("caller");
+        let reference = Arc::clone(&self.reference);
+        let intervals = Arc::new(info.intervals());
+        let calls_ds = recal.map_partitions_with_index(move |pi, part| {
+            let mut records: Vec<SamRecord> = part.to_vec();
+            coordinate_sort(&mut records);
+            let calls = HaplotypeCaller::default().call(&records, &reference);
+            let region = intervals[pi.min(intervals.len() - 1)];
+            calls
+                .into_iter()
+                .filter(|v| {
+                    v.contig == region.contig && v.pos >= region.start && v.pos < region.end
+                })
+                .collect()
+        });
+        let mut calls = calls_ds.collect();
+        calls.sort_by_key(|v| (v.contig, v.pos, v.alt_allele.clone()));
+        (calls, ctx.take_run())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpf_workloads::readsim::{simulate_fastq_pairs, SimulatorConfig};
+    use gpf_workloads::refgen::ReferenceSpec;
+    use gpf_workloads::variants::{DonorGenome, VariantSpec};
+
+    #[test]
+    fn churchill_pipeline_calls_variants_with_disk_heavy_profile() {
+        let reference = Arc::new(
+            ReferenceSpec { contig_lengths: vec![40_000], seed: 21, ..Default::default() }
+                .generate(),
+        );
+        let donor = DonorGenome::generate(
+            &reference,
+            &VariantSpec { snv_rate: 1e-3, indel_rate: 0.0, seed: 3, ..Default::default() },
+        );
+        let pairs = simulate_fastq_pairs(
+            &reference,
+            &donor,
+            SimulatorConfig {
+                coverage: 20.0,
+                duplicate_rate: 0.05,
+                hotspot_count: 1,
+                ..Default::default()
+            },
+        );
+        let pipeline = ChurchillPipeline::new(Arc::clone(&reference), 5_000, 4);
+        let (calls, run) = pipeline.run(&pairs, &[]);
+        assert!(!calls.is_empty(), "churchill calls variants");
+        // Recall sanity: finds a majority of planted SNVs.
+        let recalled = donor
+            .truth
+            .iter()
+            .filter(|t| calls.iter().any(|c| c.pos.abs_diff(t.pos.pos) <= 1))
+            .count();
+        assert!(
+            recalled * 2 > donor.truth.len(),
+            "recall {recalled}/{}",
+            donor.truth.len()
+        );
+        // The disk barriers dominate its shuffle profile: every stage
+        // round-trips the full dataset.
+        assert!(run.num_stages() >= 6, "stages {}", run.num_stages());
+        assert!(run.total_shuffle_bytes() > 0);
+    }
+
+    #[test]
+    fn static_partitions_skew_under_hotspots() {
+        let reference = Arc::new(
+            ReferenceSpec { contig_lengths: vec![60_000], seed: 22, ..Default::default() }
+                .generate(),
+        );
+        let donor = DonorGenome::generate(&reference, &VariantSpec::default());
+        let pairs = simulate_fastq_pairs(
+            &reference,
+            &donor,
+            SimulatorConfig {
+                coverage: 10.0,
+                hotspot_count: 1,
+                hotspot_multiplier: 40.0,
+                hotspot_len: 3_000,
+                ..Default::default()
+            },
+        );
+        let pipeline = ChurchillPipeline::new(Arc::clone(&reference), 6_000, 4);
+        let (_, run) = pipeline.run(&pairs, &[]);
+        // The final stage holds the per-region caller tasks; check
+        // task-time skew: the hotspot region's task should far exceed the
+        // median. (The stage was opened by the preceding disk barrier, so
+        // its phase tag is the cleaner's — select by position, not phase.)
+        let caller_stage = run
+            .stages
+            .iter()
+            .rev()
+            .find(|s| s.task_cpu_s.len() > 4)
+            .expect("caller stage recorded");
+        let mut times = caller_stage.task_cpu_s.clone();
+        times.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let median = times[times.len() / 2].max(1e-9);
+        let max = *times.last().unwrap();
+        assert!(
+            max > 3.0 * median,
+            "static partitioning shows straggler: max {max:.4}s vs median {median:.4}s"
+        );
+    }
+}

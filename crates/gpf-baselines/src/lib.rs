@@ -1,0 +1,34 @@
+//! # gpf-baselines
+//!
+//! The comparator systems of the paper's evaluation (§5.2), rebuilt on the
+//! same substrates so every comparison is mechanism-for-mechanism rather
+//! than constant-for-constant:
+//!
+//! * [`churchill`] — Churchill (Kelly et al. 2015): full-pipeline
+//!   parallelization with **fixed-boundary** chromosomal subregions decided
+//!   at the start of the analysis, and intermediate data handed between
+//!   steps through **files on disk**. Its scaling ceiling (§5.2.1: limited
+//!   to ~1024 cores, 128 min vs GPF's 37 at 1024) comes from static load
+//!   imbalance plus the disk round-trips — both reproduced here.
+//! * [`flavors`] — ADAM-like and GATK4-like configurations: the same
+//!   kernels executed on the engine but with Kryo-style serialization (no
+//!   genomic compression), per-step bundle rebuilds (no §4.3 fusion),
+//!   format-conversion overhead (ADAM's columnar conversion), and a
+//!   JVM-vs-native CPU factor calibrated in DESIGN.md.
+//! * [`persona`] — Persona (Byma et al. 2017): a dataflow framework with
+//!   the AGD storage format. Alignment uses the SNAP-like hash aligner,
+//!   single-end, and every dataset must be **converted into and out of
+//!   AGD** at the rates the paper quotes (360 MB/s in, 82 MB/s out) —
+//!   the conversion cost that Figure 11(d)'s "Persona real BWA" line adds.
+//! * [`kernels`] — shared kernel runners (MarkDuplicate / BQSR / INDEL
+//!   realignment) parameterized by flavor, producing engine `JobRun`s the
+//!   Figure 11 benchmarks feed to the cluster simulator.
+
+pub mod churchill;
+pub mod flavors;
+pub mod kernels;
+pub mod persona;
+
+pub use churchill::ChurchillPipeline;
+pub use flavors::Flavor;
+pub use persona::PersonaConfig;

@@ -1,0 +1,72 @@
+//! Criterion bench: aligner kernels (backs Figure 11(d)).
+//!
+//! Per-pair BWA-MEM-like alignment vs per-read SNAP-like alignment, plus
+//! index construction cost.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use gpf_align::{BwaMemAligner, SnapAligner};
+use gpf_workloads::readsim::{ReadSimulator, SimulatorConfig};
+use gpf_workloads::refgen::ReferenceSpec;
+use gpf_workloads::variants::{DonorGenome, VariantSpec};
+
+fn setup() -> (gpf_formats::ReferenceGenome, Vec<gpf_workloads::readsim::SimulatedPair>) {
+    let reference = ReferenceSpec {
+        contig_lengths: vec![150_000],
+        seed: 99,
+        ..Default::default()
+    }
+    .generate();
+    let donor = DonorGenome::generate(&reference, &VariantSpec::default());
+    let pairs = ReadSimulator::new(
+        &reference,
+        &donor,
+        SimulatorConfig { coverage: 1.0, duplicate_rate: 0.0, hotspot_count: 0, ..Default::default() },
+    )
+    .simulate();
+    (reference, pairs)
+}
+
+fn bench_aligners(c: &mut Criterion) {
+    let (reference, pairs) = setup();
+    let bwa = BwaMemAligner::new(&reference);
+    let snap = SnapAligner::new(&reference);
+    let sample: Vec<_> = pairs.iter().take(64).collect();
+    let bases: u64 = sample.iter().map(|p| p.pair.total_bases() as u64).sum();
+
+    let mut g = c.benchmark_group("aligners");
+    g.throughput(Throughput::Bytes(bases));
+    g.bench_function("bwamem_pair_end", |b| {
+        b.iter(|| {
+            for p in &sample {
+                std::hint::black_box(bwa.align_pair(&p.pair));
+            }
+        })
+    });
+    g.throughput(Throughput::Bytes(bases / 2));
+    g.bench_function("snap_single_end", |b| {
+        b.iter(|| {
+            for p in &sample {
+                let r = &p.pair.r1;
+                std::hint::black_box(snap.align_read(&r.name, &r.seq, &r.qual));
+            }
+        })
+    });
+    g.finish();
+}
+
+fn bench_index_build(c: &mut Criterion) {
+    let reference = ReferenceSpec { contig_lengths: vec![80_000], seed: 3, ..Default::default() }
+        .generate();
+    let mut g = c.benchmark_group("index_build");
+    g.sample_size(10);
+    g.bench_function("fm_index_80k", |b| {
+        b.iter(|| std::hint::black_box(BwaMemAligner::new(&reference)))
+    });
+    g.bench_function("snap_table_80k", |b| {
+        b.iter(|| std::hint::black_box(SnapAligner::new(&reference)))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_aligners, bench_index_build);
+criterion_main!(benches);

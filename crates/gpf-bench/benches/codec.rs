@@ -1,0 +1,95 @@
+//! Criterion bench: the §4.2 compression codecs (backs Table 3).
+//!
+//! Measures sequence 2-bit packing, quality delta+Huffman coding, and the
+//! three record serializers on realistic simulated reads.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use gpf_compress::qualcodec::QualityCodec;
+use gpf_compress::sequence::{compress_read_fields, decompress_read_fields};
+use gpf_compress::serializer::{deserialize_batch, serialize_batch, SerializerKind};
+use gpf_formats::fastq::FastqRecord;
+use gpf_workloads::quality::QualityProfile;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn reads(n: usize, len: usize) -> Vec<FastqRecord> {
+    let mut rng = StdRng::seed_from_u64(7);
+    let profile = QualityProfile::srr622461_like();
+    (0..n)
+        .map(|i| {
+            let seq: Vec<u8> = (0..len)
+                .map(|_| {
+                    if rng.gen_bool(0.002) {
+                        b'N'
+                    } else {
+                        b"ACGT"[rng.gen_range(0..4)]
+                    }
+                })
+                .collect();
+            let mut qual = profile.sample(len, &mut rng);
+            for (q, s) in qual.iter_mut().zip(&seq) {
+                if *s == b'N' {
+                    *q = 33;
+                }
+            }
+            FastqRecord::new(format!("read{i}"), &seq, &qual).expect("valid read")
+        })
+        .collect()
+}
+
+fn bench_field_codec(c: &mut Criterion) {
+    let records = reads(256, 100);
+    let codec = QualityCodec::default_codec();
+    let mut g = c.benchmark_group("field_codec");
+    g.throughput(Throughput::Bytes((256 * 200) as u64));
+    g.bench_function("compress_seq_qual", |b| {
+        b.iter(|| {
+            for r in &records {
+                std::hint::black_box(compress_read_fields(&r.seq, &r.qual, &codec).unwrap());
+            }
+        })
+    });
+    let compressed: Vec<_> =
+        records.iter().map(|r| compress_read_fields(&r.seq, &r.qual, &codec).unwrap()).collect();
+    g.bench_function("decompress_seq_qual", |b| {
+        b.iter(|| {
+            for cr in &compressed {
+                std::hint::black_box(decompress_read_fields(cr, &codec).unwrap());
+            }
+        })
+    });
+    g.finish();
+}
+
+fn bench_serializers(c: &mut Criterion) {
+    let records = reads(512, 100);
+    let mut g = c.benchmark_group("serializers");
+    for kind in [SerializerKind::JavaSim, SerializerKind::KryoSim, SerializerKind::Gpf] {
+        let buf = serialize_batch(kind, &records);
+        g.throughput(Throughput::Bytes(buf.len() as u64));
+        g.bench_with_input(BenchmarkId::new("serialize", format!("{kind:?}")), &kind, |b, &k| {
+            b.iter(|| std::hint::black_box(serialize_batch(k, &records).len()))
+        });
+        g.bench_with_input(
+            BenchmarkId::new("deserialize", format!("{kind:?}")),
+            &kind,
+            |b, &k| {
+                let buf = serialize_batch(k, &records);
+                b.iter(|| {
+                    std::hint::black_box(
+                        deserialize_batch::<FastqRecord>(k, &buf).unwrap().len(),
+                    )
+                })
+            },
+        );
+        println!(
+            "serialized size [{kind:?}]: {} bytes for 512 reads ({:.1} B/read)",
+            buf.len(),
+            buf.len() as f64 / 512.0
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_field_codec, bench_serializers);
+criterion_main!(benches);

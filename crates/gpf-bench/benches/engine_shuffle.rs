@@ -1,0 +1,60 @@
+//! Criterion bench: engine shuffle throughput under the three serializers
+//! (the mechanism behind Tables 3 and 4).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use gpf_compress::SerializerKind;
+use gpf_engine::{Dataset, EngineConfig, EngineContext};
+use gpf_workloads::quality::QualityProfile;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::sync::Arc;
+
+fn records(n: usize) -> Vec<(u64, gpf_formats::FastqRecord)> {
+    let mut rng = StdRng::seed_from_u64(5);
+    let profile = QualityProfile::srr622461_like();
+    (0..n)
+        .map(|i| {
+            let seq: Vec<u8> = (0..100).map(|_| b"ACGT"[rng.gen_range(0..4)]).collect();
+            let qual = profile.sample(100, &mut rng);
+            (
+                rng.gen_range(0..64u64),
+                gpf_formats::FastqRecord::new(format!("r{i}"), &seq, &qual).expect("valid"),
+            )
+        })
+        .collect()
+}
+
+fn bench_shuffle(c: &mut Criterion) {
+    let data = records(4096);
+    let mut g = c.benchmark_group("shuffle");
+    g.sample_size(10);
+    g.throughput(Throughput::Elements(4096));
+    for kind in [SerializerKind::JavaSim, SerializerKind::KryoSim, SerializerKind::Gpf] {
+        g.bench_with_input(BenchmarkId::new("group_by_key", format!("{kind:?}")), &kind, |b, &k| {
+            b.iter(|| {
+                let cfg = EngineConfig { serializer: k, ..EngineConfig::default() };
+                let ctx = EngineContext::new(cfg);
+                let ds = Dataset::from_vec(Arc::clone(&ctx), data.clone(), 8);
+                let g = ds.group_by_key(8);
+                let bytes = ctx.take_run().total_shuffle_bytes();
+                std::hint::black_box((g.len(), bytes))
+            })
+        });
+    }
+    g.finish();
+
+    // Print the shuffle volumes once for the record.
+    for kind in [SerializerKind::JavaSim, SerializerKind::KryoSim, SerializerKind::Gpf] {
+        let cfg = EngineConfig { serializer: kind, ..EngineConfig::default() };
+        let ctx = EngineContext::new(cfg);
+        let ds = Dataset::from_vec(Arc::clone(&ctx), data.clone(), 8);
+        let _ = ds.group_by_key(8);
+        println!(
+            "shuffle bytes [{kind:?}]: {}",
+            ctx.take_run().total_shuffle_bytes()
+        );
+    }
+}
+
+criterion_group!(benches, bench_shuffle);
+criterion_main!(benches);

@@ -1,0 +1,43 @@
+//! Criterion bench: Cleaner kernels under each flavor (backs Figure 11 a-c).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gpf_baselines::flavors::Flavor;
+use gpf_baselines::kernels::{run_bqsr, run_markdup, run_realign, KernelInput};
+use gpf_bench::WgsWorkload;
+use std::sync::Arc;
+
+fn input() -> KernelInput {
+    let w = WgsWorkload::build(0.15, 1234);
+    KernelInput {
+        reference: Arc::clone(&w.reference),
+        records: w.aligned_records().to_vec(),
+        known: w.known.clone(),
+        partition_len: w.partition_len,
+        nparts: 32,
+    }
+}
+
+fn bench_kernels(c: &mut Criterion) {
+    let input = input();
+    let mut g = c.benchmark_group("cleaner_kernels");
+    g.sample_size(10);
+    for flavor in [Flavor::Gpf, Flavor::AdamLike, Flavor::Gatk4Like] {
+        g.bench_with_input(
+            BenchmarkId::new("markdup", flavor.name()),
+            &flavor,
+            |b, &f| b.iter(|| std::hint::black_box(run_markdup(f, &input).num_stages())),
+        );
+        g.bench_with_input(BenchmarkId::new("bqsr", flavor.name()), &flavor, |b, &f| {
+            b.iter(|| std::hint::black_box(run_bqsr(f, &input).num_stages()))
+        });
+        g.bench_with_input(
+            BenchmarkId::new("realign", flavor.name()),
+            &flavor,
+            |b, &f| b.iter(|| std::hint::black_box(run_realign(f, &input).num_stages())),
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_kernels);
+criterion_main!(benches);

@@ -1,0 +1,38 @@
+//! Criterion bench: the pair-HMM likelihood kernel — the Caller stage's CPU
+//! hot spot (§5.3.2 of the paper).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use gpf_caller::pairhmm::{log10_likelihood, HmmParams};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn random_seq(rng: &mut StdRng, n: usize) -> Vec<u8> {
+    (0..n).map(|_| b"ACGT"[rng.gen_range(0..4)]).collect()
+}
+
+fn bench_pairhmm(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(11);
+    let params = HmmParams::default();
+    let mut g = c.benchmark_group("pairhmm");
+    for (read_len, hap_len) in [(100usize, 300usize), (100, 600), (250, 600)] {
+        let hap = random_seq(&mut rng, hap_len);
+        let start = rng.gen_range(0..hap_len - read_len);
+        let mut read = hap[start..start + read_len].to_vec();
+        // A couple of mismatches keep the DP honest.
+        read[read_len / 3] = b'A';
+        read[2 * read_len / 3] = b'C';
+        let qual = vec![b'F'; read_len];
+        g.throughput(Throughput::Elements((read_len * hap_len) as u64));
+        g.bench_with_input(
+            BenchmarkId::from_parameter(format!("{read_len}x{hap_len}")),
+            &(read, qual, hap),
+            |b, (read, qual, hap)| {
+                b.iter(|| std::hint::black_box(log10_likelihood(read, qual, hap, &params)))
+            },
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_pairhmm);
+criterion_main!(benches);

@@ -1,0 +1,19 @@
+//! `cargo bench --bench paper_tables` regenerates EVERY table and figure of
+//! the paper's evaluation at a bench-friendly scale and prints them.
+//!
+//! This is the harness deliverable: one command, all rows/series. Scale is
+//! controlled by `GPF_SCALE` (default 0.35 here to keep bench runs brisk;
+//! use the `experiments` binary at `--scale 1.0` for fuller runs).
+
+fn main() {
+    let scale = std::env::var("GPF_SCALE")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0.35);
+    println!("# GPF paper evaluation — full regeneration (scale {scale})\n");
+    let t0 = std::time::Instant::now();
+    for report in gpf_bench::experiments::all(scale) {
+        report.print();
+    }
+    println!("# total wall time: {:.1}s", t0.elapsed().as_secs_f64());
+}

@@ -1,0 +1,37 @@
+//! # gpf-bench
+//!
+//! The experiment harness: one function per table/figure of the paper's
+//! evaluation (§5), each producing an [`report::ExperimentReport`] whose
+//! rows mirror what the paper printed — with the paper's own numbers shown
+//! alongside for shape comparison.
+//!
+//! | experiment | paper artifact | function |
+//! |---|---|---|
+//! | `table1`  | I/O vs CPU share, 1→30 samples, Lustre/NFS | [`experiments::table1`] |
+//! | `fig5`    | quality score & delta distributions | [`experiments::fig5`] |
+//! | `fig10`   | WGS scaling, GPF vs Churchill | [`experiments::fig10`] |
+//! | `fig11a`  | MarkDuplicate strong scaling | [`experiments::fig11a`] |
+//! | `fig11b`  | BQSR strong scaling | [`experiments::fig11b`] |
+//! | `fig11c`  | INDEL realignment strong scaling | [`experiments::fig11c`] |
+//! | `fig11d`  | aligner throughput vs Persona | [`experiments::fig11d`] |
+//! | `table3`  | genomic data compression per stage | [`experiments::table3`] |
+//! | `table4`  | redundancy elimination on/off | [`experiments::table4`] |
+//! | `fig12`   | blocked-time analysis per phase | [`experiments::fig12`] |
+//! | `fig13`   | cluster utilization timeline | [`experiments::fig13`] |
+//! | `table5`  | platform comparison (parallel efficiency) | [`experiments::table5`] |
+//!
+//! Scale: every experiment accepts a `scale` factor (1.0 ≈ a 1.2 Mb genome
+//! at 25× — laptop-friendly); the `GPF_SCALE` environment variable controls
+//! the `experiments` binary and the `paper_tables` bench.
+
+pub mod experiments;
+pub mod report;
+pub mod workload;
+
+pub use report::ExperimentReport;
+pub use workload::WgsWorkload;
+
+/// Scale factor from the `GPF_SCALE` env var (default 1.0).
+pub fn env_scale() -> f64 {
+    std::env::var("GPF_SCALE").ok().and_then(|s| s.parse().ok()).unwrap_or(1.0)
+}

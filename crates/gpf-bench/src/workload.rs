@@ -1,0 +1,219 @@
+//! Shared WGS workload construction and pipeline runners.
+//!
+//! One [`WgsWorkload`] is the laptop-scale analogue of the paper's
+//! NA12878 Platinum Genomes setup: a synthetic reference (hg19 stand-in), a
+//! diploid donor with planted variants, simulated paired-end reads
+//! (coverage hotspots included), and a known-sites VCF (dbsnp_138 stand-in).
+
+use gpf_align::{BwaMemAligner, SnapAligner};
+use gpf_baselines::churchill::ChurchillPipeline;
+use gpf_core::prelude::*;
+use gpf_engine::{Dataset, EngineConfig, EngineContext, JobRun};
+use gpf_formats::fastq::FastqPair;
+use gpf_formats::sam::SamRecord;
+use gpf_formats::vcf::VcfRecord;
+use gpf_formats::ReferenceGenome;
+use gpf_workloads::readsim::{ReadSimulator, SimulatorConfig};
+use gpf_workloads::refgen::ReferenceSpec;
+use gpf_workloads::variants::{DonorGenome, VariantSpec};
+use std::sync::{Arc, OnceLock};
+
+/// The WGS benchmark workload.
+pub struct WgsWorkload {
+    /// Reference genome (hg19 stand-in).
+    pub reference: Arc<ReferenceGenome>,
+    /// Donor genome with planted truth.
+    pub donor: DonorGenome,
+    /// Simulated paired-end reads.
+    pub pairs: Vec<FastqPair>,
+    /// Known-sites VCF (dbsnp stand-in).
+    pub known: Vec<VcfRecord>,
+    /// Shared BWA-MEM index.
+    pub aligner: Arc<BwaMemAligner>,
+    /// Genomic partition length for PartitionInfo.
+    pub partition_len: u64,
+    /// Engine partitions for the FASTQ input (≈ task count per stage).
+    pub fastq_parts: usize,
+    snap: OnceLock<Arc<SnapAligner>>,
+    aligned_cache: OnceLock<Vec<SamRecord>>,
+}
+
+/// Result of one GPF pipeline run.
+pub struct GpfRun {
+    /// Emitted variant calls.
+    pub calls: Vec<VcfRecord>,
+    /// Engine-recorded job.
+    pub run: JobRun,
+    /// Number of fused chains the optimizer found.
+    pub fused_chains: usize,
+}
+
+impl WgsWorkload {
+    /// Build the workload. `scale = 1.0` is a ~1 Mb genome at 20× —
+    /// large enough for >1000 tasks per stage, small enough for a laptop.
+    pub fn build(scale: f64, seed: u64) -> Self {
+        let unit = (350_000.0 * scale) as u64;
+        let reference = Arc::new(
+            ReferenceSpec {
+                contig_lengths: vec![unit.max(40_000), (unit * 4 / 5).max(30_000), (unit * 3 / 5).max(20_000)],
+                seed,
+                ..Default::default()
+            }
+            .generate(),
+        );
+        let donor = DonorGenome::generate(
+            &reference,
+            &VariantSpec { seed: seed ^ 0xaaaa, ..Default::default() },
+        );
+        let pairs = ReadSimulator::new(
+            &reference,
+            &donor,
+            SimulatorConfig {
+                coverage: 20.0,
+                duplicate_rate: 0.10,
+                hotspot_count: 2,
+                hotspot_multiplier: 35.0,
+                seed: seed ^ 0x5555,
+                ..Default::default()
+            },
+        )
+        .simulate()
+        .into_iter()
+        .map(|s| s.pair)
+        .collect::<Vec<_>>();
+        let known = donor.known_sites(&reference, 0.8, 50, seed ^ 0x1234);
+        let aligner = Arc::new(BwaMemAligner::new(&reference));
+        let genome = reference.genome_length();
+        Self {
+            reference,
+            donor,
+            pairs,
+            known,
+            aligner,
+            partition_len: (genome / 1300).max(400),
+            fastq_parts: 1536,
+            snap: OnceLock::new(),
+            aligned_cache: OnceLock::new(),
+        }
+    }
+
+    /// Total sequenced bases.
+    pub fn sequenced_bases(&self) -> u64 {
+        self.pairs.iter().map(|p| p.total_bases() as u64).sum()
+    }
+
+    /// Shared SNAP index (built on first use).
+    pub fn snap(&self) -> Arc<SnapAligner> {
+        self.snap.get_or_init(|| Arc::new(SnapAligner::new(&self.reference))).clone()
+    }
+
+    /// Aligned records for kernel benchmarks (aligned once, cached).
+    pub fn aligned_records(&self) -> &[SamRecord] {
+        self.aligned_cache.get_or_init(|| {
+            let ctx = EngineContext::new(EngineConfig::gpf().with_parallelism(self.fastq_parts));
+            let ds = Dataset::from_vec(Arc::clone(&ctx), self.pairs.clone(), self.fastq_parts);
+            let aligner = Arc::clone(&self.aligner);
+            ds.flat_map(move |p| {
+                let (a, b) = aligner.align_pair(p);
+                [a, b]
+            })
+            .collect_local()
+        })
+    }
+
+    /// Run the full GPF pipeline (Figure 3's program) with or without the
+    /// §4.3 redundancy elimination.
+    pub fn run_gpf(&self, optimize: bool) -> GpfRun {
+        let ctx = EngineContext::new(EngineConfig::gpf().with_parallelism(self.fastq_parts));
+        let mut pipeline = Pipeline::new("wgs", Arc::clone(&ctx));
+        pipeline.set_optimize(optimize);
+        let dict = self.reference.dict().clone();
+
+        let fastq_rdd = Dataset::from_vec(Arc::clone(&ctx), self.pairs.clone(), self.fastq_parts);
+        let fastq_bundle = FastqPairBundle::defined("fastqPair", fastq_rdd);
+        let known_rdd = Dataset::from_vec(Arc::clone(&ctx), self.known.clone(), self.fastq_parts);
+        let dbsnp =
+            VcfBundle::defined("dbsnp", VcfHeaderInfo::new_header(dict.clone(), vec![]), known_rdd);
+
+        let aligned =
+            SamBundle::undefined("alignedSam", SamHeaderInfo::unsorted_header(dict.clone()));
+        pipeline.add_process(
+            BwaMemProcess::pair_end(
+                "BwaMapping",
+                Arc::clone(&self.reference),
+                fastq_bundle,
+                Arc::clone(&aligned),
+            )
+            .with_aligner(Arc::clone(&self.aligner)),
+        );
+
+        let deduped =
+            SamBundle::undefined("dedupedSam", SamHeaderInfo::unsorted_header(dict.clone()));
+        pipeline.add_process(MarkDuplicateProcess::new(
+            "MarkDuplicate",
+            Arc::clone(&aligned),
+            Arc::clone(&deduped),
+        ));
+
+        let pinfo = PartitionInfoBundle::undefined("partInfo");
+        pipeline.add_process(ReadRepartitioner::new(
+            "Repartitioner",
+            vec![Arc::clone(&deduped)],
+            Arc::clone(&pinfo),
+            self.reference.dict().lengths(),
+            self.partition_len,
+        ));
+
+        let realigned =
+            SamBundle::undefined("realignedSam", SamHeaderInfo::unsorted_header(dict.clone()));
+        pipeline.add_process(IndelRealignProcess::new(
+            "IndelRealign",
+            Arc::clone(&self.reference),
+            Some(Arc::clone(&dbsnp)),
+            Arc::clone(&pinfo),
+            Arc::clone(&deduped),
+            Arc::clone(&realigned),
+        ));
+
+        let recaled =
+            SamBundle::undefined("recaledSam", SamHeaderInfo::unsorted_header(dict.clone()));
+        pipeline.add_process(BaseRecalibrationProcess::new(
+            "BQSR",
+            Arc::clone(&self.reference),
+            Some(Arc::clone(&dbsnp)),
+            Arc::clone(&pinfo),
+            Arc::clone(&realigned),
+            Arc::clone(&recaled),
+        ));
+
+        let vcf_out =
+            VcfBundle::undefined("ResultVCF", VcfHeaderInfo::new_header(dict, vec!["s".into()]));
+        pipeline.add_process(HaplotypeCallerProcess::new(
+            "HaplotypeCaller",
+            Arc::clone(&self.reference),
+            Some(dbsnp),
+            pinfo,
+            recaled,
+            Arc::clone(&vcf_out),
+            false,
+        ));
+
+        pipeline.run().expect("WGS pipeline executes");
+        GpfRun {
+            calls: vcf_out.dataset().collect_local(),
+            run: ctx.take_run(),
+            fused_chains: pipeline.fused_chains().len(),
+        }
+    }
+
+    /// Run the Churchill-like comparator on the same inputs.
+    pub fn run_churchill(&self) -> (Vec<VcfRecord>, JobRun) {
+        let pipeline = ChurchillPipeline::with_aligner(
+            Arc::clone(&self.reference),
+            Arc::clone(&self.aligner),
+            self.partition_len,
+            self.fastq_parts,
+        );
+        pipeline.run(&self.pairs, &self.known)
+    }
+}

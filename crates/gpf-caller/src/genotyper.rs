@@ -1,0 +1,386 @@
+//! Genotyping: haplotype likelihoods → variant calls.
+//!
+//! Each assembled alternative haplotype is decomposed into variants by
+//! aligning it against the reference window; every variant is then genotyped
+//! diploidly from the pair-HMM read likelihoods of the reference and
+//! alternative haplotypes.
+
+use crate::assembly::{assemble, AssemblyOptions};
+use crate::pairhmm::{log10_likelihood, HmmParams};
+use gpf_align::sw::{fit_align, Scoring};
+use gpf_formats::base::rank4;
+use gpf_formats::cigar::CigarOp;
+use gpf_formats::sam::SamRecord;
+use gpf_formats::vcf::{Genotype, VcfRecord};
+use gpf_formats::{GenomeInterval, ReferenceGenome};
+
+/// Caller options.
+#[derive(Debug, Clone)]
+pub struct CallerOptions {
+    /// Assembly parameters.
+    pub assembly: AssemblyOptions,
+    /// Pair-HMM parameters.
+    pub hmm: HmmParams,
+    /// Minimum Phred-scaled call quality to emit.
+    pub min_call_qual: f64,
+    /// Window padding around the active region.
+    pub window_pad: u64,
+    /// Cap on reads fed to the pair-HMM per region (deep pileups are
+    /// downsampled, as GATK does).
+    pub max_reads: usize,
+}
+
+impl Default for CallerOptions {
+    fn default() -> Self {
+        Self {
+            assembly: AssemblyOptions::default(),
+            hmm: HmmParams::default(),
+            min_call_qual: 30.0,
+            window_pad: 70,
+            // GATK similarly downsamples deep pileups (maxReadsPerAlignmentStart
+            // / region downsampling); 120 reads are ample for diploid calls and
+            // bound the pair-HMM cost of 10000x hotspot pileups (§4.4).
+            max_reads: 120,
+        }
+    }
+}
+
+/// A variant extracted from a haplotype-vs-reference alignment.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+struct RawVariant {
+    /// 0-based reference position (anchor base for indels).
+    pos: u64,
+    ref_allele: Vec<u8>,
+    alt_allele: Vec<u8>,
+}
+
+/// Extract variants by aligning `hap` to `ref_window`.
+fn extract_variants(
+    hap: &[u8],
+    ref_window: &[u8],
+    window_start: u64,
+) -> Vec<RawVariant> {
+    let len_diff = hap.len().abs_diff(ref_window.len());
+    let scoring =
+        Scoring { band: (len_diff + 20).max(24), gap_open: -4, gap_extend: -1, ..Scoring::default() };
+    let hap_ranks: Vec<u8> = hap.iter().map(|&b| rank4(b)).collect();
+    let win_ranks: Vec<u8> = ref_window.iter().map(|&b| rank4(b)).collect();
+    let Some(aln) = fit_align(&hap_ranks, &win_ranks, 0, &scoring) else {
+        return Vec::new();
+    };
+    let mut out = Vec::new();
+    let base = window_start + aln.window_start as u64;
+    for block in aln.cigar.walk() {
+        let ref_pos = aln.window_start as u64 + block.ref_off;
+        match block.op {
+            CigarOp::Match => {
+                for k in 0..block.len as u64 {
+                    let h = hap[(block.read_off + k) as usize];
+                    let r = ref_window[(ref_pos + k) as usize];
+                    if h != r {
+                        out.push(RawVariant {
+                            pos: base + block.ref_off + k,
+                            ref_allele: vec![r],
+                            alt_allele: vec![h],
+                        });
+                    }
+                }
+            }
+            CigarOp::Ins => {
+                if block.ref_off == 0 {
+                    continue; // no anchor available
+                }
+                let anchor = ref_window[(ref_pos - 1) as usize];
+                let mut alt = vec![anchor];
+                alt.extend_from_slice(
+                    &hap[block.read_off as usize..(block.read_off + block.len as u64) as usize],
+                );
+                out.push(RawVariant {
+                    pos: base + block.ref_off - 1,
+                    ref_allele: vec![anchor],
+                    alt_allele: alt,
+                });
+            }
+            CigarOp::Del => {
+                if block.ref_off == 0 {
+                    continue;
+                }
+                let anchor = ref_window[(ref_pos - 1) as usize];
+                let mut refa = vec![anchor];
+                refa.extend_from_slice(
+                    &ref_window[ref_pos as usize..(ref_pos + block.len as u64) as usize],
+                );
+                out.push(RawVariant {
+                    pos: base + block.ref_off - 1,
+                    ref_allele: refa,
+                    alt_allele: vec![anchor],
+                });
+            }
+            _ => {}
+        }
+    }
+    out
+}
+
+/// log10(0.5·10^a + 0.5·10^b) computed stably.
+fn log10_mean(a: f64, b: f64) -> f64 {
+    let m = a.max(b);
+    if m == f64::NEG_INFINITY {
+        return m;
+    }
+    m + (0.5 * 10f64.powf(a - m) + 0.5 * 10f64.powf(b - m)).log10()
+}
+
+/// Call variants in one active region from its overlapping reads.
+pub fn call_region(
+    reads: &[&SamRecord],
+    reference: &ReferenceGenome,
+    region: GenomeInterval,
+    opts: &CallerOptions,
+) -> Vec<VcfRecord> {
+    let clen = reference.dict().length_of(region.contig);
+    let window = region.padded(opts.window_pad, clen);
+    let ref_window = reference.slice(window);
+
+    // Assemble candidate haplotypes from the (downsampled) reads.
+    let usable: Vec<&SamRecord> = reads
+        .iter()
+        .copied()
+        .filter(|r| !r.seq.is_empty() && r.seq.len() == r.qual.len())
+        .take(opts.max_reads)
+        .collect();
+    if usable.is_empty() {
+        return Vec::new();
+    }
+    let seqs: Vec<&[u8]> = usable.iter().map(|r| r.seq.as_slice()).collect();
+    let haps = assemble(ref_window, &seqs, &opts.assembly);
+    if haps.len() < 2 {
+        return Vec::new();
+    }
+
+    // Pair-HMM likelihood matrix. Each read is evaluated against the
+    // haplotype *window around its mapped position* rather than the whole
+    // haplotype — the free-start/free-end HMM gives identical likelihoods up
+    // to the windowing pad, at a fraction of the DP cost (the same
+    // observation production pair-HMMs exploit; the pad absorbs indel
+    // coordinate shifts).
+    const HMM_PAD: u64 = 32;
+    let lik: Vec<Vec<f64>> = usable
+        .iter()
+        .map(|r| {
+            let off = r.pos.saturating_sub(window.start);
+            haps.iter()
+                .map(|h| {
+                    let lo = off.saturating_sub(HMM_PAD) as usize;
+                    let hi = ((off + r.seq.len() as u64 + HMM_PAD) as usize).min(h.len());
+                    if lo >= hi {
+                        return log10_likelihood(&r.seq, &r.qual, h, &opts.hmm);
+                    }
+                    log10_likelihood(&r.seq, &r.qual, &h[lo..hi], &opts.hmm)
+                })
+                .collect()
+        })
+        .collect();
+
+    // Variants per alternative haplotype (haplotype 0 is the reference).
+    let mut out: Vec<VcfRecord> = Vec::new();
+    let mut seen: std::collections::HashSet<RawVariant> = std::collections::HashSet::new();
+    for (hi, hap) in haps.iter().enumerate().skip(1) {
+        for v in extract_variants(hap, ref_window, window.start) {
+            if !seen.insert(v.clone()) {
+                continue;
+            }
+            // Diploid genotype likelihoods against this haplotype.
+            let mut gl_homref = 0.0f64;
+            let mut gl_het = 0.0f64;
+            let mut gl_homalt = 0.0f64;
+            for row in &lik {
+                let l_ref = row[0];
+                let l_alt = row[hi];
+                gl_homref += l_ref;
+                gl_het += log10_mean(l_ref, l_alt);
+                gl_homalt += l_alt;
+            }
+            let (best_gl, genotype) = [
+                (gl_het, Genotype::Het),
+                (gl_homalt, Genotype::HomAlt),
+            ]
+            .into_iter()
+            .max_by(|a, b| a.0.partial_cmp(&b.0).expect("finite GL"))
+            .expect("two candidates");
+            let qual = 10.0 * (best_gl - gl_homref);
+            if qual < opts.min_call_qual || best_gl <= gl_homref {
+                continue;
+            }
+            let depth = usable
+                .iter()
+                .filter(|r| r.pos <= v.pos && r.ref_end() > v.pos)
+                .count() as u32;
+            out.push(VcfRecord {
+                contig: region.contig,
+                pos: v.pos,
+                ref_allele: v.ref_allele,
+                alt_allele: v.alt_allele,
+                qual,
+                genotype,
+                depth,
+            });
+        }
+    }
+    out.sort_by_key(|v| (v.pos, v.alt_allele.clone()));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpf_formats::sam::SamFlags;
+    use gpf_formats::Cigar;
+
+    fn reference() -> ReferenceGenome {
+        let mut state = 0x13579u64;
+        let seq: Vec<u8> = (0..2000)
+            .map(|_| {
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(17);
+                b"ACGT"[(state >> 33) as usize % 4]
+            })
+            .collect();
+        ReferenceGenome::from_contigs(vec![("chr1", seq)])
+    }
+
+    /// A clean mapped read copied from `seq_src` at haplotype offset,
+    /// reported at reference position `ref_pos`.
+    fn read_from(name: &str, seq: Vec<u8>, ref_pos: u64) -> SamRecord {
+        let n = seq.len();
+        SamRecord {
+            name: name.into(),
+            flags: SamFlags::default(),
+            contig: 0,
+            pos: ref_pos,
+            mapq: 60,
+            cigar: Cigar::from_ops(vec![(n as u32, CigarOp::Match)]),
+            mate_contig: gpf_formats::sam::NO_CONTIG,
+            mate_pos: 0,
+            tlen: 0,
+            seq,
+            qual: vec![b'F'; n],
+            read_group: 1,
+            edit_distance: 0,
+        }
+    }
+
+    /// Tile reads of `read_len` over a haplotype that replaces the reference
+    /// in [start, start+hap_len).
+    fn tile(hap: &[u8], ref_start: u64, n: usize, read_len: usize, tag: &str) -> Vec<SamRecord> {
+        (0..n)
+            .map(|i| {
+                let off = (i * 13) % (hap.len() - read_len);
+                read_from(
+                    &format!("{tag}{i}"),
+                    hap[off..off + read_len].to_vec(),
+                    ref_start + off as u64,
+                )
+            })
+            .collect()
+    }
+
+    fn region() -> GenomeInterval {
+        GenomeInterval::new(0, 950, 1050)
+    }
+
+    #[test]
+    fn hom_snv_is_called() {
+        let r = reference();
+        let mut hap = r.contig_seq(0)[900..1100].to_vec();
+        hap[100] = if hap[100] == b'A' { b'G' } else { b'A' }; // ref pos 1000
+        let records = tile(&hap, 900, 20, 80, "h");
+        let reads: Vec<&SamRecord> = records.iter().collect();
+        let calls = call_region(&reads, &r, region(), &CallerOptions::default());
+        assert_eq!(calls.len(), 1, "calls: {calls:?}");
+        let v = &calls[0];
+        assert_eq!(v.pos, 1000);
+        assert_eq!(v.alt_allele, vec![hap[100]]);
+        assert_eq!(v.genotype, Genotype::HomAlt);
+        assert!(v.qual >= 30.0);
+        assert!(v.depth > 5);
+    }
+
+    #[test]
+    fn het_snv_is_called_het() {
+        let r = reference();
+        let refhap = r.contig_seq(0)[900..1100].to_vec();
+        let mut althap = refhap.clone();
+        althap[100] = if althap[100] == b'C' { b'T' } else { b'C' };
+        let mut records = tile(&refhap, 900, 12, 80, "r");
+        records.extend(tile(&althap, 900, 12, 80, "a"));
+        let reads: Vec<&SamRecord> = records.iter().collect();
+        let calls = call_region(&reads, &r, region(), &CallerOptions::default());
+        assert_eq!(calls.len(), 1, "calls: {calls:?}");
+        assert_eq!(calls[0].genotype, Genotype::Het);
+        assert_eq!(calls[0].pos, 1000);
+    }
+
+    #[test]
+    fn deletion_is_called_with_anchor_alleles() {
+        let r = reference();
+        let refseq = r.contig_seq(0);
+        let mut hap = refseq[900..1000].to_vec();
+        hap.extend_from_slice(&refseq[1005..1105]); // 5bp deletion at 1000
+        let records = tile(&hap, 900, 20, 80, "d");
+        let reads: Vec<&SamRecord> = records.iter().collect();
+        let calls = call_region(&reads, &r, region(), &CallerOptions::default());
+        assert_eq!(calls.len(), 1, "calls: {calls:?}");
+        let v = &calls[0];
+        assert_eq!(v.pos, 999, "anchor base before the deletion");
+        assert_eq!(v.ref_allele.len(), 6);
+        assert_eq!(v.alt_allele.len(), 1);
+        assert_eq!(v.ref_allele[0], v.alt_allele[0]);
+    }
+
+    #[test]
+    fn insertion_is_called() {
+        let r = reference();
+        let refseq = r.contig_seq(0);
+        let mut hap = refseq[900..1000].to_vec();
+        hap.extend_from_slice(b"GTC");
+        hap.extend_from_slice(&refseq[1000..1100]);
+        let records = tile(&hap, 900, 20, 80, "i");
+        let reads: Vec<&SamRecord> = records.iter().collect();
+        let calls = call_region(&reads, &r, region(), &CallerOptions::default());
+        assert_eq!(calls.len(), 1, "calls: {calls:?}");
+        let v = &calls[0];
+        assert_eq!(v.pos, 999);
+        assert_eq!(v.alt_allele.len(), 4);
+        assert_eq!(v.ref_allele.len(), 1);
+    }
+
+    #[test]
+    fn clean_reads_produce_no_calls() {
+        let r = reference();
+        let hap = r.contig_seq(0)[900..1100].to_vec();
+        let records = tile(&hap, 900, 16, 80, "c");
+        let reads: Vec<&SamRecord> = records.iter().collect();
+        let calls = call_region(&reads, &r, region(), &CallerOptions::default());
+        assert!(calls.is_empty(), "{calls:?}");
+    }
+
+    #[test]
+    fn lone_erroneous_read_is_not_called() {
+        let r = reference();
+        let refhap = r.contig_seq(0)[900..1100].to_vec();
+        let mut records = tile(&refhap, 900, 15, 80, "c");
+        let mut noisy = refhap[60..140].to_vec();
+        noisy[40] = if noisy[40] == b'G' { b'A' } else { b'G' };
+        records.push(read_from("noise", noisy, 960));
+        let reads: Vec<&SamRecord> = records.iter().collect();
+        let calls = call_region(&reads, &r, region(), &CallerOptions::default());
+        assert!(calls.is_empty(), "singleton error must be pruned: {calls:?}");
+    }
+
+    #[test]
+    fn empty_region_returns_nothing() {
+        let r = reference();
+        let calls = call_region(&[], &r, region(), &CallerOptions::default());
+        assert!(calls.is_empty());
+    }
+}

@@ -1,0 +1,84 @@
+//! # gpf-caller
+//!
+//! The Caller stage: a HaplotypeCaller-style variant caller (§2.1 of the
+//! paper — "calling variants via local de-novo assembly of haplotypes in an
+//! active region based on paired-HMM algorithm", Table 2).
+//!
+//! The pipeline per active region:
+//!
+//! 1. [`activeregion`] — pileup statistics find loci where reads disagree
+//!    with the reference (mismatch/indel evidence above threshold);
+//! 2. [`assembly`] — a de Bruijn graph over the region's reads + reference
+//!    yields candidate haplotypes;
+//! 3. [`pairhmm`] — a pair-HMM computes `P(read | haplotype)` for every
+//!    read/haplotype combination, using base qualities as emission
+//!    probabilities (this is the CPU hot spot, exactly as the paper notes
+//!    in §5.3.2);
+//! 4. [`genotyper`] — haplotypes are decomposed into variants, diploid
+//!    genotype likelihoods are computed, and confident non-reference calls
+//!    are emitted as VCF records.
+//!
+//! [`HaplotypeCaller`] wires the four together over a sorted record slice.
+
+pub mod activeregion;
+pub mod assembly;
+pub mod genotyper;
+pub mod pairhmm;
+
+pub use activeregion::{find_active_regions, ActiveRegionOptions};
+pub use genotyper::{call_region, CallerOptions};
+
+use gpf_formats::sam::SamRecord;
+use gpf_formats::vcf::VcfRecord;
+use gpf_formats::ReferenceGenome;
+
+/// End-to-end caller over a (coordinate-sorted) record collection.
+pub struct HaplotypeCaller {
+    /// Active-region detection options.
+    pub region_opts: ActiveRegionOptions,
+    /// Genotyping options.
+    pub caller_opts: CallerOptions,
+    /// Reads below this mapping quality are ignored (GATK's
+    /// MappingQualityReadFilter defaults to 20): ambiguous repeat placements
+    /// otherwise flood the assembler with junk active regions.
+    pub min_mapq: u8,
+}
+
+impl Default for HaplotypeCaller {
+    fn default() -> Self {
+        Self {
+            region_opts: ActiveRegionOptions::default(),
+            caller_opts: CallerOptions::default(),
+            min_mapq: 20,
+        }
+    }
+}
+
+impl HaplotypeCaller {
+    /// Call variants over `records` (must be coordinate-sorted; duplicates,
+    /// unmapped reads and low-MAPQ reads are skipped internally). Returns
+    /// records sorted by position.
+    pub fn call(&self, records: &[SamRecord], reference: &ReferenceGenome) -> Vec<VcfRecord> {
+        let usable: Vec<SamRecord> = records
+            .iter()
+            .filter(|r| r.flags.is_mapped() && !r.flags.is_duplicate() && r.mapq >= self.min_mapq)
+            .cloned()
+            .collect();
+        let regions = find_active_regions(&usable, reference, &self.region_opts);
+        let mut out = Vec::new();
+        for region in &regions {
+            let overlapping: Vec<&SamRecord> = usable
+                .iter()
+                .filter(|r| {
+                    r.contig == region.contig
+                        && r.pos < region.end
+                        && r.ref_end() > region.start
+                })
+                .collect();
+            out.extend(call_region(&overlapping, reference, *region, &self.caller_opts));
+        }
+        out.sort_by_key(|v| (v.contig, v.pos, v.alt_allele.clone()));
+        out.dedup_by_key(|v| (v.contig, v.pos, v.ref_allele.clone(), v.alt_allele.clone()));
+        out
+    }
+}

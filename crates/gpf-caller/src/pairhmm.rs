@@ -1,0 +1,206 @@
+//! Pair-HMM: `P(read | haplotype)` with quality-aware emissions.
+//!
+//! The standard three-state (match / insert / delete) pair hidden Markov
+//! model used by GATK's HaplotypeCaller, implemented in linear probability
+//! space with per-row scaling (numerically equivalent to log space but much
+//! faster). The read aligns globally; the haplotype start and end are free,
+//! which the initial distribution and final summation encode.
+//!
+//! This is the compute kernel the paper identifies as one of the two
+//! CPU-dominant components (§5.3.2: "Both the BWA-MEM and HaplotypeCaller
+//! are computationally intensive components ... in which CPU architecture
+//! and speed completely determine efficiency").
+
+use gpf_formats::quality::{char_to_phred, phred_to_error_prob};
+
+/// Transition probabilities.
+#[derive(Debug, Clone, Copy)]
+pub struct HmmParams {
+    /// Gap-open probability (match → ins/del).
+    pub gap_open: f64,
+    /// Gap-extension probability (ins → ins, del → del).
+    pub gap_extend: f64,
+}
+
+impl Default for HmmParams {
+    fn default() -> Self {
+        // GATK defaults: gap open ~ Q45, extension ~ Q10.
+        Self { gap_open: 10f64.powf(-4.5), gap_extend: 0.1 }
+    }
+}
+
+/// log10 P(read | haplotype).
+///
+/// `read`/`qual` must have equal lengths; `haplotype` is raw ACGT bytes.
+pub fn log10_likelihood(read: &[u8], qual: &[u8], haplotype: &[u8], params: &HmmParams) -> f64 {
+    assert_eq!(read.len(), qual.len());
+    let m = read.len();
+    let n = haplotype.len();
+    if m == 0 || n == 0 {
+        return f64::NEG_INFINITY;
+    }
+    let go = params.gap_open;
+    let ge = params.gap_extend;
+    let t_mm = 1.0 - 2.0 * go; // match -> match
+    let t_gm = 1.0 - ge; // gap -> match
+
+    // DP rows over haplotype positions 0..=n for states M, X (ins in read),
+    // Y (del from read / gap in read... conventions: X consumes read only,
+    // Y consumes haplotype only).
+    let width = n + 1;
+    let mut m_prev = vec![0.0f64; width];
+    let mut x_prev = vec![0.0f64; width];
+    let mut y_prev = vec![0.0f64; width];
+    let mut m_cur = vec![0.0f64; width];
+    let mut x_cur = vec![0.0f64; width];
+    let mut y_cur = vec![0.0f64; width];
+
+    // Free start anywhere on the haplotype: probability mass 1/n enters at
+    // each haplotype offset through the Y state of row 0.
+    let start = 1.0 / n as f64;
+    for j in 0..=n {
+        y_prev[j] = start;
+    }
+
+    let mut log_scale = 0.0f64;
+    for i in 1..=m {
+        m_cur[0] = 0.0;
+        x_cur[0] = 0.0;
+        y_cur[0] = 0.0;
+        let e = phred_to_error_prob(char_to_phred(qual[i - 1]));
+        for j in 1..=n {
+            let emit = if read[i - 1] == haplotype[j - 1] && read[i - 1] != b'N' {
+                1.0 - e
+            } else {
+                e / 3.0
+            };
+            m_cur[j] = emit
+                * (t_mm * m_prev[j - 1] + t_gm * (x_prev[j - 1] + y_prev[j - 1]));
+            // X: read insertion (consume read base, stay on haplotype col).
+            x_cur[j] = m_prev[j] * go + x_prev[j] * ge;
+            // Y: haplotype deletion (consume haplotype base, same read row).
+            y_cur[j] = m_cur[j - 1] * go + y_cur[j - 1] * ge;
+        }
+        // Scale the row to avoid underflow on long reads.
+        let row_max = m_cur
+            .iter()
+            .chain(x_cur.iter())
+            .chain(y_cur.iter())
+            .fold(0.0f64, |a, &b| a.max(b));
+        if row_max > 0.0 && (row_max < 1e-280 || row_max > 1e280) {
+            let inv = 1.0 / row_max;
+            for v in m_cur.iter_mut().chain(x_cur.iter_mut()).chain(y_cur.iter_mut()) {
+                *v *= inv;
+            }
+            log_scale += row_max.log10();
+        }
+        std::mem::swap(&mut m_prev, &mut m_cur);
+        std::mem::swap(&mut x_prev, &mut x_cur);
+        std::mem::swap(&mut y_prev, &mut y_cur);
+    }
+
+    // Free end: sum the final read row over all haplotype positions.
+    let total: f64 = (0..=n).map(|j| m_prev[j] + x_prev[j]).sum();
+    if total <= 0.0 {
+        f64::NEG_INFINITY
+    } else {
+        total.log10() + log_scale
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpf_formats::quality::phred_to_char;
+
+    fn q(n: usize, phred: u8) -> Vec<u8> {
+        vec![phred_to_char(phred); n]
+    }
+
+    const HAP: &[u8] = b"ACGTACGGTACGTTACGGATCCGATCGATTACGACGTACGGTACGTTACG";
+
+    #[test]
+    fn perfect_read_beats_mismatched_read() {
+        let read = &HAP[10..40];
+        let good = log10_likelihood(read, &q(30, 30), HAP, &HmmParams::default());
+        let mut bad = read.to_vec();
+        bad[15] = if bad[15] == b'A' { b'C' } else { b'A' };
+        let worse = log10_likelihood(&bad, &q(30, 30), HAP, &HmmParams::default());
+        assert!(good > worse + 1.0, "good {good} vs bad {worse}");
+    }
+
+    #[test]
+    fn likelihood_is_a_probability() {
+        let read = &HAP[5..35];
+        let l = log10_likelihood(read, &q(30, 30), HAP, &HmmParams::default());
+        assert!(l <= 0.0, "log10 prob must be ≤ 0: {l}");
+        assert!(l.is_finite());
+    }
+
+    #[test]
+    fn low_quality_mismatch_is_forgiven() {
+        let mut read = HAP[10..40].to_vec();
+        read[20] = if read[20] == b'G' { b'T' } else { b'G' };
+        let mut quals = q(30, 35);
+        let high_q = log10_likelihood(&read, &quals, HAP, &HmmParams::default());
+        quals[20] = phred_to_char(2); // the mismatching base is marked unreliable
+        let low_q = log10_likelihood(&read, &quals, HAP, &HmmParams::default());
+        assert!(low_q > high_q, "low-q mismatch {low_q} vs high-q mismatch {high_q}");
+    }
+
+    #[test]
+    fn matching_haplotype_beats_wrong_haplotype() {
+        let hap_alt: Vec<u8> = HAP
+            .iter()
+            .map(|&b| if b == b'A' { b'C' } else { b })
+            .collect();
+        let read = &HAP[10..40];
+        let own = log10_likelihood(read, &q(30, 30), HAP, &HmmParams::default());
+        let other = log10_likelihood(read, &q(30, 30), &hap_alt, &HmmParams::default());
+        assert!(own > other + 3.0);
+    }
+
+    #[test]
+    fn indel_read_prefers_indel_haplotype() {
+        // Read carries a 4bp deletion relative to HAP.
+        let mut read = HAP[10..25].to_vec();
+        read.extend_from_slice(&HAP[29..44]);
+        let mut hap_del = HAP[..25].to_vec();
+        hap_del.extend_from_slice(&HAP[29..]);
+        let on_ref = log10_likelihood(&read, &q(30, 30), HAP, &HmmParams::default());
+        let on_alt = log10_likelihood(&read, &q(30, 30), &hap_del, &HmmParams::default());
+        assert!(on_alt > on_ref + 2.0, "alt {on_alt} vs ref {on_ref}");
+    }
+
+    #[test]
+    fn n_bases_are_neutral() {
+        let mut read = HAP[10..40].to_vec();
+        let clean = log10_likelihood(&read, &q(30, 30), HAP, &HmmParams::default());
+        read[5] = b'N';
+        let with_n = log10_likelihood(&read, &q(30, 30), HAP, &HmmParams::default());
+        // An N costs roughly a mismatch emission but must not zero out.
+        assert!(with_n.is_finite());
+        assert!(with_n < clean);
+        assert!(with_n > clean - 6.0);
+    }
+
+    #[test]
+    fn long_read_does_not_underflow() {
+        let hap: Vec<u8> = HAP.iter().cycle().take(3000).copied().collect();
+        let read = &hap[100..1100]; // 1000bp read
+        let l = log10_likelihood(read, &q(1000, 30), &hap, &HmmParams::default());
+        assert!(l.is_finite(), "scaled DP survives 1000bp: {l}");
+    }
+
+    #[test]
+    fn empty_inputs_are_impossible() {
+        assert_eq!(
+            log10_likelihood(b"", b"", HAP, &HmmParams::default()),
+            f64::NEG_INFINITY
+        );
+        assert_eq!(
+            log10_likelihood(b"ACGT", &q(4, 30), b"", &HmmParams::default()),
+            f64::NEG_INFINITY
+        );
+    }
+}

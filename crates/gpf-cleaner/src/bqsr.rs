@@ -1,0 +1,447 @@
+//! Base Quality Score Recalibration (BQSR).
+//!
+//! Sequencers systematically mis-report base qualities as a function of
+//! machine cycle and sequence context. BQSR measures the *empirical* error
+//! rate per covariate combination — masking out known variant sites so real
+//! variation is not counted as error — and rewrites each base's quality.
+//!
+//! Covariates follow GATK: read group, reported quality, machine cycle
+//! (bucketed), and dinucleotide context. The model is hierarchical: the
+//! (read group, quality) empirical rate anchors the estimate, and cycle /
+//! context tables contribute deltas.
+//!
+//! Distribution note (§5.2.2 of the paper): the table is built per partition,
+//! merged at the driver (`Collect` — the serial step the paper observed
+//! slowing BQSR's parallel efficiency), and broadcast back with the known-
+//! sites mask. [`RecalTable`] therefore implements [`GpfSerialize`] and
+//! [`RecalTable::merge`].
+
+use gpf_compress::{ByteReader, ByteWriter, CodecError, GpfSerialize};
+use gpf_formats::cigar::CigarOp;
+use gpf_formats::quality::{char_to_phred, phred_to_char};
+use gpf_formats::sam::SamRecord;
+use gpf_formats::vcf::VcfRecord;
+use gpf_formats::ReferenceGenome;
+use std::collections::{HashMap, HashSet};
+
+/// Cycle bucket width (cycles 0-4 -> bucket 0, ...).
+const CYCLE_BUCKET: u64 = 5;
+/// Minimum observations before a sub-table contributes a delta.
+const MIN_OBS: u64 = 20;
+
+/// Error/observation counts per covariate combination.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RecalTable {
+    /// (read group, reported quality) -> (mismatches, observations).
+    pub rg_q: HashMap<(u16, u8), (u64, u64)>,
+    /// (read group, reported quality, cycle bucket) -> counts.
+    pub cycle: HashMap<(u16, u8, u8), (u64, u64)>,
+    /// (read group, reported quality, dinucleotide context) -> counts.
+    pub context: HashMap<(u16, u8, u8), (u64, u64)>,
+}
+
+/// Phred of the Laplace-smoothed empirical error rate.
+fn empirical_phred(mismatches: u64, observations: u64) -> f64 {
+    let p = (mismatches as f64 + 1.0) / (observations as f64 + 2.0);
+    -10.0 * p.log10()
+}
+
+/// Anchor rate re-smoothed at the sub-table's sample size, so a delta of
+/// zero means "this covariate behaves like its parent" rather than being
+/// biased by mismatched Laplace priors.
+fn anchor_at_scale(anchor_m: u64, anchor_n: u64, sub_n: u64) -> f64 {
+    if anchor_n == 0 {
+        return empirical_phred(0, 0);
+    }
+    let scaled_m = anchor_m as f64 * sub_n as f64 / anchor_n as f64;
+    let p = (scaled_m + 1.0) / (sub_n as f64 + 2.0);
+    -10.0 * p.log10()
+}
+
+/// Positions masked from error counting: all bases touched by known variants.
+pub fn known_sites_mask(known: &[VcfRecord]) -> HashSet<(u32, u64)> {
+    let mut mask = HashSet::with_capacity(known.len() * 2);
+    for v in known {
+        for off in 0..v.ref_allele.len().max(1) as u64 {
+            mask.insert((v.contig, v.pos + off));
+        }
+    }
+    mask
+}
+
+/// Dinucleotide context code of the base at `i` in stored read order.
+fn context_code(seq: &[u8], i: usize) -> u8 {
+    let cur = gpf_formats::base::rank4(seq[i]);
+    let prev = if i > 0 { gpf_formats::base::rank4(seq[i - 1]) } else { 0 };
+    (prev << 2) | cur
+}
+
+impl RecalTable {
+    /// Accumulate one record's aligned bases into the table.
+    pub fn observe(
+        &mut self,
+        r: &SamRecord,
+        reference: &ReferenceGenome,
+        mask: &HashSet<(u32, u64)>,
+    ) {
+        if !r.flags.is_mapped() || !r.flags.is_primary() || r.flags.is_duplicate() {
+            return;
+        }
+        let refseq = reference.contig_seq(r.contig);
+        let read_len = r.seq.len() as u64;
+        for block in r.cigar.walk() {
+            if !matches!(block.op, CigarOp::Match | CigarOp::Equal | CigarOp::Diff) {
+                continue;
+            }
+            for k in 0..block.len as u64 {
+                let read_i = (block.read_off + k) as usize;
+                let ref_i = (r.pos + block.ref_off + k) as usize;
+                if ref_i >= refseq.len() {
+                    break;
+                }
+                let base = r.seq[read_i];
+                if base == b'N' || refseq[ref_i] == b'N' {
+                    continue;
+                }
+                if mask.contains(&(r.contig, ref_i as u64)) {
+                    continue;
+                }
+                let q = char_to_phred(r.qual[read_i]);
+                let cycle = if r.flags.is_reverse() {
+                    read_len - 1 - read_i as u64
+                } else {
+                    read_i as u64
+                };
+                let cycle_bucket = (cycle / CYCLE_BUCKET).min(255) as u8;
+                let ctx = context_code(&r.seq, read_i);
+                let miss = (base != refseq[ref_i]) as u64;
+                let e = self.rg_q.entry((r.read_group, q)).or_insert((0, 0));
+                e.0 += miss;
+                e.1 += 1;
+                let e = self.cycle.entry((r.read_group, q, cycle_bucket)).or_insert((0, 0));
+                e.0 += miss;
+                e.1 += 1;
+                let e = self.context.entry((r.read_group, q, ctx)).or_insert((0, 0));
+                e.0 += miss;
+                e.1 += 1;
+            }
+        }
+    }
+
+    /// Merge another table into this one (associative + commutative — safe
+    /// for tree aggregation).
+    pub fn merge(&mut self, other: &RecalTable) {
+        for (k, v) in &other.rg_q {
+            let e = self.rg_q.entry(*k).or_insert((0, 0));
+            e.0 += v.0;
+            e.1 += v.1;
+        }
+        for (k, v) in &other.cycle {
+            let e = self.cycle.entry(*k).or_insert((0, 0));
+            e.0 += v.0;
+            e.1 += v.1;
+        }
+        for (k, v) in &other.context {
+            let e = self.context.entry(*k).or_insert((0, 0));
+            e.0 += v.0;
+            e.1 += v.1;
+        }
+    }
+
+    /// Total bases observed.
+    pub fn observations(&self) -> u64 {
+        self.rg_q.values().map(|&(_, n)| n).sum()
+    }
+
+    /// Recalibrated quality for one base.
+    pub fn recalibrate(&self, rg: u16, reported_q: u8, cycle_bucket: u8, ctx: u8) -> u8 {
+        let Some(&(m, n)) = self.rg_q.get(&(rg, reported_q)) else {
+            return reported_q;
+        };
+        if n < MIN_OBS {
+            return reported_q;
+        }
+        let anchor = empirical_phred(m, n);
+        let mut q = anchor;
+        if let Some(&(cm, cn)) = self.cycle.get(&(rg, reported_q, cycle_bucket)) {
+            if cn >= MIN_OBS {
+                q += empirical_phred(cm, cn) - anchor_at_scale(m, n, cn);
+            }
+        }
+        if let Some(&(xm, xn)) = self.context.get(&(rg, reported_q, ctx)) {
+            if xn >= MIN_OBS {
+                q += empirical_phred(xm, xn) - anchor_at_scale(m, n, xn);
+            }
+        }
+        q.round().clamp(2.0, 93.0) as u8
+    }
+}
+
+impl GpfSerialize for RecalTable {
+    fn write(&self, w: &mut ByteWriter) {
+        // Sorted entries keep the wire form deterministic.
+        let mut rgq: Vec<_> = self.rg_q.iter().map(|(k, v)| (*k, *v)).collect();
+        rgq.sort();
+        let mut cyc: Vec<_> = self.cycle.iter().map(|(k, v)| (*k, *v)).collect();
+        cyc.sort();
+        let mut ctx: Vec<_> = self.context.iter().map(|(k, v)| (*k, *v)).collect();
+        ctx.sort();
+        w.write_u64(rgq.len() as u64);
+        for ((rg, q), (m, n)) in rgq {
+            w.write_u16(rg);
+            w.write_u8(q);
+            w.write_u64(m);
+            w.write_u64(n);
+        }
+        for table in [cyc, ctx] {
+            w.write_u64(table.len() as u64);
+            for ((rg, q, k), (m, n)) in table {
+                w.write_u16(rg);
+                w.write_u8(q);
+                w.write_u8(k);
+                w.write_u64(m);
+                w.write_u64(n);
+            }
+        }
+    }
+
+    fn read(r: &mut ByteReader<'_>) -> Result<Self, CodecError> {
+        let mut out = RecalTable::default();
+        let n = r.read_u64()? as usize;
+        for _ in 0..n {
+            let rg = r.read_u16()?;
+            let q = r.read_u8()?;
+            let m = r.read_u64()?;
+            let obs = r.read_u64()?;
+            out.rg_q.insert((rg, q), (m, obs));
+        }
+        for which in 0..2 {
+            let n = r.read_u64()? as usize;
+            for _ in 0..n {
+                let rg = r.read_u16()?;
+                let q = r.read_u8()?;
+                let k = r.read_u8()?;
+                let m = r.read_u64()?;
+                let obs = r.read_u64()?;
+                if which == 0 {
+                    out.cycle.insert((rg, q, k), (m, obs));
+                } else {
+                    out.context.insert((rg, q, k), (m, obs));
+                }
+            }
+        }
+        Ok(out)
+    }
+}
+
+/// Build a table over a record slice (one partition's gather pass).
+pub fn build_recal_table(
+    records: &[SamRecord],
+    reference: &ReferenceGenome,
+    known: &[VcfRecord],
+) -> RecalTable {
+    let mask = known_sites_mask(known);
+    let mut table = RecalTable::default();
+    for r in records {
+        table.observe(r, reference, &mask);
+    }
+    table
+}
+
+/// Rewrite the qualities of `records` using `table`.
+pub fn apply_recalibration(records: &mut [SamRecord], table: &RecalTable) {
+    for r in records.iter_mut() {
+        if !r.flags.is_mapped() {
+            continue;
+        }
+        let read_len = r.seq.len() as u64;
+        let quals: Vec<u8> = r
+            .qual
+            .iter()
+            .enumerate()
+            .map(|(i, &qc)| {
+                let q = char_to_phred(qc);
+                let cycle = if r.flags.is_reverse() {
+                    read_len - 1 - i as u64
+                } else {
+                    i as u64
+                };
+                let bucket = (cycle / CYCLE_BUCKET).min(255) as u8;
+                let ctx = context_code(&r.seq, i);
+                phred_to_char(table.recalibrate(r.read_group, q, bucket, ctx))
+            })
+            .collect();
+        r.qual = quals;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpf_compress::serializer::{deserialize_batch, serialize_batch, SerializerKind};
+    use gpf_formats::sam::SamFlags;
+    use gpf_formats::vcf::Genotype;
+    use gpf_formats::Cigar;
+
+    fn reference() -> ReferenceGenome {
+        let mut state = 0xfeedu64;
+        let seq: Vec<u8> = (0..2000)
+            .map(|_| {
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(13);
+                b"ACGT"[(state >> 33) as usize % 4]
+            })
+            .collect();
+        ReferenceGenome::from_contigs(vec![("chr1", seq)])
+    }
+
+    /// A read copied from the reference with chosen mismatch positions.
+    fn read_at(r: &ReferenceGenome, pos: u64, len: usize, mismatch_at: &[usize], q: u8) -> SamRecord {
+        let mut seq = r.contig_seq(0)[pos as usize..pos as usize + len].to_vec();
+        for &i in mismatch_at {
+            seq[i] = match seq[i] {
+                b'A' => b'C',
+                b'C' => b'G',
+                b'G' => b'T',
+                b'T' => b'A',
+                other => other,
+            };
+        }
+        SamRecord {
+            name: format!("r{pos}"),
+            flags: SamFlags::default(),
+            contig: 0,
+            pos,
+            mapq: 60,
+            cigar: Cigar::from_ops(vec![(len as u32, CigarOp::Match)]),
+            mate_contig: gpf_formats::sam::NO_CONTIG,
+            mate_pos: 0,
+            tlen: 0,
+            seq,
+            qual: vec![phred_to_char(q); len],
+            read_group: 1,
+            edit_distance: mismatch_at.len() as u16,
+        }
+    }
+
+    #[test]
+    fn overconfident_qualities_are_lowered() {
+        let r = reference();
+        // Reads report Q40 but carry ~10% errors -> empirical ~Q10.
+        let mut records: Vec<SamRecord> = (0..40)
+            .map(|i| {
+                let pos = (i * 40) as u64;
+                read_at(&r, pos, 50, &[5, 15, 25, 35, 45], 40)
+            })
+            .collect();
+        let table = build_recal_table(&records, &r, &[]);
+        assert!(table.observations() > 1000);
+        apply_recalibration(&mut records, &table);
+        let mean_q: f64 = records
+            .iter()
+            .flat_map(|rec| rec.qual.iter())
+            .map(|&c| char_to_phred(c) as f64)
+            .sum::<f64>()
+            / (records.len() * 50) as f64;
+        assert!(mean_q < 20.0, "mean recalibrated quality {mean_q}");
+        assert!(mean_q > 5.0, "not absurdly low: {mean_q}");
+    }
+
+    #[test]
+    fn accurate_qualities_stay_roughly_put() {
+        let r = reference();
+        // Q30 reported, 1 error in 1000 observed -> empirical near Q30.
+        let mut records: Vec<SamRecord> = (0..40)
+            .map(|i| {
+                let pos = (i * 40) as u64;
+                let mm: &[usize] = if i % 33 == 0 { &[10] } else { &[] };
+                read_at(&r, pos, 50, mm, 30)
+            })
+            .collect();
+        let table = build_recal_table(&records, &r, &[]);
+        apply_recalibration(&mut records, &table);
+        let mean_q: f64 = records
+            .iter()
+            .flat_map(|rec| rec.qual.iter())
+            .map(|&c| char_to_phred(c) as f64)
+            .sum::<f64>()
+            / (records.len() * 50) as f64;
+        assert!((mean_q - 30.0).abs() < 5.0, "mean {mean_q}");
+    }
+
+    #[test]
+    fn known_sites_are_masked() {
+        let r = reference();
+        // Every read carries a "mismatch" at ref position 105 — but it's a
+        // known variant, so BQSR must not count it.
+        let records: Vec<SamRecord> =
+            (0..30).map(|_| read_at(&r, 100, 50, &[5], 35)).collect();
+        let known = vec![VcfRecord {
+            contig: 0,
+            pos: 105,
+            ref_allele: vec![r.contig_seq(0)[105]],
+            alt_allele: b"T".to_vec(),
+            qual: 99.0,
+            genotype: Genotype::Het,
+            depth: 0,
+        }];
+        let masked = build_recal_table(&records, &r, &known);
+        let unmasked = build_recal_table(&records, &r, &[]);
+        let masked_miss: u64 = masked.rg_q.values().map(|&(m, _)| m).sum();
+        let unmasked_miss: u64 = unmasked.rg_q.values().map(|&(m, _)| m).sum();
+        assert_eq!(masked_miss, 0, "all mismatches sit on the known site");
+        assert_eq!(unmasked_miss, 30);
+    }
+
+    #[test]
+    fn merge_is_associative_with_observe() {
+        let r = reference();
+        let a: Vec<SamRecord> = (0..10).map(|i| read_at(&r, i * 50, 40, &[3], 30)).collect();
+        let b: Vec<SamRecord> = (10..20).map(|i| read_at(&r, i * 50, 40, &[7], 30)).collect();
+        let whole = build_recal_table(&[a.clone(), b.clone()].concat(), &r, &[]);
+        let mut merged = build_recal_table(&a, &r, &[]);
+        merged.merge(&build_recal_table(&b, &r, &[]));
+        assert_eq!(whole, merged);
+    }
+
+    #[test]
+    fn table_serialization_round_trips() {
+        let r = reference();
+        let records: Vec<SamRecord> =
+            (0..20).map(|i| read_at(&r, i * 60, 50, &[2, 9], 33)).collect();
+        let table = build_recal_table(&records, &r, &[]);
+        for kind in [SerializerKind::JavaSim, SerializerKind::KryoSim, SerializerKind::Gpf] {
+            let buf = serialize_batch(kind, std::slice::from_ref(&table));
+            let out: Vec<RecalTable> = deserialize_batch(kind, &buf).unwrap();
+            assert_eq!(out[0], table);
+        }
+    }
+
+    #[test]
+    fn duplicates_and_unmapped_are_ignored() {
+        let r = reference();
+        let mut dup = read_at(&r, 100, 50, &[1], 30);
+        dup.flags.set(SamFlags::DUPLICATE);
+        let unmapped = SamRecord::unmapped("u", b"ACGT".to_vec(), b"IIII".to_vec());
+        let table = build_recal_table(&[dup, unmapped], &r, &[]);
+        assert_eq!(table.observations(), 0);
+    }
+
+    #[test]
+    fn sparse_covariates_fall_back_to_reported_quality() {
+        let table = RecalTable::default();
+        assert_eq!(table.recalibrate(1, 37, 0, 5), 37);
+    }
+
+    #[test]
+    fn apply_preserves_lengths_and_range() {
+        let r = reference();
+        let mut records: Vec<SamRecord> =
+            (0..25).map(|i| read_at(&r, i * 70, 60, &[4], 38)).collect();
+        let table = build_recal_table(&records, &r, &[]);
+        apply_recalibration(&mut records, &table);
+        for rec in &records {
+            assert_eq!(rec.qual.len(), rec.seq.len());
+            assert!(rec.qual.iter().all(|&c| (33..=126).contains(&c)));
+        }
+    }
+}

@@ -1,0 +1,160 @@
+//! Bit-level writer/reader over byte buffers.
+//!
+//! Bits are written MSB-first within each byte, which keeps the packed
+//! 2-bit sequences readable in hex dumps in the same order as Figure 4's
+//! `(00 00 10 01) ...` illustration.
+
+use crate::error::CodecError;
+
+/// Appends bits MSB-first to a `Vec<u8>`.
+#[derive(Debug, Default)]
+pub struct BitWriter {
+    buf: Vec<u8>,
+    /// Number of valid bits in the final partial byte (0 = byte-aligned).
+    nbits: u8,
+}
+
+impl BitWriter {
+    /// Create an empty writer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Write the low `n` bits of `value` (MSB of the group first). `n ≤ 32`.
+    pub fn write_bits(&mut self, value: u32, n: u8) {
+        debug_assert!(n <= 32);
+        for i in (0..n).rev() {
+            let bit = ((value >> i) & 1) as u8;
+            if self.nbits == 0 {
+                self.buf.push(0);
+            }
+            let last = self.buf.last_mut().expect("pushed above");
+            *last |= bit << (7 - self.nbits);
+            self.nbits = (self.nbits + 1) % 8;
+        }
+    }
+
+    /// Write a single bit.
+    #[inline]
+    pub fn write_bit(&mut self, bit: bool) {
+        self.write_bits(bit as u32, 1);
+    }
+
+    /// Total bits written so far.
+    pub fn bit_len(&self) -> usize {
+        if self.nbits == 0 {
+            self.buf.len() * 8
+        } else {
+            (self.buf.len() - 1) * 8 + self.nbits as usize
+        }
+    }
+
+    /// Finish, zero-padding the final byte, and return the buffer.
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.buf
+    }
+}
+
+/// Reads bits MSB-first from a byte slice.
+#[derive(Debug)]
+pub struct BitReader<'a> {
+    buf: &'a [u8],
+    /// Next bit index.
+    pos: usize,
+}
+
+impl<'a> BitReader<'a> {
+    /// Create a reader over `buf`.
+    pub fn new(buf: &'a [u8]) -> Self {
+        Self { buf, pos: 0 }
+    }
+
+    /// Read `n ≤ 32` bits, MSB-first.
+    pub fn read_bits(&mut self, n: u8) -> Result<u32, CodecError> {
+        debug_assert!(n <= 32);
+        let mut v: u32 = 0;
+        for _ in 0..n {
+            v = (v << 1) | self.read_bit()? as u32;
+        }
+        Ok(v)
+    }
+
+    /// Read a single bit.
+    #[inline]
+    pub fn read_bit(&mut self) -> Result<bool, CodecError> {
+        let byte = self.buf.get(self.pos / 8).ok_or(CodecError::UnexpectedEof)?;
+        let bit = (byte >> (7 - (self.pos % 8))) & 1;
+        self.pos += 1;
+        Ok(bit == 1)
+    }
+
+    /// Bits consumed so far.
+    pub fn bit_pos(&self) -> usize {
+        self.pos
+    }
+
+    /// Remaining readable bits.
+    pub fn remaining_bits(&self) -> usize {
+        self.buf.len() * 8 - self.pos
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_mixed_widths() {
+        let mut w = BitWriter::new();
+        w.write_bits(0b101, 3);
+        w.write_bits(0xFF, 8);
+        w.write_bits(0, 1);
+        w.write_bits(0b11001, 5);
+        let bit_len = w.bit_len();
+        assert_eq!(bit_len, 17);
+        let bytes = w.into_bytes();
+        let mut r = BitReader::new(&bytes);
+        assert_eq!(r.read_bits(3).unwrap(), 0b101);
+        assert_eq!(r.read_bits(8).unwrap(), 0xFF);
+        assert_eq!(r.read_bits(1).unwrap(), 0);
+        assert_eq!(r.read_bits(5).unwrap(), 0b11001);
+    }
+
+    #[test]
+    fn msb_first_layout() {
+        let mut w = BitWriter::new();
+        w.write_bits(0b1, 1);
+        w.write_bits(0b0, 1);
+        w.write_bits(0b1, 1);
+        // 101 padded with zeros -> 1010_0000.
+        assert_eq!(w.into_bytes(), vec![0b1010_0000]);
+    }
+
+    #[test]
+    fn two_bit_packing_matches_figure4() {
+        // Figure 4: GGTTACCTA with A:00 G:01 C:10 T:11
+        // -> 01 01 11 11 00 10 10 11 00, padded to 3 bytes.
+        let codes = [1u32, 1, 3, 3, 0, 2, 2, 3, 0];
+        let mut w = BitWriter::new();
+        for c in codes {
+            w.write_bits(c, 2);
+        }
+        let bytes = w.into_bytes();
+        assert_eq!(bytes, vec![0b0101_1111, 0b0010_1011, 0b0000_0000]);
+    }
+
+    #[test]
+    fn eof_detection() {
+        let mut r = BitReader::new(&[0xAB]);
+        assert_eq!(r.read_bits(8).unwrap(), 0xAB);
+        assert_eq!(r.read_bit(), Err(CodecError::UnexpectedEof));
+        assert_eq!(r.remaining_bits(), 0);
+    }
+
+    #[test]
+    fn empty_writer() {
+        let w = BitWriter::new();
+        assert_eq!(w.bit_len(), 0);
+        assert!(w.into_bytes().is_empty());
+    }
+}

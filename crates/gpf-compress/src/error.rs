@@ -1,0 +1,49 @@
+//! Codec error type.
+
+use std::fmt;
+
+/// An error raised while encoding or decoding compressed genomic data.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CodecError {
+    /// The input byte stream ended before a complete value was read.
+    UnexpectedEof,
+    /// A varint ran longer than its maximum legal width.
+    VarintOverflow,
+    /// A Huffman bit pattern did not resolve to any symbol.
+    BadHuffmanCode,
+    /// A symbol was outside the codec's alphabet.
+    SymbolOutOfRange { symbol: i32 },
+    /// A sequence character could not be 2-bit encoded and was not escaped.
+    UnencodableBase { base: u8 },
+    /// Structural corruption (bad tag, impossible length, ...).
+    Corrupt(String),
+}
+
+impl fmt::Display for CodecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CodecError::UnexpectedEof => write!(f, "unexpected end of input"),
+            CodecError::VarintOverflow => write!(f, "varint overflow"),
+            CodecError::BadHuffmanCode => write!(f, "unresolvable Huffman code"),
+            CodecError::SymbolOutOfRange { symbol } => write!(f, "symbol {symbol} out of range"),
+            CodecError::UnencodableBase { base } => {
+                write!(f, "cannot 2-bit encode base `{}`", *base as char)
+            }
+            CodecError::Corrupt(msg) => write!(f, "corrupt stream: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for CodecError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        assert!(CodecError::UnexpectedEof.to_string().contains("end of input"));
+        assert!(CodecError::UnencodableBase { base: b'N' }.to_string().contains('N'));
+        assert!(CodecError::Corrupt("x".into()).to_string().contains('x'));
+    }
+}

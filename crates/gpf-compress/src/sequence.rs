@@ -1,0 +1,240 @@
+//! Sequence-field compression (Figure 4 of the paper).
+//!
+//! The stored base sequence uses the 2-bit encoding `A:00 G:01 C:10 T:11`.
+//! Special characters (`N`) cannot be 2-bit coded, so following Deorowicz
+//! they are escaped **through the quality field**: the base is rewritten to
+//! `A` and its quality byte replaced by the out-of-range marker
+//! [`ESCAPE_QUAL`]. At decompression time, an `A` whose quality equals the
+//! marker is recognized as an escaped `N`.
+//!
+//! The paper's scheme discards the `N` base's original quality; this
+//! implementation keeps the codec **lossless** by storing the displaced
+//! quality bytes in a small side list (`n_quals`), restoring them on
+//! decompression. `N` bases are rare (<1 % of bases), so the side list is
+//! negligible, and losslessness lets every downstream component assume exact
+//! round-trips.
+
+use crate::bitio::{BitReader, BitWriter};
+use crate::error::CodecError;
+use crate::qualcodec::QualityCodec;
+use crate::varint;
+use gpf_formats::base::{decode2, encode2};
+
+/// Out-of-range quality byte marking an escaped `N` (ASCII SOH, as in the
+/// paper's Figure 4 example `CCCB(SOH)FFFF`).
+pub const ESCAPE_QUAL: u8 = 1;
+
+/// The compressed form of a read's sequence + quality fields.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CompressedRead {
+    /// Number of bases before compression (the "length of sequence" byte in
+    /// Figure 4, widened to a varint).
+    pub len: u32,
+    /// 2-bit packed bases, zero-padded to a byte boundary.
+    pub packed_seq: Vec<u8>,
+    /// Huffman-coded delta stream of the (escape-transformed) quality string,
+    /// EOF-terminated.
+    pub qual_stream: Vec<u8>,
+    /// Original quality bytes displaced by the escape marker, in read order.
+    pub n_quals: Vec<u8>,
+}
+
+impl CompressedRead {
+    /// Total compressed payload size in bytes (what the engine charges to
+    /// memory/shuffle when this read is stored serialized).
+    pub fn payload_bytes(&self) -> usize {
+        varint::u64_len(self.len as u64)
+            + self.packed_seq.len()
+            + varint::u64_len(self.qual_stream.len() as u64)
+            + self.qual_stream.len()
+            + varint::u64_len(self.n_quals.len() as u64)
+            + self.n_quals.len()
+    }
+}
+
+/// Compress a read's sequence and quality fields together.
+///
+/// `seq` may contain `A C G T N`; anything else is an error. `qual` must be
+/// the same length with characters in `[33, 126]`.
+pub fn compress_read_fields(
+    seq: &[u8],
+    qual: &[u8],
+    codec: &QualityCodec,
+) -> Result<CompressedRead, CodecError> {
+    if seq.len() != qual.len() {
+        return Err(CodecError::Corrupt(format!(
+            "seq len {} != qual len {}",
+            seq.len(),
+            qual.len()
+        )));
+    }
+    let mut packed = BitWriter::new();
+    let mut tqual = Vec::with_capacity(qual.len());
+    let mut n_quals = Vec::new();
+    for (&b, &q) in seq.iter().zip(qual) {
+        match encode2(b) {
+            Some(code) => {
+                packed.write_bits(code as u32, 2);
+                tqual.push(q);
+            }
+            None if b == b'N' => {
+                // Escape: store base as A, mark through the quality field.
+                packed.write_bits(0, 2);
+                tqual.push(ESCAPE_QUAL);
+                n_quals.push(q);
+            }
+            None => return Err(CodecError::UnencodableBase { base: b }),
+        }
+    }
+    let mut qw = BitWriter::new();
+    codec.encode(&tqual, &mut qw)?;
+    Ok(CompressedRead {
+        len: seq.len() as u32,
+        packed_seq: packed.into_bytes(),
+        qual_stream: qw.into_bytes(),
+        n_quals,
+    })
+}
+
+/// Decompress back to `(seq, qual)`.
+pub fn decompress_read_fields(
+    read: &CompressedRead,
+    codec: &QualityCodec,
+) -> Result<(Vec<u8>, Vec<u8>), CodecError> {
+    let mut seq = Vec::with_capacity(read.len as usize);
+    let mut br = BitReader::new(&read.packed_seq);
+    for _ in 0..read.len {
+        let code = br.read_bits(2)? as u8;
+        seq.push(decode2(code));
+    }
+    let mut qr = BitReader::new(&read.qual_stream);
+    let mut qual = codec.decode(&mut qr)?;
+    if qual.len() != read.len as usize {
+        return Err(CodecError::Corrupt(format!(
+            "quality stream decoded {} chars, expected {}",
+            qual.len(),
+            read.len
+        )));
+    }
+    // Restore escaped Ns and their displaced qualities.
+    let mut k = 0usize;
+    for (b, q) in seq.iter_mut().zip(qual.iter_mut()) {
+        if *q == ESCAPE_QUAL {
+            if *b != b'A' {
+                return Err(CodecError::Corrupt("escape marker on non-A base".into()));
+            }
+            *b = b'N';
+            *q = *read
+                .n_quals
+                .get(k)
+                .ok_or_else(|| CodecError::Corrupt("missing escaped quality".into()))?;
+            k += 1;
+        }
+    }
+    if k != read.n_quals.len() {
+        return Err(CodecError::Corrupt("unused escaped qualities".into()));
+    }
+    Ok((seq, qual))
+}
+
+/// Compression ratio achieved on the raw two fields (`(seq+qual bytes) /
+/// compressed payload bytes`) — Figure 4's "improves storage by
+/// approximately four times" claim is about the sequence part of this.
+pub fn field_compression_ratio(seq_len: usize, read: &CompressedRead) -> f64 {
+    (2 * seq_len) as f64 / read.payload_bytes().max(1) as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn codec() -> QualityCodec {
+        QualityCodec::default_codec()
+    }
+
+    #[test]
+    fn figure4_example_round_trips() {
+        // Figure 4: sequence GGTTNCCTA, quality CCCB#FFFF.
+        let seq = b"GGTTNCCTA";
+        let qual = b"CCCB#FFFF";
+        let c = compress_read_fields(seq, qual, &codec()).unwrap();
+        // 9 bases -> 3 packed bytes; the N was escaped.
+        assert_eq!(c.packed_seq.len(), 3);
+        assert_eq!(c.n_quals, vec![b'#']);
+        // Packed bits match the figure: (00 -> A substituted for N).
+        assert_eq!(c.packed_seq[0], 0b0101_1111);
+        assert_eq!(c.packed_seq[1], 0b0010_1011);
+        assert_eq!(c.packed_seq[2], 0b0000_0000);
+        let (s2, q2) = decompress_read_fields(&c, &codec()).unwrap();
+        assert_eq!(s2, seq.to_vec());
+        assert_eq!(q2, qual.to_vec());
+    }
+
+    #[test]
+    fn lossless_on_all_n_read() {
+        let seq = b"NNNNN";
+        let qual = b"#!#!#";
+        let c = compress_read_fields(seq, qual, &codec()).unwrap();
+        assert_eq!(c.n_quals.len(), 5);
+        let (s2, q2) = decompress_read_fields(&c, &codec()).unwrap();
+        assert_eq!(s2, seq.to_vec());
+        assert_eq!(q2, qual.to_vec());
+    }
+
+    #[test]
+    fn real_q0_base_is_not_confused_with_escape() {
+        // '!' is Phred 0 but a legitimate quality; only the out-of-range
+        // marker (1) flags an escape.
+        let seq = b"ACGT";
+        let qual = b"!!!!";
+        let c = compress_read_fields(seq, qual, &codec()).unwrap();
+        assert!(c.n_quals.is_empty());
+        let (s2, q2) = decompress_read_fields(&c, &codec()).unwrap();
+        assert_eq!(s2, seq.to_vec());
+        assert_eq!(q2, qual.to_vec());
+    }
+
+    #[test]
+    fn empty_read() {
+        let c = compress_read_fields(b"", b"", &codec()).unwrap();
+        assert_eq!(c.len, 0);
+        let (s2, q2) = decompress_read_fields(&c, &codec()).unwrap();
+        assert!(s2.is_empty());
+        assert!(q2.is_empty());
+    }
+
+    #[test]
+    fn rejects_bad_base_and_length_mismatch() {
+        assert!(matches!(
+            compress_read_fields(b"ACXT", b"IIII", &codec()),
+            Err(CodecError::UnencodableBase { base: b'X' })
+        ));
+        assert!(compress_read_fields(b"ACGT", b"III", &codec()).is_err());
+    }
+
+    #[test]
+    fn hundred_base_read_compresses_roughly_4x() {
+        // A realistic 100bp read: canonical bases + smooth qualities.
+        let seq: Vec<u8> = (0..100).map(|i| b"ACGT"[i % 4]).collect();
+        let mut qual = vec![70u8; 100];
+        qual[50] = 68;
+        let c = compress_read_fields(&seq, &qual, &codec()).unwrap();
+        // Sequence: 100 bases -> 25 bytes (4x). Quality: ~1-2 bits/char.
+        assert_eq!(c.packed_seq.len(), 25);
+        let ratio = field_compression_ratio(100, &c);
+        assert!(ratio > 3.0, "ratio = {ratio}");
+    }
+
+    #[test]
+    fn corrupt_stream_is_detected() {
+        let c = compress_read_fields(b"ACGTN", b"IIII#", &codec()).unwrap();
+        // Drop the displaced quality -> decode must error, not panic.
+        let mut broken = c.clone();
+        broken.n_quals.clear();
+        assert!(decompress_read_fields(&broken, &codec()).is_err());
+        // Truncate the packed sequence.
+        let mut broken2 = c;
+        broken2.packed_seq.truncate(1);
+        assert!(decompress_read_fields(&broken2, &codec()).is_err());
+    }
+}

@@ -1,0 +1,116 @@
+//! LEB128 varints and zigzag signed encoding — the "Kryo-like" compact
+//! integer framing used by the `KryoSim` and `Gpf` serializers.
+
+use crate::error::CodecError;
+
+/// Append a u64 as LEB128.
+pub fn write_u64(buf: &mut Vec<u8>, mut v: u64) {
+    loop {
+        let byte = (v & 0x7F) as u8;
+        v >>= 7;
+        if v == 0 {
+            buf.push(byte);
+            return;
+        }
+        buf.push(byte | 0x80);
+    }
+}
+
+/// Read a LEB128 u64 from `buf[*pos..]`, advancing `pos`.
+pub fn read_u64(buf: &[u8], pos: &mut usize) -> Result<u64, CodecError> {
+    let mut v: u64 = 0;
+    let mut shift = 0u32;
+    loop {
+        let byte = *buf.get(*pos).ok_or(CodecError::UnexpectedEof)?;
+        *pos += 1;
+        if shift >= 64 {
+            return Err(CodecError::VarintOverflow);
+        }
+        v |= ((byte & 0x7F) as u64) << shift;
+        if byte & 0x80 == 0 {
+            return Ok(v);
+        }
+        shift += 7;
+    }
+}
+
+/// Zigzag-encode a signed value so small magnitudes stay small.
+#[inline]
+pub fn zigzag(v: i64) -> u64 {
+    ((v << 1) ^ (v >> 63)) as u64
+}
+
+/// Inverse of [`zigzag`].
+#[inline]
+pub fn unzigzag(v: u64) -> i64 {
+    ((v >> 1) as i64) ^ -((v & 1) as i64)
+}
+
+/// Append an i64 as zigzag LEB128.
+pub fn write_i64(buf: &mut Vec<u8>, v: i64) {
+    write_u64(buf, zigzag(v));
+}
+
+/// Read a zigzag LEB128 i64.
+pub fn read_i64(buf: &[u8], pos: &mut usize) -> Result<i64, CodecError> {
+    Ok(unzigzag(read_u64(buf, pos)?))
+}
+
+/// Number of bytes [`write_u64`] would produce.
+pub fn u64_len(v: u64) -> usize {
+    if v == 0 {
+        1
+    } else {
+        (64 - v.leading_zeros() as usize).div_ceil(7)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn u64_round_trip() {
+        for v in [0u64, 1, 127, 128, 300, 16_383, 16_384, u32::MAX as u64, u64::MAX] {
+            let mut buf = Vec::new();
+            write_u64(&mut buf, v);
+            assert_eq!(buf.len(), u64_len(v), "len mismatch for {v}");
+            let mut pos = 0;
+            assert_eq!(read_u64(&buf, &mut pos).unwrap(), v);
+            assert_eq!(pos, buf.len());
+        }
+    }
+
+    #[test]
+    fn i64_round_trip() {
+        for v in [0i64, 1, -1, 63, -64, 64, -65, i64::MAX, i64::MIN] {
+            let mut buf = Vec::new();
+            write_i64(&mut buf, v);
+            let mut pos = 0;
+            assert_eq!(read_i64(&buf, &mut pos).unwrap(), v);
+        }
+    }
+
+    #[test]
+    fn zigzag_small_values_stay_small() {
+        assert_eq!(zigzag(0), 0);
+        assert_eq!(zigzag(-1), 1);
+        assert_eq!(zigzag(1), 2);
+        assert_eq!(zigzag(-2), 3);
+        assert_eq!(unzigzag(zigzag(-93)), -93);
+    }
+
+    #[test]
+    fn truncated_input_errors() {
+        let buf = vec![0x80, 0x80];
+        let mut pos = 0;
+        assert_eq!(read_u64(&buf, &mut pos), Err(CodecError::UnexpectedEof));
+    }
+
+    #[test]
+    fn overlong_input_errors() {
+        let buf = vec![0x80; 11];
+        let mut pos = 0;
+        assert_eq!(read_u64(&buf, &mut pos), Err(CodecError::VarintOverflow));
+    }
+}

@@ -1,0 +1,117 @@
+//! Property-based round-trip tests for the compression layer.
+
+use gpf_compress::qualcodec::QualityCodec;
+use gpf_compress::sequence::{compress_read_fields, decompress_read_fields};
+use gpf_compress::serializer::{deserialize_batch, serialize_batch, SerializerKind};
+use gpf_formats::fastq::FastqRecord;
+use gpf_formats::sam::{SamFlags, SamRecord};
+use gpf_formats::Cigar;
+use proptest::prelude::*;
+
+fn seq_strategy(max_len: usize) -> impl Strategy<Value = Vec<u8>> {
+    proptest::collection::vec(
+        prop_oneof![
+            8 => Just(b'A'),
+            8 => Just(b'C'),
+            8 => Just(b'G'),
+            8 => Just(b'T'),
+            1 => Just(b'N')
+        ],
+        0..max_len,
+    )
+}
+
+fn read_strategy(max_len: usize) -> impl Strategy<Value = (Vec<u8>, Vec<u8>)> {
+    seq_strategy(max_len).prop_flat_map(|s| {
+        let len = s.len();
+        (Just(s), proptest::collection::vec(33u8..=126, len..=len))
+    })
+}
+
+proptest! {
+    #[test]
+    fn field_compression_round_trips((seq, qual) in read_strategy(300)) {
+        let codec = QualityCodec::default_codec();
+        let c = compress_read_fields(&seq, &qual, &codec).unwrap();
+        let (s2, q2) = decompress_read_fields(&c, &codec).unwrap();
+        prop_assert_eq!(s2, seq);
+        prop_assert_eq!(q2, qual);
+    }
+
+    #[test]
+    fn packed_sequence_is_quarter_size((seq, qual) in read_strategy(300)) {
+        let codec = QualityCodec::default_codec();
+        let c = compress_read_fields(&seq, &qual, &codec).unwrap();
+        prop_assert_eq!(c.packed_seq.len(), seq.len().div_ceil(4));
+    }
+
+    #[test]
+    fn quality_codec_round_trips(qual in proptest::collection::vec(33u8..=126, 0..500)) {
+        let codec = QualityCodec::default_codec();
+        let bytes = codec.encode_to_bytes(&qual).unwrap();
+        let mut r = gpf_compress::bitio::BitReader::new(&bytes);
+        prop_assert_eq!(codec.decode(&mut r).unwrap(), qual);
+    }
+
+    #[test]
+    fn fastq_batches_round_trip_under_all_serializers(
+        reads in proptest::collection::vec(read_strategy(120), 0..20)
+    ) {
+        let records: Vec<FastqRecord> = reads
+            .into_iter()
+            .enumerate()
+            .map(|(i, (seq, qual))| FastqRecord::new(format!("r{i}"), &seq, &qual).unwrap())
+            .collect();
+        for kind in [SerializerKind::JavaSim, SerializerKind::KryoSim, SerializerKind::Gpf] {
+            let buf = serialize_batch(kind, &records);
+            let out: Vec<FastqRecord> = deserialize_batch(kind, &buf).unwrap();
+            prop_assert_eq!(&out, &records);
+        }
+    }
+
+    #[test]
+    fn sam_records_round_trip_under_all_serializers(
+        (seq, qual) in read_strategy(150),
+        flags in any::<u16>(),
+        pos in 0u64..3_000_000_000,
+        tlen in any::<i64>(),
+    ) {
+        let cigar = if seq.is_empty() {
+            Cigar::unavailable()
+        } else {
+            Cigar::from_ops(vec![(seq.len() as u32, gpf_formats::CigarOp::Match)])
+        };
+        let rec = SamRecord {
+            name: "prop".into(),
+            flags: SamFlags(flags),
+            contig: 2,
+            pos,
+            mapq: 37,
+            cigar,
+            mate_contig: u32::MAX,
+            mate_pos: 0,
+            tlen,
+            seq,
+            qual,
+            read_group: 9,
+            edit_distance: 5,
+        };
+        for kind in [SerializerKind::JavaSim, SerializerKind::KryoSim, SerializerKind::Gpf] {
+            let buf = serialize_batch(kind, std::slice::from_ref(&rec));
+            let out: Vec<SamRecord> = deserialize_batch(kind, &buf).unwrap();
+            prop_assert_eq!(&out[0], &rec);
+        }
+    }
+
+    #[test]
+    fn gpf_never_larger_than_java(reads in proptest::collection::vec(read_strategy(150), 1..10)) {
+        let records: Vec<FastqRecord> = reads
+            .into_iter()
+            .enumerate()
+            .map(|(i, (seq, qual))| FastqRecord::new(format!("r{i}"), &seq, &qual).unwrap())
+            .collect();
+        let java = serialize_batch(SerializerKind::JavaSim, &records).len();
+        let gpf = serialize_batch(SerializerKind::Gpf, &records).len();
+        prop_assert!(gpf <= java, "gpf {gpf} > java {java}");
+    }
+}

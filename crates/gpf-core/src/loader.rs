@@ -1,0 +1,100 @@
+//! Input loaders — the Figure 3 `FileLoader` helpers.
+
+use crate::pipeline::PipelineError;
+use gpf_engine::{Dataset, EngineContext};
+use gpf_formats::fastq::{pair_up, parse_fastq, FastqPair};
+use gpf_formats::vcf::{parse_vcf, VcfRecord};
+use std::sync::Arc;
+
+/// Loaders turning on-disk (or in-memory) genomic text into engine datasets.
+pub struct FileLoader;
+
+impl FileLoader {
+    /// Parse two FASTQ texts and pair them — the in-memory form of the
+    /// paper's `FileLoader.loadFastqPairToRdd(sc, fastqPath1, fastqPath2)`.
+    pub fn load_fastq_pair_to_rdd(
+        ctx: &Arc<EngineContext>,
+        fastq1: &str,
+        fastq2: &str,
+        parts: usize,
+    ) -> Result<Dataset<FastqPair>, PipelineError> {
+        let r1 = parse_fastq(fastq1).map_err(|e| PipelineError::Load(e.to_string()))?;
+        let r2 = parse_fastq(fastq2).map_err(|e| PipelineError::Load(e.to_string()))?;
+        let pairs = pair_up(r1, r2).map_err(|e| PipelineError::Load(e.to_string()))?;
+        Ok(Dataset::from_vec(Arc::clone(ctx), pairs, parts))
+    }
+
+    /// Read two FASTQ files from disk and pair them.
+    pub fn load_fastq_pair_files(
+        ctx: &Arc<EngineContext>,
+        path1: &std::path::Path,
+        path2: &std::path::Path,
+        parts: usize,
+    ) -> Result<Dataset<FastqPair>, PipelineError> {
+        let t1 = std::fs::read_to_string(path1)
+            .map_err(|e| PipelineError::Load(format!("{}: {e}", path1.display())))?;
+        let t2 = std::fs::read_to_string(path2)
+            .map_err(|e| PipelineError::Load(format!("{}: {e}", path2.display())))?;
+        Self::load_fastq_pair_to_rdd(ctx, &t1, &t2, parts)
+    }
+
+    /// Parse VCF text into a known-sites dataset (the dbSNP `rodMap` input).
+    pub fn load_vcf_to_rdd(
+        ctx: &Arc<EngineContext>,
+        vcf_text: &str,
+        parts: usize,
+    ) -> Result<Dataset<VcfRecord>, PipelineError> {
+        let (_, records) = parse_vcf(vcf_text).map_err(|e| PipelineError::Load(e.to_string()))?;
+        Ok(Dataset::from_vec(Arc::clone(ctx), records, parts))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpf_engine::EngineConfig;
+
+    #[test]
+    fn loads_and_pairs_fastq_text() {
+        let ctx = EngineContext::new(EngineConfig::default());
+        let f1 = "@r1/1\nACGT\n+\nIIII\n@r2/1\nGGGG\n+\nFFFF\n";
+        let f2 = "@r1/2\nTTTT\n+\nIIII\n@r2/2\nCCCC\n+\nFFFF\n";
+        let ds = FileLoader::load_fastq_pair_to_rdd(&ctx, f1, f2, 2).unwrap();
+        assert_eq!(ds.len(), 2);
+        assert_eq!(ds.num_partitions(), 2);
+    }
+
+    #[test]
+    fn mismatched_files_error() {
+        let ctx = EngineContext::new(EngineConfig::default());
+        let f1 = "@r1/1\nACGT\n+\nIIII\n";
+        match FileLoader::load_fastq_pair_to_rdd(&ctx, f1, "", 1) {
+            Err(PipelineError::Load(_)) => {}
+            Err(other) => panic!("unexpected error {other}"),
+            Ok(_) => panic!("expected an error"),
+        }
+    }
+
+    #[test]
+    fn loads_vcf_text() {
+        let ctx = EngineContext::new(EngineConfig::default());
+        let vcf = "##fileformat=VCFv4.2\n##contig=<ID=chr1,length=1000>\n#CHROM\tPOS\tID\tREF\tALT\tQUAL\tFILTER\tINFO\nchr1\t100\t.\tA\tG\t50\tPASS\tDP=10\n";
+        let ds = FileLoader::load_vcf_to_rdd(&ctx, vcf, 1).unwrap();
+        assert_eq!(ds.len(), 1);
+    }
+
+    #[test]
+    fn missing_file_errors() {
+        let ctx = EngineContext::new(EngineConfig::default());
+        match FileLoader::load_fastq_pair_files(
+            &ctx,
+            std::path::Path::new("/nonexistent/1.fastq"),
+            std::path::Path::new("/nonexistent/2.fastq"),
+            1,
+        ) {
+            Err(PipelineError::Load(msg)) => assert!(msg.contains("/nonexistent")),
+            Err(other) => panic!("unexpected error {other}"),
+            Ok(_) => panic!("expected an error"),
+        }
+    }
+}

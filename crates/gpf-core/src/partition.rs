@@ -1,0 +1,348 @@
+//! Dynamic RDD partitioning (§4.4 of the paper).
+//!
+//! Sequencing coverage is uneven — pileups beyond 10 000× occur inside a 50×
+//! dataset — so partitioning the genome into equal-length chunks causes load
+//! imbalance (and in Spark, executor OOM). GPF's answer:
+//!
+//! 1. a base [`PartitionInfo`] maps a position to a partition id through
+//!    per-contig tables — *number of partitions per contig* and *starting
+//!    partition id per contig* (Figure 8): `id = start[contig] + pos / len`;
+//! 2. read counts per partition are gathered (a reduce + collect to the
+//!    driver), and partitions exceeding a threshold are **split** through a
+//!    split table (Figure 9): `final = split_start + offset/(len/count)`.
+
+use gpf_compress::{ByteReader, ByteWriter, CodecError, GpfSerialize};
+use gpf_formats::{GenomeInterval, GenomePosition};
+use std::collections::HashMap;
+
+/// One split-table entry (Figure 9's "Partition Split Table" row).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SplitEntry {
+    /// How many pieces the partition was split into.
+    pub split_count: u32,
+    /// First final partition id of the pieces.
+    pub start_id: u32,
+}
+
+/// The position → partition-id map.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PartitionInfo {
+    /// Genomic length of one base partition (the paper's 1 Mbp).
+    pub partition_len: u64,
+    /// Number of base partitions in each contig (Figure 8, first table).
+    pub contig_num_partitions: Vec<u32>,
+    /// Starting base-partition id of each contig (Figure 8, second table).
+    pub contig_start_id: Vec<u32>,
+    /// Split table: base partition id → entry (empty before splitting).
+    pub splits: HashMap<u32, SplitEntry>,
+    /// Final id of each *unsplit* base partition (renumbered to make final
+    /// ids dense).
+    final_id_of_base: Vec<u32>,
+    /// Total number of final partitions.
+    total_final: u32,
+    /// Contig lengths (for interval reconstruction).
+    contig_lengths: Vec<u64>,
+}
+
+impl PartitionInfo {
+    /// Equal-length base partitioning of a genome.
+    pub fn new(contig_lengths: &[u64], partition_len: u64) -> Self {
+        assert!(partition_len > 0, "partition length must be positive");
+        let contig_num_partitions: Vec<u32> =
+            contig_lengths.iter().map(|&l| l.div_ceil(partition_len).max(1) as u32).collect();
+        let mut contig_start_id = Vec::with_capacity(contig_lengths.len());
+        let mut acc = 0u32;
+        for &n in &contig_num_partitions {
+            contig_start_id.push(acc);
+            acc += n;
+        }
+        let final_id_of_base: Vec<u32> = (0..acc).collect();
+        Self {
+            partition_len,
+            contig_num_partitions,
+            contig_start_id,
+            splits: HashMap::new(),
+            final_id_of_base,
+            total_final: acc,
+            contig_lengths: contig_lengths.to_vec(),
+        }
+    }
+
+    /// Number of base (pre-split) partitions.
+    pub fn num_base_partitions(&self) -> u32 {
+        self.final_id_of_base.len() as u32
+    }
+
+    /// Number of final partitions (after splits).
+    pub fn num_partitions(&self) -> u32 {
+        self.total_final
+    }
+
+    /// Figure 8: base partition id of a position.
+    ///
+    /// # Panics
+    /// Panics when the contig id is out of range.
+    pub fn base_partition_id(&self, pos: GenomePosition) -> u32 {
+        let base = self.contig_start_id[pos.contig as usize];
+        let offset = (pos.pos / self.partition_len) as u32;
+        debug_assert!(offset < self.contig_num_partitions[pos.contig as usize]);
+        base + offset
+    }
+
+    /// Figure 9: final partition id of a position (split table applied).
+    pub fn partition_id(&self, pos: GenomePosition) -> u32 {
+        let base = self.base_partition_id(pos);
+        match self.splits.get(&base) {
+            None => self.final_id_of_base[base as usize],
+            Some(entry) => {
+                let piece_len = (self.partition_len / entry.split_count as u64).max(1);
+                let offset_in_partition = pos.pos % self.partition_len;
+                let piece = ((offset_in_partition / piece_len) as u32).min(entry.split_count - 1);
+                entry.start_id + piece
+            }
+        }
+    }
+
+    /// Split every partition whose read count exceeds `threshold` into
+    /// `ceil(count / threshold)` pieces, renumbering final ids densely.
+    ///
+    /// `counts` are `(base partition id, reads)` pairs as returned by the
+    /// driver's reduce (absent ids count 0).
+    pub fn with_splits(&self, counts: &[(u32, u64)], threshold: u64) -> Self {
+        assert!(threshold > 0);
+        let n_base = self.num_base_partitions();
+        let mut split_count = vec![1u32; n_base as usize];
+        for &(id, count) in counts {
+            if (id as usize) < split_count.len() && count > threshold {
+                split_count[id as usize] = count.div_ceil(threshold).min(64) as u32;
+            }
+        }
+        let mut out = self.clone();
+        out.splits.clear();
+        let mut next = 0u32;
+        for (id, &sc) in split_count.iter().enumerate() {
+            if sc > 1 {
+                out.splits.insert(id as u32, SplitEntry { split_count: sc, start_id: next });
+            }
+            out.final_id_of_base[id] = next;
+            next += sc;
+        }
+        out.total_final = next;
+        out
+    }
+
+    /// The genomic interval of a *base* partition id.
+    pub fn base_partition_interval(&self, base_id: u32) -> GenomeInterval {
+        let contig = self
+            .contig_start_id
+            .partition_point(|&s| s <= base_id)
+            .saturating_sub(1);
+        let within = base_id - self.contig_start_id[contig];
+        let start = within as u64 * self.partition_len;
+        let end = (start + self.partition_len).min(self.contig_lengths[contig]);
+        GenomeInterval::new(contig as u32, start, end)
+    }
+
+    /// The genomic interval of a *final* partition id.
+    pub fn partition_interval(&self, final_id: u32) -> GenomeInterval {
+        // Locate the owning base partition: the last base whose final id is
+        // ≤ final_id.
+        let base = self
+            .final_id_of_base
+            .partition_point(|&f| f <= final_id)
+            .saturating_sub(1) as u32;
+        let iv = self.base_partition_interval(base);
+        match self.splits.get(&base) {
+            None => iv,
+            Some(entry) => {
+                let piece = final_id - entry.start_id;
+                let piece_len = (self.partition_len / entry.split_count as u64).max(1);
+                let start = iv.start + piece as u64 * piece_len;
+                let end = if piece + 1 == entry.split_count {
+                    iv.end
+                } else {
+                    (start + piece_len).min(iv.end)
+                };
+                GenomeInterval::new(iv.contig, start.min(iv.end), end)
+            }
+        }
+    }
+
+    /// All final partition intervals, in id order.
+    pub fn intervals(&self) -> Vec<GenomeInterval> {
+        (0..self.total_final).map(|id| self.partition_interval(id)).collect()
+    }
+}
+
+impl GpfSerialize for PartitionInfo {
+    fn write(&self, w: &mut ByteWriter) {
+        w.write_u64(self.partition_len);
+        self.contig_lengths.iter().copied().collect::<Vec<u64>>().write(w);
+        let mut splits: Vec<(u32, u32, u32)> =
+            self.splits.iter().map(|(&k, e)| (k, e.split_count, e.start_id)).collect();
+        splits.sort();
+        w.write_u64(splits.len() as u64);
+        for (k, sc, sid) in splits {
+            w.write_u32(k);
+            w.write_u32(sc);
+            w.write_u32(sid);
+        }
+    }
+
+    fn read(r: &mut ByteReader<'_>) -> Result<Self, CodecError> {
+        let partition_len = r.read_u64()?;
+        if partition_len == 0 {
+            return Err(CodecError::Corrupt("zero partition length".into()));
+        }
+        let contig_lengths: Vec<u64> = Vec::read(r)?;
+        let mut base = PartitionInfo::new(&contig_lengths, partition_len);
+        let n = r.read_u64()? as usize;
+        let mut counts: Vec<(u32, u64)> = Vec::with_capacity(n);
+        let mut entries = Vec::with_capacity(n);
+        for _ in 0..n {
+            let k = r.read_u32()?;
+            let sc = r.read_u32()?;
+            let sid = r.read_u32()?;
+            entries.push((k, sc, sid));
+            // Reconstruct equivalent splits through with_splits by synthetic
+            // counts: count = sc * 1 with threshold 1 reproduces sc pieces.
+            counts.push((k, sc as u64));
+        }
+        if !counts.is_empty() {
+            base = base.with_splits(&counts, 1);
+            // Verify the reconstruction matches what was serialized.
+            for (k, sc, sid) in entries {
+                let got = base.splits.get(&k).copied();
+                if got != Some(SplitEntry { split_count: sc, start_id: sid }) {
+                    return Err(CodecError::Corrupt("inconsistent split table".into()));
+                }
+            }
+        }
+        Ok(base)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The paper's Figure 8 configuration: 1 Mbp partitions, contigs of
+    /// 250/244/199/192/181/172/160 partitions.
+    fn figure8_info() -> PartitionInfo {
+        let lens: Vec<u64> = [250u64, 244, 199, 192, 181, 172, 160]
+            .iter()
+            .map(|n| n * 1_000_000)
+            .collect();
+        PartitionInfo::new(&lens, 1_000_000)
+    }
+
+    #[test]
+    fn figure8_tables_match_paper() {
+        let pi = figure8_info();
+        assert_eq!(pi.contig_num_partitions, vec![250, 244, 199, 192, 181, 172, 160]);
+        assert_eq!(pi.contig_start_id, vec![0, 250, 494, 693, 885, 1066, 1238]);
+    }
+
+    #[test]
+    fn figure8_position_lookup() {
+        // Figure 8: Position (contig 4 in 1-based numbering = index 3,
+        // position 12,345,678) -> segment base 693, offset 12, id 705.
+        let pi = figure8_info();
+        let id = pi.base_partition_id(GenomePosition::new(3, 12_345_678));
+        assert_eq!(id, 705);
+    }
+
+    #[test]
+    fn figure9_split_lookup() {
+        // Figure 9: partition 705 split into 4 pieces starting at final id
+        // 3510; position offset 345678 with piece length 250000 -> piece 1
+        // -> final id 3511.
+        let pi = figure8_info();
+        // Build synthetic counts: make the renumbering put 705's pieces at
+        // 3510 — that requires earlier splits; instead verify the *relative*
+        // mechanics and the split arithmetic.
+        let counts = vec![(705u32, 4_000u64)];
+        let split = pi.with_splits(&counts, 1_000);
+        let e = split.splits.get(&705).copied().expect("705 split");
+        assert_eq!(e.split_count, 4);
+        let id_piece1 = split.partition_id(GenomePosition::new(3, 12_345_678));
+        assert_eq!(id_piece1, e.start_id + 1, "offset 345678 / 250000 = piece 1");
+        // And unsplit partitions still map correctly.
+        let before = split.partition_id(GenomePosition::new(3, 11_999_999));
+        assert_eq!(before, split.final_id_of_base[704 as usize]);
+    }
+
+    #[test]
+    fn dense_renumbering_after_splits() {
+        let pi = PartitionInfo::new(&[1000, 500], 100);
+        assert_eq!(pi.num_base_partitions(), 15);
+        let counts = vec![(2u32, 5000u64), (12u32, 2500u64)];
+        let split = pi.with_splits(&counts, 1000);
+        assert_eq!(split.splits[&2].split_count, 5);
+        assert_eq!(split.splits[&12].split_count, 3);
+        assert_eq!(split.num_partitions(), 15 - 2 + 5 + 3);
+        // Every position maps into range, and intervals tile the genome.
+        let mut seen = vec![false; split.num_partitions() as usize];
+        for contig in 0..2u32 {
+            let len = [1000u64, 500][contig as usize];
+            for pos in 0..len {
+                let id = split.partition_id(GenomePosition::new(contig, pos));
+                assert!(id < split.num_partitions(), "pos {pos} id {id}");
+                seen[id as usize] = true;
+                // Interval lookup agrees with the forward map.
+                let iv = split.partition_interval(id);
+                assert_eq!(iv.contig, contig);
+                assert!(
+                    iv.contains(GenomePosition::new(contig, pos)),
+                    "pos {pos} not in {iv:?} (id {id})"
+                );
+            }
+        }
+        assert!(seen.iter().all(|&s| s), "all final partitions are reachable");
+    }
+
+    #[test]
+    fn no_splits_is_identity() {
+        let pi = PartitionInfo::new(&[1000], 100);
+        let same = pi.with_splits(&[(3, 50)], 1000);
+        assert!(same.splits.is_empty());
+        assert_eq!(same.num_partitions(), pi.num_partitions());
+        for pos in (0..1000).step_by(37) {
+            assert_eq!(
+                pi.partition_id(GenomePosition::new(0, pos)),
+                same.partition_id(GenomePosition::new(0, pos))
+            );
+        }
+    }
+
+    #[test]
+    fn intervals_tile_contigs() {
+        let pi = PartitionInfo::new(&[950, 320], 100);
+        let ivs = pi.intervals();
+        assert_eq!(ivs.len(), 10 + 4);
+        // Last partition of contig 0 is short (950 % 100 = 50).
+        assert_eq!(ivs[9], GenomeInterval::new(0, 900, 950));
+        assert_eq!(ivs[10], GenomeInterval::new(1, 0, 100));
+        let total: u64 = ivs.iter().map(|iv| iv.len()).sum();
+        assert_eq!(total, 950 + 320);
+    }
+
+    #[test]
+    fn serialization_round_trips() {
+        use gpf_compress::serializer::{deserialize_batch, serialize_batch, SerializerKind};
+        let pi = PartitionInfo::new(&[100_000, 40_000], 1_000)
+            .with_splits(&[(3, 10_000), (120, 9_000)], 2_000);
+        for kind in [SerializerKind::JavaSim, SerializerKind::KryoSim, SerializerKind::Gpf] {
+            let buf = serialize_batch(kind, std::slice::from_ref(&pi));
+            let out: Vec<PartitionInfo> = deserialize_batch(kind, &buf).unwrap();
+            assert_eq!(out[0], pi);
+        }
+    }
+
+    #[test]
+    fn split_cap_prevents_explosion() {
+        let pi = PartitionInfo::new(&[1000], 100);
+        let split = pi.with_splits(&[(0, u64::MAX / 2)], 1);
+        assert_eq!(split.splits[&0].split_count, 64, "cap at 64 pieces");
+    }
+}

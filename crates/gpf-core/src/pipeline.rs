@@ -1,0 +1,329 @@
+//! The Pipeline runtime: Algorithm 1 DAG scheduling plus §4.3 redundancy
+//! elimination.
+//!
+//! [`Pipeline::run`] implements the paper's Algorithm 1 verbatim: maintain a
+//! resource pool of Defined resources; each iteration, every Process whose
+//! inputs are all in the pool executes and its outputs join the pool; if an
+//! iteration finds no runnable Process while work remains, the dependency
+//! graph is circular and the run aborts.
+//!
+//! Before executing a runnable *partition Process* (a [`crate::process::BundleStage`]), the
+//! scheduler looks for the Figure 7 fusion pattern — a chain of bundle
+//! stages where each link's SAM output feeds exactly the next link — and,
+//! when optimization is enabled, executes the whole chain over a single
+//! bundled RDD: FASTA/VCF partition RDDs are built once, and the
+//! merge → repartition → join round-trips between links disappear.
+
+use crate::process::{build_bundles, Process};
+use crate::resource::ResourceAny;
+use gpf_engine::EngineContext;
+use std::fmt;
+use std::sync::Arc;
+
+/// Pipeline execution errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PipelineError {
+    /// No runnable Process although some remain — Algorithm 1's
+    /// "Circular dependency" exception.
+    CircularDependency {
+        /// Names of the stuck Processes.
+        stuck: Vec<String>,
+    },
+    /// Input loading failed.
+    Load(String),
+}
+
+impl fmt::Display for PipelineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PipelineError::CircularDependency { stuck } => {
+                write!(f, "circular dependency among processes: {}", stuck.join(", "))
+            }
+            PipelineError::Load(msg) => write!(f, "load error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for PipelineError {}
+
+/// The runtime system driver (Table 2: `Pipeline(name, sc)`).
+pub struct Pipeline {
+    name: String,
+    ctx: Arc<EngineContext>,
+    processes: Vec<Arc<dyn Process>>,
+    optimize: bool,
+    executed: Vec<String>,
+    fused_chains: Vec<Vec<String>>,
+}
+
+impl Pipeline {
+    /// Create a pipeline bound to an engine context.
+    pub fn new(name: impl Into<String>, ctx: Arc<EngineContext>) -> Self {
+        Self {
+            name: name.into(),
+            ctx,
+            processes: Vec::new(),
+            optimize: true,
+            executed: Vec::new(),
+            fused_chains: Vec::new(),
+        }
+    }
+
+    /// Pipeline name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Enable/disable the §4.3 redundancy elimination (on by default).
+    /// Disabling it reproduces the paper's Table 4 "Original" column.
+    pub fn set_optimize(&mut self, optimize: bool) {
+        self.optimize = optimize;
+    }
+
+    /// Add a Process to the execution DAG (Table 2's `addProcess`).
+    pub fn add_process(&mut self, process: Arc<dyn Process>) {
+        self.processes.push(process);
+    }
+
+    /// Names of executed Processes, in execution order (fused chains list
+    /// every member).
+    pub fn executed(&self) -> &[String] {
+        &self.executed
+    }
+
+    /// Fused chains detected during the last run.
+    pub fn fused_chains(&self) -> &[Vec<String>] {
+        &self.fused_chains
+    }
+
+    /// Execute all Processes (Table 2's `run()`), per Algorithm 1.
+    pub fn run(&mut self) -> Result<(), PipelineError> {
+        self.executed.clear();
+        self.fused_chains.clear();
+        let mut unfinished: Vec<usize> = (0..self.processes.len()).collect();
+
+        while !unfinished.is_empty() {
+            // Find out the process list which can be executed this iteration.
+            let runnable: Vec<usize> = unfinished
+                .iter()
+                .copied()
+                .filter(|&i| self.processes[i].input_resources().iter().all(|r| r.is_defined()))
+                .collect();
+            if runnable.is_empty() {
+                return Err(PipelineError::CircularDependency {
+                    stuck: unfinished.iter().map(|&i| self.processes[i].name().to_string()).collect(),
+                });
+            }
+
+            let mut finished_this_round: Vec<usize> = Vec::new();
+            for &i in &runnable {
+                if finished_this_round.contains(&i) {
+                    continue;
+                }
+                let chain = if self.optimize { self.fusable_chain(i, &unfinished) } else { vec![i] };
+                if chain.len() > 1 {
+                    self.execute_fused(&chain);
+                    self.fused_chains
+                        .push(chain.iter().map(|&j| self.processes[j].name().to_string()).collect());
+                    for &j in &chain {
+                        self.executed.push(self.processes[j].name().to_string());
+                        finished_this_round.push(j);
+                    }
+                } else {
+                    self.processes[i].execute(&self.ctx);
+                    self.executed.push(self.processes[i].name().to_string());
+                    finished_this_round.push(i);
+                }
+            }
+            unfinished.retain(|i| !finished_this_round.contains(i));
+        }
+        Ok(())
+    }
+
+    /// §4.3 pattern detection: starting from runnable process `start`,
+    /// extend a chain of bundle stages where each link's SAM output is
+    /// consumed *only* by the next link (out-degree 1 / in-degree 1 on the
+    /// chained resource) and all links share the same PartitionInfo.
+    fn fusable_chain(&self, start: usize, unfinished: &[usize]) -> Vec<usize> {
+        let Some(stage) = self.processes[start].as_bundle_stage() else {
+            return vec![start];
+        };
+        let mut chain = vec![start];
+        let mut current = stage;
+        loop {
+            let Some(out_sam) = current.output_sam() else {
+                break; // Caller stage terminates a chain.
+            };
+            // Who consumes this bundle?
+            let consumers: Vec<usize> = (0..self.processes.len())
+                .filter(|&j| {
+                    self.processes[j]
+                        .input_resources()
+                        .iter()
+                        .any(|r| r.name() == out_sam.name())
+                })
+                .collect();
+            if consumers.len() != 1 {
+                break;
+            }
+            let next = consumers[0];
+            if !unfinished.contains(&next) || chain.contains(&next) {
+                break;
+            }
+            let Some(next_stage) = self.processes[next].as_bundle_stage() else {
+                break;
+            };
+            // The next link must consume the chained SAM as its bundle input
+            // and share the PartitionInfo resource.
+            if next_stage.input_sam().name() != out_sam.name()
+                || next_stage.partition_info().name() != current.partition_info().name()
+            {
+                break;
+            }
+            // Its remaining inputs (rod, partition info) must already be
+            // Defined, otherwise running the chain now would violate the
+            // schedule.
+            let ready_otherwise = self.processes[next]
+                .input_resources()
+                .iter()
+                .filter(|r| r.name() != out_sam.name())
+                .all(|r| r.is_defined());
+            if !ready_otherwise {
+                break;
+            }
+            chain.push(next);
+            current = next_stage;
+        }
+        chain
+    }
+
+    /// Execute a fused chain (Figure 7(b)): build the bundled RDD once, map
+    /// each stage over it, finalize every link's outputs.
+    fn execute_fused(&self, chain: &[usize]) {
+        let first = self.processes[chain[0]].as_bundle_stage().expect("chain head is a stage");
+        let info = first.partition_info().info();
+        let known = first.rod().map(|r| r.dataset());
+        let mut bundles = build_bundles(
+            &self.ctx,
+            &first.reference(),
+            &info,
+            &first.input_sam().dataset(),
+            known.as_ref(),
+        );
+        for (k, &i) in chain.iter().enumerate() {
+            let stage = self.processes[i].as_bundle_stage().expect("chain member is a stage");
+            bundles = stage.run_on_bundles(&self.ctx, bundles);
+            // Intermediate SAM merges are exactly the redundancy the fusion
+            // removes — only the last link materializes outputs.
+            if k + 1 == chain.len() {
+                stage.finalize(&self.ctx, &bundles);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::resource::{ResourceAny, SamBundle};
+    use gpf_engine::{Dataset, EngineConfig};
+    use gpf_formats::sam::SamHeaderInfo;
+    use gpf_formats::ContigDict;
+
+    /// A trivial process copying input to output.
+    struct Copy {
+        name: String,
+        input: Arc<SamBundle>,
+        output: Arc<SamBundle>,
+    }
+
+    impl Process for Copy {
+        fn name(&self) -> &str {
+            &self.name
+        }
+        fn input_resources(&self) -> Vec<Arc<dyn ResourceAny>> {
+            vec![self.input.clone()]
+        }
+        fn output_resources(&self) -> Vec<Arc<dyn ResourceAny>> {
+            vec![self.output.clone()]
+        }
+        fn execute(&self, _ctx: &Arc<EngineContext>) {
+            self.output.define(self.input.dataset());
+        }
+    }
+
+    fn bundle(name: &str) -> Arc<SamBundle> {
+        let dict = ContigDict::from_pairs([("chr1", 1000u64)]);
+        SamBundle::undefined(name, SamHeaderInfo::unsorted_header(dict))
+    }
+
+    #[test]
+    fn runs_in_dependency_order_regardless_of_add_order() {
+        let ctx = EngineContext::new(EngineConfig::default());
+        let a = bundle("a");
+        let b = bundle("b");
+        let c = bundle("c");
+        a.define(Dataset::from_vec(Arc::clone(&ctx), vec![], 1));
+        let mut pipeline = Pipeline::new("p", Arc::clone(&ctx));
+        // Added reversed: b->c first, then a->b.
+        pipeline.add_process(Arc::new(Copy { name: "second".into(), input: b.clone(), output: c.clone() }));
+        pipeline.add_process(Arc::new(Copy { name: "first".into(), input: a, output: b }));
+        pipeline.run().unwrap();
+        assert_eq!(pipeline.executed(), &["first".to_string(), "second".to_string()]);
+        assert!(c.is_defined());
+    }
+
+    #[test]
+    fn detects_circular_dependency() {
+        let ctx = EngineContext::new(EngineConfig::default());
+        let a = bundle("a");
+        let b = bundle("b");
+        let mut pipeline = Pipeline::new("p", ctx);
+        pipeline.add_process(Arc::new(Copy { name: "x".into(), input: a.clone(), output: b.clone() }));
+        pipeline.add_process(Arc::new(Copy { name: "y".into(), input: b, output: a }));
+        let err = pipeline.run().unwrap_err();
+        match err {
+            PipelineError::CircularDependency { stuck } => {
+                assert_eq!(stuck.len(), 2);
+            }
+            other => panic!("unexpected {other}"),
+        }
+    }
+
+    #[test]
+    fn diamond_dependencies_execute_once_each() {
+        let ctx = EngineContext::new(EngineConfig::default());
+        let root = bundle("root");
+        root.define(Dataset::from_vec(Arc::clone(&ctx), vec![], 1));
+        let left = bundle("left");
+        let right = bundle("right");
+        let mut pipeline = Pipeline::new("p", ctx);
+        pipeline.add_process(Arc::new(Copy { name: "l".into(), input: root.clone(), output: left.clone() }));
+        pipeline.add_process(Arc::new(Copy { name: "r".into(), input: root, output: right.clone() }));
+        struct Join {
+            l: Arc<SamBundle>,
+            r: Arc<SamBundle>,
+            out: Arc<SamBundle>,
+        }
+        impl Process for Join {
+            fn name(&self) -> &str {
+                "join"
+            }
+            fn input_resources(&self) -> Vec<Arc<dyn ResourceAny>> {
+                vec![self.l.clone(), self.r.clone()]
+            }
+            fn output_resources(&self) -> Vec<Arc<dyn ResourceAny>> {
+                vec![self.out.clone()]
+            }
+            fn execute(&self, _ctx: &Arc<EngineContext>) {
+                self.out.define(self.l.dataset());
+            }
+        }
+        let out = bundle("out");
+        pipeline.add_process(Arc::new(Join { l: left, r: right, out: out.clone() }));
+        pipeline.run().unwrap();
+        assert_eq!(pipeline.executed().len(), 3);
+        assert_eq!(pipeline.executed().last().unwrap(), "join");
+        assert!(out.is_defined());
+    }
+}

@@ -1,0 +1,343 @@
+//! Processes — the execution abstraction of the GPF programming model — and
+//! the bundled-RDD machinery the engine-level optimization works on.
+//!
+//! A Process (paper §3.1, Figure 2) walks through three states: **Blocked**
+//! (some input Resource is Undefined), **Ready** (all inputs Defined),
+//! **Running**. The pipeline's DAG scheduler drives these transitions.
+//!
+//! The Cleaner/Caller Processes are *partition Processes* in the paper's
+//! terminology: they operate on a **bundled RDD** whose elements pair a
+//! genomic partition with everything that partition needs — the FASTA slice,
+//! the reads, and the known-variant sites (Figure 7). [`RegionBundle`] is
+//! that element type; [`build_bundles`] performs the partition + join that
+//! constructs it (three shuffles); the [`BundleStage`] trait is what the
+//! §4.3 redundancy elimination fuses across consecutive Processes.
+
+use crate::partition::PartitionInfo;
+use crate::resource::{PartitionInfoBundle, ResourceAny, SamBundle, VcfBundle};
+use gpf_compress::{ByteReader, ByteWriter, CodecError, GpfSerialize};
+use gpf_engine::{Dataset, EngineContext};
+use gpf_formats::sam::SamRecord;
+use gpf_formats::vcf::VcfRecord;
+use gpf_formats::{GenomeInterval, ReferenceGenome};
+use std::sync::Arc;
+
+/// Process states (Figure 2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ProcessState {
+    /// Has at least one Undefined input Resource.
+    Blocked,
+    /// All input Resources Defined; can be issued.
+    Ready,
+    /// Currently executing.
+    Running,
+    /// Finished; outputs Defined.
+    Ended,
+}
+
+/// A schedulable unit of work.
+pub trait Process: Send + Sync {
+    /// Process name (for reports and error messages).
+    fn name(&self) -> &str;
+
+    /// Input Resources this Process depends on.
+    fn input_resources(&self) -> Vec<Arc<dyn ResourceAny>>;
+
+    /// Output Resources this Process defines.
+    fn output_resources(&self) -> Vec<Arc<dyn ResourceAny>>;
+
+    /// Run the Process, defining every output Resource.
+    fn execute(&self, ctx: &Arc<EngineContext>);
+
+    /// Downcast to a fusable bundle-stage Process (§4.3), if applicable.
+    fn as_bundle_stage(&self) -> Option<&dyn BundleStage> {
+        None
+    }
+}
+
+/// Current schedulable state of a process (derived from its inputs).
+pub fn process_state(p: &dyn Process) -> ProcessState {
+    if p.input_resources().iter().all(|r| r.is_defined()) {
+        ProcessState::Ready
+    } else {
+        ProcessState::Blocked
+    }
+}
+
+/// One element of the bundled RDD: a genomic partition with its reference
+/// slice, reads, known sites, and (for the Caller) emitted calls.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RegionBundle {
+    /// Final partition id (from [`PartitionInfo`]).
+    pub partition_id: u32,
+    /// The genomic interval this bundle covers.
+    pub region: GenomeInterval,
+    /// Reference bases of the region (the FASTA partition payload).
+    pub fasta: Vec<u8>,
+    /// Reads assigned to the region.
+    pub sams: Vec<SamRecord>,
+    /// Known variant sites inside the region (the VCF partition payload).
+    pub vcfs: Vec<VcfRecord>,
+    /// Variant calls produced by a Caller stage (empty before the Caller).
+    pub calls: Vec<VcfRecord>,
+}
+
+impl GpfSerialize for RegionBundle {
+    fn write(&self, w: &mut ByteWriter) {
+        w.write_u32(self.partition_id);
+        self.region.write(w);
+        w.write_bytes(&self.fasta);
+        self.sams.write(w);
+        self.vcfs.write(w);
+        self.calls.write(w);
+    }
+
+    fn read(r: &mut ByteReader<'_>) -> Result<Self, CodecError> {
+        Ok(Self {
+            partition_id: r.read_u32()?,
+            region: GenomeInterval::read(r)?,
+            fasta: r.read_bytes()?,
+            sams: Vec::read(r)?,
+            vcfs: Vec::read(r)?,
+            calls: Vec::read(r)?,
+        })
+    }
+}
+
+/// Route a SAM record to its final partition id. Unmapped reads follow their
+/// mate when possible, else land in partition 0.
+pub fn route_record(r: &SamRecord, info: &PartitionInfo) -> u32 {
+    if let Some(pos) = r.position() {
+        info.partition_id(pos)
+    } else if r.mate_contig != gpf_formats::sam::NO_CONTIG {
+        info.partition_id(gpf_formats::GenomePosition::new(r.mate_contig, r.mate_pos))
+    } else {
+        0
+    }
+}
+
+/// Build the bundled RDD: partition the FASTA reference, the known-sites
+/// VCF, and the SAM records by [`PartitionInfo`], then join them per
+/// partition (Figure 7(a)'s `groupBy` × 3 + `join`). Three shuffles — this
+/// is exactly the work the §4.3 fusion avoids repeating.
+pub fn build_bundles(
+    ctx: &Arc<EngineContext>,
+    reference: &ReferenceGenome,
+    info: &PartitionInfo,
+    sams: &Dataset<SamRecord>,
+    known: Option<&Dataset<VcfRecord>>,
+) -> Dataset<RegionBundle> {
+    let nparts = info.num_partitions() as usize;
+    let intervals = info.intervals();
+
+    // FASTA partition RDD: slice per region, shuffled into place.
+    let fasta_chunks: Vec<(u32, Vec<u8>)> = intervals
+        .iter()
+        .enumerate()
+        .map(|(id, iv)| (id as u32, reference.slice(*iv).to_vec()))
+        .collect();
+    let fasta_ds = Dataset::from_vec(Arc::clone(ctx), fasta_chunks, sams.num_partitions())
+        .partition_by_key(nparts, |pid: &u32| *pid as usize);
+
+    // VCF partition RDD.
+    let info_v = info.clone();
+    let vcf_ds: Dataset<(u32, VcfRecord)> = match known {
+        Some(k) => k
+            .map(move |v| {
+                (info_v.partition_id(gpf_formats::GenomePosition::new(v.contig, v.pos)), v.clone())
+            })
+            .partition_by_key(nparts, |pid: &u32| *pid as usize),
+        None => Dataset::from_partitions(Arc::clone(ctx), vec![Vec::new(); nparts]),
+    };
+
+    // SAM partition RDD.
+    let info_s = info.clone();
+    let sam_ds = sams
+        .map(move |r| (route_record(r, &info_s), r.clone()))
+        .partition_by_key(nparts, |pid: &u32| *pid as usize);
+
+    // Join per partition into the bundle RDD.
+    let with_vcf = sam_ds.zip_partitions(&vcf_ds, |pi, sam_part, vcf_part| {
+        vec![(
+            pi as u32,
+            sam_part.iter().map(|(_, r)| r.clone()).collect::<Vec<SamRecord>>(),
+            vcf_part.iter().map(|(_, v)| v.clone()).collect::<Vec<VcfRecord>>(),
+        )]
+    });
+    let intervals_arc = Arc::new(intervals);
+    with_vcf.zip_partitions(&fasta_ds, move |pi, svs, fasta_part| {
+        let (pid, sams, vcfs) = svs.first().cloned().unwrap_or((pi as u32, Vec::new(), Vec::new()));
+        let fasta = fasta_part.first().map(|(_, f)| f.clone()).unwrap_or_default();
+        vec![RegionBundle {
+            partition_id: pid,
+            region: intervals_arc[pi],
+            fasta,
+            sams,
+            vcfs,
+            calls: Vec::new(),
+        }]
+    })
+}
+
+/// Flatten a bundled RDD back to a plain SAM dataset (Figure 7(a)'s
+/// "FlatMap to cleaned SAM records" merge step).
+pub fn flatten_sams(bundles: &Dataset<RegionBundle>) -> Dataset<SamRecord> {
+    bundles.flat_map(|b| b.sams.clone())
+}
+
+/// A Process that operates on the bundled RDD — the fusion target of §4.3.
+pub trait BundleStage: Send + Sync {
+    /// The PartitionInfo resource used to build the bundles.
+    fn partition_info(&self) -> Arc<PartitionInfoBundle>;
+
+    /// The SAM bundle consumed.
+    fn input_sam(&self) -> Arc<SamBundle>;
+
+    /// The SAM bundle produced (`None` for the Caller, which produces VCF).
+    fn output_sam(&self) -> Option<Arc<SamBundle>>;
+
+    /// The known-sites resource (dbSNP analogue), if used.
+    fn rod(&self) -> Option<Arc<VcfBundle>>;
+
+    /// Reference genome the stage computes against.
+    fn reference(&self) -> Arc<ReferenceGenome>;
+
+    /// Transform the bundled RDD (per-partition compute plus any global
+    /// gather/broadcast steps the algorithm needs).
+    fn run_on_bundles(
+        &self,
+        ctx: &Arc<EngineContext>,
+        bundles: Dataset<RegionBundle>,
+    ) -> Dataset<RegionBundle>;
+
+    /// Write this stage's final outputs from the transformed bundles.
+    fn finalize(&self, ctx: &Arc<EngineContext>, bundles: &Dataset<RegionBundle>);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpf_engine::EngineConfig;
+    use gpf_formats::sam::{SamFlags, SamHeaderInfo};
+    use gpf_formats::{Cigar, ContigDict};
+
+    fn reference() -> ReferenceGenome {
+        let seq: Vec<u8> = (0..1000).map(|i| b"ACGT"[i % 4]).collect();
+        ReferenceGenome::from_contigs(vec![("chr1", seq.clone()), ("chr2", seq[..500].to_vec())])
+    }
+
+    fn mapped(name: &str, contig: u32, pos: u64) -> SamRecord {
+        SamRecord {
+            name: name.into(),
+            flags: SamFlags::default(),
+            contig,
+            pos,
+            mapq: 60,
+            cigar: Cigar::parse("10M").unwrap(),
+            mate_contig: gpf_formats::sam::NO_CONTIG,
+            mate_pos: 0,
+            tlen: 0,
+            seq: b"ACGTACGTAC".to_vec(),
+            qual: vec![b'I'; 10],
+            read_group: 1,
+            edit_distance: 0,
+        }
+    }
+
+    #[test]
+    fn bundles_hold_region_consistent_data() {
+        let ctx = gpf_engine::EngineContext::new(EngineConfig::default());
+        let r = reference();
+        let info = PartitionInfo::new(&r.dict().lengths(), 250);
+        let records = vec![
+            mapped("a", 0, 10),
+            mapped("b", 0, 400),
+            mapped("c", 1, 260),
+            SamRecord::unmapped("u", b"ACGT".to_vec(), b"IIII".to_vec()),
+        ];
+        let sams = Dataset::from_vec(Arc::clone(&ctx), records, 2);
+        let bundles = build_bundles(&ctx, &r, &info, &sams, None);
+        assert_eq!(bundles.len(), info.num_partitions() as usize);
+        let all = bundles.collect_local();
+        for b in &all {
+            assert_eq!(b.fasta.len() as u64, b.region.len());
+            for s in &b.sams {
+                if let Some(p) = s.position() {
+                    assert!(b.region.contains(p), "{} in {:?}", s.name, b.region);
+                }
+            }
+        }
+        // Every record survived exactly once.
+        let total: usize = all.iter().map(|b| b.sams.len()).sum();
+        assert_eq!(total, 4);
+        // Unmapped read went to partition 0.
+        assert!(all[0].sams.iter().any(|s| s.name == "u"));
+    }
+
+    #[test]
+    fn flatten_round_trips_records() {
+        let ctx = gpf_engine::EngineContext::new(EngineConfig::default());
+        let r = reference();
+        let info = PartitionInfo::new(&r.dict().lengths(), 100);
+        let records: Vec<SamRecord> =
+            (0..50).map(|i| mapped(&format!("r{i}"), (i % 2) as u32, (i * 17) as u64 % 480)).collect();
+        let sams = Dataset::from_vec(Arc::clone(&ctx), records.clone(), 4);
+        let bundles = build_bundles(&ctx, &r, &info, &sams, None);
+        let flat = flatten_sams(&bundles);
+        let mut names: Vec<String> = flat.collect_local().into_iter().map(|r| r.name).collect();
+        names.sort();
+        let mut expect: Vec<String> = records.into_iter().map(|r| r.name).collect();
+        expect.sort();
+        assert_eq!(names, expect);
+    }
+
+    #[test]
+    fn region_bundle_serializes() {
+        use gpf_compress::serializer::{deserialize_batch, serialize_batch, SerializerKind};
+        let b = RegionBundle {
+            partition_id: 3,
+            region: GenomeInterval::new(0, 100, 200),
+            fasta: b"ACGT".repeat(25),
+            sams: vec![mapped("x", 0, 120)],
+            vcfs: vec![],
+            calls: vec![],
+        };
+        for kind in [SerializerKind::JavaSim, SerializerKind::KryoSim, SerializerKind::Gpf] {
+            let buf = serialize_batch(kind, std::slice::from_ref(&b));
+            let out: Vec<RegionBundle> = deserialize_batch(kind, &buf).unwrap();
+            assert_eq!(out[0], b);
+        }
+    }
+
+    #[test]
+    fn process_state_tracks_inputs() {
+        struct Dummy {
+            input: Arc<SamBundle>,
+            output: Arc<SamBundle>,
+        }
+        impl Process for Dummy {
+            fn name(&self) -> &str {
+                "dummy"
+            }
+            fn input_resources(&self) -> Vec<Arc<dyn ResourceAny>> {
+                vec![self.input.clone()]
+            }
+            fn output_resources(&self) -> Vec<Arc<dyn ResourceAny>> {
+                vec![self.output.clone()]
+            }
+            fn execute(&self, ctx: &Arc<EngineContext>) {
+                self.output.define(Dataset::from_vec(Arc::clone(ctx), vec![], 1));
+            }
+        }
+        let ctx = gpf_engine::EngineContext::new(EngineConfig::default());
+        let dict = ContigDict::from_pairs([("chr1", 100u64)]);
+        let input = SamBundle::undefined("in", SamHeaderInfo::unsorted_header(dict.clone()));
+        let output = SamBundle::undefined("out", SamHeaderInfo::unsorted_header(dict));
+        let p = Dummy { input: input.clone(), output };
+        assert_eq!(process_state(&p), ProcessState::Blocked);
+        input.define(Dataset::from_vec(Arc::clone(&ctx), vec![], 1));
+        assert_eq!(process_state(&p), ProcessState::Ready);
+        p.execute(&ctx);
+        assert!(p.output_resources()[0].is_defined());
+    }
+}

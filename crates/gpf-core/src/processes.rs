@@ -1,0 +1,601 @@
+//! The algorithm-specific Processes of Table 2.
+//!
+//! | paper constructor | here |
+//! |---|---|
+//! | `BwaMemProcess.pairEnd(name, referencePath, inputFASTQPairBundle, outputSAMBundle)` | [`BwaMemProcess::pair_end`] |
+//! | `MarkDuplicateProcess(name, inputSAMBundle, outputSAMBundle)` | [`MarkDuplicateProcess::new`] |
+//! | `IndelRealignProcess(name, referencePath, rodMap, partitionInfoBundle, inputSAMList, outputSAMList)` | [`IndelRealignProcess::new`] |
+//! | `BaseRecalibrationProcess(...)` | [`BaseRecalibrationProcess::new`] |
+//! | `HaplotypeCallerProcess(..., outputVCFBundle, useGVCF)` | [`HaplotypeCallerProcess::new`] |
+//! | `ReadRepartitioner(name, inputSAMBundleList, outputPartitionInfo, referenceLength, advisedPartitionLength)` | [`ReadRepartitioner::new`] |
+//!
+//! The three Cleaner/Caller stages implement [`BundleStage`], making them
+//! fusion candidates for the §4.3 redundancy elimination. A paper-fidelity
+//! note recorded in DESIGN.md: bundles carry the real FASTA/VCF partition
+//! payloads (so shuffle volumes are honest), while the per-partition compute
+//! reads the reference through a driver-held `Arc` for coordinate
+//! simplicity — the distributed-memory analogue of Spark's broadcast
+//! reference.
+
+use crate::partition::PartitionInfo;
+use crate::process::{
+    build_bundles, flatten_sams, BundleStage, Process, RegionBundle,
+};
+use crate::resource::{
+    FastqPairBundle, PartitionInfoBundle, ResourceAny, SamBundle, VcfBundle,
+};
+use gpf_align::BwaMemAligner;
+use gpf_caller::CallerOptions;
+use gpf_cleaner::bqsr::{apply_recalibration, known_sites_mask, RecalTable};
+use gpf_cleaner::realign::{find_realign_intervals, realign_interval};
+use gpf_cleaner::{coordinate_sort, mark_duplicates};
+use gpf_engine::{Dataset, EngineContext};
+use gpf_formats::sam::SamRecord;
+use gpf_formats::vcf::{Genotype, VcfRecord};
+use gpf_formats::ReferenceGenome;
+use parking_lot::Mutex;
+use std::sync::Arc;
+
+// ---------------------------------------------------------------------------
+// Aligner stage
+// ---------------------------------------------------------------------------
+
+/// `BwaMemProcess` — map paired-end reads to the reference with the
+/// BWT-based aligner (Aligner stage).
+pub struct BwaMemProcess {
+    name: String,
+    reference: Arc<ReferenceGenome>,
+    input: Arc<FastqPairBundle>,
+    output: Arc<SamBundle>,
+    aligner: Mutex<Option<Arc<BwaMemAligner>>>,
+}
+
+impl BwaMemProcess {
+    /// Paired-end constructor (Table 2's `BwaMemProcess.pairEnd`).
+    pub fn pair_end(
+        name: impl Into<String>,
+        reference: Arc<ReferenceGenome>,
+        input: Arc<FastqPairBundle>,
+        output: Arc<SamBundle>,
+    ) -> Arc<Self> {
+        Arc::new(Self {
+            name: name.into(),
+            reference,
+            input,
+            output,
+            aligner: Mutex::new(None),
+        })
+    }
+
+    /// Reuse a pre-built aligner (index construction is expensive; the
+    /// paper's bwa index is likewise built offline and reused).
+    pub fn with_aligner(self: &Arc<Self>, aligner: Arc<BwaMemAligner>) -> Arc<Self> {
+        *self.aligner.lock() = Some(aligner);
+        Arc::clone(self)
+    }
+
+    fn get_aligner(&self) -> Arc<BwaMemAligner> {
+        let mut guard = self.aligner.lock();
+        if guard.is_none() {
+            *guard = Some(Arc::new(BwaMemAligner::new(&self.reference)));
+        }
+        guard.as_ref().expect("just built").clone()
+    }
+}
+
+impl Process for BwaMemProcess {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn input_resources(&self) -> Vec<Arc<dyn ResourceAny>> {
+        vec![self.input.clone()]
+    }
+
+    fn output_resources(&self) -> Vec<Arc<dyn ResourceAny>> {
+        vec![self.output.clone()]
+    }
+
+    fn execute(&self, ctx: &Arc<EngineContext>) {
+        ctx.set_phase("aligner");
+        let aligner = self.get_aligner();
+        let pairs = self.input.dataset();
+        let aligned = pairs.flat_map(move |p| {
+            let (a, b) = aligner.align_pair(p);
+            [a, b]
+        });
+        self.output.define(aligned);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Cleaner stage: MarkDuplicate
+// ---------------------------------------------------------------------------
+
+/// `MarkDuplicateProcess` — remove redundant alignments (Cleaner stage).
+pub struct MarkDuplicateProcess {
+    name: String,
+    input: Arc<SamBundle>,
+    output: Arc<SamBundle>,
+}
+
+impl MarkDuplicateProcess {
+    /// Constructor (Table 2).
+    pub fn new(
+        name: impl Into<String>,
+        input: Arc<SamBundle>,
+        output: Arc<SamBundle>,
+    ) -> Arc<Self> {
+        Arc::new(Self { name: name.into(), input, output })
+    }
+}
+
+impl Process for MarkDuplicateProcess {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn input_resources(&self) -> Vec<Arc<dyn ResourceAny>> {
+        vec![self.input.clone()]
+    }
+
+    fn output_resources(&self) -> Vec<Arc<dyn ResourceAny>> {
+        vec![self.output.clone()]
+    }
+
+    fn execute(&self, ctx: &Arc<EngineContext>) {
+        ctx.set_phase("cleaner");
+        let ds = self.input.dataset();
+        let nparts = ds.num_partitions();
+        // Co-locate whole fragments: both mates (and any duplicate fragment
+        // with identical coordinates) share the fragment's leftmost raw
+        // coordinate.
+        let keyed = ds.map(|r| {
+            let own = (r.contig, r.pos);
+            let mate = (r.mate_contig, r.mate_pos);
+            let key = own.min(mate);
+            ((key.0 as u64) << 40 | key.1, r.clone())
+        });
+        let partitioned = keyed.partition_by_key(nparts, move |k: &u64| {
+            (gpf_engine::dataset::stable_hash(k) % nparts as u64) as usize
+        });
+        let marked = partitioned.map_partitions(|part| {
+            let mut records: Vec<SamRecord> = part.iter().map(|(_, r)| r.clone()).collect();
+            mark_duplicates(&mut records);
+            records
+        });
+        self.output.define(marked);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Auxiliary: ReadRepartitioner
+// ---------------------------------------------------------------------------
+
+/// `ReadRepartitioner` — generate the [`PartitionInfo`] used for scalable
+/// locus partitioning (§4.4): equal-length base partitions, per-partition
+/// read counts reduced to the driver, over-threshold partitions split.
+pub struct ReadRepartitioner {
+    name: String,
+    inputs: Vec<Arc<SamBundle>>,
+    output: Arc<PartitionInfoBundle>,
+    reference_lengths: Vec<u64>,
+    advised_partition_length: u64,
+    /// Reads per partition above which a partition is split; `None` uses
+    /// 2× the mean count.
+    threshold: Option<u64>,
+}
+
+impl ReadRepartitioner {
+    /// Constructor (Table 2's auxiliary Process).
+    pub fn new(
+        name: impl Into<String>,
+        inputs: Vec<Arc<SamBundle>>,
+        output: Arc<PartitionInfoBundle>,
+        reference_lengths: Vec<u64>,
+        advised_partition_length: u64,
+    ) -> Arc<Self> {
+        Arc::new(Self {
+            name: name.into(),
+            inputs,
+            output,
+            reference_lengths,
+            advised_partition_length,
+            threshold: None,
+        })
+    }
+
+    /// Override the split threshold.
+    pub fn with_threshold(mut self: Arc<Self>, threshold: u64) -> Arc<Self> {
+        Arc::get_mut(&mut self).expect("configure before sharing").threshold = Some(threshold);
+        self
+    }
+}
+
+impl Process for ReadRepartitioner {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn input_resources(&self) -> Vec<Arc<dyn ResourceAny>> {
+        self.inputs.iter().map(|b| b.clone() as Arc<dyn ResourceAny>).collect()
+    }
+
+    fn output_resources(&self) -> Vec<Arc<dyn ResourceAny>> {
+        vec![self.output.clone()]
+    }
+
+    fn execute(&self, ctx: &Arc<EngineContext>) {
+        let base = PartitionInfo::new(&self.reference_lengths, self.advised_partition_length);
+        // Tuple (partition id, 1), reduced and collected to the driver —
+        // §4.4's second step verbatim.
+        let mut counts: std::collections::HashMap<u32, u64> = std::collections::HashMap::new();
+        for bundle in &self.inputs {
+            let ds = bundle.dataset();
+            let base_b = base.clone();
+            let pairs = ds
+                .map(move |r| (crate::process::route_record(r, &base_b), 1u64))
+                .reduce_by_key(ds.num_partitions(), |a, b| a + b)
+                .collect();
+            for (id, c) in pairs {
+                *counts.entry(id).or_default() += c;
+            }
+        }
+        let count_vec: Vec<(u32, u64)> = counts.into_iter().collect();
+        // Default segmentation threshold: half the mean partition load, so
+        // hotspot partitions split into pieces comfortably *below* the mean —
+        // the load-balance margin that keeps the caller's deepest pileup
+        // from becoming the straggler task (§4.4).
+        let threshold = self.threshold.unwrap_or_else(|| {
+            let total: u64 = count_vec.iter().map(|&(_, c)| c).sum();
+            (total / base.num_base_partitions().max(1) as u64 / 2).max(1)
+        });
+        let info = base.with_splits(&count_vec, threshold);
+        // The per-contig start-id table is broadcast to executors (§4.4's
+        // `SparkContext.broadcast(x)`).
+        let _b = ctx.broadcast(info.clone());
+        self.output.define(info);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Bundle stages: IndelRealign, BaseRecalibration, HaplotypeCaller
+// ---------------------------------------------------------------------------
+
+/// Shared plumbing for the three bundle stages.
+struct BundleStageIo {
+    reference: Arc<ReferenceGenome>,
+    rod: Option<Arc<VcfBundle>>,
+    partition_info: Arc<PartitionInfoBundle>,
+    input: Arc<SamBundle>,
+}
+
+impl BundleStageIo {
+    fn input_resources(&self) -> Vec<Arc<dyn ResourceAny>> {
+        let mut v: Vec<Arc<dyn ResourceAny>> =
+            vec![self.input.clone(), self.partition_info.clone()];
+        if let Some(rod) = &self.rod {
+            v.push(rod.clone());
+        }
+        v
+    }
+
+    /// Unfused execution prologue: build this stage's own bundled RDD
+    /// (Figure 7(a) — every Process repartitions and joins for itself).
+    fn own_bundles(&self, ctx: &Arc<EngineContext>) -> Dataset<RegionBundle> {
+        let info = self.partition_info.info();
+        let known = self.rod.as_ref().map(|r| r.dataset());
+        build_bundles(ctx, &self.reference, &info, &self.input.dataset(), known.as_ref())
+    }
+}
+
+/// `IndelRealignProcess` — adjust alignments around indels (Cleaner stage).
+pub struct IndelRealignProcess {
+    name: String,
+    io: BundleStageIo,
+    output: Arc<SamBundle>,
+}
+
+impl IndelRealignProcess {
+    /// Constructor (Table 2). `rod` is the known-sites resource (the paper's
+    /// `rodMap`; pass the dbSNP bundle or `None`).
+    pub fn new(
+        name: impl Into<String>,
+        reference: Arc<ReferenceGenome>,
+        rod: Option<Arc<VcfBundle>>,
+        partition_info: Arc<PartitionInfoBundle>,
+        input: Arc<SamBundle>,
+        output: Arc<SamBundle>,
+    ) -> Arc<Self> {
+        Arc::new(Self {
+            name: name.into(),
+            io: BundleStageIo { reference, rod, partition_info, input },
+            output,
+        })
+    }
+}
+
+impl Process for IndelRealignProcess {
+    fn name(&self) -> &str {
+        &self.name
+    }
+    fn input_resources(&self) -> Vec<Arc<dyn ResourceAny>> {
+        self.io.input_resources()
+    }
+    fn output_resources(&self) -> Vec<Arc<dyn ResourceAny>> {
+        vec![self.output.clone()]
+    }
+    fn execute(&self, ctx: &Arc<EngineContext>) {
+        ctx.set_phase("cleaner");
+        let bundles = self.io.own_bundles(ctx);
+        let out = self.run_on_bundles(ctx, bundles);
+        self.finalize(ctx, &out);
+    }
+    fn as_bundle_stage(&self) -> Option<&dyn BundleStage> {
+        Some(self)
+    }
+}
+
+impl BundleStage for IndelRealignProcess {
+    fn partition_info(&self) -> Arc<PartitionInfoBundle> {
+        self.io.partition_info.clone()
+    }
+    fn input_sam(&self) -> Arc<SamBundle> {
+        self.io.input.clone()
+    }
+    fn output_sam(&self) -> Option<Arc<SamBundle>> {
+        Some(self.output.clone())
+    }
+    fn rod(&self) -> Option<Arc<VcfBundle>> {
+        self.io.rod.clone()
+    }
+    fn reference(&self) -> Arc<ReferenceGenome> {
+        self.io.reference.clone()
+    }
+
+    fn run_on_bundles(
+        &self,
+        ctx: &Arc<EngineContext>,
+        bundles: Dataset<RegionBundle>,
+    ) -> Dataset<RegionBundle> {
+        ctx.set_phase("cleaner");
+        let reference = self.io.reference.clone();
+        bundles.map(move |b| {
+            let mut out = b.clone();
+            let intervals = find_realign_intervals(&out.sams, &out.vcfs, &reference);
+            for iv in &intervals {
+                realign_interval(&mut out.sams, &reference, iv, &out.vcfs);
+            }
+            out
+        })
+    }
+
+    fn finalize(&self, _ctx: &Arc<EngineContext>, bundles: &Dataset<RegionBundle>) {
+        self.output.define(flatten_sams(bundles));
+    }
+}
+
+/// `BaseRecalibrationProcess` — adjust quality scores (Cleaner stage).
+///
+/// Gather pass per partition → table merge at the driver (`Collect`, the
+/// serial step §5.2.2 blames for BQSR's efficiency loss) → broadcast →
+/// apply pass per partition.
+pub struct BaseRecalibrationProcess {
+    name: String,
+    io: BundleStageIo,
+    output: Arc<SamBundle>,
+}
+
+impl BaseRecalibrationProcess {
+    /// Constructor (Table 2).
+    pub fn new(
+        name: impl Into<String>,
+        reference: Arc<ReferenceGenome>,
+        rod: Option<Arc<VcfBundle>>,
+        partition_info: Arc<PartitionInfoBundle>,
+        input: Arc<SamBundle>,
+        output: Arc<SamBundle>,
+    ) -> Arc<Self> {
+        Arc::new(Self {
+            name: name.into(),
+            io: BundleStageIo { reference, rod, partition_info, input },
+            output,
+        })
+    }
+}
+
+impl Process for BaseRecalibrationProcess {
+    fn name(&self) -> &str {
+        &self.name
+    }
+    fn input_resources(&self) -> Vec<Arc<dyn ResourceAny>> {
+        self.io.input_resources()
+    }
+    fn output_resources(&self) -> Vec<Arc<dyn ResourceAny>> {
+        vec![self.output.clone()]
+    }
+    fn execute(&self, ctx: &Arc<EngineContext>) {
+        ctx.set_phase("cleaner");
+        let bundles = self.io.own_bundles(ctx);
+        let out = self.run_on_bundles(ctx, bundles);
+        self.finalize(ctx, &out);
+    }
+    fn as_bundle_stage(&self) -> Option<&dyn BundleStage> {
+        Some(self)
+    }
+}
+
+impl BundleStage for BaseRecalibrationProcess {
+    fn partition_info(&self) -> Arc<PartitionInfoBundle> {
+        self.io.partition_info.clone()
+    }
+    fn input_sam(&self) -> Arc<SamBundle> {
+        self.io.input.clone()
+    }
+    fn output_sam(&self) -> Option<Arc<SamBundle>> {
+        Some(self.output.clone())
+    }
+    fn rod(&self) -> Option<Arc<VcfBundle>> {
+        self.io.rod.clone()
+    }
+    fn reference(&self) -> Arc<ReferenceGenome> {
+        self.io.reference.clone()
+    }
+
+    fn run_on_bundles(
+        &self,
+        ctx: &Arc<EngineContext>,
+        bundles: Dataset<RegionBundle>,
+    ) -> Dataset<RegionBundle> {
+        ctx.set_phase("cleaner");
+        let reference = self.io.reference.clone();
+        // Gather: per-partition covariate tables.
+        let tables = bundles.map(move |b| {
+            let mask = known_sites_mask(&b.vcfs);
+            let mut t = RecalTable::default();
+            for r in &b.sams {
+                t.observe(r, &reference, &mask);
+            }
+            t
+        });
+        // Collect to the driver (serial step) and merge.
+        let collected = tables.collect();
+        let mut merged = RecalTable::default();
+        for t in &collected {
+            merged.merge(t);
+        }
+        // Broadcast the mask table to every node (the "multiple gigabyte
+        // mask table" of §5.2.2 — here it is proportionally sized).
+        let table = ctx.broadcast(merged);
+        // Apply.
+        bundles.map(move |b| {
+            let mut out = b.clone();
+            apply_recalibration(&mut out.sams, table.value());
+            out
+        })
+    }
+
+    fn finalize(&self, _ctx: &Arc<EngineContext>, bundles: &Dataset<RegionBundle>) {
+        self.output.define(flatten_sams(bundles));
+    }
+}
+
+/// `HaplotypeCallerProcess` — call variants via local de-novo assembly of
+/// haplotypes in active regions with the pair-HMM (Caller stage).
+pub struct HaplotypeCallerProcess {
+    name: String,
+    io: BundleStageIo,
+    output: Arc<VcfBundle>,
+    use_gvcf: bool,
+    opts: CallerOptions,
+}
+
+impl HaplotypeCallerProcess {
+    /// Constructor (Table 2). `use_gvcf = true` additionally emits
+    /// homozygous-reference block records for inactive called regions.
+    pub fn new(
+        name: impl Into<String>,
+        reference: Arc<ReferenceGenome>,
+        rod: Option<Arc<VcfBundle>>,
+        partition_info: Arc<PartitionInfoBundle>,
+        input: Arc<SamBundle>,
+        output: Arc<VcfBundle>,
+        use_gvcf: bool,
+    ) -> Arc<Self> {
+        Arc::new(Self {
+            name: name.into(),
+            io: BundleStageIo { reference, rod, partition_info, input },
+            output,
+            use_gvcf,
+            opts: CallerOptions::default(),
+        })
+    }
+}
+
+impl Process for HaplotypeCallerProcess {
+    fn name(&self) -> &str {
+        &self.name
+    }
+    fn input_resources(&self) -> Vec<Arc<dyn ResourceAny>> {
+        self.io.input_resources()
+    }
+    fn output_resources(&self) -> Vec<Arc<dyn ResourceAny>> {
+        vec![self.output.clone()]
+    }
+    fn execute(&self, ctx: &Arc<EngineContext>) {
+        ctx.set_phase("caller");
+        let bundles = self.io.own_bundles(ctx);
+        let out = self.run_on_bundles(ctx, bundles);
+        self.finalize(ctx, &out);
+    }
+    fn as_bundle_stage(&self) -> Option<&dyn BundleStage> {
+        Some(self)
+    }
+}
+
+impl BundleStage for HaplotypeCallerProcess {
+    fn partition_info(&self) -> Arc<PartitionInfoBundle> {
+        self.io.partition_info.clone()
+    }
+    fn input_sam(&self) -> Arc<SamBundle> {
+        self.io.input.clone()
+    }
+    fn output_sam(&self) -> Option<Arc<SamBundle>> {
+        None
+    }
+    fn rod(&self) -> Option<Arc<VcfBundle>> {
+        self.io.rod.clone()
+    }
+    fn reference(&self) -> Arc<ReferenceGenome> {
+        self.io.reference.clone()
+    }
+
+    fn run_on_bundles(
+        &self,
+        ctx: &Arc<EngineContext>,
+        bundles: Dataset<RegionBundle>,
+    ) -> Dataset<RegionBundle> {
+        ctx.set_phase("caller");
+        let reference = self.io.reference.clone();
+        let opts = self.opts.clone();
+        let use_gvcf = self.use_gvcf;
+        bundles.map(move |b| {
+            let mut out = b.clone();
+            coordinate_sort(&mut out.sams);
+            let caller = gpf_caller::HaplotypeCaller {
+                caller_opts: opts.clone(),
+                ..Default::default()
+            };
+            let mut calls = caller.call(&out.sams, &reference);
+            // Only keep calls inside the (unpadded) region so overlapping
+            // pads never double-call.
+            calls.retain(|v| {
+                v.contig == out.region.contig
+                    && v.pos >= out.region.start
+                    && v.pos < out.region.end
+            });
+            if use_gvcf && calls.is_empty() && !out.sams.is_empty() {
+                // GVCF mode: one reference block per called-clean region.
+                calls.push(VcfRecord {
+                    contig: out.region.contig,
+                    pos: out.region.start,
+                    ref_allele: vec![b'N'],
+                    alt_allele: vec![b'.'],
+                    qual: 0.0,
+                    genotype: Genotype::HomRef,
+                    depth: out.sams.len() as u32,
+                });
+            }
+            out.calls = calls;
+            out
+        })
+    }
+
+    fn finalize(&self, _ctx: &Arc<EngineContext>, bundles: &Dataset<RegionBundle>) {
+        // Merge calls and globally sort by locus.
+        let flat = bundles.flat_map(|b| b.calls.clone());
+        let keyed = flat.map(|v| ((v.contig as u64) << 40 | v.pos, v.clone()));
+        let sorted = keyed.sort_by_key(bundles.num_partitions().max(1));
+        self.output.define(sorted.map(|(_, v)| v.clone()));
+    }
+}

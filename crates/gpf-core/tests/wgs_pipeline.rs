@@ -1,0 +1,196 @@
+//! Full GPF WGS pipeline integration: Aligner → Cleaner → Caller through the
+//! Pipeline runtime, with and without the §4.3 redundancy elimination.
+
+use gpf_core::prelude::*;
+use gpf_engine::{EngineConfig, EngineContext, JobRun};
+use gpf_formats::vcf::VcfRecord;
+use gpf_workloads::readsim::{simulate_fastq_pairs, SimulatorConfig};
+use gpf_workloads::refgen::ReferenceSpec;
+use gpf_workloads::variants::{DonorGenome, VariantSpec};
+use std::sync::Arc;
+
+struct Setup {
+    reference: Arc<gpf_formats::ReferenceGenome>,
+    donor: DonorGenome,
+    pairs: Vec<gpf_formats::FastqPair>,
+    known_vcf: Vec<VcfRecord>,
+}
+
+fn setup() -> Setup {
+    let reference = Arc::new(
+        ReferenceSpec {
+            contig_lengths: vec![60_000, 30_000],
+            seed: 404,
+            repeat_fraction: 0.05,
+            ..Default::default()
+        }
+        .generate(),
+    );
+    let donor = DonorGenome::generate(
+        &reference,
+        &VariantSpec { snv_rate: 7e-4, indel_rate: 6e-5, seed: 9, ..Default::default() },
+    );
+    let pairs = simulate_fastq_pairs(
+        &reference,
+        &donor,
+        SimulatorConfig {
+            coverage: 25.0,
+            duplicate_rate: 0.10,
+            hotspot_count: 1,
+            hotspot_multiplier: 25.0,
+            ..Default::default()
+        },
+    );
+    let known_vcf = donor.known_sites(&reference, 0.7, 10, 77);
+    Setup { reference, donor, pairs, known_vcf }
+}
+
+/// Build and run the full pipeline; returns (calls, engine run, fused chains).
+fn run_pipeline(s: &Setup, optimize: bool) -> (Vec<VcfRecord>, JobRun, usize) {
+    let ctx = EngineContext::new(EngineConfig::gpf().with_parallelism(6));
+    let mut pipeline = Pipeline::new("wgs", Arc::clone(&ctx));
+    pipeline.set_optimize(optimize);
+
+    let dict = s.reference.dict().clone();
+    let fastq_rdd =
+        gpf_engine::Dataset::from_vec(Arc::clone(&ctx), s.pairs.clone(), 6);
+    let fastq_bundle = FastqPairBundle::defined("fastqPair", fastq_rdd);
+    let known_rdd = gpf_engine::Dataset::from_vec(Arc::clone(&ctx), s.known_vcf.clone(), 6);
+    let dbsnp = VcfBundle::defined(
+        "dbsnp",
+        VcfHeaderInfo::new_header(dict.clone(), vec![]),
+        known_rdd,
+    );
+
+    let aligned = SamBundle::undefined("alignedSam", SamHeaderInfo::unsorted_header(dict.clone()));
+    pipeline.add_process(BwaMemProcess::pair_end(
+        "MyBwaMapping",
+        Arc::clone(&s.reference),
+        fastq_bundle,
+        Arc::clone(&aligned),
+    ));
+
+    let deduped = SamBundle::undefined("dedupedSam", SamHeaderInfo::unsorted_header(dict.clone()));
+    pipeline.add_process(MarkDuplicateProcess::new(
+        "MyMarkDuplicate",
+        Arc::clone(&aligned),
+        Arc::clone(&deduped),
+    ));
+
+    let pinfo = PartitionInfoBundle::undefined("partInfo");
+    pipeline.add_process(ReadRepartitioner::new(
+        "MyRepartitioner",
+        vec![Arc::clone(&deduped)],
+        Arc::clone(&pinfo),
+        s.reference.dict().lengths(),
+        6_000,
+    ));
+
+    let realigned = SamBundle::undefined("realignedSam", SamHeaderInfo::unsorted_header(dict.clone()));
+    pipeline.add_process(IndelRealignProcess::new(
+        "MyIndelRealign",
+        Arc::clone(&s.reference),
+        Some(Arc::clone(&dbsnp)),
+        Arc::clone(&pinfo),
+        Arc::clone(&deduped),
+        Arc::clone(&realigned),
+    ));
+
+    let recaled = SamBundle::undefined("recaledSam", SamHeaderInfo::unsorted_header(dict.clone()));
+    pipeline.add_process(BaseRecalibrationProcess::new(
+        "MyBQSR",
+        Arc::clone(&s.reference),
+        Some(Arc::clone(&dbsnp)),
+        Arc::clone(&pinfo),
+        Arc::clone(&realigned),
+        Arc::clone(&recaled),
+    ));
+
+    let vcf_out = VcfBundle::undefined(
+        "ResultVCF",
+        VcfHeaderInfo::new_header(dict, vec!["sample".into()]),
+    );
+    pipeline.add_process(HaplotypeCallerProcess::new(
+        "MyHaplotypeCaller",
+        Arc::clone(&s.reference),
+        Some(dbsnp),
+        pinfo,
+        recaled,
+        Arc::clone(&vcf_out),
+        false,
+    ));
+
+    pipeline.run().expect("pipeline executes");
+    let fused = pipeline.fused_chains().len();
+    let calls = vcf_out.dataset().collect_local();
+    (calls, ctx.take_run(), fused)
+}
+
+#[test]
+fn full_pipeline_recovers_planted_variants() {
+    let s = setup();
+    let (calls, _run, _) = run_pipeline(&s, true);
+    assert!(!calls.is_empty(), "pipeline produced calls");
+    let recalled = s
+        .donor
+        .truth
+        .iter()
+        .filter(|t| {
+            calls.iter().any(|c| c.contig == t.pos.contig && c.pos.abs_diff(t.pos.pos) <= 1)
+        })
+        .count();
+    let recall = recalled as f64 / s.donor.truth.len() as f64;
+    assert!(
+        recall > 0.55,
+        "recall {recall:.2} ({recalled}/{}; {} calls)",
+        s.donor.truth.len(),
+        calls.len()
+    );
+    // Calls are coordinate-sorted.
+    for w in calls.windows(2) {
+        assert!((w[0].contig, w[0].pos) <= (w[1].contig, w[1].pos));
+    }
+}
+
+#[test]
+fn fusion_preserves_output_and_cuts_stages() {
+    let s = setup();
+    let (calls_opt, run_opt, fused) = run_pipeline(&s, true);
+    let (calls_raw, run_raw, fused_raw) = run_pipeline(&s, false);
+
+    assert!(fused >= 1, "optimizer fused at least one chain");
+    assert_eq!(fused_raw, 0, "optimizer disabled fuses nothing");
+
+    // Semantic equivalence (Figure 7: the optimization must not change
+    // results).
+    assert_eq!(calls_opt.len(), calls_raw.len(), "same call count");
+    for (a, b) in calls_opt.iter().zip(&calls_raw) {
+        assert_eq!((a.contig, a.pos), (b.contig, b.pos));
+        assert_eq!(a.alt_allele, b.alt_allele);
+        assert_eq!(a.genotype, b.genotype);
+    }
+
+    // Table 4 direction: fewer stages, less shuffle data.
+    assert!(
+        run_opt.num_stages() < run_raw.num_stages(),
+        "stages {} (fused) < {} (raw)",
+        run_opt.num_stages(),
+        run_raw.num_stages()
+    );
+    assert!(
+        run_opt.total_shuffle_bytes() < run_raw.total_shuffle_bytes(),
+        "shuffle {} (fused) < {} (raw)",
+        run_opt.total_shuffle_bytes(),
+        run_raw.total_shuffle_bytes()
+    );
+}
+
+#[test]
+fn pipeline_records_three_phases() {
+    let s = setup();
+    let (_, run, _) = run_pipeline(&s, true);
+    let phases = run.phases();
+    assert!(phases.contains(&"aligner".to_string()), "{phases:?}");
+    assert!(phases.contains(&"cleaner".to_string()), "{phases:?}");
+    assert!(phases.contains(&"caller".to_string()), "{phases:?}");
+}

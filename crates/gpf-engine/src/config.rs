@@ -1,0 +1,86 @@
+//! Engine configuration.
+
+use gpf_compress::SerializerKind;
+
+/// Engine-wide configuration — the analogue of a `SparkConf`.
+#[derive(Debug, Clone)]
+pub struct EngineConfig {
+    /// Serializer used for shuffle payloads and serialized persistence.
+    ///
+    /// The paper's GPF uses its genomic compression ([`SerializerKind::Gpf`]);
+    /// the ADAM/GATK4-like baselines run the same pipelines under
+    /// [`SerializerKind::KryoSim`].
+    pub serializer: SerializerKind,
+    /// Default number of partitions for `parallelize` and wide operations
+    /// when the caller does not specify one.
+    pub default_parallelism: usize,
+    /// Estimated garbage-collection cost per byte of heap churn, in seconds.
+    ///
+    /// Deserialized shuffle data and freshly built records churn the heap;
+    /// the paper's Table 4 shows GC time dropping when shuffle volume drops.
+    /// The default (~25 s per GiB) is calibrated so a WGS-scale run spends
+    /// a Table-4-like share of its core hours in GC.
+    pub gc_seconds_per_byte: f64,
+    /// Fixed per-record heap-churn estimate (object headers, boxing) in
+    /// bytes, on top of payload bytes.
+    pub per_record_overhead_bytes: u64,
+}
+
+impl EngineConfig {
+    /// GPF's configuration: compressed genomic serializer.
+    pub fn gpf() -> Self {
+        Self { serializer: SerializerKind::Gpf, ..Self::default() }
+    }
+
+    /// A Kryo-configured Spark analogue (ADAM / GATK4 baselines).
+    pub fn kryo() -> Self {
+        Self { serializer: SerializerKind::KryoSim, ..Self::default() }
+    }
+
+    /// A Java-serialization Spark analogue (Spark's out-of-the-box default).
+    pub fn java() -> Self {
+        Self { serializer: SerializerKind::JavaSim, ..Self::default() }
+    }
+
+    /// Set the default parallelism.
+    pub fn with_parallelism(mut self, parts: usize) -> Self {
+        assert!(parts > 0, "parallelism must be positive");
+        self.default_parallelism = parts;
+        self
+    }
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        Self {
+            serializer: SerializerKind::Gpf,
+            default_parallelism: 8,
+            gc_seconds_per_byte: 25.0 / (1u64 << 30) as f64,
+            per_record_overhead_bytes: 48,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_pick_serializers() {
+        assert_eq!(EngineConfig::gpf().serializer, SerializerKind::Gpf);
+        assert_eq!(EngineConfig::kryo().serializer, SerializerKind::KryoSim);
+        assert_eq!(EngineConfig::java().serializer, SerializerKind::JavaSim);
+    }
+
+    #[test]
+    fn with_parallelism_sets_value() {
+        let c = EngineConfig::default().with_parallelism(64);
+        assert_eq!(c.default_parallelism, 64);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_parallelism_rejected() {
+        let _ = EngineConfig::default().with_parallelism(0);
+    }
+}

@@ -1,0 +1,263 @@
+//! The engine context — GPF's `SparkContext` analogue.
+
+use crate::broadcast::Broadcast;
+use crate::config::EngineConfig;
+use crate::dataset::Dataset;
+use crate::metrics::{JobRun, StageKind, StageMetrics};
+use gpf_compress::{serializer::serialize_batch, GpfSerialize, SerializerKind};
+use parking_lot::Mutex;
+use std::sync::Arc;
+
+/// Shared execution context: configuration, metrics recorder, phase tag.
+///
+/// Create once per job with [`EngineContext::new`], hand the `Arc` to every
+/// dataset, and call [`EngineContext::take_run`] at the end to obtain the
+/// recorded [`JobRun`] for simulation and reporting.
+pub struct EngineContext {
+    config: EngineConfig,
+    recorder: Mutex<Recorder>,
+}
+
+struct Recorder {
+    run: JobRun,
+    current: Option<StageMetrics>,
+    phase: String,
+    next_stage_read: Vec<u64>,
+}
+
+impl EngineContext {
+    /// Create a context with the given configuration.
+    pub fn new(config: EngineConfig) -> Arc<Self> {
+        Arc::new(Self {
+            config,
+            recorder: Mutex::new(Recorder {
+                run: JobRun::default(),
+                current: None,
+                phase: String::new(),
+                next_stage_read: Vec::new(),
+            }),
+        })
+    }
+
+    /// Context with default (GPF) configuration.
+    pub fn default_ctx() -> Arc<Self> {
+        Self::new(EngineConfig::default())
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &EngineConfig {
+        &self.config
+    }
+
+    /// The active shuffle serializer.
+    pub fn serializer(&self) -> SerializerKind {
+        self.config.serializer
+    }
+
+    /// Tag subsequent stages with a pipeline phase name (e.g. `"aligner"`),
+    /// used by the Figure 12/13 per-phase reports.
+    pub fn set_phase(self: &Arc<Self>, phase: &str) {
+        self.recorder.lock().phase = phase.to_string();
+    }
+
+    /// Distribute `items` into `parts` partitions (round-robin chunks) — the
+    /// `sc.parallelize` analogue.
+    pub fn parallelize<T: Send + Sync + Clone + 'static>(
+        self: &Arc<Self>,
+        items: Vec<T>,
+        parts: usize,
+    ) -> Dataset<T> {
+        Dataset::from_vec(Arc::clone(self), items, parts)
+    }
+
+    /// Broadcast a value to every simulated node.
+    ///
+    /// The serialized size is charged to the current stage as broadcast
+    /// traffic — this is what makes BQSR's "multiple-gigabyte mask table
+    /// broadcast to all of the nodes" (§5.2.2) visible to the simulator.
+    pub fn broadcast<T: GpfSerialize + Send + Sync>(self: &Arc<Self>, value: T) -> Broadcast<T> {
+        let bytes = serialize_batch(self.serializer(), std::slice::from_ref(&value)).len() as u64;
+        {
+            let mut rec = self.recorder.lock();
+            let stage = Self::ensure_stage(&mut rec);
+            stage.broadcast_bytes += bytes;
+        }
+        Broadcast::new(value, bytes)
+    }
+
+    fn ensure_stage(rec: &mut Recorder) -> &mut StageMetrics {
+        if rec.current.is_none() {
+            let id = rec.run.stages.len();
+            let mut stage = StageMetrics::new(id, rec.phase.clone());
+            stage.shuffle_read_bytes = std::mem::take(&mut rec.next_stage_read);
+            rec.current = Some(stage);
+        }
+        rec.current.as_mut().expect("just ensured")
+    }
+
+    /// Record one narrow operation's execution into the open stage.
+    pub(crate) fn record_narrow(
+        &self,
+        label: &str,
+        per_partition_cpu_s: &[f64],
+        records_out: u64,
+        alloc_bytes: u64,
+    ) {
+        if std::env::var_os("GPF_DEBUG_OPS").is_some() && !per_partition_cpu_s.is_empty() {
+            let mut top: Vec<(f64, usize)> =
+                per_partition_cpu_s.iter().copied().zip(0..).collect();
+            top.sort_by(|a, b| b.0.partial_cmp(&a.0).expect("finite"));
+            let total: f64 = per_partition_cpu_s.iter().sum();
+            eprintln!(
+                "[op] {:<28} tasks {:>5} cpu {:>8.3}s top {:?}",
+                label,
+                per_partition_cpu_s.len(),
+                total,
+                &top[..3.min(top.len())]
+            );
+        }
+        let mut rec = self.recorder.lock();
+        let phase = rec.phase.clone();
+        let stage = Self::ensure_stage(&mut rec);
+        stage.add_task_cpu(per_partition_cpu_s, &phase);
+        stage.records_out = records_out;
+        stage.alloc_bytes += alloc_bytes;
+        stage.label = label.to_string();
+    }
+
+    /// Record extra serde CPU seconds (already included in task CPU).
+    pub(crate) fn record_serde(&self, seconds: f64) {
+        let mut rec = self.recorder.lock();
+        let stage = Self::ensure_stage(&mut rec);
+        stage.serde_s += seconds;
+    }
+
+    /// Close the open stage at a shuffle boundary.
+    ///
+    /// `write_bytes` are the per-map-partition serialized bucket sizes;
+    /// `read_bytes` the per-reduce-partition sizes charged to the next stage.
+    pub(crate) fn close_stage_shuffle(
+        &self,
+        label: &str,
+        write_bytes: Vec<u64>,
+        read_bytes: Vec<u64>,
+    ) {
+        let mut rec = self.recorder.lock();
+        let stage = Self::ensure_stage(&mut rec);
+        stage.shuffle_write_bytes = write_bytes;
+        stage.kind = StageKind::Shuffle;
+        if !label.is_empty() {
+            stage.label = label.to_string();
+        }
+        let done = rec.current.take().expect("stage open");
+        rec.run.stages.push(done);
+        rec.next_stage_read = read_bytes;
+    }
+
+    /// Close the open stage as a collect-to-driver (serial) step.
+    ///
+    /// `per_partition_bytes` are each task's serialized result size: tasks
+    /// send their results over the network, and the driver drains the total
+    /// serially (the simulator charges both).
+    pub(crate) fn close_stage_collect(&self, label: &str, per_partition_bytes: Vec<u64>) {
+        let mut rec = self.recorder.lock();
+        let stage = Self::ensure_stage(&mut rec);
+        stage.kind = StageKind::Collect;
+        if !stage.label.is_empty() {
+            stage.label = format!("{} -> {label}", stage.label);
+        } else {
+            stage.label = label.to_string();
+        }
+        stage.shuffle_write_bytes = per_partition_bytes;
+        let done = rec.current.take().expect("stage open");
+        rec.run.stages.push(done);
+        rec.next_stage_read = Vec::new();
+    }
+
+    /// Finish recording: closes any open stage and returns the job,
+    /// resetting the recorder for the next job.
+    pub fn take_run(&self) -> JobRun {
+        let mut rec = self.recorder.lock();
+        if let Some(stage) = rec.current.take() {
+            rec.run.stages.push(stage);
+        }
+        rec.next_stage_read.clear();
+        std::mem::take(&mut rec.run)
+    }
+
+    /// Peek at the number of stages recorded so far (open stage included).
+    pub fn stages_so_far(&self) -> usize {
+        let rec = self.recorder.lock();
+        rec.run.stages.len() + rec.current.is_some() as usize
+    }
+
+    /// GC seconds charged for `bytes` of heap churn under this config.
+    pub fn gc_seconds(&self, bytes: u64) -> f64 {
+        bytes as f64 * self.config.gc_seconds_per_byte
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stages_accumulate_and_close() {
+        let ctx = EngineContext::default_ctx();
+        ctx.set_phase("aligner");
+        ctx.record_narrow("map", &[0.1, 0.2], 100, 1000);
+        ctx.record_narrow("filter", &[0.1, 0.1], 80, 500);
+        assert_eq!(ctx.stages_so_far(), 1);
+        ctx.close_stage_shuffle("groupBy", vec![10, 10], vec![20]);
+        ctx.record_narrow("map2", &[0.3], 40, 100);
+        let run = ctx.take_run();
+        assert_eq!(run.num_stages(), 2);
+        let s0 = &run.stages[0];
+        assert_eq!(s0.phase, "aligner");
+        assert_eq!(s0.task_cpu_s.len(), 2);
+        assert!((s0.task_cpu_s[0] - 0.2).abs() < 1e-12);
+        assert!((s0.task_cpu_s[1] - 0.3).abs() < 1e-12);
+        assert_eq!(s0.kind, StageKind::Shuffle);
+        assert_eq!(s0.total_shuffle_write(), 20);
+        let s1 = &run.stages[1];
+        assert_eq!(s1.shuffle_read_bytes, vec![20]);
+        assert_eq!(s1.kind, StageKind::Final);
+    }
+
+    #[test]
+    fn take_run_resets() {
+        let ctx = EngineContext::default_ctx();
+        ctx.record_narrow("op", &[0.1], 1, 1);
+        let run1 = ctx.take_run();
+        assert_eq!(run1.num_stages(), 1);
+        let run2 = ctx.take_run();
+        assert_eq!(run2.num_stages(), 0);
+    }
+
+    #[test]
+    fn broadcast_charges_current_stage() {
+        let ctx = EngineContext::default_ctx();
+        let b = ctx.broadcast(vec![1u64; 100]);
+        assert!(b.bytes() > 0);
+        let run = ctx.take_run();
+        assert_eq!(run.stages.len(), 1);
+        assert_eq!(run.stages[0].broadcast_bytes, b.bytes());
+    }
+
+    #[test]
+    fn collect_close_is_serial_kind() {
+        let ctx = EngineContext::default_ctx();
+        ctx.record_narrow("op", &[0.1], 1, 1);
+        ctx.close_stage_collect("collect", vec![4096]);
+        let run = ctx.take_run();
+        assert_eq!(run.stages[0].kind, StageKind::Collect);
+        assert_eq!(run.stages[0].total_shuffle_write(), 4096);
+    }
+
+    #[test]
+    fn gc_seconds_scales_linearly() {
+        let ctx = EngineContext::default_ctx();
+        let one_gib = ctx.gc_seconds(1 << 30);
+        assert!((one_gib - 25.0).abs() < 1e-9);
+    }
+}

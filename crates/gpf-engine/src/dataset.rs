@@ -1,0 +1,781 @@
+//! Partitioned, eagerly evaluated datasets with Spark-shaped operations.
+//!
+//! A [`Dataset<T>`] is an in-memory collection split into partitions.
+//! *Narrow* operations run per-partition in parallel (rayon) and accumulate
+//! measured CPU time into the engine's open stage; *wide* operations perform
+//! a real shuffle — every bucket is serialized with the context's configured
+//! [`gpf_compress::SerializerKind`] and deserialized on the reduce side — so
+//! shuffle byte counts and serde CPU costs are measured, not estimated.
+//!
+//! Partition contents are held behind an `Arc`, so cloning a dataset is
+//! cheap and read-only datasets (the FASTA/VCF partition RDDs of the paper's
+//! Figure 7) can be reused by many downstream processes without copying.
+
+use crate::context::EngineContext;
+use gpf_compress::serializer::{deserialize_batch, serialize_batch};
+use gpf_compress::GpfSerialize;
+use rayon::prelude::*;
+use std::hash::{Hash, Hasher};
+use std::sync::Arc;
+use crate::timing::TaskTimer;
+use std::time::Instant;
+
+/// Deterministic FNV-1a hasher used for hash partitioning, so shuffles
+/// produce identical layouts across runs (important for reproducible
+/// experiment tables).
+#[derive(Default)]
+pub struct Fnv1a(u64);
+
+impl Hasher for Fnv1a {
+    fn finish(&self) -> u64 {
+        self.0
+    }
+    fn write(&mut self, bytes: &[u8]) {
+        let mut h = if self.0 == 0 { 0xcbf2_9ce4_8422_2325 } else { self.0 };
+        for &b in bytes {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x1000_0000_01b3);
+        }
+        self.0 = h;
+    }
+}
+
+/// Deterministic hash of a key.
+pub fn stable_hash<K: Hash>(key: &K) -> u64 {
+    let mut h = Fnv1a::default();
+    key.hash(&mut h);
+    h.finish()
+}
+
+/// A partitioned in-memory dataset (the RDD analogue).
+pub struct Dataset<T> {
+    ctx: Arc<EngineContext>,
+    parts: Arc<Vec<Vec<T>>>,
+}
+
+impl<T> Clone for Dataset<T> {
+    fn clone(&self) -> Self {
+        Self { ctx: Arc::clone(&self.ctx), parts: Arc::clone(&self.parts) }
+    }
+}
+
+impl<T: Send + Sync + 'static> Dataset<T> {
+    /// Build a dataset from a vector, chunked into `parts` partitions.
+    pub fn from_vec(ctx: Arc<EngineContext>, items: Vec<T>, parts: usize) -> Self
+    where
+        T: Clone,
+    {
+        assert!(parts > 0, "partition count must be positive");
+        let n = items.len();
+        let chunk = n.div_ceil(parts).max(1);
+        let mut out: Vec<Vec<T>> = Vec::with_capacity(parts);
+        let mut it = items.into_iter();
+        for _ in 0..parts {
+            out.push(it.by_ref().take(chunk).collect());
+        }
+        Self { ctx, parts: Arc::new(out) }
+    }
+
+    /// Build from explicit partitions (used by shuffles and generators).
+    pub fn from_partitions(ctx: Arc<EngineContext>, parts: Vec<Vec<T>>) -> Self {
+        assert!(!parts.is_empty(), "dataset needs at least one partition");
+        Self { ctx, parts: Arc::new(parts) }
+    }
+
+    /// The engine context.
+    pub fn ctx(&self) -> &Arc<EngineContext> {
+        &self.ctx
+    }
+
+    /// Number of partitions.
+    pub fn num_partitions(&self) -> usize {
+        self.parts.len()
+    }
+
+    /// Total number of records (metadata peek; unlike Spark's `count()` this
+    /// does not run a job — use [`Dataset::collect`] for an accounted action).
+    pub fn len(&self) -> usize {
+        self.parts.iter().map(Vec::len).sum()
+    }
+
+    /// `true` when the dataset holds no records.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Records per partition (load-balance diagnostics; §4.4 of the paper
+    /// drives its dynamic repartitioning off exactly this measure).
+    pub fn partition_sizes(&self) -> Vec<usize> {
+        self.parts.iter().map(Vec::len).collect()
+    }
+
+    /// Borrow a partition's records.
+    pub fn partition(&self, idx: usize) -> &[T] {
+        &self.parts[idx]
+    }
+
+    /// Core narrow operation: per-partition parallel transform with metric
+    /// recording. `f` receives `(partition_index, records)`.
+    pub fn narrow_op<U: Send + Sync + 'static>(
+        &self,
+        label: &str,
+        f: impl Fn(usize, &[T]) -> Vec<U> + Send + Sync,
+    ) -> Dataset<U> {
+        let results: Vec<(Vec<U>, f64)> = self
+            .parts
+            .par_iter()
+            .enumerate()
+            .map(|(i, p)| {
+                let t0 = TaskTimer::start();
+                let out = f(i, p);
+                (out, t0.elapsed_s())
+            })
+            .collect();
+        let cpu: Vec<f64> = results.iter().map(|(_, t)| *t).collect();
+        let records: u64 = results.iter().map(|(v, _)| v.len() as u64).sum();
+        let alloc = records * self.ctx.config().per_record_overhead_bytes;
+        self.ctx.record_narrow(label, &cpu, records, alloc);
+        Dataset {
+            ctx: Arc::clone(&self.ctx),
+            parts: Arc::new(results.into_iter().map(|(v, _)| v).collect()),
+        }
+    }
+
+    /// Element-wise transform.
+    pub fn map<U: Send + Sync + 'static>(
+        &self,
+        f: impl Fn(&T) -> U + Send + Sync,
+    ) -> Dataset<U> {
+        self.narrow_op("map", |_, p| p.iter().map(&f).collect())
+    }
+
+    /// Element-to-many transform.
+    pub fn flat_map<U: Send + Sync + 'static, I: IntoIterator<Item = U>>(
+        &self,
+        f: impl Fn(&T) -> I + Send + Sync,
+    ) -> Dataset<U> {
+        self.narrow_op("flatMap", |_, p| p.iter().flat_map(&f).collect())
+    }
+
+    /// Keep records matching the predicate.
+    pub fn filter(&self, f: impl Fn(&T) -> bool + Send + Sync) -> Dataset<T>
+    where
+        T: Clone,
+    {
+        self.narrow_op("filter", |_, p| p.iter().filter(|t| f(t)).cloned().collect())
+    }
+
+    /// Whole-partition transform.
+    pub fn map_partitions<U: Send + Sync + 'static>(
+        &self,
+        f: impl Fn(&[T]) -> Vec<U> + Send + Sync,
+    ) -> Dataset<U> {
+        self.narrow_op("mapPartitions", |_, p| f(p))
+    }
+
+    /// Whole-partition transform with the partition index.
+    pub fn map_partitions_with_index<U: Send + Sync + 'static>(
+        &self,
+        f: impl Fn(usize, &[T]) -> Vec<U> + Send + Sync,
+    ) -> Dataset<U> {
+        self.narrow_op("mapPartitionsWithIndex", f)
+    }
+
+    /// Attach a key to every record.
+    pub fn key_by<K: Send + Sync + 'static>(
+        &self,
+        f: impl Fn(&T) -> K + Send + Sync,
+    ) -> Dataset<(K, T)>
+    where
+        T: Clone,
+    {
+        self.narrow_op("keyBy", |_, p| p.iter().map(|t| (f(t), t.clone())).collect())
+    }
+
+    /// Concatenate two datasets' partition lists (narrow, like Spark union).
+    pub fn union(&self, other: &Dataset<T>) -> Dataset<T>
+    where
+        T: Clone,
+    {
+        let mut parts: Vec<Vec<T>> = self.parts.as_ref().clone();
+        parts.extend(other.parts.as_ref().iter().cloned());
+        let records = parts.iter().map(|p| p.len() as u64).sum();
+        self.ctx.record_narrow("union", &[], records, 0);
+        Dataset { ctx: Arc::clone(&self.ctx), parts: Arc::new(parts) }
+    }
+
+    /// Pairwise partition zip (both datasets must have equal partition
+    /// counts) — the primitive behind bundled RDDs (paper Figure 7(b)).
+    pub fn zip_partitions<U: Send + Sync + 'static, V: Send + Sync + 'static>(
+        &self,
+        other: &Dataset<U>,
+        f: impl Fn(usize, &[T], &[U]) -> Vec<V> + Send + Sync,
+    ) -> Dataset<V> {
+        assert_eq!(
+            self.num_partitions(),
+            other.num_partitions(),
+            "zip_partitions requires equal partition counts"
+        );
+        let other_parts = Arc::clone(&other.parts);
+        self.narrow_op("zipPartitions", move |i, p| f(i, p, &other_parts[i]))
+    }
+
+    /// Collect every record to the driver — an *action* that closes the
+    /// stage and charges the serialized result size as driver traffic.
+    pub fn collect(&self) -> Vec<T>
+    where
+        T: GpfSerialize + Clone,
+    {
+        let kind = self.ctx.serializer();
+        let t0 = Instant::now();
+        let per_partition: Vec<u64> = self
+            .parts
+            .par_iter()
+            .map(|p| serialize_batch(kind, p).len() as u64)
+            .collect();
+        self.ctx.record_serde(t0.elapsed().as_secs_f64());
+        self.ctx.close_stage_collect("collect", per_partition);
+        self.collect_local()
+    }
+
+    /// Concatenate all partitions without any accounting (test/diagnostic
+    /// helper — not an engine action).
+    pub fn collect_local(&self) -> Vec<T>
+    where
+        T: Clone,
+    {
+        let mut out = Vec::with_capacity(self.len());
+        for p in self.parts.iter() {
+            out.extend_from_slice(p);
+        }
+        out
+    }
+
+    /// Serialized size of the whole dataset under `kind` — the measurement
+    /// behind the paper's Table 3.
+    pub fn serialized_size(&self, kind: gpf_compress::SerializerKind) -> u64
+    where
+        T: GpfSerialize,
+    {
+        self.parts
+            .par_iter()
+            .map(|p| serialize_batch(kind, p).len() as u64)
+            .sum()
+    }
+
+    /// Mark the dataset as cached (eager engine: data is already resident;
+    /// this is a documentation-of-intent no-op kept for API parity).
+    pub fn cache(&self) -> Dataset<T> {
+        self.clone()
+    }
+
+    /// Materialize the dataset through "disk": every partition is serialized
+    /// and read back, closing the stage with the full dataset volume as both
+    /// shuffle-write and shuffle-read bytes.
+    ///
+    /// This models classic file-based pipelines (Churchill, HugeSeq,
+    /// GATK-Queue) whose steps hand intermediate SAM/BAM files to each other
+    /// through the filesystem — the I/O pattern the paper's Table 1 blames
+    /// for their poor scaling.
+    pub fn barrier_via_disk(&self, label: &str) -> Dataset<T>
+    where
+        T: GpfSerialize + Clone,
+    {
+        let kind = self.ctx.serializer();
+        let t0 = Instant::now();
+        let bufs: Vec<Vec<u8>> =
+            self.parts.par_iter().map(|p| serialize_batch(kind, p)).collect();
+        let ser_s = t0.elapsed().as_secs_f64();
+        // (wall time acceptable here: ser_s feeds the aggregate serde metric,
+        // not per-task durations)
+        let bytes: Vec<u64> = bufs.iter().map(|b| b.len() as u64).collect();
+        self.ctx.record_serde(ser_s);
+        self.ctx.close_stage_shuffle(label, bytes.clone(), bytes.clone());
+        let t1 = Instant::now();
+        let parts: Vec<(Vec<T>, f64)> = bufs
+            .par_iter()
+            .map(|b| {
+                let t = TaskTimer::start();
+                let items: Vec<T> =
+                    deserialize_batch(kind, b).expect("engine-produced buffer is valid");
+                (items, t.elapsed_s())
+            })
+            .collect();
+        let de_cpu: Vec<f64> = parts.iter().map(|(_, t)| *t).collect();
+        let records: u64 = parts.iter().map(|(v, _)| v.len() as u64).sum();
+        let churn: u64 =
+            bytes.iter().sum::<u64>() + records * self.ctx.config().per_record_overhead_bytes;
+        self.ctx.record_narrow(&format!("{label}(read)"), &de_cpu, records, churn);
+        self.ctx.record_serde(t1.elapsed().as_secs_f64());
+        Dataset {
+            ctx: Arc::clone(&self.ctx),
+            parts: Arc::new(parts.into_iter().map(|(v, _)| v).collect()),
+        }
+    }
+
+    /// Repartition arbitrary records by an explicit routing function.
+    pub fn partition_by(
+        &self,
+        nparts: usize,
+        route: impl Fn(&T) -> usize + Send + Sync,
+    ) -> Dataset<T>
+    where
+        T: GpfSerialize + Clone,
+    {
+        shuffle(&self.ctx, &self.parts, nparts, "partitionBy", route)
+    }
+}
+
+impl<K, V> Dataset<(K, V)>
+where
+    K: Hash + Eq + Clone + Send + Sync + GpfSerialize + 'static,
+    V: Clone + Send + Sync + GpfSerialize + 'static,
+{
+    /// Hash-partition by key, then group values per key (order of first
+    /// arrival, so results are deterministic).
+    pub fn group_by_key(&self, nparts: usize) -> Dataset<(K, Vec<V>)> {
+        let shuffled = shuffle(&self.ctx, &self.parts, nparts, "groupByKey", |kv: &(K, V)| {
+            (stable_hash(&kv.0) % nparts as u64) as usize
+        });
+        shuffled.narrow_op("group", |_, p| {
+            let mut order: Vec<K> = Vec::new();
+            let mut groups: std::collections::HashMap<K, Vec<V>> = std::collections::HashMap::new();
+            for (k, v) in p {
+                groups
+                    .entry(k.clone())
+                    .or_insert_with(|| {
+                        order.push(k.clone());
+                        Vec::new()
+                    })
+                    .push(v.clone());
+            }
+            order
+                .into_iter()
+                .map(|k| {
+                    let vs = groups.remove(&k).expect("key recorded in order list");
+                    (k, vs)
+                })
+                .collect()
+        })
+    }
+
+    /// Hash-partition by key and fold values with `f`.
+    pub fn reduce_by_key(&self, nparts: usize, f: impl Fn(&V, &V) -> V + Send + Sync) -> Dataset<(K, V)> {
+        // Map-side combine first (Spark does this too) to cut shuffle volume.
+        let combined = self.narrow_op("mapSideCombine", |_, p| {
+            let mut order: Vec<K> = Vec::new();
+            let mut acc: std::collections::HashMap<K, V> = std::collections::HashMap::new();
+            for (k, v) in p {
+                match acc.get_mut(k) {
+                    Some(cur) => *cur = f(cur, v),
+                    None => {
+                        order.push(k.clone());
+                        acc.insert(k.clone(), v.clone());
+                    }
+                }
+            }
+            order
+                .into_iter()
+                .map(|k| {
+                    let v = acc.remove(&k).expect("key recorded");
+                    (k, v)
+                })
+                .collect()
+        });
+        let shuffled = shuffle(&combined.ctx, &combined.parts, nparts, "reduceByKey", |kv: &(K, V)| {
+            (stable_hash(&kv.0) % nparts as u64) as usize
+        });
+        shuffled.narrow_op("reduce", |_, p| {
+            let mut order: Vec<K> = Vec::new();
+            let mut acc: std::collections::HashMap<K, V> = std::collections::HashMap::new();
+            for (k, v) in p {
+                match acc.get_mut(k) {
+                    Some(cur) => *cur = f(cur, v),
+                    None => {
+                        order.push(k.clone());
+                        acc.insert(k.clone(), v.clone());
+                    }
+                }
+            }
+            order
+                .into_iter()
+                .map(|k| {
+                    let v = acc.remove(&k).expect("key recorded");
+                    (k, v)
+                })
+                .collect()
+        })
+    }
+
+    /// Inner hash join (both sides shuffled by key hash).
+    pub fn join<W>(&self, other: &Dataset<(K, W)>, nparts: usize) -> Dataset<(K, (V, W))>
+    where
+        W: Clone + Send + Sync + GpfSerialize + 'static,
+    {
+        let left = shuffle(&self.ctx, &self.parts, nparts, "join(left)", |kv: &(K, V)| {
+            (stable_hash(&kv.0) % nparts as u64) as usize
+        });
+        let right = shuffle(&other.ctx, &other.parts, nparts, "join(right)", |kv: &(K, W)| {
+            (stable_hash(&kv.0) % nparts as u64) as usize
+        });
+        left.zip_partitions(&right, |_, l, r| {
+            let mut table: std::collections::HashMap<&K, Vec<&V>> = std::collections::HashMap::new();
+            for (k, v) in l {
+                table.entry(k).or_default().push(v);
+            }
+            let mut out = Vec::new();
+            for (k, w) in r {
+                if let Some(vs) = table.get(k) {
+                    for v in vs {
+                        out.push((k.clone(), ((*v).clone(), w.clone())));
+                    }
+                }
+            }
+            out
+        })
+    }
+
+    /// Repartition key-value records by a key routing function, preserving
+    /// record order within each source partition.
+    pub fn partition_by_key(
+        &self,
+        nparts: usize,
+        route: impl Fn(&K) -> usize + Send + Sync,
+    ) -> Dataset<(K, V)> {
+        shuffle(&self.ctx, &self.parts, nparts, "partitionByKey", move |kv: &(K, V)| route(&kv.0))
+    }
+
+    /// Range-partition by key and sort each partition — Spark's
+    /// `sortByKey`. Boundaries are computed from a deterministic sample.
+    pub fn sort_by_key(&self, nparts: usize) -> Dataset<(K, V)>
+    where
+        K: Ord,
+    {
+        // Sample up to 1024 keys deterministically (every k-th record).
+        let total = self.len().max(1);
+        let step = (total / 1024).max(1);
+        let mut sample: Vec<K> = Vec::new();
+        let mut idx = 0usize;
+        for p in self.parts.iter() {
+            for (k, _) in p {
+                if idx % step == 0 {
+                    sample.push(k.clone());
+                }
+                idx += 1;
+            }
+        }
+        sample.sort();
+        let bounds: Vec<K> = (1..nparts)
+            .map(|i| sample[(i * sample.len() / nparts).min(sample.len() - 1)].clone())
+            .collect();
+        let shuffled = shuffle(&self.ctx, &self.parts, nparts, "sortByKey", move |kv: &(K, V)| {
+            bounds.partition_point(|b| *b <= kv.0)
+        });
+        shuffled.narrow_op("sortPartition", |_, p| {
+            let mut v: Vec<(K, V)> = p.to_vec();
+            v.sort_by(|a, b| a.0.cmp(&b.0));
+            v
+        })
+    }
+}
+
+/// The shuffle: bucket, serialize, exchange, deserialize, with metrics.
+fn shuffle<T>(
+    ctx: &Arc<EngineContext>,
+    parts: &Arc<Vec<Vec<T>>>,
+    nparts: usize,
+    label: &str,
+    route: impl Fn(&T) -> usize + Send + Sync,
+) -> Dataset<T>
+where
+    T: GpfSerialize + Clone + Send + Sync + 'static,
+{
+    assert!(nparts > 0, "shuffle needs at least one output partition");
+    let kind = ctx.serializer();
+
+    // Map side: bucket and serialize.
+    let map_out: Vec<(Vec<Vec<u8>>, f64, f64)> = parts
+        .par_iter()
+        .map(|p| {
+            let t0 = TaskTimer::start();
+            let mut buckets: Vec<Vec<T>> = (0..nparts).map(|_| Vec::new()).collect();
+            for item in p {
+                let target = route(item);
+                assert!(target < nparts, "router produced partition {target} >= {nparts}");
+                buckets[target].push(item.clone());
+            }
+            let bucket_time = t0.elapsed_s();
+            let t1 = TaskTimer::start();
+            // Empty buckets produce zero bytes (Spark's shuffle index marks
+            // them with zero-length segments; no framing is written).
+            let ser: Vec<Vec<u8>> = buckets
+                .iter()
+                .map(|b| if b.is_empty() { Vec::new() } else { serialize_batch(kind, b) })
+                .collect();
+            (ser, bucket_time, t1.elapsed_s())
+        })
+        .collect();
+
+    let map_cpu: Vec<f64> = map_out.iter().map(|(_, b, s)| b + s).collect();
+    let ser_s: f64 = map_out.iter().map(|(_, _, s)| *s).sum();
+    let write_bytes: Vec<u64> = map_out
+        .iter()
+        .map(|(bufs, _, _)| bufs.iter().map(|b| b.len() as u64).sum())
+        .collect();
+    let read_bytes: Vec<u64> = (0..nparts)
+        .map(|t| map_out.iter().map(|(bufs, _, _)| bufs[t].len() as u64).sum())
+        .collect();
+    let records: u64 = parts.iter().map(|p| p.len() as u64).sum();
+    ctx.record_narrow(label, &map_cpu, records, 0);
+    ctx.record_serde(ser_s);
+    ctx.close_stage_shuffle(label, write_bytes, read_bytes.clone());
+
+    // Reduce side: deserialize buckets in map order.
+    let reduce_out: Vec<(Vec<T>, f64)> = (0..nparts)
+        .into_par_iter()
+        .map(|t| {
+            let t0 = TaskTimer::start();
+            let mut out: Vec<T> = Vec::new();
+            for (bufs, _, _) in &map_out {
+                if bufs[t].is_empty() {
+                    continue;
+                }
+                let mut items: Vec<T> =
+                    deserialize_batch(kind, &bufs[t]).expect("engine-produced buffer is valid");
+                out.append(&mut items);
+            }
+            (out, t0.elapsed_s())
+        })
+        .collect();
+    let de_cpu: Vec<f64> = reduce_out.iter().map(|(_, t)| *t).collect();
+    let de_s: f64 = de_cpu.iter().sum();
+    let out_records: u64 = reduce_out.iter().map(|(v, _)| v.len() as u64).sum();
+    // Deserialized shuffle data is fresh heap churn (the GC driver).
+    let churn: u64 = read_bytes.iter().sum::<u64>()
+        + out_records * ctx.config().per_record_overhead_bytes;
+    ctx.record_narrow(&format!("{label}(read)"), &de_cpu, out_records, churn);
+    ctx.record_serde(de_s);
+    Dataset {
+        ctx: Arc::clone(ctx),
+        parts: Arc::new(reduce_out.into_iter().map(|(v, _)| v).collect()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::EngineConfig;
+
+    fn ctx() -> Arc<EngineContext> {
+        EngineContext::new(EngineConfig::default().with_parallelism(4))
+    }
+
+    #[test]
+    fn from_vec_chunks_evenly() {
+        let d = Dataset::from_vec(ctx(), (0u64..10).collect(), 3);
+        assert_eq!(d.num_partitions(), 3);
+        assert_eq!(d.len(), 10);
+        assert_eq!(d.partition_sizes(), vec![4, 4, 2]);
+        assert_eq!(d.collect_local(), (0u64..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn from_vec_more_parts_than_items() {
+        let d = Dataset::from_vec(ctx(), vec![1u64], 4);
+        assert_eq!(d.num_partitions(), 4);
+        assert_eq!(d.len(), 1);
+    }
+
+    #[test]
+    fn map_filter_flat_map() {
+        let d = Dataset::from_vec(ctx(), (0u64..8).collect(), 2);
+        let m = d.map(|x| x * 2);
+        assert_eq!(m.collect_local(), vec![0, 2, 4, 6, 8, 10, 12, 14]);
+        let f = m.filter(|x| *x >= 8);
+        assert_eq!(f.collect_local(), vec![8, 10, 12, 14]);
+        let fm = d.flat_map(|x| vec![*x, *x]);
+        assert_eq!(fm.len(), 16);
+    }
+
+    #[test]
+    fn narrow_ops_stay_in_one_stage() {
+        let c = ctx();
+        let d = Dataset::from_vec(Arc::clone(&c), (0u64..100).collect(), 4);
+        let _x = d.map(|x| x + 1).filter(|x| x % 2 == 0).map(|x| x * 3);
+        let run = c.take_run();
+        assert_eq!(run.num_stages(), 1, "narrow chains must not create stages");
+    }
+
+    #[test]
+    fn group_by_key_groups_everything() {
+        let c = ctx();
+        let data: Vec<(u64, u64)> = (0u64..100).map(|i| (i % 7, i)).collect();
+        let d = Dataset::from_vec(Arc::clone(&c), data, 5);
+        let g = d.group_by_key(3);
+        let mut all: Vec<(u64, Vec<u64>)> = g.collect_local();
+        all.sort_by_key(|(k, _)| *k);
+        assert_eq!(all.len(), 7);
+        for (k, vs) in &all {
+            assert_eq!(vs.len(), if *k < 100 % 7 { 15 } else { 14 });
+            for v in vs {
+                assert_eq!(v % 7, *k);
+            }
+        }
+        let run = c.take_run();
+        assert_eq!(run.num_stages(), 2, "one shuffle => two stages");
+        assert!(run.total_shuffle_bytes() > 0);
+    }
+
+    #[test]
+    fn reduce_by_key_sums() {
+        let data: Vec<(u64, u64)> = (0u64..50).map(|i| (i % 3, 1)).collect();
+        let d = Dataset::from_vec(ctx(), data, 4);
+        let mut out = d.reduce_by_key(2, |a, b| a + b).collect_local();
+        out.sort();
+        assert_eq!(out, vec![(0, 17), (1, 17), (2, 16)]);
+    }
+
+    #[test]
+    fn join_matches_pairs() {
+        let c = ctx();
+        let left = Dataset::from_vec(
+            Arc::clone(&c),
+            vec![(1u64, "a".to_string()), (2, "b".to_string()), (2, "b2".to_string())],
+            2,
+        );
+        let right =
+            Dataset::from_vec(Arc::clone(&c), vec![(2u64, 20u64), (3, 30), (2, 21)], 2);
+        let mut j = left.join(&right, 2).collect_local();
+        j.sort_by(|a, b| (a.0, &a.1 .1).cmp(&(b.0, &b.1 .1)));
+        assert_eq!(j.len(), 4); // keys 2×2 matches
+        assert!(j.iter().all(|(k, _)| *k == 2));
+    }
+
+    #[test]
+    fn sort_by_key_sorts_globally() {
+        let data: Vec<(u64, u64)> = (0u64..200).rev().map(|i| (i, i * 10)).collect();
+        let d = Dataset::from_vec(ctx(), data, 7);
+        let s = d.sort_by_key(4);
+        let collected = s.collect_local();
+        let keys: Vec<u64> = collected.iter().map(|(k, _)| *k).collect();
+        let mut expect: Vec<u64> = (0u64..200).collect();
+        expect.sort();
+        assert_eq!(keys, expect, "global order across partitions");
+        // Partition boundaries respect ranges.
+        for i in 0..s.num_partitions() - 1 {
+            let last = s.partition(i).last().map(|(k, _)| *k);
+            let first = s.partition(i + 1).first().map(|(k, _)| *k);
+            if let (Some(l), Some(f)) = (last, first) {
+                assert!(l <= f);
+            }
+        }
+    }
+
+    #[test]
+    fn partition_by_routes_records() {
+        let d = Dataset::from_vec(ctx(), (0u64..40).collect(), 4);
+        let p = d.partition_by(4, |x| (*x % 4) as usize);
+        for i in 0..4 {
+            assert!(p.partition(i).iter().all(|x| (*x % 4) as usize == i));
+        }
+        assert_eq!(p.len(), 40);
+    }
+
+    #[test]
+    fn zip_partitions_combines() {
+        let c = ctx();
+        let a = Dataset::from_vec(Arc::clone(&c), (0u64..10).collect(), 2);
+        let b = Dataset::from_vec(Arc::clone(&c), (100u64..110).collect(), 2);
+        let z = a.zip_partitions(&b, |_, x, y| {
+            x.iter().zip(y).map(|(a, b)| a + b).collect::<Vec<u64>>()
+        });
+        assert_eq!(z.collect_local(), (0u64..10).map(|i| i + 100 + i).collect::<Vec<_>>());
+    }
+
+    #[test]
+    #[should_panic(expected = "equal partition counts")]
+    fn zip_partitions_rejects_mismatch() {
+        let c = ctx();
+        let a = Dataset::from_vec(Arc::clone(&c), (0u64..10).collect(), 2);
+        let b = Dataset::from_vec(Arc::clone(&c), (0u64..10).collect(), 3);
+        let _ = a.zip_partitions(&b, |_, x, _| x.to_vec());
+    }
+
+    #[test]
+    fn union_concatenates() {
+        let c = ctx();
+        let a = Dataset::from_vec(Arc::clone(&c), vec![1u64, 2], 2);
+        let b = Dataset::from_vec(Arc::clone(&c), vec![3u64], 1);
+        let u = a.union(&b);
+        assert_eq!(u.num_partitions(), 3);
+        assert_eq!(u.collect_local(), vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn collect_closes_stage_with_bytes() {
+        let c = ctx();
+        let d = Dataset::from_vec(Arc::clone(&c), (0u64..100).collect(), 4);
+        let got = d.collect();
+        assert_eq!(got.len(), 100);
+        let run = c.take_run();
+        assert_eq!(run.num_stages(), 1);
+        assert_eq!(run.stages[0].kind, crate::metrics::StageKind::Collect);
+        assert!(run.stages[0].total_shuffle_write() > 0);
+    }
+
+    #[test]
+    fn shuffle_bytes_depend_on_serializer() {
+        use gpf_compress::SerializerKind;
+        let data: Vec<(u64, String)> =
+            (0..200).map(|i| (i % 10, format!("value-{i:06}"))).collect();
+        let sizes: Vec<u64> = [EngineConfig::java(), EngineConfig::kryo()]
+            .into_iter()
+            .map(|cfg| {
+                let c = EngineContext::new(cfg);
+                let d = Dataset::from_vec(Arc::clone(&c), data.clone(), 4);
+                let _g = d.group_by_key(4);
+                c.take_run().total_shuffle_bytes()
+            })
+            .collect();
+        assert!(sizes[0] > sizes[1], "java {} should exceed kryo {}", sizes[0], sizes[1]);
+        // And serialized_size agrees in direction.
+        let c = ctx();
+        let d = Dataset::from_vec(Arc::clone(&c), data, 4);
+        assert!(
+            d.serialized_size(SerializerKind::JavaSim) > d.serialized_size(SerializerKind::KryoSim)
+        );
+    }
+
+    #[test]
+    fn group_by_key_is_deterministic() {
+        let data: Vec<(u64, u64)> = (0u64..500).map(|i| (i % 13, i)).collect();
+        let run1 = Dataset::from_vec(ctx(), data.clone(), 8).group_by_key(5).collect_local();
+        let run2 = Dataset::from_vec(ctx(), data, 8).group_by_key(5).collect_local();
+        assert_eq!(run1, run2);
+    }
+
+    #[test]
+    fn barrier_via_disk_preserves_data_and_records_bytes() {
+        let c = ctx();
+        let d = Dataset::from_vec(Arc::clone(&c), (0u64..200).collect(), 4);
+        let back = d.barrier_via_disk("checkpoint");
+        assert_eq!(back.collect_local(), d.collect_local());
+        let run = c.take_run();
+        assert_eq!(run.num_stages(), 2, "barrier closes a stage");
+        let wrote = run.stages[0].total_shuffle_write();
+        let read = run.stages[1].total_shuffle_read();
+        assert!(wrote > 0);
+        assert_eq!(wrote, read, "everything written is read back");
+    }
+
+    #[test]
+    fn empty_dataset_ops() {
+        let c = ctx();
+        let d: Dataset<(u64, u64)> = Dataset::from_vec(Arc::clone(&c), vec![], 3);
+        assert!(d.is_empty());
+        let g = d.group_by_key(2);
+        assert!(g.collect_local().is_empty());
+        let m = d.map(|kv| kv.0);
+        assert_eq!(m.num_partitions(), 3);
+    }
+}

@@ -1,0 +1,213 @@
+//! Job / stage / task metrics.
+//!
+//! The engine records a [`JobRun`]: an ordered list of [`StageMetrics`]
+//! following Spark's stage model — a stage is the pipelined narrow work each
+//! partition receives between two shuffle boundaries. Narrow operations
+//! *accumulate* per-partition CPU time into the open stage; a wide operation
+//! closes the stage (recording per-partition shuffle-write bytes) and opens
+//! a new one (recording shuffle-read bytes).
+//!
+//! Everything the paper's evaluation reports is derived from this record:
+//! stage counts and shuffle volumes (Table 4), serialized sizes (Table 3),
+//! and — through [`crate::sim`] — scaling curves, blocked-time analysis and
+//! utilization timelines (Figures 10, 12, 13).
+
+/// What closed a stage.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StageKind {
+    /// Stage ended at a shuffle boundary.
+    Shuffle,
+    /// Stage ended by collecting results to the driver (serial step).
+    Collect,
+    /// Stage was still open when the job finished.
+    Final,
+}
+
+/// Metrics for one stage.
+#[derive(Debug, Clone)]
+pub struct StageMetrics {
+    /// Stage id (dense, in execution order).
+    pub id: usize,
+    /// Human-readable label (last operation label attached).
+    pub label: String,
+    /// Pipeline phase tag active when the stage ran (e.g. "aligner").
+    pub phase: String,
+    /// Per-partition accumulated CPU seconds (measured wall time of the
+    /// partition's closures, including serialization work).
+    pub task_cpu_s: Vec<f64>,
+    /// Per-partition shuffle-read bytes paid at the start of this stage.
+    pub shuffle_read_bytes: Vec<u64>,
+    /// Per-partition shuffle-write bytes paid at the end of this stage.
+    pub shuffle_write_bytes: Vec<u64>,
+    /// Records flowing out of the stage's last operation.
+    pub records_out: u64,
+    /// Estimated heap churn in bytes (drives the GC model).
+    pub alloc_bytes: u64,
+    /// Time spent in serialization/deserialization (subset of CPU time).
+    pub serde_s: f64,
+    /// How the stage ended.
+    pub kind: StageKind,
+    /// Bytes broadcast to every node during this stage (driver → cluster).
+    pub broadcast_bytes: u64,
+    /// CPU seconds contributed per phase tag (a stage can straddle a phase
+    /// change; `phase` reports the dominant contributor).
+    pub(crate) phase_cpu: Vec<(String, f64)>,
+}
+
+impl StageMetrics {
+    pub(crate) fn new(id: usize, phase: String) -> Self {
+        Self {
+            id,
+            label: String::new(),
+            phase,
+            task_cpu_s: Vec::new(),
+            shuffle_read_bytes: Vec::new(),
+            shuffle_write_bytes: Vec::new(),
+            records_out: 0,
+            alloc_bytes: 0,
+            serde_s: 0.0,
+            kind: StageKind::Final,
+            broadcast_bytes: 0,
+            phase_cpu: Vec::new(),
+        }
+    }
+
+    /// Merge one operation's per-partition CPU seconds into the stage,
+    /// crediting the CPU to `phase` and re-deriving the dominant phase tag.
+    pub(crate) fn add_task_cpu(&mut self, per_partition: &[f64], phase: &str) {
+        if self.task_cpu_s.len() < per_partition.len() {
+            self.task_cpu_s.resize(per_partition.len(), 0.0);
+        }
+        for (acc, &t) in self.task_cpu_s.iter_mut().zip(per_partition) {
+            *acc += t;
+        }
+        let cpu: f64 = per_partition.iter().sum();
+        match self.phase_cpu.iter_mut().find(|(p, _)| p == phase) {
+            Some((_, acc)) => *acc += cpu,
+            None => self.phase_cpu.push((phase.to_string(), cpu)),
+        }
+        if let Some((dominant, _)) = self
+            .phase_cpu
+            .iter()
+            .max_by(|a, b| a.1.partial_cmp(&b.1).expect("finite cpu"))
+        {
+            self.phase = dominant.clone();
+        }
+    }
+
+    /// Number of tasks (partitions) in the stage.
+    pub fn num_tasks(&self) -> usize {
+        self.task_cpu_s
+            .len()
+            .max(self.shuffle_read_bytes.len())
+            .max(self.shuffle_write_bytes.len())
+    }
+
+    /// Total CPU seconds across tasks.
+    pub fn total_cpu_s(&self) -> f64 {
+        self.task_cpu_s.iter().sum()
+    }
+
+    /// Total shuffle bytes written by the stage.
+    pub fn total_shuffle_write(&self) -> u64 {
+        self.shuffle_write_bytes.iter().sum()
+    }
+
+    /// Total shuffle bytes read by the stage.
+    pub fn total_shuffle_read(&self) -> u64 {
+        self.shuffle_read_bytes.iter().sum()
+    }
+}
+
+/// A recorded job: the ordered stages of one pipeline execution.
+#[derive(Debug, Clone, Default)]
+pub struct JobRun {
+    /// Stages in execution order.
+    pub stages: Vec<StageMetrics>,
+}
+
+impl JobRun {
+    /// Number of stages (the paper's Table 4 "Stage Num." row).
+    pub fn num_stages(&self) -> usize {
+        self.stages.len()
+    }
+
+    /// Total shuffle data written, in bytes (Table 4 "Shuffle Data").
+    pub fn total_shuffle_bytes(&self) -> u64 {
+        self.stages.iter().map(|s| s.total_shuffle_write()).sum()
+    }
+
+    /// Total CPU seconds over all tasks.
+    pub fn total_cpu_s(&self) -> f64 {
+        self.stages.iter().map(|s| s.total_cpu_s()).sum()
+    }
+
+    /// Total estimated heap churn.
+    pub fn total_alloc_bytes(&self) -> u64 {
+        self.stages.iter().map(|s| s.alloc_bytes).sum()
+    }
+
+    /// Total serialization/deserialization seconds.
+    pub fn total_serde_s(&self) -> f64 {
+        self.stages.iter().map(|s| s.serde_s).sum()
+    }
+
+    /// Stages belonging to a phase tag.
+    pub fn stages_in_phase<'a>(&'a self, phase: &'a str) -> impl Iterator<Item = &'a StageMetrics> {
+        self.stages.iter().filter(move |s| s.phase == phase)
+    }
+
+    /// Distinct phase tags in first-appearance order.
+    pub fn phases(&self) -> Vec<String> {
+        let mut out: Vec<String> = Vec::new();
+        for s in &self.stages {
+            if !out.contains(&s.phase) {
+                out.push(s.phase.clone());
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_task_cpu_accumulates_and_resizes() {
+        let mut s = StageMetrics::new(0, "p".into());
+        s.add_task_cpu(&[1.0, 2.0], "p");
+        s.add_task_cpu(&[0.5, 0.5, 3.0], "p");
+        assert_eq!(s.task_cpu_s, vec![1.5, 2.5, 3.0]);
+        assert_eq!(s.num_tasks(), 3);
+        assert!((s.total_cpu_s() - 7.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn phase_follows_dominant_cpu_contributor() {
+        let mut s = StageMetrics::new(0, "cleaner".into());
+        s.add_task_cpu(&[0.1, 0.1], "cleaner");
+        assert_eq!(s.phase, "cleaner");
+        s.add_task_cpu(&[5.0, 5.0], "caller");
+        assert_eq!(s.phase, "caller", "caller dominates the stage's CPU");
+    }
+
+    #[test]
+    fn job_aggregates() {
+        let mut run = JobRun::default();
+        let mut a = StageMetrics::new(0, "aligner".into());
+        a.shuffle_write_bytes = vec![10, 20];
+        a.alloc_bytes = 100;
+        let mut b = StageMetrics::new(1, "cleaner".into());
+        b.shuffle_read_bytes = vec![30];
+        b.shuffle_write_bytes = vec![5];
+        b.alloc_bytes = 50;
+        run.stages.push(a);
+        run.stages.push(b);
+        assert_eq!(run.num_stages(), 2);
+        assert_eq!(run.total_shuffle_bytes(), 35);
+        assert_eq!(run.total_alloc_bytes(), 150);
+        assert_eq!(run.phases(), vec!["aligner".to_string(), "cleaner".to_string()]);
+        assert_eq!(run.stages_in_phase("cleaner").count(), 1);
+    }
+}

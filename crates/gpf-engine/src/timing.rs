@@ -1,0 +1,83 @@
+//! Per-task timing.
+//!
+//! Task durations feed the cluster simulator, where a stage's makespan is
+//! bounded by its longest task — so a wall-clock measurement polluted by OS
+//! preemption (another thread scheduled mid-task) would masquerade as a
+//! straggler and corrupt every scaling curve. On Unix we therefore measure
+//! **thread CPU time** (`CLOCK_THREAD_CPUTIME_ID`), which excludes time the
+//! thread spent descheduled; elsewhere we fall back to wall clock.
+
+/// A started task timer.
+pub struct TaskTimer {
+    #[cfg(unix)]
+    start: libc::timespec,
+    #[cfg(not(unix))]
+    start: std::time::Instant,
+}
+
+#[cfg(unix)]
+fn thread_cpu_now() -> libc::timespec {
+    let mut ts = libc::timespec { tv_sec: 0, tv_nsec: 0 };
+    // SAFETY: ts is a valid, writable timespec; the clock id is a constant.
+    unsafe {
+        libc::clock_gettime(libc::CLOCK_THREAD_CPUTIME_ID, &mut ts);
+    }
+    ts
+}
+
+impl TaskTimer {
+    /// Start timing the current thread's CPU consumption.
+    pub fn start() -> Self {
+        #[cfg(unix)]
+        {
+            Self { start: thread_cpu_now() }
+        }
+        #[cfg(not(unix))]
+        {
+            Self { start: std::time::Instant::now() }
+        }
+    }
+
+    /// CPU seconds consumed by this thread since [`TaskTimer::start`].
+    pub fn elapsed_s(&self) -> f64 {
+        #[cfg(unix)]
+        {
+            let now = thread_cpu_now();
+            (now.tv_sec - self.start.tv_sec) as f64
+                + (now.tv_nsec - self.start.tv_nsec) as f64 * 1e-9
+        }
+        #[cfg(not(unix))]
+        {
+            self.start.elapsed().as_secs_f64()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measures_busy_work() {
+        let t = TaskTimer::start();
+        let mut acc = 0u64;
+        for i in 0..2_000_000u64 {
+            acc = acc.wrapping_add(i * i);
+        }
+        std::hint::black_box(acc);
+        let s = t.elapsed_s();
+        assert!(s > 0.0, "busy loop consumed CPU: {s}");
+        assert!(s < 5.0, "sane upper bound: {s}");
+    }
+
+    #[test]
+    fn excludes_sleep_on_unix() {
+        let t = TaskTimer::start();
+        std::thread::sleep(std::time::Duration::from_millis(50));
+        let s = t.elapsed_s();
+        #[cfg(unix)]
+        assert!(s < 0.02, "sleep must not count as task CPU: {s}");
+        #[cfg(not(unix))]
+        assert!(s >= 0.05);
+    }
+}

@@ -1,0 +1,113 @@
+//! Property-based tests for the engine: shuffle correctness and simulator
+//! invariants.
+
+use gpf_engine::{Dataset, EngineConfig, EngineContext, SimCluster, SimOptions};
+use proptest::prelude::*;
+
+fn ctx() -> std::sync::Arc<EngineContext> {
+    EngineContext::new(EngineConfig::default())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn group_by_key_preserves_multiset(
+        data in proptest::collection::vec((0u64..20, any::<u64>()), 0..300),
+        parts in 1usize..8,
+        out_parts in 1usize..8,
+    ) {
+        let d = Dataset::from_vec(ctx(), data.clone(), parts);
+        let grouped = d.group_by_key(out_parts);
+        let mut flat: Vec<(u64, u64)> = grouped
+            .collect_local()
+            .into_iter()
+            .flat_map(|(k, vs)| vs.into_iter().map(move |v| (k, v)))
+            .collect();
+        let mut expect = data;
+        flat.sort();
+        expect.sort();
+        prop_assert_eq!(flat, expect);
+    }
+
+    #[test]
+    fn sort_by_key_outputs_sorted_multiset(
+        data in proptest::collection::vec((any::<u64>(), 0u64..100), 1..300),
+        parts in 1usize..6,
+        out_parts in 1usize..6,
+    ) {
+        let d = Dataset::from_vec(ctx(), data.clone(), parts);
+        let sorted = d.sort_by_key(out_parts).collect_local();
+        let keys: Vec<u64> = sorted.iter().map(|(k, _)| *k).collect();
+        prop_assert!(keys.windows(2).all(|w| w[0] <= w[1]));
+        let mut got = sorted;
+        let mut expect = data;
+        got.sort();
+        expect.sort();
+        prop_assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn partition_by_respects_router(
+        data in proptest::collection::vec(any::<u64>(), 0..200),
+        nparts in 1usize..10,
+    ) {
+        let d = Dataset::from_vec(ctx(), data.clone(), 3);
+        let p = d.partition_by(nparts, move |x| (*x % nparts as u64) as usize);
+        for i in 0..nparts {
+            prop_assert!(p.partition(i).iter().all(|x| (*x % nparts as u64) as usize == i));
+        }
+        prop_assert_eq!(p.len(), data.len());
+    }
+
+    #[test]
+    fn reduce_by_key_agrees_with_sequential(
+        data in proptest::collection::vec((0u64..10, 0u64..1000), 0..200),
+    ) {
+        let d = Dataset::from_vec(ctx(), data.clone(), 4);
+        let mut got = d.reduce_by_key(3, |a, b| a + b).collect_local();
+        got.sort();
+        let mut expect: std::collections::BTreeMap<u64, u64> = Default::default();
+        for (k, v) in data {
+            *expect.entry(k).or_default() += v;
+        }
+        prop_assert_eq!(got, expect.into_iter().collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn simulator_is_monotone_in_cores(
+        data in proptest::collection::vec((0u64..32, any::<u64>()), 1..400),
+        parts in 1usize..8,
+    ) {
+        // Record a real shuffle-bearing run through the public API.
+        let c = ctx();
+        let d = Dataset::from_vec(std::sync::Arc::clone(&c), data, parts);
+        let _ = d.map(|kv| (kv.0, kv.1 / 2)).group_by_key(parts).map(|(k, vs)| (*k, vs.len() as u64));
+        let run = c.take_run();
+        let opts = SimOptions::default();
+        let mut last = f64::INFINITY;
+        for cores in [16usize, 64, 256, 1024] {
+            let r = gpf_engine::sim::simulate(&run, &SimCluster::paper_cluster(cores), &opts);
+            prop_assert!(r.makespan_s <= last + 1e-9);
+            prop_assert!(r.makespan_s >= 0.0);
+            last = r.makespan_s;
+        }
+    }
+
+    #[test]
+    fn blocked_time_counterfactuals_never_exceed_base(
+        data in proptest::collection::vec((0u64..16, any::<u64>()), 1..200),
+    ) {
+        let c = ctx();
+        let d = Dataset::from_vec(std::sync::Arc::clone(&c), data, 4);
+        let _ = d.group_by_key(4);
+        let run = c.take_run();
+        let rep = gpf_engine::sim::blocked_time(
+            &run,
+            &SimCluster::paper_cluster(64),
+            &SimOptions::default(),
+        );
+        prop_assert!(rep.without_disk_s <= rep.base_s + 1e-9);
+        prop_assert!(rep.without_net_s <= rep.base_s + 1e-9);
+    }
+}

@@ -1,0 +1,71 @@
+//! Error type shared by all format parsers in this crate.
+
+use std::fmt;
+
+/// An error produced while parsing or validating a genomic format.
+///
+/// Every variant carries enough context (line number or offending token) for
+/// a user to locate the problem in the input file.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FormatError {
+    /// A FASTQ record was structurally malformed (bad separator line,
+    /// truncated record, sequence/quality length mismatch, ...).
+    Fastq { line: usize, msg: String },
+    /// A FASTA file was malformed (record body before any header, empty
+    /// contig name, ...).
+    Fasta { line: usize, msg: String },
+    /// A SAM line had too few fields or an unparsable field.
+    Sam { line: usize, msg: String },
+    /// A VCF line had too few fields or an unparsable field.
+    Vcf { line: usize, msg: String },
+    /// A CIGAR string was unparsable or violated CIGAR grammar.
+    Cigar { token: String, msg: String },
+    /// A contig name was not present in the contig dictionary.
+    UnknownContig { name: String },
+    /// A quality character fell outside the legal Phred+33 range `[33, 126]`
+    /// (footnote 1 of the paper).
+    QualityOutOfRange { value: u8 },
+}
+
+impl fmt::Display for FormatError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FormatError::Fastq { line, msg } => write!(f, "FASTQ parse error at line {line}: {msg}"),
+            FormatError::Fasta { line, msg } => write!(f, "FASTA parse error at line {line}: {msg}"),
+            FormatError::Sam { line, msg } => write!(f, "SAM parse error at line {line}: {msg}"),
+            FormatError::Vcf { line, msg } => write!(f, "VCF parse error at line {line}: {msg}"),
+            FormatError::Cigar { token, msg } => write!(f, "CIGAR parse error at `{token}`: {msg}"),
+            FormatError::UnknownContig { name } => write!(f, "unknown contig `{name}`"),
+            FormatError::QualityOutOfRange { value } => {
+                write!(f, "quality character {value} outside Phred+33 range [33,126]")
+            }
+        }
+    }
+}
+
+impl std::error::Error for FormatError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_location() {
+        let e = FormatError::Fastq { line: 7, msg: "truncated".into() };
+        assert!(e.to_string().contains("line 7"));
+        assert!(e.to_string().contains("truncated"));
+    }
+
+    #[test]
+    fn display_unknown_contig() {
+        let e = FormatError::UnknownContig { name: "chrZ".into() };
+        assert!(e.to_string().contains("chrZ"));
+    }
+
+    #[test]
+    fn error_trait_object_safe() {
+        let e: Box<dyn std::error::Error> =
+            Box::new(FormatError::QualityOutOfRange { value: 200 });
+        assert!(e.to_string().contains("200"));
+    }
+}

@@ -1,0 +1,37 @@
+//! # gpf-formats
+//!
+//! Genomic data formats for the GPF framework (PPoPP'18 reproduction).
+//!
+//! GPF (§3.2 of the paper) works directly on the *original* structure of the
+//! three de-facto genomic formats rather than converting to a columnar layout:
+//!
+//! * **FASTQ** — raw reads from the sequencer ([`fastq::FastqRecord`]),
+//! * **SAM/BAM** — aligned reads ([`sam::SamRecord`]),
+//! * **VCF** — called variants ([`vcf::VcfRecord`]),
+//!
+//! plus the **FASTA** reference genome ([`fasta::ReferenceGenome`]) and the
+//! auxiliary machinery those records need: CIGAR strings ([`cigar`]), Phred
+//! quality scores ([`quality`]), contig dictionaries and genomic intervals
+//! ([`genome`]).
+//!
+//! All parsers are strict (they return [`error::FormatError`] rather than
+//! silently repairing malformed input) and all writers round-trip: for any
+//! record `r`, `parse(format(r)) == r`.
+
+pub mod base;
+pub mod cigar;
+pub mod error;
+pub mod fasta;
+pub mod fastq;
+pub mod genome;
+pub mod quality;
+pub mod sam;
+pub mod vcf;
+
+pub use cigar::{Cigar, CigarOp};
+pub use error::FormatError;
+pub use fasta::ReferenceGenome;
+pub use fastq::{FastqPair, FastqRecord};
+pub use genome::{ContigDict, ContigInfo, GenomeInterval, GenomePosition};
+pub use sam::{SamFlags, SamHeaderInfo, SamRecord};
+pub use vcf::{VcfHeaderInfo, VcfRecord};

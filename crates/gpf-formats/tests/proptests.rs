@@ -1,0 +1,86 @@
+//! Property-based tests for format round-trips.
+
+use gpf_formats::cigar::Cigar;
+use gpf_formats::fastq::{format_fastq, parse_fastq, FastqRecord};
+use gpf_formats::genome::{merge_intervals, GenomeInterval};
+use proptest::prelude::*;
+
+/// Strategy for a valid read sequence over {A,C,G,T,N}.
+fn seq_strategy(max_len: usize) -> impl Strategy<Value = Vec<u8>> {
+    proptest::collection::vec(
+        prop_oneof![Just(b'A'), Just(b'C'), Just(b'G'), Just(b'T'), Just(b'N')],
+        1..max_len,
+    )
+}
+
+/// Strategy for a quality string of the given length (full legal range).
+fn qual_strategy(len: usize) -> impl Strategy<Value = Vec<u8>> {
+    proptest::collection::vec(33u8..=126, len..=len)
+}
+
+proptest! {
+    #[test]
+    fn fastq_round_trip(seq in seq_strategy(200)) {
+        let len = seq.len();
+        let runner = qual_strategy(len);
+        // Derive a deterministic quality from the sequence to keep this a
+        // single-strategy test; the alphabet is exercised by qual_round_trip.
+        let _ = runner;
+        let qual: Vec<u8> = seq.iter().map(|&b| 33 + (b % 90)).collect();
+        let rec = FastqRecord::new("read/1", &seq, &qual).unwrap();
+        let text = format_fastq(std::slice::from_ref(&rec));
+        let parsed = parse_fastq(&text).unwrap();
+        prop_assert_eq!(parsed, vec![rec]);
+    }
+
+    #[test]
+    fn fastq_qual_round_trip((seq, qual) in seq_strategy(100).prop_flat_map(|s| {
+        let len = s.len();
+        (Just(s), qual_strategy(len))
+    })) {
+        let rec = FastqRecord::new("q", &seq, &qual).unwrap();
+        let text = format_fastq(std::slice::from_ref(&rec));
+        prop_assert_eq!(parse_fastq(&text).unwrap(), vec![rec]);
+    }
+
+    #[test]
+    fn cigar_round_trip(ops in proptest::collection::vec(
+        (1u32..500, prop_oneof![
+            Just('M'), Just('I'), Just('D'), Just('S'), Just('H'),
+            Just('N'), Just('P'), Just('='), Just('X')
+        ]),
+        1..20,
+    )) {
+        let s: String = ops.iter().map(|(n, c)| format!("{n}{c}")).collect();
+        let c = Cigar::parse(&s).unwrap();
+        prop_assert_eq!(c.to_string(), s);
+        // Lengths are consistent with a manual scan.
+        let read_len: u64 = ops.iter()
+            .filter(|(_, ch)| matches!(ch, 'M' | 'I' | 'S' | '=' | 'X'))
+            .map(|&(n, _)| n as u64).sum();
+        prop_assert_eq!(c.read_len(), read_len);
+    }
+
+    #[test]
+    fn merged_intervals_are_disjoint_and_cover(
+        ivs in proptest::collection::vec((0u32..3, 0u64..1000, 1u64..100), 0..40)
+    ) {
+        let intervals: Vec<GenomeInterval> =
+            ivs.iter().map(|&(c, s, l)| GenomeInterval::new(c, s, s + l)).collect();
+        let merged = merge_intervals(intervals.clone());
+        // Disjoint and sorted with gaps.
+        for w in merged.windows(2) {
+            prop_assert!(w[0].contig < w[1].contig
+                || (w[0].contig == w[1].contig && w[0].end < w[1].start));
+        }
+        // Every original interval is covered by some merged interval.
+        for iv in &intervals {
+            prop_assert!(merged.iter().any(|m| m.contig == iv.contig
+                && m.start <= iv.start && iv.end <= m.end));
+        }
+        // Total merged length never exceeds the sum of input lengths.
+        let merged_len: u64 = merged.iter().map(|m| m.len()).sum();
+        let input_len: u64 = intervals.iter().map(|m| m.len()).sum();
+        prop_assert!(merged_len <= input_len.max(1) || input_len == 0);
+    }
+}

@@ -1,0 +1,118 @@
+//! Bundled workload presets.
+//!
+//! The paper's §5.3.1 analyses three workload classes — WGS (whole genome),
+//! WES (exome), GenePanel — which differ in genome footprint and coverage
+//! depth. These presets are laptop-scale models keeping those ratios.
+
+use crate::quality::QualityProfile;
+use crate::readsim::SimulatorConfig;
+use crate::refgen::ReferenceSpec;
+use crate::variants::VariantSpec;
+
+/// A complete workload description: reference + variants + read simulation.
+#[derive(Debug, Clone)]
+pub struct WorkloadProfile {
+    /// Workload name ("WGS", "WES", "GenePanel", ...).
+    pub name: &'static str,
+    /// Reference genome spec.
+    pub reference: ReferenceSpec,
+    /// Variant planting spec.
+    pub variants: VariantSpec,
+    /// Read-simulator config.
+    pub reads: SimulatorConfig,
+}
+
+impl WorkloadProfile {
+    /// Whole-genome sequencing: the full (scaled) genome at moderate
+    /// coverage. `scale` multiplies the genome size (1.0 ≈ 1.5 Mb here).
+    pub fn wgs(scale: f64, seed: u64) -> Self {
+        let unit = 500_000.0 * scale;
+        Self {
+            name: "WGS",
+            reference: ReferenceSpec {
+                contig_lengths: vec![
+                    (1.2 * unit) as u64,
+                    (1.0 * unit) as u64,
+                    (0.8 * unit) as u64,
+                ],
+                seed,
+                ..Default::default()
+            },
+            variants: VariantSpec { seed: seed ^ 0x5a5a, ..Default::default() },
+            reads: SimulatorConfig {
+                coverage: 30.0,
+                seed: seed ^ 0xc3c3,
+                quality: QualityProfile::srr622461_like(),
+                ..Default::default()
+            },
+        }
+    }
+
+    /// Whole-exome: ~2 % of the genome at high coverage.
+    pub fn wes(scale: f64, seed: u64) -> Self {
+        let mut p = Self::wgs(scale * 0.1, seed);
+        p.name = "WES";
+        p.reads.coverage = 100.0;
+        p.reads.hotspot_count = 4;
+        p
+    }
+
+    /// Gene panel: a small targeted region at very deep coverage.
+    pub fn gene_panel(scale: f64, seed: u64) -> Self {
+        let mut p = Self::wgs(scale * 0.02, seed);
+        p.name = "GenePanel";
+        p.reads.coverage = 500.0;
+        p.reads.hotspot_count = 6;
+        p.reads.hotspot_multiplier = 20.0;
+        p
+    }
+
+    /// A tiny profile for fast unit/integration tests.
+    pub fn tiny(seed: u64) -> Self {
+        Self {
+            name: "tiny",
+            reference: ReferenceSpec { contig_lengths: vec![60_000, 30_000], seed, ..Default::default() },
+            variants: VariantSpec { seed: seed ^ 1, ..Default::default() },
+            reads: SimulatorConfig { coverage: 8.0, seed: seed ^ 2, ..Default::default() },
+        }
+    }
+
+    /// Total reference bases in this profile.
+    pub fn genome_bases(&self) -> u64 {
+        self.reference.contig_lengths.iter().sum()
+    }
+
+    /// Approximate sequenced bases (genome × coverage).
+    pub fn sequenced_bases(&self) -> u64 {
+        (self.genome_bases() as f64 * self.reads.coverage) as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn profiles_scale_sensibly() {
+        let wgs = WorkloadProfile::wgs(1.0, 1);
+        let wes = WorkloadProfile::wes(1.0, 1);
+        let panel = WorkloadProfile::gene_panel(1.0, 1);
+        assert!(wgs.genome_bases() > wes.genome_bases());
+        assert!(wes.genome_bases() > panel.genome_bases());
+        assert!(panel.reads.coverage > wes.reads.coverage);
+        assert!(wes.reads.coverage > wgs.reads.coverage);
+        // Sequenced volume: WGS still biggest despite lower coverage.
+        assert!(wgs.sequenced_bases() > panel.sequenced_bases());
+    }
+
+    #[test]
+    fn tiny_profile_generates_end_to_end() {
+        let p = WorkloadProfile::tiny(3);
+        let r = p.reference.generate();
+        let donor = crate::variants::DonorGenome::generate(&r, &p.variants);
+        let pairs =
+            crate::readsim::ReadSimulator::new(&r, &donor, p.reads.clone()).simulate();
+        assert!(!pairs.is_empty());
+        assert_eq!(r.dict().len(), 2);
+    }
+}

@@ -1,0 +1,455 @@
+//! Paired-end read simulation (wgsim-like) with ground truth.
+//!
+//! Reads are drawn from the diploid donor genome with per-base errors driven
+//! by the quality profile, occasional `N` calls, PCR duplicates, and
+//! configurable **coverage hotspots** — §4.4 of the paper observes pileups
+//! beyond 10 000× inside a 50× dataset, which is precisely the skew that
+//! breaks static equal-length partitioning and motivates GPF's dynamic
+//! repartitioner. Hotspots give this reproduction the same skew at laptop
+//! scale.
+
+use crate::quality::QualityProfile;
+use crate::variants::{DonorGenome, Haplotype};
+use gpf_formats::base::reverse_complement;
+use gpf_formats::fastq::{FastqPair, FastqRecord};
+use gpf_formats::quality::{char_to_phred, phred_to_error_prob};
+use gpf_formats::ReferenceGenome;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rand_distr::{Distribution, Normal};
+
+/// Read-simulator configuration.
+#[derive(Debug, Clone)]
+pub struct SimulatorConfig {
+    /// Read length (cycles per mate).
+    pub read_len: usize,
+    /// Mean insert (fragment) length.
+    pub fragment_mean: f64,
+    /// Insert-length standard deviation.
+    pub fragment_sd: f64,
+    /// Target mean coverage (fold).
+    pub coverage: f64,
+    /// Fraction of output pairs that are PCR duplicates of another pair.
+    pub duplicate_rate: f64,
+    /// Per-base probability of an `N` call.
+    pub n_rate: f64,
+    /// Number of coverage hotspots per contig.
+    pub hotspot_count: usize,
+    /// Coverage multiplier inside a hotspot.
+    pub hotspot_multiplier: f64,
+    /// Hotspot length in bases.
+    pub hotspot_len: u64,
+    /// Quality model.
+    pub quality: QualityProfile,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for SimulatorConfig {
+    fn default() -> Self {
+        Self {
+            read_len: 100,
+            fragment_mean: 380.0,
+            fragment_sd: 50.0,
+            coverage: 30.0,
+            duplicate_rate: 0.12,
+            n_rate: 0.002,
+            hotspot_count: 2,
+            hotspot_multiplier: 40.0,
+            hotspot_len: 3_000,
+            quality: QualityProfile::srr622461_like(),
+            seed: 7,
+        }
+    }
+}
+
+/// Ground truth for one simulated pair.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PairTruth {
+    /// Contig the fragment came from.
+    pub contig: u32,
+    /// Reference coordinate of mate 1's leftmost base.
+    pub ref_start1: u64,
+    /// Reference coordinate of mate 2's leftmost base.
+    pub ref_start2: u64,
+    /// Fragment drawn from haplotype A (vs B).
+    pub from_hap_a: bool,
+    /// Index (into the simulator output) of the pair this one duplicates.
+    pub duplicate_of: Option<usize>,
+}
+
+/// One simulated pair with truth.
+#[derive(Debug, Clone)]
+pub struct SimulatedPair {
+    /// The FASTQ pair.
+    pub pair: FastqPair,
+    /// Ground truth.
+    pub truth: PairTruth,
+}
+
+/// The simulator: reference + donor + config.
+pub struct ReadSimulator<'a> {
+    reference: &'a ReferenceGenome,
+    donor: &'a DonorGenome,
+    cfg: SimulatorConfig,
+}
+
+/// A weighted sampling region on a haplotype.
+struct Hotspot {
+    start: u64,
+    len: u64,
+}
+
+impl<'a> ReadSimulator<'a> {
+    /// Create a simulator.
+    pub fn new(reference: &'a ReferenceGenome, donor: &'a DonorGenome, cfg: SimulatorConfig) -> Self {
+        assert!(cfg.read_len >= 20, "reads shorter than 20bp are unsupported");
+        Self { reference, donor, cfg }
+    }
+
+    /// Number of unique pairs needed for the configured coverage.
+    pub fn unique_pairs(&self) -> usize {
+        let genome = self.reference.genome_length() as f64;
+        ((genome * self.cfg.coverage) / (2.0 * self.cfg.read_len as f64)).ceil() as usize
+    }
+
+    /// Run the simulation.
+    pub fn simulate(&self) -> Vec<SimulatedPair> {
+        let mut rng = StdRng::seed_from_u64(self.cfg.seed);
+        let n_unique = self.unique_pairs();
+        let frag_dist = Normal::new(self.cfg.fragment_mean, self.cfg.fragment_sd).expect("valid");
+
+        // Hotspots per contig (same windows on both haplotypes).
+        let hotspots: Vec<Vec<Hotspot>> = (0..self.reference.dict().len() as u32)
+            .map(|c| {
+                let len = self.reference.dict().length_of(c);
+                (0..self.cfg.hotspot_count)
+                    .filter(|_| len > 4 * self.cfg.hotspot_len)
+                    .map(|_| Hotspot {
+                        start: rng.gen_range(0..len - self.cfg.hotspot_len),
+                        len: self.cfg.hotspot_len,
+                    })
+                    .collect()
+            })
+            .collect();
+
+        // Contig selection weights: length + hotspot extra mass.
+        let extra_per_spot = self.cfg.hotspot_len as f64 * (self.cfg.hotspot_multiplier - 1.0);
+        let weights: Vec<f64> = (0..self.reference.dict().len() as u32)
+            .map(|c| {
+                self.reference.dict().length_of(c) as f64
+                    + hotspots[c as usize].len() as f64 * extra_per_spot
+            })
+            .collect();
+        let total_weight: f64 = weights.iter().sum();
+
+        let mut out = Vec::with_capacity(n_unique);
+        for i in 0..n_unique {
+            // Pick contig by weight.
+            let mut u = rng.gen_range(0.0..total_weight);
+            let mut contig = 0u32;
+            for (c, w) in weights.iter().enumerate() {
+                if u < *w {
+                    contig = c as u32;
+                    break;
+                }
+                u -= w;
+            }
+            let from_hap_a = rng.gen_bool(0.5);
+            let hap = if from_hap_a {
+                &self.donor.hap_a[contig as usize]
+            } else {
+                &self.donor.hap_b[contig as usize]
+            };
+            let frag_len = (frag_dist.sample(&mut rng).round() as usize)
+                .max(2 * self.cfg.read_len + 4)
+                .min(hap.seq.len().saturating_sub(2));
+            let start = self.sample_start(&mut rng, hap, &hotspots[contig as usize], frag_len);
+            out.push(self.make_pair(i, contig, hap, from_hap_a, start, frag_len, None, &mut rng));
+        }
+
+        // PCR duplicates: same fragment, fresh sequencing errors.
+        let n_dups = (n_unique as f64 * self.cfg.duplicate_rate / (1.0 - self.cfg.duplicate_rate))
+            .round() as usize;
+        for d in 0..n_dups {
+            let orig_idx = rng.gen_range(0..n_unique);
+            let orig = out[orig_idx].truth.clone();
+            let hap = if orig.from_hap_a {
+                &self.donor.hap_a[orig.contig as usize]
+            } else {
+                &self.donor.hap_b[orig.contig as usize]
+            };
+            // Recover the haplotype start from the original's generation —
+            // re-derive by storing it in the name is fragile; instead re-find
+            // via stored hap_start in truth? We keep it simple: duplicates
+            // re-sequence the same haplotype window recorded at generation.
+            let (hap_start, frag_len) = self.dup_window(&out[orig_idx]);
+            out.push(self.make_pair(
+                n_unique + d,
+                orig.contig,
+                hap,
+                orig.from_hap_a,
+                hap_start,
+                frag_len,
+                Some(orig_idx),
+                &mut rng,
+            ));
+        }
+        out
+    }
+
+    /// Recover the haplotype window of a generated pair (stored in the name:
+    /// `sim{i}:{hap_start}:{frag_len}`).
+    fn dup_window(&self, p: &SimulatedPair) -> (u64, usize) {
+        let name = p.pair.fragment_name();
+        let mut parts = name.split(':');
+        let _ = parts.next();
+        let hap_start: u64 = parts.next().expect("name has start").parse().expect("numeric");
+        let frag_len: usize = parts.next().expect("name has len").parse().expect("numeric");
+        (hap_start, frag_len)
+    }
+
+    /// Sample a fragment start honouring hotspot weights.
+    fn sample_start(
+        &self,
+        rng: &mut StdRng,
+        hap: &Haplotype,
+        hotspots: &[Hotspot],
+        frag_len: usize,
+    ) -> u64 {
+        let max_start = (hap.seq.len() - frag_len) as u64;
+        let extra: f64 = hotspots.len() as f64
+            * self.cfg.hotspot_len as f64
+            * (self.cfg.hotspot_multiplier - 1.0);
+        let total = max_start as f64 + extra;
+        let u = rng.gen_range(0.0..total);
+        if u < max_start as f64 {
+            u as u64
+        } else {
+            // Inside a hotspot's extra mass.
+            let mut v = u - max_start as f64;
+            let spot_mass = self.cfg.hotspot_len as f64 * (self.cfg.hotspot_multiplier - 1.0);
+            for h in hotspots {
+                if v < spot_mass {
+                    let off = (v / (self.cfg.hotspot_multiplier - 1.0)) as u64;
+                    return (h.start + off.min(h.len - 1)).min(max_start);
+                }
+                v -= spot_mass;
+            }
+            max_start / 2
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn make_pair(
+        &self,
+        idx: usize,
+        contig: u32,
+        hap: &Haplotype,
+        from_hap_a: bool,
+        hap_start: u64,
+        frag_len: usize,
+        duplicate_of: Option<usize>,
+        rng: &mut StdRng,
+    ) -> SimulatedPair {
+        let rl = self.cfg.read_len;
+        let s = hap_start as usize;
+        let frag = &hap.seq[s..s + frag_len];
+        let fwd = &frag[..rl];
+        let rev_src = &frag[frag_len - rl..];
+        let rev = reverse_complement(rev_src);
+
+        let name = format!("sim{idx}:{hap_start}:{frag_len}");
+        let (seq1, qual1) = self.sequence_read(fwd, rng);
+        let (seq2, qual2) = self.sequence_read(&rev, rng);
+        let r1 = FastqRecord::new(format!("{name}/1"), &seq1, &qual1).expect("simulated read valid");
+        let r2 = FastqRecord::new(format!("{name}/2"), &seq2, &qual2).expect("simulated read valid");
+        let pair = FastqPair::new(r1, r2).expect("mate names match");
+        let truth = PairTruth {
+            contig,
+            ref_start1: hap.to_ref(hap_start),
+            ref_start2: hap.to_ref(hap_start + (frag_len - rl) as u64),
+            from_hap_a,
+            duplicate_of,
+        };
+        SimulatedPair { pair, truth }
+    }
+
+    /// Apply the sequencing error process to a template.
+    fn sequence_read(&self, template: &[u8], rng: &mut StdRng) -> (Vec<u8>, Vec<u8>) {
+        let qual = self.cfg.quality.sample(template.len(), rng);
+        let mut seq = Vec::with_capacity(template.len());
+        for (i, &b) in template.iter().enumerate() {
+            if rng.gen_bool(self.cfg.n_rate) {
+                seq.push(b'N');
+                continue;
+            }
+            let p_err = phred_to_error_prob(char_to_phred(qual[i]));
+            if rng.gen_bool(p_err.clamp(0.0, 0.75)) {
+                // Substitute with a different base.
+                let mut nb = b"ACGT"[rng.gen_range(0..4)];
+                while nb == b {
+                    nb = b"ACGT"[rng.gen_range(0..4)];
+                }
+                seq.push(nb);
+            } else {
+                seq.push(b);
+            }
+        }
+        (seq, qual)
+    }
+}
+
+/// Convenience: simulate and strip truth, returning plain FASTQ pairs.
+pub fn simulate_fastq_pairs(
+    reference: &ReferenceGenome,
+    donor: &DonorGenome,
+    cfg: SimulatorConfig,
+) -> Vec<FastqPair> {
+    ReadSimulator::new(reference, donor, cfg).simulate().into_iter().map(|s| s.pair).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::refgen::ReferenceSpec;
+    use crate::variants::{DonorGenome, VariantSpec};
+
+    fn setup() -> (ReferenceGenome, DonorGenome) {
+        let r = ReferenceSpec { contig_lengths: vec![80_000, 40_000], seed: 11, ..Default::default() }
+            .generate();
+        let d = DonorGenome::generate(&r, &VariantSpec::default());
+        (r, d)
+    }
+
+    fn cfg(coverage: f64) -> SimulatorConfig {
+        SimulatorConfig { coverage, ..Default::default() }
+    }
+
+    #[test]
+    fn pair_count_matches_coverage() {
+        let (r, d) = setup();
+        let sim = ReadSimulator::new(&r, &d, cfg(10.0));
+        let pairs = sim.simulate();
+        let unique = sim.unique_pairs();
+        assert_eq!(unique, (120_000.0 * 10.0 / 200.0) as usize);
+        assert!(pairs.len() >= unique);
+        let dups = pairs.iter().filter(|p| p.truth.duplicate_of.is_some()).count();
+        let frac = dups as f64 / pairs.len() as f64;
+        assert!((frac - 0.12).abs() < 0.03, "duplicate fraction {frac}");
+    }
+
+    #[test]
+    fn reads_have_configured_length_and_alphabet() {
+        let (r, d) = setup();
+        let pairs = ReadSimulator::new(&r, &d, cfg(2.0)).simulate();
+        for p in &pairs {
+            assert_eq!(p.pair.r1.len(), 100);
+            assert_eq!(p.pair.r2.len(), 100);
+            assert!(p.pair.r1.seq.iter().all(|b| b"ACGTN".contains(b)));
+        }
+    }
+
+    #[test]
+    fn reads_match_reference_near_truth_position() {
+        let (r, d) = setup();
+        let pairs = ReadSimulator::new(&r, &d, cfg(2.0)).simulate();
+        let mut well_matched = 0usize;
+        let mut checked = 0usize;
+        for p in pairs.iter().take(200) {
+            let t = &p.truth;
+            let refseq = r.contig_seq(t.contig);
+            let start = t.ref_start1 as usize;
+            if start + 100 > refseq.len() {
+                continue;
+            }
+            checked += 1;
+            let matches = p
+                .pair
+                .r1
+                .seq
+                .iter()
+                .zip(&refseq[start..start + 100])
+                .filter(|(a, b)| a == b)
+                .count();
+            // Indel-bearing haplotypes shift later bases, so require 90+
+            // matches only for most reads.
+            if matches >= 90 {
+                well_matched += 1;
+            }
+        }
+        assert!(
+            well_matched as f64 / checked as f64 > 0.8,
+            "{well_matched}/{checked} reads match their truth locus"
+        );
+    }
+
+    #[test]
+    fn hotspots_create_coverage_skew() {
+        let (r, d) = setup();
+        let c = SimulatorConfig {
+            coverage: 8.0,
+            hotspot_count: 1,
+            hotspot_multiplier: 50.0,
+            hotspot_len: 2_000,
+            ..Default::default()
+        };
+        let pairs = ReadSimulator::new(&r, &d, c).simulate();
+        // Bin read starts on chr1 into 2kb windows; the max window should be
+        // far above the median (the paper's 10000x-in-50x skew, scaled).
+        let mut bins = vec![0u64; 40_000 / 1 + 1];
+        let mut nbins = 0usize;
+        let binsize = 2_000u64;
+        for p in &pairs {
+            if p.truth.contig == 0 {
+                let b = (p.truth.ref_start1 / binsize) as usize;
+                if b < bins.len() {
+                    bins[b] += 1;
+                    nbins = nbins.max(b + 1);
+                }
+            }
+        }
+        let bins = &bins[..nbins];
+        let mut sorted: Vec<u64> = bins.to_vec();
+        sorted.sort();
+        let median = sorted[sorted.len() / 2].max(1);
+        let max = *sorted.last().expect("bins nonempty");
+        assert!(max > 5 * median, "max window {max} vs median {median}");
+    }
+
+    #[test]
+    fn duplicates_share_fragment_with_original() {
+        let (r, d) = setup();
+        let pairs = ReadSimulator::new(&r, &d, cfg(4.0)).simulate();
+        for p in &pairs {
+            if let Some(orig) = p.truth.duplicate_of {
+                let o = &pairs[orig];
+                assert_eq!(p.truth.contig, o.truth.contig);
+                assert_eq!(p.truth.ref_start1, o.truth.ref_start1);
+                assert_eq!(p.truth.ref_start2, o.truth.ref_start2);
+                assert_ne!(p.pair.r1.name, o.pair.r1.name, "dup gets its own name");
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let (r, d) = setup();
+        let a = ReadSimulator::new(&r, &d, cfg(2.0)).simulate();
+        let b = ReadSimulator::new(&r, &d, cfg(2.0)).simulate();
+        assert_eq!(a.len(), b.len());
+        assert_eq!(a[0].pair.r1.seq, b[0].pair.r1.seq);
+        assert_eq!(a.last().unwrap().pair.r2.qual, b.last().unwrap().pair.r2.qual);
+    }
+
+    #[test]
+    fn contains_some_n_bases() {
+        let (r, d) = setup();
+        let pairs = ReadSimulator::new(&r, &d, cfg(5.0)).simulate();
+        let n_count: usize = pairs
+            .iter()
+            .map(|p| p.pair.r1.seq.iter().filter(|&&b| b == b'N').count())
+            .sum();
+        assert!(n_count > 0, "N rate should produce some N bases");
+    }
+}

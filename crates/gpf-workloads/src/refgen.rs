@@ -1,0 +1,167 @@
+//! Synthetic reference genome generation.
+//!
+//! Real genomes are not uniform random strings: GC content drifts in
+//! isochores, and a large fraction of the sequence is repetitive. Both
+//! properties matter here — GC drift shapes the aligner's seed statistics,
+//! and repeats create multi-mapping reads (the expensive case for
+//! seed-and-extend alignment). The generator plants tandem and interspersed
+//! repeats at configurable density.
+
+use gpf_formats::ReferenceGenome;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Specification for a synthetic reference genome.
+#[derive(Debug, Clone)]
+pub struct ReferenceSpec {
+    /// Contig lengths in bases (one contig per entry, named `chr1`, `chr2`, ...).
+    pub contig_lengths: Vec<u64>,
+    /// RNG seed.
+    pub seed: u64,
+    /// Fraction of the genome covered by repeat copies (~0.15 default).
+    pub repeat_fraction: f64,
+    /// Length range of a repeat unit.
+    pub repeat_len: (usize, usize),
+    /// GC drift period in bases (isochore scale).
+    pub gc_period: f64,
+}
+
+impl Default for ReferenceSpec {
+    fn default() -> Self {
+        Self {
+            contig_lengths: vec![1_000_000],
+            seed: 42,
+            repeat_fraction: 0.15,
+            repeat_len: (150, 600),
+            gc_period: 50_000.0,
+        }
+    }
+}
+
+impl ReferenceSpec {
+    /// A small multi-contig genome for tests and examples.
+    pub fn small(seed: u64) -> Self {
+        Self { contig_lengths: vec![200_000, 120_000, 60_000], seed, ..Self::default() }
+    }
+
+    /// Generate the reference genome.
+    pub fn generate(&self) -> ReferenceGenome {
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let contigs: Vec<(String, Vec<u8>)> = self
+            .contig_lengths
+            .iter()
+            .enumerate()
+            .map(|(i, &len)| (format!("chr{}", i + 1), self.generate_contig(len as usize, &mut rng)))
+            .collect();
+        ReferenceGenome::from_contigs(contigs)
+    }
+
+    fn generate_contig(&self, len: usize, rng: &mut StdRng) -> Vec<u8> {
+        let mut seq = Vec::with_capacity(len);
+        while seq.len() < len {
+            let pos = seq.len();
+            // Decide whether to emit a repeat copy.
+            let in_repeat = !seq.is_empty()
+                && seq.len() > self.repeat_len.1 * 2
+                && rng.gen_bool(
+                    self.repeat_fraction / ((self.repeat_len.0 + self.repeat_len.1) as f64 / 2.0),
+                );
+            if in_repeat {
+                let rlen = rng.gen_range(self.repeat_len.0..=self.repeat_len.1).min(len - pos);
+                let src = rng.gen_range(0..seq.len().saturating_sub(rlen).max(1));
+                let copy: Vec<u8> = seq[src..(src + rlen).min(seq.len())].to_vec();
+                // Diverge the copy slightly (ancient repeats accumulate mutations).
+                for b in copy {
+                    if rng.gen_bool(0.02) {
+                        seq.push(random_base(rng, 0.5));
+                    } else {
+                        seq.push(b);
+                    }
+                    if seq.len() == len {
+                        break;
+                    }
+                }
+            } else {
+                // GC content oscillates along the contig (isochores).
+                let gc = 0.42 + 0.12 * (pos as f64 * std::f64::consts::TAU / self.gc_period).sin();
+                seq.push(random_base(rng, gc));
+            }
+        }
+        seq.truncate(len);
+        seq
+    }
+}
+
+/// Draw a base with the given GC probability.
+fn random_base(rng: &mut StdRng, gc: f64) -> u8 {
+    if rng.gen_bool(gc) {
+        if rng.gen_bool(0.5) {
+            b'G'
+        } else {
+            b'C'
+        }
+    } else if rng.gen_bool(0.5) {
+        b'A'
+    } else {
+        b'T'
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generates_requested_lengths_and_names() {
+        let spec = ReferenceSpec { contig_lengths: vec![10_000, 5_000], ..Default::default() };
+        let r = spec.generate();
+        assert_eq!(r.dict().len(), 2);
+        assert_eq!(r.dict().length_of(0), 10_000);
+        assert_eq!(r.dict().length_of(1), 5_000);
+        assert_eq!(r.dict().name_of(0), "chr1");
+        assert_eq!(r.contig_seq(0).len(), 10_000);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let a = ReferenceSpec { seed: 7, contig_lengths: vec![20_000], ..Default::default() }.generate();
+        let b = ReferenceSpec { seed: 7, contig_lengths: vec![20_000], ..Default::default() }.generate();
+        let c = ReferenceSpec { seed: 8, contig_lengths: vec![20_000], ..Default::default() }.generate();
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn only_canonical_bases() {
+        let r = ReferenceSpec::small(3).generate();
+        for id in 0..r.dict().len() as u32 {
+            assert!(r.contig_seq(id).iter().all(|b| b"ACGT".contains(b)));
+        }
+    }
+
+    #[test]
+    fn gc_content_is_plausible() {
+        let r = ReferenceSpec { contig_lengths: vec![200_000], ..Default::default() }.generate();
+        let gc = r.contig_seq(0).iter().filter(|&&b| b == b'G' || b == b'C').count() as f64
+            / 200_000.0;
+        assert!((0.3..0.55).contains(&gc), "gc = {gc}");
+    }
+
+    #[test]
+    fn contains_repeats() {
+        // A genome with repeats has some 40-mer appearing more than once.
+        let r = ReferenceSpec { contig_lengths: vec![150_000], ..Default::default() }.generate();
+        let seq = r.contig_seq(0);
+        let mut seen = std::collections::HashMap::new();
+        let mut dup = 0usize;
+        for w in seq.windows(40).step_by(7) {
+            *seen.entry(w.to_vec()).or_insert(0usize) += 1;
+        }
+        for (_, c) in seen {
+            if c > 1 {
+                dup += 1;
+            }
+        }
+        assert!(dup > 10, "expected repeated 40-mers, found {dup}");
+    }
+}

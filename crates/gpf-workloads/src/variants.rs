@@ -1,0 +1,341 @@
+//! Variant planting: build a diploid donor genome from a reference, with
+//! ground truth for caller validation and a known-sites VCF (dbSNP
+//! analogue).
+
+use gpf_formats::genome::GenomePosition;
+use gpf_formats::vcf::{Genotype, VcfRecord};
+use gpf_formats::ReferenceGenome;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Specification of the variants to plant.
+#[derive(Debug, Clone)]
+pub struct VariantSpec {
+    /// SNVs per base (human-like ~1e-3).
+    pub snv_rate: f64,
+    /// Indels per base (~1e-4).
+    pub indel_rate: f64,
+    /// Maximum indel length.
+    pub max_indel_len: usize,
+    /// Fraction of variants that are heterozygous.
+    pub het_fraction: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for VariantSpec {
+    fn default() -> Self {
+        Self { snv_rate: 1e-3, indel_rate: 1e-4, max_indel_len: 8, het_fraction: 0.6, seed: 1 }
+    }
+}
+
+/// One planted variant (ground truth).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PlantedVariant {
+    /// Position of the variant (for indels: the anchor base, VCF-style).
+    pub pos: GenomePosition,
+    /// Reference allele (anchor-base included for indels).
+    pub ref_allele: Vec<u8>,
+    /// Alternate allele.
+    pub alt_allele: Vec<u8>,
+    /// Heterozygous (haplotype A only) or homozygous (both haplotypes).
+    pub het: bool,
+}
+
+impl PlantedVariant {
+    /// `true` for single-nucleotide variants.
+    pub fn is_snv(&self) -> bool {
+        self.ref_allele.len() == 1 && self.alt_allele.len() == 1
+    }
+}
+
+/// One haplotype's sequence for a contig plus a piecewise map from haplotype
+/// coordinates back to reference coordinates.
+#[derive(Debug, Clone)]
+pub struct Haplotype {
+    /// The haplotype sequence.
+    pub seq: Vec<u8>,
+    /// Breakpoints `(hap_offset, ref_offset)` sorted by `hap_offset`: between
+    /// breakpoints the mapping is linear.
+    pub coord_map: Vec<(u64, u64)>,
+}
+
+impl Haplotype {
+    /// Map a haplotype position to the corresponding reference position.
+    pub fn to_ref(&self, hap_pos: u64) -> u64 {
+        let idx = self.coord_map.partition_point(|&(h, _)| h <= hap_pos) - 1;
+        let (h, r) = self.coord_map[idx];
+        r + (hap_pos - h)
+    }
+}
+
+/// A diploid donor genome: two haplotypes per contig plus ground truth.
+#[derive(Debug, Clone)]
+pub struct DonorGenome {
+    /// Haplotype A per contig (carries het + hom variants).
+    pub hap_a: Vec<Haplotype>,
+    /// Haplotype B per contig (carries hom variants only).
+    pub hap_b: Vec<Haplotype>,
+    /// All planted variants in coordinate order.
+    pub truth: Vec<PlantedVariant>,
+}
+
+impl DonorGenome {
+    /// Plant variants into `reference` per `spec`.
+    pub fn generate(reference: &ReferenceGenome, spec: &VariantSpec) -> Self {
+        let mut rng = StdRng::seed_from_u64(spec.seed);
+        let mut truth = Vec::new();
+        let mut hap_a = Vec::new();
+        let mut hap_b = Vec::new();
+        for contig in 0..reference.dict().len() as u32 {
+            let seq = reference.contig_seq(contig);
+            // Choose variant sites on this contig first, then build both
+            // haplotypes with the same site list.
+            let mut sites: Vec<PlantedVariant> = Vec::new();
+            let mut pos = 1u64; // skip position 0 so indel anchors always exist
+            while (pos as usize) < seq.len().saturating_sub(spec.max_indel_len + 1) {
+                let p = pos as usize;
+                if rng.gen_bool(spec.snv_rate) {
+                    let old = seq[p];
+                    let new = mutate_base(old, &mut rng);
+                    sites.push(PlantedVariant {
+                        pos: GenomePosition::new(contig, pos),
+                        ref_allele: vec![old],
+                        alt_allele: vec![new],
+                        het: rng.gen_bool(spec.het_fraction),
+                    });
+                    pos += 1;
+                } else if rng.gen_bool(spec.indel_rate) {
+                    let len = rng.gen_range(1..=spec.max_indel_len);
+                    let anchor = seq[p];
+                    if rng.gen_bool(0.5) {
+                        // Deletion of `len` bases after the anchor.
+                        let mut ref_allele = vec![anchor];
+                        ref_allele.extend_from_slice(&seq[p + 1..p + 1 + len]);
+                        sites.push(PlantedVariant {
+                            pos: GenomePosition::new(contig, pos),
+                            ref_allele,
+                            alt_allele: vec![anchor],
+                            het: rng.gen_bool(spec.het_fraction),
+                        });
+                        pos += len as u64 + 1;
+                    } else {
+                        // Insertion after the anchor.
+                        let mut alt_allele = vec![anchor];
+                        for _ in 0..len {
+                            alt_allele.push(*b"ACGT".get(rng.gen_range(0..4)).expect("base"));
+                        }
+                        sites.push(PlantedVariant {
+                            pos: GenomePosition::new(contig, pos),
+                            ref_allele: vec![anchor],
+                            alt_allele,
+                            het: rng.gen_bool(spec.het_fraction),
+                        });
+                        pos += 2;
+                    }
+                } else {
+                    pos += 1;
+                }
+            }
+            hap_a.push(build_haplotype(seq, sites.iter().collect::<Vec<_>>().as_slice()));
+            let hom_only: Vec<&PlantedVariant> = sites.iter().filter(|v| !v.het).collect();
+            hap_b.push(build_haplotype(seq, &hom_only));
+            truth.extend(sites);
+        }
+        Self { hap_a, hap_b, truth }
+    }
+
+    /// Known-sites VCF (dbSNP analogue): `overlap` fraction of the planted
+    /// variants plus `extra` additional sites absent from the donor.
+    pub fn known_sites(
+        &self,
+        reference: &ReferenceGenome,
+        overlap: f64,
+        extra: usize,
+        seed: u64,
+    ) -> Vec<VcfRecord> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut out: Vec<VcfRecord> = self
+            .truth
+            .iter()
+            .filter(|_| rng.gen_bool(overlap))
+            .map(|v| VcfRecord {
+                contig: v.pos.contig,
+                pos: v.pos.pos,
+                ref_allele: v.ref_allele.clone(),
+                alt_allele: v.alt_allele.clone(),
+                qual: 100.0,
+                genotype: if v.het { Genotype::Het } else { Genotype::HomAlt },
+                depth: 0,
+            })
+            .collect();
+        for _ in 0..extra {
+            let contig = rng.gen_range(0..reference.dict().len() as u32);
+            let len = reference.dict().length_of(contig);
+            let pos = rng.gen_range(0..len);
+            let old = reference.contig_seq(contig)[pos as usize];
+            out.push(VcfRecord {
+                contig,
+                pos,
+                ref_allele: vec![old],
+                alt_allele: vec![mutate_base(old, &mut rng)],
+                qual: 50.0,
+                genotype: Genotype::Het,
+                depth: 0,
+            });
+        }
+        out.sort_by_key(|v| (v.contig, v.pos));
+        out.dedup_by_key(|v| (v.contig, v.pos));
+        out
+    }
+}
+
+/// Substitute a base with a different one.
+fn mutate_base(old: u8, rng: &mut StdRng) -> u8 {
+    loop {
+        let b = b"ACGT"[rng.gen_range(0..4)];
+        if b != old {
+            return b;
+        }
+    }
+}
+
+/// Apply `sites` (sorted by position) to `seq`, producing a haplotype with a
+/// coordinate map.
+fn build_haplotype(seq: &[u8], sites: &[&PlantedVariant]) -> Haplotype {
+    let mut out = Vec::with_capacity(seq.len() + 64);
+    let mut coord_map = vec![(0u64, 0u64)];
+    let mut ref_pos = 0usize;
+    for v in sites {
+        let p = v.pos.pos as usize;
+        debug_assert!(p >= ref_pos, "sites must be sorted and non-overlapping");
+        out.extend_from_slice(&seq[ref_pos..p]);
+        if v.is_snv() {
+            out.push(v.alt_allele[0]);
+            ref_pos = p + 1;
+        } else if v.ref_allele.len() > v.alt_allele.len() {
+            // Deletion: emit the anchor, skip the deleted bases.
+            out.push(v.alt_allele[0]);
+            ref_pos = p + v.ref_allele.len();
+            coord_map.push((out.len() as u64, ref_pos as u64));
+        } else {
+            // Insertion: emit the anchor plus inserted bases.
+            out.extend_from_slice(&v.alt_allele);
+            ref_pos = p + 1;
+            coord_map.push((out.len() as u64, ref_pos as u64));
+        }
+    }
+    out.extend_from_slice(&seq[ref_pos..]);
+    Haplotype { seq: out, coord_map }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::refgen::ReferenceSpec;
+
+    fn small_ref() -> ReferenceGenome {
+        ReferenceSpec { contig_lengths: vec![50_000], seed: 5, ..Default::default() }.generate()
+    }
+
+    #[test]
+    fn plants_variants_at_expected_rate() {
+        let r = small_ref();
+        let donor = DonorGenome::generate(&r, &VariantSpec::default());
+        let n = donor.truth.len();
+        // ~1.1e-3 * 50k ≈ 55 expected.
+        assert!((25..110).contains(&n), "planted {n}");
+        assert!(donor.truth.iter().any(|v| v.is_snv()));
+        assert!(donor.truth.iter().any(|v| !v.is_snv()), "expect at least one indel");
+    }
+
+    #[test]
+    fn hom_variants_hit_both_haplotypes() {
+        let r = small_ref();
+        let donor = DonorGenome::generate(&r, &VariantSpec::default());
+        for v in donor.truth.iter().filter(|v| v.is_snv()) {
+            let p = v.pos.pos;
+            // Find the haplotype position for a SNV: same ref coordinate via map.
+            let hap_a = &donor.hap_a[0];
+            // Scan the coord map to convert ref->hap approximately: SNVs don't
+            // shift coordinates, so only indel breakpoints matter.
+            let hap_pos_a = hap_pos_for_ref(hap_a, p);
+            assert_eq!(hap_a.seq[hap_pos_a as usize], v.alt_allele[0], "hap A carries alt");
+            let hap_b = &donor.hap_b[0];
+            let hap_pos_b = hap_pos_for_ref(hap_b, p);
+            if v.het {
+                assert_eq!(hap_b.seq[hap_pos_b as usize], v.ref_allele[0], "het: hap B is ref");
+            } else {
+                assert_eq!(hap_b.seq[hap_pos_b as usize], v.alt_allele[0], "hom: hap B alt too");
+            }
+        }
+    }
+
+    /// Invert the hap→ref map for test purposes (works because segments are
+    /// linear between breakpoints).
+    fn hap_pos_for_ref(h: &Haplotype, ref_pos: u64) -> u64 {
+        let idx = h.coord_map.partition_point(|&(_, r)| r <= ref_pos) - 1;
+        let (hs, rs) = h.coord_map[idx];
+        hs + (ref_pos - rs)
+    }
+
+    #[test]
+    fn coord_map_round_trips() {
+        let r = small_ref();
+        let donor = DonorGenome::generate(&r, &VariantSpec::default());
+        let hap = &donor.hap_a[0];
+        for hap_pos in (0..hap.seq.len() as u64).step_by(997) {
+            let rp = hap.to_ref(hap_pos);
+            assert!(rp < r.dict().length_of(0) + 100);
+        }
+        // Start maps to start.
+        assert_eq!(hap.to_ref(0), 0);
+    }
+
+    #[test]
+    fn non_variant_regions_match_reference() {
+        let r = small_ref();
+        let donor = DonorGenome::generate(&r, &VariantSpec::default());
+        let hap = &donor.hap_a[0];
+        let refseq = r.contig_seq(0);
+        let mut matches = 0usize;
+        let mut total = 0usize;
+        for hap_pos in (0..hap.seq.len() as u64).step_by(101) {
+            let rp = hap.to_ref(hap_pos) as usize;
+            if rp < refseq.len() {
+                total += 1;
+                if refseq[rp] == hap.seq[hap_pos as usize] {
+                    matches += 1;
+                }
+            }
+        }
+        // Nearly everything matches (variant rate is ~0.1%).
+        assert!(matches as f64 / total as f64 > 0.97, "{matches}/{total}");
+    }
+
+    #[test]
+    fn known_sites_overlap_and_extras() {
+        let r = small_ref();
+        let donor = DonorGenome::generate(&r, &VariantSpec::default());
+        let known = donor.known_sites(&r, 0.8, 20, 9);
+        assert!(!known.is_empty());
+        let truth_pos: std::collections::HashSet<(u32, u64)> =
+            donor.truth.iter().map(|v| (v.pos.contig, v.pos.pos)).collect();
+        let overlapping = known.iter().filter(|k| truth_pos.contains(&(k.contig, k.pos))).count();
+        assert!(overlapping > 0, "some known sites overlap truth");
+        assert!(overlapping < known.len(), "some known sites are novel");
+        // Sorted and unique.
+        for w in known.windows(2) {
+            assert!((w[0].contig, w[0].pos) < (w[1].contig, w[1].pos));
+        }
+    }
+
+    #[test]
+    fn deterministic() {
+        let r = small_ref();
+        let a = DonorGenome::generate(&r, &VariantSpec::default());
+        let b = DonorGenome::generate(&r, &VariantSpec::default());
+        assert_eq!(a.truth, b.truth);
+        assert_eq!(a.hap_a[0].seq, b.hap_a[0].seq);
+    }
+}

@@ -1,0 +1,150 @@
+//! Quickstart: the paper's Figure 3 program, end to end, in two minutes.
+//!
+//! Builds a tiny synthetic genome, simulates paired-end reads, and runs the
+//! full GPF pipeline — Aligner (BWA-MEM-like), Cleaner (MarkDuplicate,
+//! IndelRealign, BQSR), Caller (HaplotypeCaller-like) — through the
+//! Process/Resource/Pipeline programming model.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use gpf::core::prelude::*;
+use gpf::engine::{Dataset, EngineConfig, EngineContext};
+use gpf::formats::vcf::format_vcf;
+use gpf::workloads::readsim::{simulate_fastq_pairs, SimulatorConfig};
+use gpf::workloads::refgen::ReferenceSpec;
+use gpf::workloads::variants::{DonorGenome, VariantSpec};
+use std::sync::Arc;
+
+fn main() {
+    // --- Workload: synthetic reference + donor + reads (the NA12878/hg19
+    // stand-ins; see DESIGN.md for the substitution rationale). ----------
+    let reference = Arc::new(ReferenceSpec::small(7).generate());
+    let donor = DonorGenome::generate(&reference, &VariantSpec::default());
+    let pairs = simulate_fastq_pairs(
+        &reference,
+        &donor,
+        SimulatorConfig { coverage: 15.0, ..Default::default() },
+    );
+    let known = donor.known_sites(&reference, 0.8, 20, 99);
+    println!(
+        "workload: {} bp genome, {} read pairs, {} known sites, {} planted variants",
+        reference.genome_length(),
+        pairs.len(),
+        known.len(),
+        donor.truth.len()
+    );
+
+    // --- Set up environment for Process and Resource (Figure 3). --------
+    let ctx = EngineContext::new(EngineConfig::gpf().with_parallelism(64));
+    let mut pipeline = Pipeline::new("myPipeline", Arc::clone(&ctx));
+    let dict = reference.dict().clone();
+
+    // Load pair-end FASTQ to RDD.
+    let fastq_pair_rdd = Dataset::from_vec(Arc::clone(&ctx), pairs, 64);
+    let fastq_pair_bundle = FastqPairBundle::defined("fastqPair", fastq_pair_rdd);
+    let dbsnp = VcfBundle::defined(
+        "dbsnp",
+        VcfHeaderInfo::new_header(dict.clone(), vec![]),
+        Dataset::from_vec(Arc::clone(&ctx), known, 64),
+    );
+
+    // Add Aligner Process into the Pipeline.
+    let aligned_sam = SamBundle::undefined("alignedSam", SamHeaderInfo::unsorted_header(dict.clone()));
+    pipeline.add_process(BwaMemProcess::pair_end(
+        "MyBwaMapping",
+        Arc::clone(&reference),
+        fastq_pair_bundle,
+        Arc::clone(&aligned_sam),
+    ));
+
+    // Add Cleaner Processes into the Pipeline.
+    let deduped = SamBundle::undefined("dedupedSam", SamHeaderInfo::unsorted_header(dict.clone()));
+    pipeline.add_process(MarkDuplicateProcess::new(
+        "MyMarkDuplicate",
+        Arc::clone(&aligned_sam),
+        Arc::clone(&deduped),
+    ));
+
+    let repartition_info = PartitionInfoBundle::undefined("partitionInfo");
+    pipeline.add_process(ReadRepartitioner::new(
+        "MyRepartitioner",
+        vec![Arc::clone(&deduped)],
+        Arc::clone(&repartition_info),
+        reference.dict().lengths(),
+        4_000,
+    ));
+
+    let realigned = SamBundle::undefined("realignedSam", SamHeaderInfo::unsorted_header(dict.clone()));
+    pipeline.add_process(IndelRealignProcess::new(
+        "MyIndelRealign",
+        Arc::clone(&reference),
+        Some(Arc::clone(&dbsnp)),
+        Arc::clone(&repartition_info),
+        deduped,
+        Arc::clone(&realigned),
+    ));
+
+    let recaled_sam = SamBundle::undefined("recaledSam", SamHeaderInfo::unsorted_header(dict.clone()));
+    pipeline.add_process(BaseRecalibrationProcess::new(
+        "MyBQSR",
+        Arc::clone(&reference),
+        Some(Arc::clone(&dbsnp)),
+        Arc::clone(&repartition_info),
+        realigned,
+        Arc::clone(&recaled_sam),
+    ));
+
+    // Add Caller Process into the Pipeline.
+    let vcf_bundle = VcfBundle::undefined(
+        "ResultVCF",
+        VcfHeaderInfo::new_header(dict.clone(), vec!["sample1".into()]),
+    );
+    let use_gvcf = false;
+    pipeline.add_process(HaplotypeCallerProcess::new(
+        "MyHaplotypeCaller",
+        Arc::clone(&reference),
+        Some(dbsnp),
+        repartition_info,
+        recaled_sam,
+        Arc::clone(&vcf_bundle),
+        use_gvcf,
+    ));
+
+    // Issue and execute Processes.
+    pipeline.run().expect("pipeline executes");
+
+    // --- Inspect the results. -------------------------------------------
+    let calls = vcf_bundle.dataset().collect_local();
+    let recalled = donor
+        .truth
+        .iter()
+        .filter(|t| calls.iter().any(|c| c.contig == t.pos.contig && c.pos.abs_diff(t.pos.pos) <= 1))
+        .count();
+    println!(
+        "\npipeline executed {} processes ({} fused chain(s))",
+        pipeline.executed().len(),
+        pipeline.fused_chains().len()
+    );
+    println!(
+        "called {} variants; recovered {}/{} planted variants",
+        calls.len(),
+        recalled,
+        donor.truth.len()
+    );
+
+    let run = ctx.take_run();
+    println!(
+        "engine: {} stages, {:.1} MiB shuffled, {:.2} core-s CPU",
+        run.num_stages(),
+        run.total_shuffle_bytes() as f64 / (1 << 20) as f64,
+        run.total_cpu_s()
+    );
+
+    println!("\nfirst VCF lines:");
+    let header = VcfHeaderInfo::new_header(dict, vec!["sample1".into()]);
+    for line in format_vcf(&header, &calls[..calls.len().min(5)]).lines().take(12) {
+        println!("  {line}");
+    }
+}

@@ -1,0 +1,19 @@
+//! # gpf — facade crate
+//!
+//! Re-exports the whole GPF workspace behind one dependency, mirroring how
+//! the paper's GPF presents a single framework to pipeline authors.
+//!
+//! See the individual crates for detail:
+//! [`gpf_core`] (Process/Resource/Pipeline), [`gpf_engine`] (execution
+//! engine), [`gpf_formats`], [`gpf_compress`], [`gpf_align`],
+//! [`gpf_cleaner`], [`gpf_caller`], [`gpf_workloads`], [`gpf_baselines`].
+
+pub use gpf_align as align;
+pub use gpf_baselines as baselines;
+pub use gpf_caller as caller;
+pub use gpf_cleaner as cleaner;
+pub use gpf_compress as compress;
+pub use gpf_core as core;
+pub use gpf_engine as engine;
+pub use gpf_formats as formats;
+pub use gpf_workloads as workloads;
