@@ -160,7 +160,10 @@ mod tests {
             &reference,
             &donor,
             SimulatorConfig {
-                coverage: 20.0,
+                // 30x rather than 20x: at 20x the sampled coverage gaps leave
+                // the majority-recall sanity bound below only one missed SNV
+                // of slack, so any PRNG stream change flips the test.
+                coverage: 30.0,
                 duplicate_rate: 0.05,
                 hotspot_count: 1,
                 ..Default::default()

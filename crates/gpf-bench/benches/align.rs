@@ -3,7 +3,8 @@
 //! Per-pair BWA-MEM-like alignment vs per-read SNAP-like alignment, plus
 //! index construction cost.
 
-use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use gpf_support::bench::{Criterion, Throughput};
+use gpf_support::{criterion_group, criterion_main};
 use gpf_align::{BwaMemAligner, SnapAligner};
 use gpf_workloads::readsim::{ReadSimulator, SimulatorConfig};
 use gpf_workloads::refgen::ReferenceSpec;

@@ -3,14 +3,15 @@
 //! Measures sequence 2-bit packing, quality delta+Huffman coding, and the
 //! three record serializers on realistic simulated reads.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use gpf_support::bench::{BenchmarkId, Criterion, Throughput};
+use gpf_support::{criterion_group, criterion_main};
 use gpf_compress::qualcodec::QualityCodec;
 use gpf_compress::sequence::{compress_read_fields, decompress_read_fields};
 use gpf_compress::serializer::{deserialize_batch, serialize_batch, SerializerKind};
 use gpf_formats::fastq::FastqRecord;
 use gpf_workloads::quality::QualityProfile;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use gpf_support::rng::StdRng;
+use gpf_support::rng::{Rng, SeedableRng};
 
 fn reads(n: usize, len: usize) -> Vec<FastqRecord> {
     let mut rng = StdRng::seed_from_u64(7);

@@ -1,12 +1,13 @@
 //! Criterion bench: engine shuffle throughput under the three serializers
 //! (the mechanism behind Tables 3 and 4).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use gpf_support::bench::{BenchmarkId, Criterion, Throughput};
+use gpf_support::{criterion_group, criterion_main};
 use gpf_compress::SerializerKind;
 use gpf_engine::{Dataset, EngineConfig, EngineContext};
 use gpf_workloads::quality::QualityProfile;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use gpf_support::rng::StdRng;
+use gpf_support::rng::{Rng, SeedableRng};
 use std::sync::Arc;
 
 fn records(n: usize) -> Vec<(u64, gpf_formats::FastqRecord)> {

@@ -1,6 +1,7 @@
 //! Criterion bench: Cleaner kernels under each flavor (backs Figure 11 a-c).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gpf_support::bench::{BenchmarkId, Criterion};
+use gpf_support::{criterion_group, criterion_main};
 use gpf_baselines::flavors::Flavor;
 use gpf_baselines::kernels::{run_bqsr, run_markdup, run_realign, KernelInput};
 use gpf_bench::WgsWorkload;

@@ -1,10 +1,11 @@
 //! Criterion bench: the pair-HMM likelihood kernel — the Caller stage's CPU
 //! hot spot (§5.3.2 of the paper).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use gpf_support::bench::{BenchmarkId, Criterion, Throughput};
+use gpf_support::{criterion_group, criterion_main};
 use gpf_caller::pairhmm::{log10_likelihood, HmmParams};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use gpf_support::rng::StdRng;
+use gpf_support::rng::{Rng, SeedableRng};
 
 fn random_seq(rng: &mut StdRng, n: usize) -> Vec<u8> {
     (0..n).map(|_| b"ACGT"[rng.gen_range(0..4)]).collect()

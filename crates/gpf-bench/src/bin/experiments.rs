@@ -3,11 +3,14 @@
 //! ```text
 //! experiments <id>[,<id>...] [--scale X]
 //! experiments all [--scale X]
+//! experiments --smoke
 //! ```
 //!
 //! Ids: table1 table3 table4 table5 fig5 fig10 fig11a fig11b fig11c fig11d
 //! fig12 fig13. `--scale` (or `GPF_SCALE`) shrinks/grows the workload;
-//! 1.0 ≈ a 1 Mb genome at 20×.
+//! 1.0 ≈ a 1 Mb genome at 20×. `--smoke` runs every requested experiment
+//! at a tiny fixed scale — a CI-speed check that each code path still
+//! executes, not a measurement.
 
 use gpf_bench::experiments::{self, Lab};
 use gpf_bench::ExperimentReport;
@@ -15,10 +18,12 @@ use gpf_bench::ExperimentReport;
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut scale = gpf_bench::env_scale();
+    let mut smoke = false;
     let mut ids: Vec<String> = Vec::new();
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
+            "--smoke" => smoke = true,
             "--scale" => {
                 i += 1;
                 scale = args
@@ -28,9 +33,10 @@ fn main() {
             }
             "--help" | "-h" => {
                 eprintln!(
-                    "usage: experiments <id>[,<id>...]|all [--scale X]\n\
+                    "usage: experiments <id>[,<id>...]|all [--scale X] [--smoke]\n\
                      ids: table1 table3 table4 table5 fig5 fig10 fig11a fig11b fig11c fig11d fig12 fig13\n\
-                     extra: diag (per-stage task/straggler diagnostics, not a paper artifact)"
+                     extra: diag (per-stage task/straggler diagnostics, not a paper artifact)\n\
+                     --smoke: tiny fixed scale; verifies code paths, numbers are meaningless"
                 );
                 return;
             }
@@ -40,6 +46,10 @@ fn main() {
     }
     if ids.is_empty() {
         ids.push("all".to_string());
+    }
+    if smoke {
+        scale = 0.05;
+        eprintln!("[smoke] scale forced to {scale}; output verifies code paths only");
     }
 
     if ids.iter().any(|s| s == "all") {

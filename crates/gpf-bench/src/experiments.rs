@@ -18,8 +18,8 @@ use gpf_engine::fsmodel::{
 use gpf_engine::sim::{blocked_time, simulate, SimCluster, SimOptions};
 use gpf_engine::{Dataset, EngineConfig, EngineContext, JobRun};
 use gpf_workloads::quality::QualityProfile;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use gpf_support::rng::StdRng;
+use gpf_support::rng::SeedableRng;
 use std::sync::{Arc, OnceLock};
 
 /// Lazily shared workload + pipeline runs, so `experiments all` builds each

@@ -6,7 +6,7 @@ use gpf_compress::serializer::{deserialize_batch, serialize_batch, SerializerKin
 use gpf_formats::fastq::FastqRecord;
 use gpf_formats::sam::{SamFlags, SamRecord};
 use gpf_formats::Cigar;
-use proptest::prelude::*;
+use gpf_support::proptest::prelude::*;
 
 fn seq_strategy(max_len: usize) -> impl Strategy<Value = Vec<u8>> {
     proptest::collection::vec(

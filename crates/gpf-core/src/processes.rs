@@ -33,7 +33,7 @@ use gpf_engine::{Dataset, EngineContext};
 use gpf_formats::sam::SamRecord;
 use gpf_formats::vcf::{Genotype, VcfRecord};
 use gpf_formats::ReferenceGenome;
-use parking_lot::Mutex;
+use gpf_support::sync::Mutex;
 use std::sync::Arc;
 
 // ---------------------------------------------------------------------------

@@ -14,7 +14,7 @@ use gpf_engine::Dataset;
 use gpf_formats::fastq::FastqPair;
 use gpf_formats::sam::{SamHeaderInfo, SamRecord};
 use gpf_formats::vcf::{VcfHeaderInfo, VcfRecord};
-use parking_lot::Mutex;
+use gpf_support::sync::Mutex;
 use std::sync::Arc;
 
 /// The two Resource states of Figure 2.

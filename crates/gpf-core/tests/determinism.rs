@@ -1,0 +1,88 @@
+//! Partition-assignment determinism.
+//!
+//! Dynamic repartitioning decides partition boundaries from observed read
+//! counts; two drivers observing the same counts must derive the **same**
+//! assignment for every genomic position, or distributed stages would
+//! disagree about where a record lives. These tests pin that contract,
+//! including under simulated (seeded) read positions.
+
+use gpf_core::partition::PartitionInfo;
+use gpf_formats::GenomePosition;
+use gpf_support::rng::{Rng, SeedableRng, StdRng};
+
+const CONTIGS: &[u64] = &[48_000_000, 33_000_000, 9_000_000];
+const PART_LEN: u64 = 4_000_000;
+
+/// Every position a seeded workload touches, as (contig, pos) pairs.
+fn simulated_positions(seed: u64, n: usize) -> Vec<(u32, u64)> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n)
+        .map(|_| {
+            let contig = rng.gen_range(0..CONTIGS.len());
+            (contig as u32, rng.gen_range(0..CONTIGS[contig]))
+        })
+        .collect()
+}
+
+#[test]
+fn base_assignment_is_identical_across_instances() {
+    let a = PartitionInfo::new(CONTIGS, PART_LEN);
+    let b = PartitionInfo::new(CONTIGS, PART_LEN);
+    for (contig, pos) in simulated_positions(13, 50_000) {
+        let p = GenomePosition::new(contig, pos);
+        assert_eq!(a.partition_id(p), b.partition_id(p), "at {contig}:{pos}");
+        assert_eq!(a.base_partition_id(p), b.base_partition_id(p), "at {contig}:{pos}");
+    }
+}
+
+#[test]
+fn split_assignment_is_identical_across_instances_and_count_order() {
+    let base = PartitionInfo::new(CONTIGS, PART_LEN);
+
+    // Hotspot counts: two overloaded partitions among quiet ones.
+    let mut counts: Vec<(u32, u64)> = (0..base.num_base_partitions() as u64)
+        .map(|id| (id as u32, 40_000 + id * 13))
+        .collect();
+    counts[3].1 = 900_000;
+    counts[11].1 = 2_400_000;
+
+    let split_a = base.with_splits(&counts, 100_000);
+    // Same counts presented in reverse order must yield the same plan.
+    let mut reversed = counts.clone();
+    reversed.reverse();
+    let split_b = base.with_splits(&reversed, 100_000);
+
+    assert_eq!(split_a.num_partitions(), split_b.num_partitions());
+    assert!(split_a.num_partitions() > base.num_partitions(), "splits happened");
+    for (contig, pos) in simulated_positions(17, 50_000) {
+        let p = GenomePosition::new(contig, pos);
+        assert_eq!(split_a.partition_id(p), split_b.partition_id(p), "at {contig}:{pos}");
+    }
+}
+
+#[test]
+fn assignment_agrees_with_interval_lookup() {
+    // Note the 9 Mb tail contig: its last base partition is shorter than
+    // `partition_len`, which is exactly where id/interval disagreement
+    // would creep in (split piece lengths derive from the nominal
+    // partition length, so tail splits can leave trailing empty pieces —
+    // those must still never *claim* a position).
+    let base = PartitionInfo::new(CONTIGS, PART_LEN);
+    let counts: Vec<(u32, u64)> = (0..base.num_base_partitions())
+        .map(|id| (id, if id % 5 == 0 { 500_000 } else { 10 }))
+        .collect();
+    let split = base.with_splits(&counts, 100_000);
+    let intervals = split.intervals();
+
+    for (contig, pos) in simulated_positions(19, 50_000) {
+        let p = GenomePosition::new(contig, pos);
+        let id = split.partition_id(p);
+        assert!(id < split.num_partitions(), "id {id} in range at {contig}:{pos}");
+        let iv = &intervals[id as usize];
+        assert_eq!(iv.contig, contig, "interval contig at {contig}:{pos}");
+        assert!(
+            (iv.start..iv.end).contains(&pos),
+            "{contig}:{pos} inside its partition's interval {iv:?}"
+        );
+    }
+}

@@ -2,7 +2,7 @@
 
 use gpf_core::partition::PartitionInfo;
 use gpf_formats::GenomePosition;
-use proptest::prelude::*;
+use gpf_support::proptest::prelude::*;
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(64))]

@@ -5,7 +5,7 @@ use crate::config::EngineConfig;
 use crate::dataset::Dataset;
 use crate::metrics::{JobRun, StageKind, StageMetrics};
 use gpf_compress::{serializer::serialize_batch, GpfSerialize, SerializerKind};
-use parking_lot::Mutex;
+use gpf_support::sync::Mutex;
 use std::sync::Arc;
 
 /// Shared execution context: configuration, metrics recorder, phase tag.

@@ -1,7 +1,8 @@
 //! Partitioned, eagerly evaluated datasets with Spark-shaped operations.
 //!
 //! A [`Dataset<T>`] is an in-memory collection split into partitions.
-//! *Narrow* operations run per-partition in parallel (rayon) and accumulate
+//! *Narrow* operations run per-partition in parallel ([`gpf_support::par`])
+//! and accumulate
 //! measured CPU time into the engine's open stage; *wide* operations perform
 //! a real shuffle — every bucket is serialized with the context's configured
 //! [`gpf_compress::SerializerKind`] and deserialized on the reduce side — so
@@ -14,7 +15,7 @@
 use crate::context::EngineContext;
 use gpf_compress::serializer::{deserialize_batch, serialize_batch};
 use gpf_compress::GpfSerialize;
-use rayon::prelude::*;
+use gpf_support::par;
 use std::hash::{Hash, Hasher};
 use std::sync::Arc;
 use crate::timing::TaskTimer;
@@ -121,16 +122,11 @@ impl<T: Send + Sync + 'static> Dataset<T> {
         label: &str,
         f: impl Fn(usize, &[T]) -> Vec<U> + Send + Sync,
     ) -> Dataset<U> {
-        let results: Vec<(Vec<U>, f64)> = self
-            .parts
-            .par_iter()
-            .enumerate()
-            .map(|(i, p)| {
-                let t0 = TaskTimer::start();
-                let out = f(i, p);
-                (out, t0.elapsed_s())
-            })
-            .collect();
+        let results: Vec<(Vec<U>, f64)> = par::map_indexed(&self.parts, |i, p| {
+            let t0 = TaskTimer::start();
+            let out = f(i, p);
+            (out, t0.elapsed_s())
+        });
         let cpu: Vec<f64> = results.iter().map(|(_, t)| *t).collect();
         let records: u64 = results.iter().map(|(v, _)| v.len() as u64).sum();
         let alloc = records * self.ctx.config().per_record_overhead_bytes;
@@ -228,11 +224,8 @@ impl<T: Send + Sync + 'static> Dataset<T> {
     {
         let kind = self.ctx.serializer();
         let t0 = Instant::now();
-        let per_partition: Vec<u64> = self
-            .parts
-            .par_iter()
-            .map(|p| serialize_batch(kind, p).len() as u64)
-            .collect();
+        let per_partition: Vec<u64> =
+            par::map(&self.parts, |p| serialize_batch(kind, p).len() as u64);
         self.ctx.record_serde(t0.elapsed().as_secs_f64());
         self.ctx.close_stage_collect("collect", per_partition);
         self.collect_local()
@@ -257,9 +250,8 @@ impl<T: Send + Sync + 'static> Dataset<T> {
     where
         T: GpfSerialize,
     {
-        self.parts
-            .par_iter()
-            .map(|p| serialize_batch(kind, p).len() as u64)
+        par::map(&self.parts, |p| serialize_batch(kind, p).len() as u64)
+            .into_iter()
             .sum()
     }
 
@@ -283,8 +275,7 @@ impl<T: Send + Sync + 'static> Dataset<T> {
     {
         let kind = self.ctx.serializer();
         let t0 = Instant::now();
-        let bufs: Vec<Vec<u8>> =
-            self.parts.par_iter().map(|p| serialize_batch(kind, p)).collect();
+        let bufs: Vec<Vec<u8>> = par::map(&self.parts, |p| serialize_batch(kind, p));
         let ser_s = t0.elapsed().as_secs_f64();
         // (wall time acceptable here: ser_s feeds the aggregate serde metric,
         // not per-task durations)
@@ -292,15 +283,12 @@ impl<T: Send + Sync + 'static> Dataset<T> {
         self.ctx.record_serde(ser_s);
         self.ctx.close_stage_shuffle(label, bytes.clone(), bytes.clone());
         let t1 = Instant::now();
-        let parts: Vec<(Vec<T>, f64)> = bufs
-            .par_iter()
-            .map(|b| {
-                let t = TaskTimer::start();
-                let items: Vec<T> =
-                    deserialize_batch(kind, b).expect("engine-produced buffer is valid");
-                (items, t.elapsed_s())
-            })
-            .collect();
+        let parts: Vec<(Vec<T>, f64)> = par::map(&bufs, |b| {
+            let t = TaskTimer::start();
+            let items: Vec<T> =
+                deserialize_batch(kind, b).expect("engine-produced buffer is valid");
+            (items, t.elapsed_s())
+        });
         let de_cpu: Vec<f64> = parts.iter().map(|(_, t)| *t).collect();
         let records: u64 = parts.iter().map(|(v, _)| v.len() as u64).sum();
         let churn: u64 =
@@ -494,27 +482,24 @@ where
     let kind = ctx.serializer();
 
     // Map side: bucket and serialize.
-    let map_out: Vec<(Vec<Vec<u8>>, f64, f64)> = parts
-        .par_iter()
-        .map(|p| {
-            let t0 = TaskTimer::start();
-            let mut buckets: Vec<Vec<T>> = (0..nparts).map(|_| Vec::new()).collect();
-            for item in p {
-                let target = route(item);
-                assert!(target < nparts, "router produced partition {target} >= {nparts}");
-                buckets[target].push(item.clone());
-            }
-            let bucket_time = t0.elapsed_s();
-            let t1 = TaskTimer::start();
-            // Empty buckets produce zero bytes (Spark's shuffle index marks
-            // them with zero-length segments; no framing is written).
-            let ser: Vec<Vec<u8>> = buckets
-                .iter()
-                .map(|b| if b.is_empty() { Vec::new() } else { serialize_batch(kind, b) })
-                .collect();
-            (ser, bucket_time, t1.elapsed_s())
-        })
-        .collect();
+    let map_out: Vec<(Vec<Vec<u8>>, f64, f64)> = par::map(parts, |p| {
+        let t0 = TaskTimer::start();
+        let mut buckets: Vec<Vec<T>> = (0..nparts).map(|_| Vec::new()).collect();
+        for item in p {
+            let target = route(item);
+            assert!(target < nparts, "router produced partition {target} >= {nparts}");
+            buckets[target].push(item.clone());
+        }
+        let bucket_time = t0.elapsed_s();
+        let t1 = TaskTimer::start();
+        // Empty buckets produce zero bytes (Spark's shuffle index marks
+        // them with zero-length segments; no framing is written).
+        let ser: Vec<Vec<u8>> = buckets
+            .iter()
+            .map(|b| if b.is_empty() { Vec::new() } else { serialize_batch(kind, b) })
+            .collect();
+        (ser, bucket_time, t1.elapsed_s())
+    });
 
     let map_cpu: Vec<f64> = map_out.iter().map(|(_, b, s)| b + s).collect();
     let ser_s: f64 = map_out.iter().map(|(_, _, s)| *s).sum();
@@ -531,22 +516,19 @@ where
     ctx.close_stage_shuffle(label, write_bytes, read_bytes.clone());
 
     // Reduce side: deserialize buckets in map order.
-    let reduce_out: Vec<(Vec<T>, f64)> = (0..nparts)
-        .into_par_iter()
-        .map(|t| {
-            let t0 = TaskTimer::start();
-            let mut out: Vec<T> = Vec::new();
-            for (bufs, _, _) in &map_out {
-                if bufs[t].is_empty() {
-                    continue;
-                }
-                let mut items: Vec<T> =
-                    deserialize_batch(kind, &bufs[t]).expect("engine-produced buffer is valid");
-                out.append(&mut items);
+    let reduce_out: Vec<(Vec<T>, f64)> = par::map_range(nparts, |t| {
+        let t0 = TaskTimer::start();
+        let mut out: Vec<T> = Vec::new();
+        for (bufs, _, _) in &map_out {
+            if bufs[t].is_empty() {
+                continue;
             }
-            (out, t0.elapsed_s())
-        })
-        .collect();
+            let mut items: Vec<T> =
+                deserialize_batch(kind, &bufs[t]).expect("engine-produced buffer is valid");
+            out.append(&mut items);
+        }
+        (out, t0.elapsed_s())
+    });
     let de_cpu: Vec<f64> = reduce_out.iter().map(|(_, t)| *t).collect();
     let de_s: f64 = de_cpu.iter().sum();
     let out_records: u64 = reduce_out.iter().map(|(v, _)| v.len() as u64).sum();

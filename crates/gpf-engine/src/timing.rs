@@ -3,24 +3,46 @@
 //! Task durations feed the cluster simulator, where a stage's makespan is
 //! bounded by its longest task — so a wall-clock measurement polluted by OS
 //! preemption (another thread scheduled mid-task) would masquerade as a
-//! straggler and corrupt every scaling curve. On Unix we therefore measure
+//! straggler and corrupt every scaling curve. On Linux we therefore measure
 //! **thread CPU time** (`CLOCK_THREAD_CPUTIME_ID`), which excludes time the
 //! thread spent descheduled; elsewhere we fall back to wall clock.
+//!
+//! The `clock_gettime` binding is declared here directly (std already links
+//! the platform libc) rather than through the `libc` crate, keeping the
+//! workspace's hermetic zero-dependency build.
+
+#[cfg(target_os = "linux")]
+mod sys {
+    /// `struct timespec` (Linux x86-64/aarch64 ABI: both fields 64-bit).
+    #[repr(C)]
+    #[derive(Clone, Copy)]
+    pub struct Timespec {
+        pub tv_sec: i64,
+        pub tv_nsec: i64,
+    }
+
+    /// CPU-time clock of the calling thread (`linux/time.h`).
+    pub const CLOCK_THREAD_CPUTIME_ID: i32 = 3;
+
+    extern "C" {
+        pub fn clock_gettime(clockid: i32, tp: *mut Timespec) -> i32;
+    }
+}
 
 /// A started task timer.
 pub struct TaskTimer {
-    #[cfg(unix)]
-    start: libc::timespec,
-    #[cfg(not(unix))]
+    #[cfg(target_os = "linux")]
+    start: sys::Timespec,
+    #[cfg(not(target_os = "linux"))]
     start: std::time::Instant,
 }
 
-#[cfg(unix)]
-fn thread_cpu_now() -> libc::timespec {
-    let mut ts = libc::timespec { tv_sec: 0, tv_nsec: 0 };
+#[cfg(target_os = "linux")]
+fn thread_cpu_now() -> sys::Timespec {
+    let mut ts = sys::Timespec { tv_sec: 0, tv_nsec: 0 };
     // SAFETY: ts is a valid, writable timespec; the clock id is a constant.
     unsafe {
-        libc::clock_gettime(libc::CLOCK_THREAD_CPUTIME_ID, &mut ts);
+        sys::clock_gettime(sys::CLOCK_THREAD_CPUTIME_ID, &mut ts);
     }
     ts
 }
@@ -28,11 +50,11 @@ fn thread_cpu_now() -> libc::timespec {
 impl TaskTimer {
     /// Start timing the current thread's CPU consumption.
     pub fn start() -> Self {
-        #[cfg(unix)]
+        #[cfg(target_os = "linux")]
         {
             Self { start: thread_cpu_now() }
         }
-        #[cfg(not(unix))]
+        #[cfg(not(target_os = "linux"))]
         {
             Self { start: std::time::Instant::now() }
         }
@@ -40,13 +62,13 @@ impl TaskTimer {
 
     /// CPU seconds consumed by this thread since [`TaskTimer::start`].
     pub fn elapsed_s(&self) -> f64 {
-        #[cfg(unix)]
+        #[cfg(target_os = "linux")]
         {
             let now = thread_cpu_now();
             (now.tv_sec - self.start.tv_sec) as f64
                 + (now.tv_nsec - self.start.tv_nsec) as f64 * 1e-9
         }
-        #[cfg(not(unix))]
+        #[cfg(not(target_os = "linux"))]
         {
             self.start.elapsed().as_secs_f64()
         }
@@ -71,13 +93,13 @@ mod tests {
     }
 
     #[test]
-    fn excludes_sleep_on_unix() {
+    fn excludes_sleep_on_linux() {
         let t = TaskTimer::start();
         std::thread::sleep(std::time::Duration::from_millis(50));
         let s = t.elapsed_s();
-        #[cfg(unix)]
+        #[cfg(target_os = "linux")]
         assert!(s < 0.02, "sleep must not count as task CPU: {s}");
-        #[cfg(not(unix))]
+        #[cfg(not(target_os = "linux"))]
         assert!(s >= 0.05);
     }
 }

@@ -2,7 +2,7 @@
 //! invariants.
 
 use gpf_engine::{Dataset, EngineConfig, EngineContext, SimCluster, SimOptions};
-use proptest::prelude::*;
+use gpf_support::proptest::prelude::*;
 
 fn ctx() -> std::sync::Arc<EngineContext> {
     EngineContext::new(EngineConfig::default())

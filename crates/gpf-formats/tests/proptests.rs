@@ -3,7 +3,7 @@
 use gpf_formats::cigar::Cigar;
 use gpf_formats::fastq::{format_fastq, parse_fastq, FastqRecord};
 use gpf_formats::genome::{merge_intervals, GenomeInterval};
-use proptest::prelude::*;
+use gpf_support::proptest::prelude::*;
 
 /// Strategy for a valid read sequence over {A,C,G,T,N}.
 fn seq_strategy(max_len: usize) -> impl Strategy<Value = Vec<u8>> {

@@ -1,0 +1,375 @@
+//! A `criterion`-shaped micro-benchmark harness on `std::time::Instant`.
+//!
+//! Mirrors the slice of the criterion API the `gpf-bench` suites use —
+//! [`Criterion::benchmark_group`], [`BenchmarkGroup::throughput`],
+//! [`BenchmarkGroup::sample_size`], [`BenchmarkGroup::bench_function`],
+//! [`BenchmarkGroup::bench_with_input`], [`Bencher::iter`],
+//! [`BenchmarkId`], [`Throughput`], plus the
+//! [`criterion_group!`](crate::criterion_group!) /
+//! [`criterion_main!`](crate::criterion_main!) macros — so the bench files
+//! port with a `use`-line swap.
+//!
+//! Methodology per benchmark: a ~50 ms warmup estimates the per-iteration
+//! cost, iterations are batched so each sample runs ~10 ms, `sample_size`
+//! samples are timed, and the **median** and **p95** per-iteration times
+//! are reported (medians resist scheduler noise far better than means on
+//! shared CI boxes). Throughput rates derive from the median.
+//!
+//! Output: one human-readable line per benchmark on stdout, and — when
+//! `GPF_BENCH_JSON` is set — one JSON object per line appended to
+//! `BENCH_<group>.json` in the current directory, matching the
+//! `BENCH_*.json` artifacts the paper-table scripts consume.
+//!
+//! `GPF_BENCH_SMOKE=1` (or `--smoke` on the experiments binary) collapses
+//! every benchmark to a single untimed-warmup, single-iteration sample so
+//! CI can verify the bench code paths in seconds.
+
+use std::time::Instant;
+
+/// Opaque use of a value, preventing the optimizer from deleting the
+/// computation that produced it.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Units for reporting a throughput rate alongside timings.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Elements processed per iteration.
+    Elements(u64),
+}
+
+/// A benchmark identifier: `function_name/parameter`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `name/parameter`.
+    pub fn new(name: impl std::fmt::Display, parameter: impl std::fmt::Display) -> Self {
+        Self { id: format!("{name}/{parameter}") }
+    }
+
+    /// Just the parameter as the id.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        Self { id: parameter.to_string() }
+    }
+}
+
+impl std::fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// Top-level harness handle; hands out [`BenchmarkGroup`]s.
+pub struct Criterion {
+    smoke: bool,
+    default_sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self {
+            smoke: std::env::var("GPF_BENCH_SMOKE").map(|v| v != "0").unwrap_or(false),
+            default_sample_size: 20,
+        }
+    }
+}
+
+impl Criterion {
+    /// Force smoke mode (single sample, single iteration) regardless of env.
+    pub fn smoke(mut self, on: bool) -> Self {
+        self.smoke = on;
+        self
+    }
+
+    /// Open a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            throughput: None,
+            sample_size: self.default_sample_size,
+            smoke: self.smoke,
+            _criterion: std::marker::PhantomData,
+        }
+    }
+}
+
+/// A named group of benchmarks sharing throughput/sample settings.
+pub struct BenchmarkGroup<'c> {
+    name: String,
+    throughput: Option<Throughput>,
+    sample_size: usize,
+    smoke: bool,
+    _criterion: std::marker::PhantomData<&'c mut Criterion>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set the per-iteration work size for rate reporting.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Set the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Run one benchmark.
+    pub fn bench_function(
+        &mut self,
+        id: impl std::fmt::Display,
+        mut routine: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        let mut bencher = Bencher::new(self.smoke, self.sample_size);
+        routine(&mut bencher);
+        self.report(&id.to_string(), &bencher);
+        self
+    }
+
+    /// Run one benchmark parameterized by an input value.
+    pub fn bench_with_input<I: ?Sized>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut routine: impl FnMut(&mut Bencher, &I),
+    ) -> &mut Self {
+        let mut bencher = Bencher::new(self.smoke, self.sample_size);
+        routine(&mut bencher, input);
+        self.report(&id.to_string(), &bencher);
+        self
+    }
+
+    /// Close the group (kept for criterion parity; reporting is per-bench).
+    pub fn finish(self) {}
+
+    fn report(&self, id: &str, bencher: &Bencher) {
+        let Some(stats) = bencher.stats() else {
+            println!("{}/{id}: no samples (routine never called iter)", self.name);
+            return;
+        };
+        let rate = self.throughput.map(|t| match t {
+            Throughput::Bytes(n) => {
+                format!(" {:>9.1} MiB/s", n as f64 / (1 << 20) as f64 / (stats.median_ns * 1e-9))
+            }
+            Throughput::Elements(n) => {
+                format!(" {:>9.2} Melem/s", n as f64 / 1e6 / (stats.median_ns * 1e-9))
+            }
+        });
+        println!(
+            "{}/{id}: median {} p95 {}{}{}",
+            self.name,
+            fmt_ns(stats.median_ns),
+            fmt_ns(stats.p95_ns),
+            rate.unwrap_or_default(),
+            if self.smoke { "  [smoke]" } else { "" },
+        );
+        if std::env::var("GPF_BENCH_JSON").is_ok() {
+            self.append_json(id, &stats);
+        }
+    }
+
+    fn append_json(&self, id: &str, stats: &SampleStats) {
+        use std::io::Write;
+        let (tp_unit, tp_per_iter) = match self.throughput {
+            Some(Throughput::Bytes(n)) => ("bytes", n),
+            Some(Throughput::Elements(n)) => ("elements", n),
+            None => ("none", 0),
+        };
+        let line = format!(
+            "{{\"group\":\"{}\",\"bench\":\"{}\",\"median_ns\":{:.1},\"p95_ns\":{:.1},\
+             \"samples\":{},\"iters_per_sample\":{},\"throughput_unit\":\"{}\",\
+             \"throughput_per_iter\":{},\"smoke\":{}}}",
+            self.name,
+            id,
+            stats.median_ns,
+            stats.p95_ns,
+            stats.samples,
+            stats.iters_per_sample,
+            tp_unit,
+            tp_per_iter,
+            self.smoke,
+        );
+        let path = format!("BENCH_{}.json", self.name.replace(['/', ' '], "_"));
+        match std::fs::OpenOptions::new().create(true).append(true).open(&path) {
+            Ok(mut f) => {
+                let _ = writeln!(f, "{line}");
+            }
+            Err(e) => eprintln!("bench: cannot append to {path}: {e}"),
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+struct SampleStats {
+    median_ns: f64,
+    p95_ns: f64,
+    samples: usize,
+    iters_per_sample: u64,
+}
+
+/// Passed to each benchmark routine; call [`Bencher::iter`] with the code
+/// under test.
+pub struct Bencher {
+    smoke: bool,
+    sample_size: usize,
+    per_iter_ns: Vec<f64>,
+    iters_per_sample: u64,
+}
+
+impl Bencher {
+    fn new(smoke: bool, sample_size: usize) -> Self {
+        Self { smoke, sample_size, per_iter_ns: Vec::new(), iters_per_sample: 0 }
+    }
+
+    /// Measure `routine`: warm up, pick a batch size targeting ~10 ms per
+    /// sample, then record `sample_size` samples of per-iteration time.
+    pub fn iter<R>(&mut self, mut routine: impl FnMut() -> R) {
+        if self.smoke {
+            let start = Instant::now();
+            black_box(routine());
+            self.per_iter_ns = vec![start.elapsed().as_nanos() as f64];
+            self.iters_per_sample = 1;
+            return;
+        }
+
+        // Warmup for ~50ms (at least one call) while estimating cost.
+        let warmup_start = Instant::now();
+        let mut warmup_iters = 0u64;
+        while warmup_iters == 0 || warmup_start.elapsed().as_millis() < 50 {
+            black_box(routine());
+            warmup_iters += 1;
+            if warmup_iters >= 1_000_000 {
+                break;
+            }
+        }
+        let est_ns_per_iter =
+            (warmup_start.elapsed().as_nanos() as f64 / warmup_iters as f64).max(1.0);
+
+        // Batch so one sample is ~10ms; cap total effort for slow routines.
+        let iters_per_sample = ((10e6 / est_ns_per_iter) as u64).clamp(1, 10_000_000);
+        self.iters_per_sample = iters_per_sample;
+        self.per_iter_ns = (0..self.sample_size)
+            .map(|_| {
+                let start = Instant::now();
+                for _ in 0..iters_per_sample {
+                    black_box(routine());
+                }
+                start.elapsed().as_nanos() as f64 / iters_per_sample as f64
+            })
+            .collect();
+    }
+
+    fn stats(&self) -> Option<SampleStats> {
+        if self.per_iter_ns.is_empty() {
+            return None;
+        }
+        let mut sorted = self.per_iter_ns.clone();
+        sorted.sort_by(|a, b| a.total_cmp(b));
+        let pick = |q: f64| sorted[((sorted.len() - 1) as f64 * q).round() as usize];
+        Some(SampleStats {
+            median_ns: pick(0.5),
+            p95_ns: pick(0.95),
+            samples: sorted.len(),
+            iters_per_sample: self.iters_per_sample,
+        })
+    }
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns < 1e3 {
+        format!("{ns:.0}ns")
+    } else if ns < 1e6 {
+        format!("{:.2}us", ns / 1e3)
+    } else if ns < 1e9 {
+        format!("{:.2}ms", ns / 1e6)
+    } else {
+        format!("{:.2}s", ns / 1e9)
+    }
+}
+
+/// Bundle benchmark functions into one runner (criterion parity).
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::bench::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Emit `main()` running the given groups (criterion parity).
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn smoke_criterion() -> Criterion {
+        Criterion::default().smoke(true)
+    }
+
+    #[test]
+    fn bench_function_records_samples() {
+        let mut c = smoke_criterion();
+        let mut group = c.benchmark_group("support_selftest");
+        group.throughput(Throughput::Elements(1000)).sample_size(5);
+        let mut ran = false;
+        group.bench_function("sum_1k", |b| {
+            b.iter(|| (0..1000u64).sum::<u64>());
+            ran = true;
+        });
+        group.finish();
+        assert!(ran);
+    }
+
+    #[test]
+    fn bench_with_input_passes_input() {
+        let mut c = smoke_criterion();
+        let mut group = c.benchmark_group("support_selftest");
+        let data: Vec<u64> = (0..256).collect();
+        group.bench_with_input(BenchmarkId::new("sum", data.len()), &data, |b, d| {
+            b.iter(|| d.iter().sum::<u64>());
+        });
+        group.finish();
+    }
+
+    #[test]
+    fn benchmark_id_formats() {
+        assert_eq!(BenchmarkId::new("codec", 4096).to_string(), "codec/4096");
+        assert_eq!(BenchmarkId::from_parameter("1MiB").to_string(), "1MiB");
+    }
+
+    #[test]
+    fn stats_median_and_p95() {
+        let mut b = Bencher::new(true, 1);
+        b.per_iter_ns = (1..=100).map(|x| x as f64).collect();
+        b.iters_per_sample = 1;
+        let s = b.stats().expect("stats");
+        assert_eq!(s.median_ns, 51.0);
+        assert_eq!(s.p95_ns, 95.0);
+    }
+
+    #[test]
+    fn non_smoke_iter_batches() {
+        let mut b = Bencher::new(false, 3);
+        b.iter(|| black_box(1u64 + 1));
+        let s = b.stats().expect("stats");
+        assert_eq!(s.samples, 3);
+        assert!(s.iters_per_sample >= 1);
+    }
+}

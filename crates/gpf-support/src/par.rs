@@ -1,0 +1,245 @@
+//! Scoped data parallelism over `std::thread::scope`.
+//!
+//! The replacement for the workspace's rayon usage: an ordered parallel map
+//! over index ranges, slices, and chunk lists. Work distribution is
+//! **atomic work-stealing of chunk indices** — a shared counter that idle
+//! workers bump to claim the next chunk — so a straggler chunk (a hot
+//! genome partition, say) never serializes the whole map the way static
+//! striping would.
+//!
+//! Guarantees:
+//!
+//! - **Output order equals input order**, regardless of which worker ran
+//!   which chunk (results are reassembled by chunk index).
+//! - **Panic transparency**: a panic in the closure propagates to the
+//!   caller with its original payload, so `should_panic` tests and the
+//!   engine's routing asserts behave exactly as under sequential code.
+//! - **Sequential fallback**: one-element inputs, one-core machines, and
+//!   `GPF_PAR_THREADS=1` all take the plain-loop path, which is also the
+//!   reference semantics the parallel path is tested against.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Worker-thread count: `GPF_PAR_THREADS` if set, else available
+/// parallelism, else 1.
+pub fn max_threads() -> usize {
+    if let Some(n) = std::env::var("GPF_PAR_THREADS").ok().and_then(|s| s.parse::<usize>().ok()) {
+        return n.max(1);
+    }
+    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+}
+
+/// Parallel map over `0..n`, returning results in index order.
+pub fn map_range<U, F>(n: usize, f: F) -> Vec<U>
+where
+    U: Send,
+    F: Fn(usize) -> U + Sync,
+{
+    map_range_chunked(n, default_chunk(n), f)
+}
+
+/// Parallel map over `0..n` with an explicit chunk grain — exposed so tests
+/// can drive adversarial chunk sizes (1, n-1, n, > n) through the same
+/// work-stealing machinery the defaults use.
+pub fn map_range_chunked<U, F>(n: usize, chunk: usize, f: F) -> Vec<U>
+where
+    U: Send,
+    F: Fn(usize) -> U + Sync,
+{
+    let chunk = chunk.max(1);
+    let workers = max_threads().min(n.div_ceil(chunk));
+    if workers <= 1 || n <= 1 {
+        return (0..n).map(f).collect();
+    }
+    let nchunks = n.div_ceil(chunk);
+    let next = AtomicUsize::new(0);
+    let f = &f;
+    let next = &next;
+    let mut per_worker: Vec<Vec<(usize, Vec<U>)>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                scope.spawn(move || {
+                    let mut local: Vec<(usize, Vec<U>)> = Vec::new();
+                    loop {
+                        let c = next.fetch_add(1, Ordering::Relaxed);
+                        if c >= nchunks {
+                            break;
+                        }
+                        let lo = c * chunk;
+                        let hi = (lo + chunk).min(n);
+                        local.push((c, (lo..hi).map(f).collect()));
+                    }
+                    local
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| match h.join() {
+                Ok(v) => v,
+                Err(payload) => std::panic::resume_unwind(payload),
+            })
+            .collect()
+    });
+
+    // Reassemble in chunk order.
+    let mut slots: Vec<Option<Vec<U>>> = (0..nchunks).map(|_| None).collect();
+    for worker in &mut per_worker {
+        for (c, vals) in worker.drain(..) {
+            debug_assert!(slots[c].is_none(), "chunk {c} claimed twice");
+            slots[c] = Some(vals);
+        }
+    }
+    let mut out = Vec::with_capacity(n);
+    for slot in slots {
+        out.extend(slot.expect("every chunk claimed exactly once"));
+    }
+    out
+}
+
+/// Parallel map over a slice, preserving order.
+pub fn map<T, U, F>(items: &[T], f: F) -> Vec<U>
+where
+    T: Sync,
+    U: Send,
+    F: Fn(&T) -> U + Sync,
+{
+    map_range(items.len(), |i| f(&items[i]))
+}
+
+/// Parallel map over a slice with the element index.
+pub fn map_indexed<T, U, F>(items: &[T], f: F) -> Vec<U>
+where
+    T: Sync,
+    U: Send,
+    F: Fn(usize, &T) -> U + Sync,
+{
+    map_range(items.len(), |i| f(i, &items[i]))
+}
+
+/// Parallel map over contiguous chunks of `items` (each closure call sees
+/// one chunk of up to `chunk_len` elements); results are returned one per
+/// chunk, in chunk order.
+pub fn map_chunks<T, U, F>(items: &[T], chunk_len: usize, f: F) -> Vec<U>
+where
+    T: Sync,
+    U: Send,
+    F: Fn(&[T]) -> U + Sync,
+{
+    let chunk_len = chunk_len.max(1);
+    let nchunks = items.len().div_ceil(chunk_len);
+    map_range(nchunks, |c| {
+        let lo = c * chunk_len;
+        let hi = (lo + chunk_len).min(items.len());
+        f(&items[lo..hi])
+    })
+}
+
+/// Run `f` for every index in `0..n` in parallel (no results collected).
+pub fn for_each<F>(n: usize, f: F)
+where
+    F: Fn(usize) + Sync,
+{
+    let _ = map_range(n, f);
+}
+
+/// Fold every element of `items` in parallel, combining per-chunk partial
+/// folds with `combine`. `combine` must be associative for the result to
+/// be well-defined; chunk boundaries (and therefore the combine tree) are
+/// deterministic for a given input length and thread-count-independent.
+pub fn fold<T, A, F, C>(items: &[T], init: A, fold_one: F, combine: C) -> A
+where
+    T: Sync,
+    A: Send + Clone + Sync,
+    F: Fn(A, &T) -> A + Sync,
+    C: Fn(A, A) -> A,
+{
+    let partials = map_chunks(items, default_chunk(items.len()).max(1), |chunk| {
+        chunk.iter().fold(init.clone(), &fold_one)
+    });
+    partials.into_iter().fold(init, combine)
+}
+
+/// Default chunk grain: enough chunks for stealing to smooth stragglers
+/// (~8 per worker) without drowning small maps in coordination overhead.
+fn default_chunk(n: usize) -> usize {
+    n.div_ceil(max_threads().saturating_mul(8).max(1)).max(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn map_matches_sequential() {
+        let items: Vec<u64> = (0..10_000).collect();
+        let seq: Vec<u64> = items.iter().map(|x| x * 3 + 1).collect();
+        assert_eq!(map(&items, |x| x * 3 + 1), seq);
+    }
+
+    #[test]
+    fn map_indexed_passes_indices() {
+        let items = vec![10u64, 20, 30];
+        assert_eq!(map_indexed(&items, |i, x| i as u64 + x), vec![10, 21, 32]);
+    }
+
+    #[test]
+    fn map_range_empty_and_single() {
+        assert_eq!(map_range(0, |i| i), Vec::<usize>::new());
+        assert_eq!(map_range(1, |i| i + 7), vec![7]);
+    }
+
+    #[test]
+    fn adversarial_chunk_sizes_preserve_order() {
+        let n = 1003;
+        let expect: Vec<usize> = (0..n).map(|i| i * i).collect();
+        for chunk in [1, 2, 3, 7, n - 1, n, n + 1, 10 * n] {
+            assert_eq!(map_range_chunked(n, chunk, |i| i * i), expect, "chunk {chunk}");
+        }
+    }
+
+    #[test]
+    fn map_chunks_sees_every_element_once() {
+        let items: Vec<u64> = (0..997).collect();
+        for chunk in [1usize, 10, 996, 997, 2000] {
+            let sums = map_chunks(&items, chunk, |c| c.iter().sum::<u64>());
+            assert_eq!(sums.len(), items.len().div_ceil(chunk));
+            assert_eq!(sums.iter().sum::<u64>(), items.iter().sum::<u64>(), "chunk {chunk}");
+        }
+    }
+
+    #[test]
+    fn fold_sums() {
+        let items: Vec<u64> = (1..=1000).collect();
+        let total = fold(&items, 0u64, |acc, x| acc + x, |a, b| a + b);
+        assert_eq!(total, 500_500);
+    }
+
+    #[test]
+    #[should_panic(expected = "deliberate panic at 37")]
+    fn panics_propagate_with_payload() {
+        let _ = map_range(100, |i| {
+            if i == 37 {
+                panic!("deliberate panic at 37");
+            }
+            i
+        });
+    }
+
+    #[test]
+    fn for_each_runs_every_index() {
+        let hits: Vec<AtomicUsize> = (0..256).map(|_| AtomicUsize::new(0)).collect();
+        for_each(256, |i| {
+            hits[i].fetch_add(1, Ordering::Relaxed);
+        });
+        assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1));
+    }
+
+    #[test]
+    fn threads_env_forces_sequential() {
+        // Can't set env safely in parallel tests; just exercise the
+        // sequential path via workers<=1 semantics using a 1-chunk map.
+        let out = map_range_chunked(64, 64, |i| i);
+        assert_eq!(out, (0..64).collect::<Vec<_>>());
+    }
+}

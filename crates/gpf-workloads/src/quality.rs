@@ -7,9 +7,9 @@
 //! here are shaped to reproduce those histograms.
 
 use gpf_formats::quality::{phred_to_char, MAX_PHRED};
-use rand::rngs::StdRng;
-use rand::Rng;
-use rand_distr::{Distribution, Normal};
+use gpf_support::rng::StdRng;
+use gpf_support::rng::Rng;
+use gpf_support::rng::{Distribution, Normal};
 
 /// A sequencing-instrument quality profile.
 #[derive(Debug, Clone)]
@@ -96,7 +96,7 @@ impl QualityProfile {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::SeedableRng;
+    use gpf_support::rng::SeedableRng;
 
     fn rng() -> StdRng {
         StdRng::seed_from_u64(99)

@@ -14,9 +14,9 @@ use gpf_formats::base::reverse_complement;
 use gpf_formats::fastq::{FastqPair, FastqRecord};
 use gpf_formats::quality::{char_to_phred, phred_to_error_prob};
 use gpf_formats::ReferenceGenome;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
-use rand_distr::{Distribution, Normal};
+use gpf_support::rng::StdRng;
+use gpf_support::rng::{Rng, SeedableRng};
+use gpf_support::rng::{Distribution, Normal};
 
 /// Read-simulator configuration.
 #[derive(Debug, Clone)]

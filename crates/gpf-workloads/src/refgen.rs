@@ -8,8 +8,8 @@
 //! repeats at configurable density.
 
 use gpf_formats::ReferenceGenome;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use gpf_support::rng::StdRng;
+use gpf_support::rng::{Rng, SeedableRng};
 
 /// Specification for a synthetic reference genome.
 #[derive(Debug, Clone)]

@@ -5,8 +5,8 @@
 use gpf_formats::genome::GenomePosition;
 use gpf_formats::vcf::{Genotype, VcfRecord};
 use gpf_formats::ReferenceGenome;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use gpf_support::rng::StdRng;
+use gpf_support::rng::{Rng, SeedableRng};
 
 /// Specification of the variants to plant.
 #[derive(Debug, Clone)]

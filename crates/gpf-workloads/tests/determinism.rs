@@ -1,0 +1,71 @@
+//! Determinism guarantees of the workload generators.
+//!
+//! The whole evaluation pipeline reproduces from seeds: the same
+//! `SimulatorConfig` must yield **byte-identical** simulated reads on every
+//! run, platform, and thread count. These tests pin that contract — if the
+//! PRNG, the sampling order, or any generator's draw count changes, they
+//! fail before a silently-shifted benchmark table does.
+
+use gpf_formats::ReferenceGenome;
+use gpf_workloads::readsim::{ReadSimulator, SimulatorConfig};
+use gpf_workloads::refgen::ReferenceSpec;
+use gpf_workloads::variants::{DonorGenome, VariantSpec};
+
+fn reference(seed: u64) -> ReferenceGenome {
+    ReferenceSpec { contig_lengths: vec![60_000, 30_000], seed, ..Default::default() }.generate()
+}
+
+/// Flatten every simulated pair into one byte stream (names, sequences,
+/// qualities, truth coordinates) so equality means *byte-identical*.
+fn simulate_bytes(reference: &ReferenceGenome, donor: &DonorGenome, seed: u64) -> Vec<u8> {
+    let cfg = SimulatorConfig { coverage: 12.0, seed, ..Default::default() };
+    let mut out = Vec::new();
+    for pair in ReadSimulator::new(reference, donor, cfg).simulate() {
+        for rec in [&pair.pair.r1, &pair.pair.r2] {
+            out.extend_from_slice(rec.name.as_bytes());
+            out.push(b'\n');
+            out.extend_from_slice(&rec.seq);
+            out.push(b'\n');
+            out.extend_from_slice(&rec.qual);
+            out.push(b'\n');
+        }
+        out.extend_from_slice(&pair.truth.contig.to_le_bytes());
+        out.extend_from_slice(&pair.truth.ref_start1.to_le_bytes());
+        out.extend_from_slice(&pair.truth.ref_start2.to_le_bytes());
+        out.push(pair.truth.from_hap_a as u8);
+    }
+    out
+}
+
+#[test]
+fn same_seed_produces_byte_identical_reads() {
+    let r = reference(11);
+    let d = DonorGenome::generate(&r, &VariantSpec::default());
+    let first = simulate_bytes(&r, &d, 7);
+    let second = simulate_bytes(&r, &d, 7);
+    assert!(!first.is_empty());
+    assert_eq!(first, second, "same seed must reproduce the read set byte for byte");
+}
+
+#[test]
+fn different_seed_produces_different_reads() {
+    let r = reference(11);
+    let d = DonorGenome::generate(&r, &VariantSpec::default());
+    assert_ne!(
+        simulate_bytes(&r, &d, 7),
+        simulate_bytes(&r, &d, 8),
+        "changing the seed must change the read set"
+    );
+}
+
+#[test]
+fn reference_and_donor_reproduce_from_seeds() {
+    let a = reference(21);
+    let b = reference(21);
+    assert_eq!(a.to_fasta_string(), b.to_fasta_string(), "reference reproduces");
+
+    let spec = VariantSpec { seed: 5, ..Default::default() };
+    let da = DonorGenome::generate(&a, &spec);
+    let db = DonorGenome::generate(&b, &spec);
+    assert_eq!(da.truth, db.truth, "planted variant truth set reproduces");
+}

@@ -14,8 +14,8 @@ use gpf::compress::sequence::compress_read_fields;
 use gpf::compress::serializer::{serialize_batch, SerializerKind};
 use gpf::workloads::quality::QualityProfile;
 use gpf_formats::fastq::FastqRecord;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use gpf_support::rng::StdRng;
+use gpf_support::rng::{Rng, SeedableRng};
 
 fn main() {
     // --- Figure 4: one read through the sequence codec. ------------------
