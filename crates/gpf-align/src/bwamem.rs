@@ -450,8 +450,8 @@ mod tests {
         let r = reference();
         let aligner = BwaMemAligner::new(&r);
         let frag = &r.contig_seq(0)[800..1180];
-        let r1 = FastqRecord_new("p/1", &frag[..100]);
-        let r2 = FastqRecord_new("p/2", &reverse_complement(&frag[280..380]));
+        let r1 = fastq_record_new("p/1", &frag[..100]);
+        let r2 = fastq_record_new("p/2", &reverse_complement(&frag[280..380]));
         let pair = FastqPair::new(r1, r2).unwrap();
         let (a, b) = aligner.align_pair(&pair);
         assert!(a.flags.is_mapped() && b.flags.is_mapped());
@@ -466,7 +466,7 @@ mod tests {
         assert!(a.flags.has(SamFlags::MATE_REVERSE));
     }
 
-    fn FastqRecord_new(name: &str, seq: &[u8]) -> gpf_formats::FastqRecord {
+    fn fastq_record_new(name: &str, seq: &[u8]) -> gpf_formats::FastqRecord {
         gpf_formats::FastqRecord::new(name, seq, &quals(seq.len())).unwrap()
     }
 
@@ -483,7 +483,7 @@ mod tests {
                 _ => b'A',
             };
         }
-        let pair = FastqPair::new(FastqRecord_new("q/1", &frag[..100]), {
+        let pair = FastqPair::new(fastq_record_new("q/1", &frag[..100]), {
             gpf_formats::FastqRecord::new("q/2", &m2, &quals(100)).unwrap()
         })
         .unwrap();

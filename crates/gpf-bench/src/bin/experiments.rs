@@ -165,7 +165,7 @@ fn diagnose(lab: &Lab) {
             "markdup-shuffle partition records: median {} p99 {} max {}",
             s[s.len() / 2],
             s[s.len() * 99 / 100],
-            s.last().unwrap()
+            s.last().copied().unwrap_or(0)
         );
     }
     // Decompose the longest tasks of each stage under the paper cluster's
@@ -182,7 +182,7 @@ fn diagnose(lab: &Lab) {
                 (cpu + disk + net, cpu, disk + net, i)
             })
             .collect();
-        durations.sort_by(|a, b| b.0.partial_cmp(&a.0).expect("finite"));
+        durations.sort_by(|a, b| b.0.total_cmp(&a.0));
         let top: Vec<String> = durations
             .iter()
             .take(3)

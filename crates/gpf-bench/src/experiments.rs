@@ -98,7 +98,9 @@ fn sim_at(run: &JobRun, cores: usize, cpu_scale: f64) -> gpf_engine::SimResult {
 /// page-fault bursts) that would otherwise masquerade as stragglers, while
 /// systematic skew (hotspot pileups, repeat tangles) survives every repeat.
 fn min_of_runs(mut runs: Vec<JobRun>) -> JobRun {
-    let mut base = runs.pop().expect("at least one run");
+    let Some(mut base) = runs.pop() else {
+        return JobRun::default();
+    };
     for other in runs {
         assert_eq!(other.stages.len(), base.stages.len(), "same stage structure");
         for (b, o) in base.stages.iter_mut().zip(&other.stages) {

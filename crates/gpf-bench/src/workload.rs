@@ -198,6 +198,9 @@ impl WgsWorkload {
             false,
         ));
 
+        // gpf-lint: allow(no-panic): the bench constructs this pipeline from
+        // the canonical WGS template; a validation failure here is a bench
+        // bug and there is no caller to propagate to.
         pipeline.run().expect("WGS pipeline executes");
         GpfRun {
             calls: vcf_out.dataset().collect_local(),

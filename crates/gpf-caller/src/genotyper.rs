@@ -206,8 +206,8 @@ pub fn call_region(
                 (gl_homalt, Genotype::HomAlt),
             ]
             .into_iter()
-            .max_by(|a, b| a.0.partial_cmp(&b.0).expect("finite GL"))
-            .expect("two candidates");
+            .max_by(|a, b| a.0.total_cmp(&b.0))
+            .unwrap_or((gl_het, Genotype::Het));
             let qual = 10.0 * (best_gl - gl_homref);
             if qual < opts.min_call_qual || best_gl <= gl_homref {
                 continue;

@@ -26,10 +26,10 @@ impl BitWriter {
         for i in (0..n).rev() {
             let bit = ((value >> i) & 1) as u8;
             if self.nbits == 0 {
-                self.buf.push(0);
+                self.buf.push(bit << 7);
+            } else if let Some(last) = self.buf.last_mut() {
+                *last |= bit << (7 - self.nbits);
             }
-            let last = self.buf.last_mut().expect("pushed above");
-            *last |= bit << (7 - self.nbits);
             self.nbits = (self.nbits + 1) % 8;
         }
     }

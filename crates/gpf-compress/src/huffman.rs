@@ -164,20 +164,26 @@ fn code_lengths(freqs: &[u64]) -> Vec<u8> {
     let mut lengths = vec![0u8; freqs.len()];
     if heap.len() == 1 {
         // Single-symbol alphabet still needs a 1-bit code.
-        let std::cmp::Reverse((_, i)) = heap.pop().expect("one element");
-        if let NodeKind::Leaf(s) = nodes[i].kind {
-            lengths[s as usize] = 1;
+        if let Some(std::cmp::Reverse((_, i))) = heap.pop() {
+            if let NodeKind::Leaf(s) = nodes[i].kind {
+                lengths[s as usize] = 1;
+            }
         }
         return lengths;
     }
     while heap.len() > 1 {
-        let std::cmp::Reverse((wa, a)) = heap.pop().expect("len > 1");
-        let std::cmp::Reverse((wb, b)) = heap.pop().expect("len > 1");
+        let (Some(std::cmp::Reverse((wa, a))), Some(std::cmp::Reverse((wb, b)))) =
+            (heap.pop(), heap.pop())
+        else {
+            break;
+        };
         nodes.push(Node { weight: wa + wb, kind: NodeKind::Internal(a, b) });
         heap.push(std::cmp::Reverse((wa + wb, nodes.len() - 1)));
     }
     // Depth-first walk assigning depths.
-    let root = heap.pop().expect("root").0 .1;
+    let Some(std::cmp::Reverse((_, root))) = heap.pop() else {
+        return lengths; // Empty alphabet: nothing to encode.
+    };
     let mut stack = vec![(root, 0u8)];
     while let Some((i, depth)) = stack.pop() {
         match nodes[i].kind {

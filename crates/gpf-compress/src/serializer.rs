@@ -172,6 +172,12 @@ impl<'a> ByteReader<'a> {
         Ok(s)
     }
 
+    fn take8(&mut self) -> Result<[u8; 8], CodecError> {
+        let mut b = [0u8; 8];
+        b.copy_from_slice(self.take(8)?);
+        Ok(b)
+    }
+
     /// Skip the JavaSim object header (no-op for other kinds).
     pub fn object_header(&mut self) -> Result<(), CodecError> {
         if self.kind == SerializerKind::JavaSim {
@@ -216,10 +222,7 @@ impl<'a> ByteReader<'a> {
     /// Read a u64.
     pub fn read_u64(&mut self) -> Result<u64, CodecError> {
         match self.kind {
-            SerializerKind::JavaSim => {
-                let b = self.take(8)?;
-                Ok(u64::from_be_bytes(b.try_into().expect("8 bytes")))
-            }
+            SerializerKind::JavaSim => Ok(u64::from_be_bytes(self.take8()?)),
             _ => varint::read_u64(self.buf, &mut self.pos),
         }
     }
@@ -227,18 +230,14 @@ impl<'a> ByteReader<'a> {
     /// Read an i64.
     pub fn read_i64(&mut self) -> Result<i64, CodecError> {
         match self.kind {
-            SerializerKind::JavaSim => {
-                let b = self.take(8)?;
-                Ok(i64::from_be_bytes(b.try_into().expect("8 bytes")))
-            }
+            SerializerKind::JavaSim => Ok(i64::from_be_bytes(self.take8()?)),
             _ => varint::read_i64(self.buf, &mut self.pos),
         }
     }
 
     /// Read an f64.
     pub fn read_f64(&mut self) -> Result<f64, CodecError> {
-        let b = self.take(8)?;
-        Ok(f64::from_bits(u64::from_be_bytes(b.try_into().expect("8 bytes"))))
+        Ok(f64::from_bits(u64::from_be_bytes(self.take8()?)))
     }
 
     /// Read a variable-length byte field.
@@ -450,6 +449,10 @@ fn write_seq_qual(w: &mut ByteWriter, seq: &[u8], qual: &[u8]) {
     match w.kind() {
         SerializerKind::Gpf => {
             let c = compress_read_fields(seq, qual, default_quality_codec())
+                // gpf-lint: allow(no-panic): SamRecord construction validates
+                // seq/qual lengths match, which is the only failure mode of
+                // compress_read_fields; a panic here means a SamRecord
+                // invariant was broken upstream.
                 .expect("record validated at construction");
             w.write_u32(c.len);
             w.write_bytes(&c.packed_seq);

@@ -32,6 +32,12 @@
 //!   `BaseRecalibrationProcess`, `HaplotypeCallerProcess`, and
 //!   `ReadRepartitioner`.
 //! * [`loader`] — `FileLoader`, the Figure 3 input helpers.
+//! * [`validate`] — the static analysis layer: [`Pipeline::check`] builds
+//!   the full Process/Resource graph up front and reports every defect at
+//!   once (cycle paths, undefined inputs, duplicate producers, bundle-kind
+//!   mismatches, dead outputs) plus the Figure 7 fusion-eligibility report;
+//!   [`Pipeline::run`] refuses a defective graph with
+//!   [`pipeline::PipelineError::Invalid`] before any dataset work starts.
 //!
 //! ## Example (the paper's Figure 3, in Rust)
 //!
@@ -65,14 +71,17 @@ pub mod pipeline;
 pub mod process;
 pub mod processes;
 pub mod resource;
+pub mod validate;
 
 pub use loader::FileLoader;
 pub use partition::PartitionInfo;
 pub use pipeline::{Pipeline, PipelineError};
 pub use process::{Process, ProcessState};
 pub use resource::{
-    FastqPairBundle, PartitionInfoBundle, ResourceAny, ResourceState, SamBundle, VcfBundle,
+    FastqPairBundle, PartitionInfoBundle, ResourceAny, ResourceKind, ResourceState, SamBundle,
+    VcfBundle,
 };
+pub use validate::{Diagnostic, DiagnosticKind, Severity, ValidationReport};
 
 /// Convenient glob import for pipeline authors.
 pub mod prelude {

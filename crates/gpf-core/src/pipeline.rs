@@ -13,22 +13,28 @@
 //! when optimization is enabled, executes the whole chain over a single
 //! bundled RDD: FASTA/VCF partition RDDs are built once, and the
 //! merge → repartition → join round-trips between links disappear.
+//!
+//! Since PR 2, the scheduling decisions are made *statically*:
+//! [`Pipeline::check`] (backed by [`crate::validate`]) analyzes the
+//! Process/Resource graph up front, reports every defect at once, and —
+//! when the graph is valid — emits the exact execution plan (fusion chains
+//! included) that [`Pipeline::run`] then executes. A defective graph makes
+//! `run()` return [`PipelineError::Invalid`] before any dataset work
+//! starts, instead of stalling mid-flight.
 
 use crate::process::{build_bundles, Process};
-use crate::resource::ResourceAny;
+use crate::validate::{self, Diagnostic, Severity, ValidationReport};
 use gpf_engine::EngineContext;
 use std::fmt;
 use std::sync::Arc;
 
 /// Pipeline execution errors.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum PipelineError {
-    /// No runnable Process although some remain — Algorithm 1's
-    /// "Circular dependency" exception.
-    CircularDependency {
-        /// Names of the stuck Processes.
-        stuck: Vec<String>,
-    },
+    /// The Process/Resource graph failed validation — carries every
+    /// error-severity [`Diagnostic`] found by [`Pipeline::check`] (cycles,
+    /// undefined inputs, duplicate producers, kind mismatches, …).
+    Invalid(Vec<Diagnostic>),
     /// Input loading failed.
     Load(String),
 }
@@ -36,8 +42,17 @@ pub enum PipelineError {
 impl fmt::Display for PipelineError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            PipelineError::CircularDependency { stuck } => {
-                write!(f, "circular dependency among processes: {}", stuck.join(", "))
+            PipelineError::Invalid(diags) => {
+                // Each Diagnostic renders its own compatibility text (a cycle
+                // still prints "circular dependency among processes: …").
+                write!(f, "invalid pipeline: ")?;
+                for (i, d) in diags.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, "; ")?;
+                    }
+                    write!(f, "{d}")?;
+                }
+                Ok(())
             }
             PipelineError::Load(msg) => write!(f, "load error: {msg}"),
         }
@@ -96,111 +111,62 @@ impl Pipeline {
         &self.fused_chains
     }
 
+    /// Validate the Process/Resource graph without executing anything.
+    ///
+    /// Reports *all* defects at once — cycles (with the full
+    /// Process → Resource → Process path), inputs nobody produces, duplicate
+    /// producers, bundle-kind mismatches, aliased resource names, dead
+    /// outputs — plus the Figure 7 fusion-eligibility report showing which
+    /// [`crate::process::BundleStage`] chains will fuse under `optimize`.
+    pub fn check(&self) -> ValidationReport {
+        ValidationReport::new(validate::analyze(&self.processes, self.optimize).diagnostics)
+    }
+
     /// Execute all Processes (Table 2's `run()`), per Algorithm 1.
+    ///
+    /// Validates first: a defective graph returns
+    /// [`PipelineError::Invalid`] carrying every error-severity diagnostic
+    /// before any dataset work starts.
     pub fn run(&mut self) -> Result<(), PipelineError> {
         self.executed.clear();
         self.fused_chains.clear();
-        let mut unfinished: Vec<usize> = (0..self.processes.len()).collect();
-
-        while !unfinished.is_empty() {
-            // Find out the process list which can be executed this iteration.
-            let runnable: Vec<usize> = unfinished
-                .iter()
-                .copied()
-                .filter(|&i| self.processes[i].input_resources().iter().all(|r| r.is_defined()))
+        let analysis = validate::analyze(&self.processes, self.optimize);
+        let Some(plan) = analysis.plan else {
+            let errors: Vec<Diagnostic> = analysis
+                .diagnostics
+                .into_iter()
+                .filter(|d| d.severity() == Severity::Error)
                 .collect();
-            if runnable.is_empty() {
-                return Err(PipelineError::CircularDependency {
-                    stuck: unfinished.iter().map(|&i| self.processes[i].name().to_string()).collect(),
-                });
-            }
+            return Err(PipelineError::Invalid(errors));
+        };
 
-            let mut finished_this_round: Vec<usize> = Vec::new();
-            for &i in &runnable {
-                if finished_this_round.contains(&i) {
-                    continue;
+        // The plan lists execution steps in dependency order; each step is a
+        // §4.3 fusion chain (singletons run alone).
+        for chain in &plan {
+            if chain.len() > 1 {
+                self.execute_fused(chain);
+                self.fused_chains
+                    .push(chain.iter().map(|&j| self.processes[j].name().to_string()).collect());
+                for &j in chain {
+                    self.executed.push(self.processes[j].name().to_string());
                 }
-                let chain = if self.optimize { self.fusable_chain(i, &unfinished) } else { vec![i] };
-                if chain.len() > 1 {
-                    self.execute_fused(&chain);
-                    self.fused_chains
-                        .push(chain.iter().map(|&j| self.processes[j].name().to_string()).collect());
-                    for &j in &chain {
-                        self.executed.push(self.processes[j].name().to_string());
-                        finished_this_round.push(j);
-                    }
-                } else {
-                    self.processes[i].execute(&self.ctx);
-                    self.executed.push(self.processes[i].name().to_string());
-                    finished_this_round.push(i);
-                }
+            } else if let Some(&i) = chain.first() {
+                self.processes[i].execute(&self.ctx);
+                self.executed.push(self.processes[i].name().to_string());
             }
-            unfinished.retain(|i| !finished_this_round.contains(i));
         }
         Ok(())
-    }
-
-    /// §4.3 pattern detection: starting from runnable process `start`,
-    /// extend a chain of bundle stages where each link's SAM output is
-    /// consumed *only* by the next link (out-degree 1 / in-degree 1 on the
-    /// chained resource) and all links share the same PartitionInfo.
-    fn fusable_chain(&self, start: usize, unfinished: &[usize]) -> Vec<usize> {
-        let Some(stage) = self.processes[start].as_bundle_stage() else {
-            return vec![start];
-        };
-        let mut chain = vec![start];
-        let mut current = stage;
-        loop {
-            let Some(out_sam) = current.output_sam() else {
-                break; // Caller stage terminates a chain.
-            };
-            // Who consumes this bundle?
-            let consumers: Vec<usize> = (0..self.processes.len())
-                .filter(|&j| {
-                    self.processes[j]
-                        .input_resources()
-                        .iter()
-                        .any(|r| r.name() == out_sam.name())
-                })
-                .collect();
-            if consumers.len() != 1 {
-                break;
-            }
-            let next = consumers[0];
-            if !unfinished.contains(&next) || chain.contains(&next) {
-                break;
-            }
-            let Some(next_stage) = self.processes[next].as_bundle_stage() else {
-                break;
-            };
-            // The next link must consume the chained SAM as its bundle input
-            // and share the PartitionInfo resource.
-            if next_stage.input_sam().name() != out_sam.name()
-                || next_stage.partition_info().name() != current.partition_info().name()
-            {
-                break;
-            }
-            // Its remaining inputs (rod, partition info) must already be
-            // Defined, otherwise running the chain now would violate the
-            // schedule.
-            let ready_otherwise = self.processes[next]
-                .input_resources()
-                .iter()
-                .filter(|r| r.name() != out_sam.name())
-                .all(|r| r.is_defined());
-            if !ready_otherwise {
-                break;
-            }
-            chain.push(next);
-            current = next_stage;
-        }
-        chain
     }
 
     /// Execute a fused chain (Figure 7(b)): build the bundled RDD once, map
     /// each stage over it, finalize every link's outputs.
     fn execute_fused(&self, chain: &[usize]) {
-        let first = self.processes[chain[0]].as_bundle_stage().expect("chain head is a stage");
+        // The planner only emits multi-member chains of bundle stages, so
+        // the let-else arms below are unreachable on planner output.
+        let Some(first) = chain.first().and_then(|&i| self.processes[i].as_bundle_stage()) else {
+            debug_assert!(false, "fused chain head is not a bundle stage");
+            return;
+        };
         let info = first.partition_info().info();
         let known = first.rod().map(|r| r.dataset());
         let mut bundles = build_bundles(
@@ -211,7 +177,10 @@ impl Pipeline {
             known.as_ref(),
         );
         for (k, &i) in chain.iter().enumerate() {
-            let stage = self.processes[i].as_bundle_stage().expect("chain member is a stage");
+            let Some(stage) = self.processes[i].as_bundle_stage() else {
+                debug_assert!(false, "fused chain member is not a bundle stage");
+                continue;
+            };
             bundles = stage.run_on_bundles(&self.ctx, bundles);
             // Intermediate SAM merges are exactly the redundancy the fusion
             // removes — only the last link materializes outputs.
@@ -282,12 +251,25 @@ mod tests {
         pipeline.add_process(Arc::new(Copy { name: "x".into(), input: a.clone(), output: b.clone() }));
         pipeline.add_process(Arc::new(Copy { name: "y".into(), input: b, output: a }));
         let err = pipeline.run().unwrap_err();
-        match err {
-            PipelineError::CircularDependency { stuck } => {
-                assert_eq!(stuck.len(), 2);
+        match &err {
+            PipelineError::Invalid(diags) => {
+                let cycle = diags
+                    .iter()
+                    .find_map(|d| match d.kind() {
+                        crate::validate::DiagnosticKind::Cycle { path } => Some(path.clone()),
+                        _ => None,
+                    })
+                    .expect("cycle diagnostic present");
+                // Alternating proc/res path closing on itself: x -[b]-> y -[a]-> x.
+                assert_eq!(cycle.len(), 5);
+                assert_eq!(cycle.first(), cycle.last());
             }
             other => panic!("unexpected {other}"),
         }
+        // Compatibility: the Display still names the stuck processes.
+        let text = err.to_string();
+        assert!(text.contains("circular dependency among processes:"), "{text}");
+        assert!(text.contains('x') && text.contains('y'), "{text}");
     }
 
     #[test]

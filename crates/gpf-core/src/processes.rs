@@ -76,10 +76,7 @@ impl BwaMemProcess {
 
     fn get_aligner(&self) -> Arc<BwaMemAligner> {
         let mut guard = self.aligner.lock();
-        if guard.is_none() {
-            *guard = Some(Arc::new(BwaMemAligner::new(&self.reference)));
-        }
-        guard.as_ref().expect("just built").clone()
+        guard.get_or_insert_with(|| Arc::new(BwaMemAligner::new(&self.reference))).clone()
     }
 }
 
@@ -206,7 +203,14 @@ impl ReadRepartitioner {
     }
 
     /// Override the split threshold.
+    ///
+    /// # Panics
+    /// Panics when called after the process was shared (added to a
+    /// pipeline) — configuration is builder-style, before `add_process`.
     pub fn with_threshold(mut self: Arc<Self>, threshold: u64) -> Arc<Self> {
+        // gpf-lint: allow(no-panic): documented builder contract — the Arc is
+        // uniquely held until add_process, and a silent no-op would hide a
+        // misconfigured threshold.
         Arc::get_mut(&mut self).expect("configure before sharing").threshold = Some(threshold);
         self
     }

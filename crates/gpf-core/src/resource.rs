@@ -26,6 +26,36 @@ pub enum ResourceState {
     Defined,
 }
 
+/// The bundle kind a Resource carries — used by [`crate::pipeline::Pipeline::check`]
+/// to diagnose producer/consumer type mismatches before any dataset is
+/// materialized.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum ResourceKind {
+    /// Paired-end FASTQ reads ([`FastqPairBundle`]).
+    FastqPair,
+    /// Aligned reads ([`SamBundle`]).
+    Sam,
+    /// Variant records ([`VcfBundle`]).
+    Vcf,
+    /// Driver-side partition map ([`PartitionInfoBundle`]).
+    PartitionInfo,
+    /// Anything else (generic [`DataBundle`]s, user-defined resources).
+    Generic,
+}
+
+impl std::fmt::Display for ResourceKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            ResourceKind::FastqPair => "FASTQ",
+            ResourceKind::Sam => "SAM",
+            ResourceKind::Vcf => "VCF",
+            ResourceKind::PartitionInfo => "PartitionInfo",
+            ResourceKind::Generic => "generic",
+        };
+        f.write_str(s)
+    }
+}
+
 /// Type-erased view of a Resource, used by the DAG scheduler.
 pub trait ResourceAny: Send + Sync {
     /// Resource name (unique within a pipeline by convention).
@@ -35,6 +65,10 @@ pub trait ResourceAny: Send + Sync {
     /// `true` when Defined.
     fn is_defined(&self) -> bool {
         self.state() == ResourceState::Defined
+    }
+    /// Bundle kind, for static producer/consumer compatibility checks.
+    fn kind(&self) -> ResourceKind {
+        ResourceKind::Generic
     }
 }
 
@@ -67,6 +101,9 @@ impl<T: Send + Sync + 'static> DataBundle<T> {
     /// Panics when the bundle is still Undefined — the DAG scheduler
     /// guarantees Processes only read Defined inputs.
     pub fn dataset(&self) -> Dataset<T> {
+        // gpf-lint: allow(no-panic): documented panic; Pipeline::check()/run()
+        // guarantee Processes only read Defined inputs, and try_dataset() is
+        // the non-panicking alternative.
         self.data.lock().as_ref().expect("resource read while Undefined").clone()
     }
 
@@ -123,6 +160,9 @@ impl ResourceAny for FastqPairBundle {
     fn state(&self) -> ResourceState {
         self.inner.state()
     }
+    fn kind(&self) -> ResourceKind {
+        ResourceKind::FastqPair
+    }
 }
 
 /// Aligned-read bundle (`SAMBundle`): dataset plus header metadata.
@@ -177,6 +217,9 @@ impl ResourceAny for SamBundle {
     fn state(&self) -> ResourceState {
         self.inner.state()
     }
+    fn kind(&self) -> ResourceKind {
+        ResourceKind::Sam
+    }
 }
 
 /// Variant bundle (`VCFBundle`).
@@ -225,6 +268,9 @@ impl ResourceAny for VcfBundle {
     fn state(&self) -> ResourceState {
         self.inner.state()
     }
+    fn kind(&self) -> ResourceKind {
+        ResourceKind::Vcf
+    }
 }
 
 /// Driver-side partition map (`PartitionInfoBundle`).
@@ -251,6 +297,8 @@ impl PartitionInfoBundle {
 
     /// Read the partition info (panics when Undefined).
     pub fn info(&self) -> PartitionInfo {
+        // gpf-lint: allow(no-panic): documented panic; the DAG scheduler only
+        // reads Defined inputs (enforced up front by Pipeline::check()).
         self.info.lock().as_ref().expect("PartitionInfo read while Undefined").clone()
     }
 }
@@ -265,6 +313,9 @@ impl ResourceAny for PartitionInfoBundle {
         } else {
             ResourceState::Undefined
         }
+    }
+    fn kind(&self) -> ResourceKind {
+        ResourceKind::PartitionInfo
     }
 }
 

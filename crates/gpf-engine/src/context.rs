@@ -86,13 +86,14 @@ impl EngineContext {
     }
 
     fn ensure_stage(rec: &mut Recorder) -> &mut StageMetrics {
-        if rec.current.is_none() {
-            let id = rec.run.stages.len();
-            let mut stage = StageMetrics::new(id, rec.phase.clone());
-            stage.shuffle_read_bytes = std::mem::take(&mut rec.next_stage_read);
-            rec.current = Some(stage);
-        }
-        rec.current.as_mut().expect("just ensured")
+        let id = rec.run.stages.len();
+        let phase = rec.phase.clone();
+        let next_read = &mut rec.next_stage_read;
+        rec.current.get_or_insert_with(|| {
+            let mut stage = StageMetrics::new(id, phase);
+            stage.shuffle_read_bytes = std::mem::take(next_read);
+            stage
+        })
     }
 
     /// Record one narrow operation's execution into the open stage.
@@ -106,7 +107,7 @@ impl EngineContext {
         if std::env::var_os("GPF_DEBUG_OPS").is_some() && !per_partition_cpu_s.is_empty() {
             let mut top: Vec<(f64, usize)> =
                 per_partition_cpu_s.iter().copied().zip(0..).collect();
-            top.sort_by(|a, b| b.0.partial_cmp(&a.0).expect("finite"));
+            top.sort_by(|a, b| b.0.total_cmp(&a.0));
             let total: f64 = per_partition_cpu_s.iter().sum();
             eprintln!(
                 "[op] {:<28} tasks {:>5} cpu {:>8.3}s top {:?}",
@@ -149,8 +150,9 @@ impl EngineContext {
         if !label.is_empty() {
             stage.label = label.to_string();
         }
-        let done = rec.current.take().expect("stage open");
-        rec.run.stages.push(done);
+        if let Some(done) = rec.current.take() {
+            rec.run.stages.push(done);
+        }
         rec.next_stage_read = read_bytes;
     }
 
@@ -169,8 +171,9 @@ impl EngineContext {
             stage.label = label.to_string();
         }
         stage.shuffle_write_bytes = per_partition_bytes;
-        let done = rec.current.take().expect("stage open");
-        rec.run.stages.push(done);
+        if let Some(done) = rec.current.take() {
+            rec.run.stages.push(done);
+        }
         rec.next_stage_read = Vec::new();
     }
 

@@ -89,7 +89,7 @@ impl StageMetrics {
         if let Some((dominant, _)) = self
             .phase_cpu
             .iter()
-            .max_by(|a, b| a.1.partial_cmp(&b.1).expect("finite cpu"))
+            .max_by(|a, b| a.1.total_cmp(&b.1))
         {
             self.phase = dominant.clone();
         }

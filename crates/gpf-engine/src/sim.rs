@@ -239,19 +239,20 @@ pub fn simulate(run: &JobRun, cluster: &SimCluster, opts: &SimOptions) -> SimRes
 
         // LPT list scheduling onto `cores` identical cores.
         let mut order: Vec<usize> = (0..tasks.len()).collect();
-        order.sort_by(|&a, &b| {
-            tasks[b].total().partial_cmp(&tasks[a].total()).expect("finite durations")
-        });
+        order.sort_by(|&a, &b| tasks[b].total().total_cmp(&tasks[a].total()));
         let mut core_free = vec![start; cores];
         let mut stage_end = start;
         for &ti in &order {
             let t = tasks[ti];
             // Earliest-available core (linear scan is fine: cores ≤ few thousand).
-            let (ci, &free) = core_free
-                .iter()
-                .enumerate()
-                .min_by(|a, b| a.1.partial_cmp(b.1).expect("finite"))
-                .expect("at least one core");
+            let mut ci = 0;
+            let mut free = f64::INFINITY;
+            for (i, &f) in core_free.iter().enumerate() {
+                if f < free {
+                    ci = i;
+                    free = f;
+                }
+            }
             let end = free + t.total();
             core_free[ci] = end;
             stage_end = stage_end.max(end);

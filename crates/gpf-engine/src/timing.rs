@@ -40,9 +40,16 @@ pub struct TaskTimer {
 #[cfg(target_os = "linux")]
 fn thread_cpu_now() -> sys::Timespec {
     let mut ts = sys::Timespec { tv_sec: 0, tv_nsec: 0 };
-    // SAFETY: ts is a valid, writable timespec; the clock id is a constant.
-    unsafe {
-        sys::clock_gettime(sys::CLOCK_THREAD_CPUTIME_ID, &mut ts);
+    // SAFETY: `ts` is a live, writable `timespec` matching the kernel ABI
+    // for this architecture, and CLOCK_THREAD_CPUTIME_ID is a valid clock id
+    // on every Linux the workspace targets; clock_gettime writes the struct
+    // and performs no other memory access.
+    let rc = unsafe { sys::clock_gettime(sys::CLOCK_THREAD_CPUTIME_ID, &mut ts) };
+    if rc != 0 {
+        // clock_gettime can only fail here on an exotic kernel lacking the
+        // thread CPU clock; report zero elapsed time instead of reading a
+        // partially-written struct.
+        return sys::Timespec { tv_sec: 0, tv_nsec: 0 };
     }
     ts
 }

@@ -81,7 +81,7 @@ impl ReferenceGenome {
             s.push_str(self.dict.name_of(id as u32));
             s.push('\n');
             for chunk in seq.chunks(70) {
-                s.push_str(std::str::from_utf8(chunk).expect("reference is ASCII"));
+                s.push_str(&String::from_utf8_lossy(chunk));
                 s.push('\n');
             }
         }

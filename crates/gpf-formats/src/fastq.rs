@@ -76,9 +76,9 @@ impl FastqRecord {
         s.push('@');
         s.push_str(&self.name);
         s.push('\n');
-        s.push_str(std::str::from_utf8(&self.seq).expect("sequence is ASCII"));
+        s.push_str(&String::from_utf8_lossy(&self.seq));
         s.push_str("\n+\n");
-        s.push_str(std::str::from_utf8(&self.qual).expect("quality is ASCII"));
+        s.push_str(&String::from_utf8_lossy(&self.qual));
         s.push('\n');
         s
     }

@@ -245,12 +245,12 @@ impl SamRecord {
         let seq = if self.seq.is_empty() {
             "*".to_string()
         } else {
-            String::from_utf8(self.seq.clone()).expect("SEQ is ASCII")
+            String::from_utf8_lossy(&self.seq).into_owned()
         };
         let qual = if self.qual.is_empty() {
             "*".to_string()
         } else {
-            String::from_utf8(self.qual.clone()).expect("QUAL is ASCII")
+            String::from_utf8_lossy(&self.qual).into_owned()
         };
         format!(
             "{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\tNM:i:{}\tRG:Z:rg{}",

@@ -79,8 +79,8 @@ impl VcfRecord {
             "{}\t{}\t.\t{}\t{}\t{:.2}\tPASS\tDP={}\tGT\t{}",
             dict.name_of(self.contig),
             self.pos + 1,
-            std::str::from_utf8(&self.ref_allele).expect("ref allele is ASCII"),
-            std::str::from_utf8(&self.alt_allele).expect("alt allele is ASCII"),
+            String::from_utf8_lossy(&self.ref_allele),
+            String::from_utf8_lossy(&self.alt_allele),
             self.qual,
             self.depth,
             self.genotype.as_str(),

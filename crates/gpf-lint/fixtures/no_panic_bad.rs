@@ -1,0 +1,13 @@
+// Fixture: every banned panic path in non-test library code.
+pub fn violations(o: Option<u32>, r: Result<u32, ()>) -> u32 {
+    let a = o.unwrap();
+    let b = r.expect("boom");
+    if a > b {
+        panic!("a > b");
+    }
+    match a {
+        0 => todo!(),
+        1 => unimplemented!(),
+        _ => unreachable!(),
+    }
+}

@@ -1,0 +1,30 @@
+// Fixture: the permitted shapes — propagation, defaults, annotated allows,
+// asserts, test code, and panic-looking text inside strings/comments.
+pub fn clean(o: Option<u32>, r: Result<u32, ()>) -> Result<u32, ()> {
+    let a = o.unwrap_or(0);
+    let b = o.unwrap_or_default();
+    assert!(a <= 1_000_000, "bounded input");
+    debug_assert!(b <= a);
+    let msg = "never panic! or unwrap() in messages";
+    let _ = msg;
+    // A comment may say unwrap() or panic! freely.
+    // gpf-lint: allow(no-panic): slot is filled two lines above.
+    let c = Some(a).unwrap();
+    let _ = c;
+    r
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn tests_may_unwrap() {
+        let v: Option<u32> = Some(3);
+        assert_eq!(v.unwrap(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "boom")]
+    fn tests_may_panic() {
+        panic!("boom");
+    }
+}

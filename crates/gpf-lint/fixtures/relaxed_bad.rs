@@ -1,0 +1,6 @@
+// Fixture: raw Relaxed atomics outside gpf-support/src/par.rs.
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+pub fn bump(counter: &AtomicUsize) -> usize {
+    counter.fetch_add(1, Ordering::Relaxed)
+}

@@ -1,0 +1,9 @@
+// Fixture: SeqCst ordering is fine anywhere, and the word Relaxed may
+// appear in comments ("Relaxed is banned here") or strings.
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+pub fn bump(counter: &AtomicUsize) -> usize {
+    let hint = "do not use Relaxed here";
+    let _ = hint;
+    counter.fetch_add(1, Ordering::SeqCst)
+}

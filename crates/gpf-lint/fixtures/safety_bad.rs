@@ -1,0 +1,4 @@
+// Fixture: unsafe without an adjacent SAFETY comment.
+pub fn read_first(p: *const u8) -> u8 {
+    unsafe { *p }
+}

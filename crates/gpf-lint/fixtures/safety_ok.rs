@@ -1,0 +1,10 @@
+// Fixture: unsafe with the required SAFETY comment (same line or the
+// comment block directly above).
+pub fn read_first(p: *const u8) -> u8 {
+    // SAFETY: caller guarantees `p` points to at least one readable byte.
+    unsafe { *p }
+}
+
+pub fn read_second(p: *const u8) -> u8 {
+    unsafe { *p.add(1) } // SAFETY: caller guarantees two readable bytes.
+}

@@ -1,0 +1,4 @@
+// Fixture: free-threading outside gpf-support.
+pub fn fire_and_forget() {
+    std::thread::spawn(|| {});
+}

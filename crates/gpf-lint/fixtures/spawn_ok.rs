@@ -1,0 +1,7 @@
+// Fixture: scoped threads are the sanctioned form outside gpf-support.
+pub fn scoped_sum(items: &[u64]) -> u64 {
+    std::thread::scope(|s| {
+        let h = s.spawn(|| items.iter().sum::<u64>());
+        h.join().unwrap_or(0)
+    })
+}

@@ -1,0 +1,798 @@
+//! # gpf-lint
+//!
+//! Mechanical enforcement of the workspace invariants PR 1 established —
+//! the checks a reviewer would otherwise have to re-verify on every change.
+//! Std-only, like `gpf-support`: the linter itself must build with
+//! `--offline` from a clean checkout.
+//!
+//! ## Rules
+//!
+//! | rule | invariant |
+//! |------|-----------|
+//! | `no-panic` | no `.unwrap()` / `.expect(` / `panic!` / `unreachable!` / `todo!` / `unimplemented!` in non-test library code |
+//! | `safety-comment` | every `unsafe` is preceded by (or shares a line with) a `// SAFETY:` comment |
+//! | `relaxed-ordering` | `Ordering::Relaxed` only inside `gpf-support/src/par.rs` |
+//! | `thread-spawn` | `thread::spawn` only inside `gpf-support` (everyone else uses `gpf_support::par`) |
+//! | `hermetic-deps` | every manifest dependency is a workspace/path dep — nothing from crates.io |
+//!
+//! `assert!` / `debug_assert!` are deliberately *not* banned: stating an
+//! invariant is encouraged; what the `no-panic` rule bans is using a panic
+//! as an error path.
+//!
+//! ## Allowlisting
+//!
+//! A violation is suppressed by an annotation on the same line or in the
+//! comment block immediately above, **with a mandatory justification**:
+//!
+//! ```text
+//! // gpf-lint: allow(no-panic): scheduler guarantees inputs are Defined.
+//! ```
+//!
+//! An annotation without a justification does not suppress anything.
+//!
+//! ## Scanning model
+//!
+//! Rust sources are masked by a small char-level lexer that blanks string
+//! literals and comments out of the *code* view (so `"panic!"` in a message
+//! string is not a finding) and keeps a parallel *comment* view (where
+//! `SAFETY:` and `gpf-lint: allow(...)` annotations live). `#[cfg(test)]`
+//! regions are excluded by bracket/brace matching — test code may unwrap
+//! freely.
+
+use std::fmt;
+use std::fs;
+use std::io;
+use std::path::Path;
+
+/// The enforced invariants.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Rule {
+    /// No panicking calls in non-test library code.
+    NoPanic,
+    /// `unsafe` requires an adjacent `// SAFETY:` comment.
+    SafetyComment,
+    /// `Ordering::Relaxed` is confined to `gpf-support/src/par.rs`.
+    RelaxedOrdering,
+    /// `thread::spawn` is confined to `gpf-support`.
+    ThreadSpawn,
+    /// Manifest dependencies must be workspace/path deps.
+    HermeticDeps,
+}
+
+impl Rule {
+    /// Stable kebab-case rule name (used in `allow(...)` annotations and
+    /// `--json` output).
+    pub fn name(self) -> &'static str {
+        match self {
+            Rule::NoPanic => "no-panic",
+            Rule::SafetyComment => "safety-comment",
+            Rule::RelaxedOrdering => "relaxed-ordering",
+            Rule::ThreadSpawn => "thread-spawn",
+            Rule::HermeticDeps => "hermetic-deps",
+        }
+    }
+
+    /// Every rule, in reporting order.
+    pub fn all() -> [Rule; 5] {
+        [
+            Rule::NoPanic,
+            Rule::SafetyComment,
+            Rule::RelaxedOrdering,
+            Rule::ThreadSpawn,
+            Rule::HermeticDeps,
+        ]
+    }
+}
+
+impl fmt::Display for Rule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// One rule violation at a file:line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    /// Violated rule.
+    pub rule: Rule,
+    /// Workspace-relative path.
+    pub file: String,
+    /// 1-based line number.
+    pub line: usize,
+    /// Human-readable explanation.
+    pub message: String,
+}
+
+impl fmt::Display for Finding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}: [{}] {}", self.file, self.line, self.rule, self.message)
+    }
+}
+
+impl Finding {
+    /// Render as a JSON object (std-only serializer).
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"rule\":\"{}\",\"file\":\"{}\",\"line\":{},\"message\":\"{}\"}}",
+            self.rule,
+            json_escape(&self.file),
+            self.line,
+            json_escape(&self.message)
+        )
+    }
+}
+
+/// Escape a string for embedding in JSON output.
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+// ---------------------------------------------------------------------------
+// Source masking
+// ---------------------------------------------------------------------------
+
+/// A Rust source split into parallel per-line views: `code` with string
+/// literals and comments blanked, `comments` with only comment text kept.
+pub struct MaskedSource {
+    /// Per-line code text (strings/comments replaced by spaces).
+    pub code: Vec<String>,
+    /// Per-line comment text (everything else replaced by spaces).
+    pub comments: Vec<String>,
+    /// Per-line flag: inside a `#[cfg(test)]` region.
+    pub is_test: Vec<bool>,
+}
+
+enum LexState {
+    Code,
+    LineComment,
+    BlockComment(u32),
+    Str { escaped: bool },
+    RawStr { hashes: usize },
+    CharLit { escaped: bool },
+}
+
+/// Does a raw-string literal start at `chars[i]`? Returns `(hashes,
+/// consumed)` covering the optional `b`, the `r`, the hashes, and the
+/// opening quote.
+fn raw_string_start(chars: &[char], i: usize) -> Option<(usize, usize)> {
+    // `r` / `br` must not be the tail of an identifier (`var`, `attr`, ...).
+    if i > 0 {
+        let prev = chars[i - 1];
+        if prev.is_alphanumeric() || prev == '_' {
+            return None;
+        }
+    }
+    let mut j = i;
+    if chars.get(j) == Some(&'b') {
+        j += 1;
+    }
+    if chars.get(j) != Some(&'r') {
+        return None;
+    }
+    j += 1;
+    let mut hashes = 0;
+    while chars.get(j) == Some(&'#') {
+        hashes += 1;
+        j += 1;
+    }
+    if chars.get(j) == Some(&'"') {
+        Some((hashes, j + 1 - i))
+    } else {
+        None
+    }
+}
+
+/// Mask a Rust source into code/comment line views and mark test regions.
+pub fn mask(source: &str) -> MaskedSource {
+    let chars: Vec<char> = source.chars().collect();
+    let mut code_lines: Vec<String> = Vec::new();
+    let mut comment_lines: Vec<String> = Vec::new();
+    let mut code = String::new();
+    let mut comment = String::new();
+    let mut st = LexState::Code;
+    let mut i = 0;
+    while i < chars.len() {
+        let c = chars[i];
+        if c == '\n' {
+            if matches!(st, LexState::LineComment) {
+                st = LexState::Code;
+            }
+            code_lines.push(std::mem::take(&mut code));
+            comment_lines.push(std::mem::take(&mut comment));
+            i += 1;
+            continue;
+        }
+        match st {
+            LexState::Code => {
+                if c == '/' && chars.get(i + 1) == Some(&'/') {
+                    st = LexState::LineComment;
+                    code.push_str("  ");
+                    comment.push_str("//");
+                    i += 2;
+                } else if c == '/' && chars.get(i + 1) == Some(&'*') {
+                    st = LexState::BlockComment(1);
+                    code.push_str("  ");
+                    comment.push_str("/*");
+                    i += 2;
+                } else if let Some((hashes, consumed)) = raw_string_start(&chars, i) {
+                    st = LexState::RawStr { hashes };
+                    for _ in 0..consumed {
+                        code.push(' ');
+                        comment.push(' ');
+                    }
+                    i += consumed;
+                } else if c == '"' {
+                    st = LexState::Str { escaped: false };
+                    code.push(' ');
+                    comment.push(' ');
+                    i += 1;
+                } else if c == '\'' {
+                    // Lifetime/label (`'a`, `'static`) vs char literal
+                    // (`'a'`, `'\n'`): an identifier char NOT followed by a
+                    // closing quote means lifetime.
+                    let is_lifetime = chars
+                        .get(i + 1)
+                        .map(|c1| (c1.is_alphanumeric() || *c1 == '_') && chars.get(i + 2) != Some(&'\''))
+                        .unwrap_or(false);
+                    if is_lifetime {
+                        code.push('\'');
+                        comment.push(' ');
+                        i += 1;
+                    } else {
+                        st = LexState::CharLit { escaped: false };
+                        code.push(' ');
+                        comment.push(' ');
+                        i += 1;
+                    }
+                } else {
+                    code.push(c);
+                    comment.push(' ');
+                    i += 1;
+                }
+            }
+            LexState::LineComment => {
+                code.push(' ');
+                comment.push(c);
+                i += 1;
+            }
+            LexState::BlockComment(depth) => {
+                if c == '*' && chars.get(i + 1) == Some(&'/') {
+                    code.push_str("  ");
+                    comment.push_str("*/");
+                    i += 2;
+                    if depth == 1 {
+                        st = LexState::Code;
+                    } else {
+                        st = LexState::BlockComment(depth - 1);
+                    }
+                } else if c == '/' && chars.get(i + 1) == Some(&'*') {
+                    code.push_str("  ");
+                    comment.push_str("/*");
+                    i += 2;
+                    st = LexState::BlockComment(depth + 1);
+                } else {
+                    code.push(' ');
+                    comment.push(c);
+                    i += 1;
+                }
+            }
+            LexState::Str { escaped } => {
+                code.push(' ');
+                comment.push(' ');
+                if escaped {
+                    st = LexState::Str { escaped: false };
+                } else if c == '\\' {
+                    st = LexState::Str { escaped: true };
+                } else if c == '"' {
+                    st = LexState::Code;
+                }
+                i += 1;
+            }
+            LexState::RawStr { hashes } => {
+                if c == '"' {
+                    let closes = (0..hashes).all(|k| chars.get(i + 1 + k) == Some(&'#'));
+                    if closes {
+                        for _ in 0..=hashes {
+                            code.push(' ');
+                            comment.push(' ');
+                        }
+                        i += 1 + hashes;
+                        st = LexState::Code;
+                        continue;
+                    }
+                }
+                code.push(' ');
+                comment.push(' ');
+                i += 1;
+            }
+            LexState::CharLit { escaped } => {
+                code.push(' ');
+                comment.push(' ');
+                if escaped {
+                    st = LexState::CharLit { escaped: false };
+                } else if c == '\\' {
+                    st = LexState::CharLit { escaped: true };
+                } else if c == '\'' {
+                    st = LexState::Code;
+                }
+                i += 1;
+            }
+        }
+    }
+    if !code.is_empty() || !comment.is_empty() {
+        code_lines.push(code);
+        comment_lines.push(comment);
+    }
+    let is_test = mark_test_regions(&code_lines);
+    MaskedSource { code: code_lines, comments: comment_lines, is_test }
+}
+
+/// Mark lines belonging to `#[cfg(test)]` items by matching the attribute's
+/// brackets and then the item's braces.
+fn mark_test_regions(code_lines: &[String]) -> Vec<bool> {
+    let mut is_test = vec![false; code_lines.len()];
+    for (start, line) in code_lines.iter().enumerate() {
+        if !line.contains("cfg(test)") || !line.contains("#[") {
+            continue;
+        }
+        // From the attribute onward, find the item's opening `{` (a `;`
+        // first means a braceless item — nothing more to mark).
+        let mut depth: i64 = 0;
+        let mut opened = false;
+        let mut end = start;
+        'scan: for (li, l) in code_lines.iter().enumerate().skip(start) {
+            for ch in l.chars() {
+                match ch {
+                    '{' => {
+                        opened = true;
+                        depth += 1;
+                    }
+                    '}' => {
+                        depth -= 1;
+                        if opened && depth <= 0 {
+                            end = li;
+                            break 'scan;
+                        }
+                    }
+                    ';' if !opened && depth == 0 => {
+                        end = li;
+                        break 'scan;
+                    }
+                    _ => {}
+                }
+            }
+            end = li;
+        }
+        for flag in is_test.iter_mut().take(end + 1).skip(start) {
+            *flag = true;
+        }
+    }
+    is_test
+}
+
+// ---------------------------------------------------------------------------
+// Rule checks
+// ---------------------------------------------------------------------------
+
+/// Is an `allow(rule)` annotation (with a justification) attached to
+/// `line` — on the same line or in the comment block directly above?
+fn is_allowed(masked: &MaskedSource, line: usize, rule: Rule) -> bool {
+    let pat = format!("gpf-lint: allow({})", rule.name());
+    let annotated = |l: usize| -> bool {
+        let Some(c) = masked.comments.get(l) else {
+            return false;
+        };
+        let Some(pos) = c.find(&pat) else {
+            return false;
+        };
+        // Mandatory justification: `allow(rule): <nonempty reason>`.
+        let rest = c[pos + pat.len()..].trim_start();
+        matches!(rest.strip_prefix(':').map(str::trim), Some(reason) if !reason.is_empty())
+    };
+    if annotated(line) {
+        return true;
+    }
+    // Walk up through the contiguous comment-only/blank block above.
+    let mut l = line;
+    while l > 0 {
+        l -= 1;
+        let code_blank = masked.code.get(l).map(|c| c.trim().is_empty()).unwrap_or(true);
+        if !code_blank {
+            return false;
+        }
+        if annotated(l) {
+            return true;
+        }
+    }
+    false
+}
+
+/// Does `line` (or the contiguous comment/blank block directly above it)
+/// carry `marker` in a comment? Used for `// SAFETY:` adjacency.
+fn has_adjacent_marker(masked: &MaskedSource, line: usize, marker: &str) -> bool {
+    let has = |l: usize| masked.comments.get(l).map(|c| c.contains(marker)).unwrap_or(false);
+    if has(line) {
+        return true;
+    }
+    let mut l = line;
+    while l > 0 {
+        l -= 1;
+        if has(l) {
+            return true;
+        }
+        let code_blank = masked.code.get(l).map(|c| c.trim().is_empty()).unwrap_or(true);
+        if !code_blank {
+            return false;
+        }
+    }
+    false
+}
+
+/// Is `needle` present in `hay` as a token (no identifier char on either
+/// side)? Returns every match position.
+fn token_positions(hay: &str, needle: &str) -> Vec<usize> {
+    let hb = hay.as_bytes();
+    let mut out = Vec::new();
+    let mut from = 0;
+    while let Some(rel) = hay.get(from..).and_then(|s| s.find(needle)) {
+        let pos = from + rel;
+        let before_ok = pos == 0 || {
+            let b = hb[pos - 1] as char;
+            !(b.is_alphanumeric() || b == '_')
+        };
+        let after = pos + needle.len();
+        let after_ok = after >= hb.len() || {
+            let a = hb[after] as char;
+            !(a.is_alphanumeric() || a == '_')
+        };
+        if before_ok && after_ok {
+            out.push(pos);
+        }
+        from = pos + needle.len();
+    }
+    out
+}
+
+/// `(token, what to say)` pairs for the `no-panic` rule. Tokens starting
+/// with `.` are matched verbatim (the dot prevents `unwrap_or` matches);
+/// the rest are token-matched.
+const PANIC_TOKENS: [(&str, &str); 6] = [
+    (".unwrap()", "`.unwrap()`"),
+    (".expect(", "`.expect()`"),
+    ("panic!", "`panic!`"),
+    ("unreachable!", "`unreachable!`"),
+    ("todo!", "`todo!`"),
+    ("unimplemented!", "`unimplemented!`"),
+];
+
+/// Lint one Rust source. `file` is the workspace-relative path used both
+/// for reporting and for the location-scoped rules (`relaxed-ordering`,
+/// `thread-spawn`).
+pub fn lint_source(file: &str, source: &str) -> Vec<Finding> {
+    let masked = mask(source);
+    let mut findings = Vec::new();
+    let in_par = file.ends_with("gpf-support/src/par.rs");
+    let in_support = file.contains("gpf-support/");
+    for (idx, code) in masked.code.iter().enumerate() {
+        if masked.is_test.get(idx).copied().unwrap_or(false) {
+            continue;
+        }
+        let lineno = idx + 1;
+        for (tok, what) in PANIC_TOKENS {
+            let hit = if let Some(stripped) = tok.strip_prefix('.') {
+                // `.unwrap()` / `.expect(`: the leading dot is its own
+                // boundary; just require the verbatim sequence.
+                let _ = stripped;
+                code.contains(tok)
+            } else {
+                !token_positions(code, tok).is_empty()
+            };
+            if hit && !is_allowed(&masked, idx, Rule::NoPanic) {
+                findings.push(Finding {
+                    rule: Rule::NoPanic,
+                    file: file.to_string(),
+                    line: lineno,
+                    message: format!(
+                        "{what} in library code; propagate an error or annotate \
+                         `// gpf-lint: allow(no-panic): <why it cannot fire>`"
+                    ),
+                });
+            }
+        }
+        if !token_positions(code, "unsafe").is_empty() {
+            let has_safety = has_adjacent_marker(&masked, idx, "SAFETY:");
+            if !has_safety && !is_allowed(&masked, idx, Rule::SafetyComment) {
+                findings.push(Finding {
+                    rule: Rule::SafetyComment,
+                    file: file.to_string(),
+                    line: lineno,
+                    message: "`unsafe` without an adjacent `// SAFETY:` comment".to_string(),
+                });
+            }
+        }
+        if !in_par
+            && !token_positions(code, "Relaxed").is_empty()
+            && !is_allowed(&masked, idx, Rule::RelaxedOrdering)
+        {
+            findings.push(Finding {
+                rule: Rule::RelaxedOrdering,
+                file: file.to_string(),
+                line: lineno,
+                message: "`Ordering::Relaxed` outside gpf-support/src/par.rs; use the \
+                          gpf_support::par primitives instead of raw atomics"
+                    .to_string(),
+            });
+        }
+        if !in_support
+            && code.contains("thread::spawn")
+            && !is_allowed(&masked, idx, Rule::ThreadSpawn)
+        {
+            findings.push(Finding {
+                rule: Rule::ThreadSpawn,
+                file: file.to_string(),
+                line: lineno,
+                message: "`thread::spawn` outside gpf-support; use gpf_support::par for \
+                          scoped parallelism"
+                    .to_string(),
+            });
+        }
+    }
+    findings
+}
+
+// ---------------------------------------------------------------------------
+// Manifest lint
+// ---------------------------------------------------------------------------
+
+/// Lint one `Cargo.toml` for the hermetic-build invariant: every dependency
+/// entry resolves inside the workspace (`workspace = true` or `path = ...`);
+/// `[workspace.dependencies]` entries must be `path` deps.
+pub fn lint_manifest(file: &str, source: &str) -> Vec<Finding> {
+    #[derive(PartialEq)]
+    enum Section {
+        DepTable,
+        WorkspaceDeps,
+        /// `[dependencies.foo]`-style subtable: valid iff some key inside
+        /// is `path` or `workspace`.
+        DepSubtable { header_line: usize, name: String, seen_local: bool },
+        Other,
+    }
+    let mut findings = Vec::new();
+    let mut section = Section::Other;
+    let close_subtable = |findings: &mut Vec<Finding>, section: &Section| {
+        if let Section::DepSubtable { header_line, name, seen_local } = section {
+            if !seen_local {
+                findings.push(Finding {
+                    rule: Rule::HermeticDeps,
+                    file: file.to_string(),
+                    line: header_line + 1,
+                    message: format!(
+                        "dependency `{name}` is not a workspace/path dependency; the \
+                         workspace builds offline only"
+                    ),
+                });
+            }
+        }
+    };
+    for (idx, raw) in source.lines().enumerate() {
+        let line = raw.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        if line.starts_with('[') {
+            close_subtable(&mut findings, &section);
+            let name = line.trim_matches(|c| c == '[' || c == ']').trim();
+            section = if name == "workspace.dependencies" {
+                Section::WorkspaceDeps
+            } else if name == "dependencies"
+                || name == "dev-dependencies"
+                || name == "build-dependencies"
+                || name.ends_with(".dependencies")
+            {
+                Section::DepTable
+            } else if let Some(dep) = name
+                .strip_prefix("dependencies.")
+                .or_else(|| name.strip_prefix("dev-dependencies."))
+                .or_else(|| name.strip_prefix("build-dependencies."))
+            {
+                Section::DepSubtable {
+                    header_line: idx,
+                    name: dep.to_string(),
+                    seen_local: false,
+                }
+            } else {
+                Section::Other
+            };
+            continue;
+        }
+        let local = line.contains("workspace = true") || line.contains("path =");
+        match &mut section {
+            Section::DepTable => {
+                if !local {
+                    let dep = line.split('=').next().unwrap_or(line).trim().trim_matches('"');
+                    findings.push(Finding {
+                        rule: Rule::HermeticDeps,
+                        file: file.to_string(),
+                        line: idx + 1,
+                        message: format!(
+                            "dependency `{dep}` is not a workspace/path dependency; the \
+                             workspace builds offline only"
+                        ),
+                    });
+                }
+            }
+            Section::WorkspaceDeps => {
+                if !line.contains("path =") {
+                    let dep = line.split('=').next().unwrap_or(line).trim().trim_matches('"');
+                    findings.push(Finding {
+                        rule: Rule::HermeticDeps,
+                        file: file.to_string(),
+                        line: idx + 1,
+                        message: format!(
+                            "[workspace.dependencies] entry `{dep}` must be a `path` \
+                             dependency (hermetic build)"
+                        ),
+                    });
+                }
+            }
+            Section::DepSubtable { seen_local, .. } => {
+                if local || line.starts_with("path") || line.starts_with("workspace") {
+                    *seen_local = true;
+                }
+            }
+            Section::Other => {}
+        }
+    }
+    close_subtable(&mut findings, &section);
+    findings
+}
+
+// ---------------------------------------------------------------------------
+// Tree walking
+// ---------------------------------------------------------------------------
+
+/// Recursively collect `.rs` files under `dir`, sorted for deterministic
+/// output.
+fn rust_files(dir: &Path, out: &mut Vec<std::path::PathBuf>) -> io::Result<()> {
+    let mut entries: Vec<_> = fs::read_dir(dir)?.collect::<Result<_, _>>()?;
+    entries.sort_by_key(|e| e.path());
+    for entry in entries {
+        let path = entry.path();
+        if path.is_dir() {
+            rust_files(&path, out)?;
+        } else if path.extension().and_then(|e| e.to_str()) == Some("rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// Workspace-relative label with forward slashes.
+fn rel_label(root: &Path, path: &Path) -> String {
+    let rel = path.strip_prefix(root).unwrap_or(path);
+    rel.components()
+        .map(|c| c.as_os_str().to_string_lossy().into_owned())
+        .collect::<Vec<_>>()
+        .join("/")
+}
+
+/// Lint the whole workspace rooted at `root`: every `crates/*/src/**/*.rs`
+/// plus the root and per-crate manifests.
+pub fn lint_tree(root: &Path) -> io::Result<Vec<Finding>> {
+    let mut findings = Vec::new();
+    let root_manifest = root.join("Cargo.toml");
+    if root_manifest.is_file() {
+        let text = fs::read_to_string(&root_manifest)?;
+        findings.extend(lint_manifest(&rel_label(root, &root_manifest), &text));
+    }
+    let crates_dir = root.join("crates");
+    let mut crate_dirs: Vec<_> = fs::read_dir(&crates_dir)?
+        .collect::<Result<Vec<_>, _>>()?
+        .into_iter()
+        .map(|e| e.path())
+        .filter(|p| p.is_dir())
+        .collect();
+    crate_dirs.sort();
+    for crate_dir in crate_dirs {
+        let manifest = crate_dir.join("Cargo.toml");
+        if manifest.is_file() {
+            let text = fs::read_to_string(&manifest)?;
+            findings.extend(lint_manifest(&rel_label(root, &manifest), &text));
+        }
+        let src = crate_dir.join("src");
+        if src.is_dir() {
+            let mut files = Vec::new();
+            rust_files(&src, &mut files)?;
+            for file in files {
+                let text = fs::read_to_string(&file)?;
+                findings.extend(lint_source(&rel_label(root, &file), &text));
+            }
+        }
+    }
+    Ok(findings)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn masking_blanks_strings_and_comments() {
+        let src = "let x = \"panic!\"; // panic! here\nlet y = 1;\n";
+        let m = mask(src);
+        assert!(!m.code[0].contains("panic!"));
+        assert!(m.comments[0].contains("panic! here"));
+        assert!(m.code[1].contains("let y = 1;"));
+    }
+
+    #[test]
+    fn masking_handles_raw_strings_and_lifetimes() {
+        let src = "fn f<'a>(s: &'a str) { let r = r#\"unsafe // \"#; let c = '\"'; }\n";
+        let m = mask(src);
+        assert!(!m.code[0].contains("unsafe"));
+        assert!(m.code[0].contains("fn f<'a>"));
+        assert!(m.comments[0].trim().is_empty());
+    }
+
+    #[test]
+    fn cfg_test_regions_are_skipped() {
+        let src = "fn a() { x.unwrap() }\n#[cfg(test)]\nmod tests {\n    fn b() { y.unwrap(); }\n}\n";
+        let f = lint_source("crates/x/src/lib.rs", src);
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].line, 1);
+    }
+
+    #[test]
+    fn allow_annotation_requires_reason() {
+        let with_reason =
+            "// gpf-lint: allow(no-panic): provably infallible.\nlet v = o.unwrap();\n";
+        assert!(lint_source("crates/x/src/lib.rs", with_reason).is_empty());
+        let without_reason = "// gpf-lint: allow(no-panic):\nlet v = o.unwrap();\n";
+        assert_eq!(lint_source("crates/x/src/lib.rs", without_reason).len(), 1);
+    }
+
+    #[test]
+    fn unwrap_or_is_not_a_violation() {
+        let src = "let v = o.unwrap_or(0); let w = o.unwrap_or_default();\n";
+        assert!(lint_source("crates/x/src/lib.rs", src).is_empty());
+    }
+
+    #[test]
+    fn relaxed_allowed_only_in_par() {
+        let src = "let c = x.fetch_add(1, Ordering::Relaxed);\n";
+        assert!(lint_source("crates/gpf-support/src/par.rs", src).is_empty());
+        assert_eq!(lint_source("crates/gpf-engine/src/context.rs", src).len(), 1);
+    }
+
+    #[test]
+    fn manifest_flags_external_deps() {
+        let bad = "[dependencies]\nserde = \"1\"\ngpf-support.workspace = true\n";
+        let f = lint_manifest("crates/x/Cargo.toml", bad);
+        assert_eq!(f.len(), 1);
+        assert!(f[0].message.contains("serde"));
+        assert_eq!(f[0].line, 2);
+    }
+
+    #[test]
+    fn json_escapes_quotes() {
+        let f = Finding {
+            rule: Rule::NoPanic,
+            file: "a.rs".into(),
+            line: 3,
+            message: "say \"hi\"".into(),
+        };
+        assert!(f.to_json().contains("\\\"hi\\\""));
+    }
+}

@@ -1,0 +1,80 @@
+//! `gpf-lint` CLI — walk the workspace and report invariant violations.
+//!
+//! ```text
+//! gpf-lint [--root DIR] [--json]
+//! ```
+//!
+//! Exit codes: `0` clean, `1` findings, `2` usage or I/O error — CI gates
+//! on the exit code (`scripts/ci.sh`).
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut root = PathBuf::from(".");
+    let mut explicit_root = false;
+    let mut json = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--json" => json = true,
+            "--root" => match args.next() {
+                Some(dir) => {
+                    root = PathBuf::from(dir);
+                    explicit_root = true;
+                }
+                None => return usage("--root needs a directory"),
+            },
+            "--help" | "-h" => {
+                eprintln!(
+                    "usage: gpf-lint [--root DIR] [--json]\n\
+                     rules: {}",
+                    gpf_lint::Rule::all().map(|r| r.name()).join(", ")
+                );
+                return ExitCode::SUCCESS;
+            }
+            other => return usage(&format!("unknown argument `{other}`")),
+        }
+    }
+
+    // `cargo run -p gpf-lint` runs from the workspace root; fall back to the
+    // manifest's grandparent so the binary also works from a crate dir.
+    if !explicit_root && !root.join("crates").is_dir() {
+        let from_manifest = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../..");
+        if from_manifest.join("crates").is_dir() {
+            root = from_manifest;
+        }
+    }
+
+    let findings = match gpf_lint::lint_tree(&root) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("gpf-lint: cannot scan {}: {e}", root.display());
+            return ExitCode::from(2);
+        }
+    };
+
+    if json {
+        let objects: Vec<String> = findings.iter().map(|f| f.to_json()).collect();
+        println!("[{}]", objects.join(","));
+    } else {
+        for f in &findings {
+            println!("{f}");
+        }
+        if findings.is_empty() {
+            eprintln!("gpf-lint: clean");
+        } else {
+            eprintln!("gpf-lint: {} finding(s)", findings.len());
+        }
+    }
+    if findings.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::from(1)
+    }
+}
+
+fn usage(msg: &str) -> ExitCode {
+    eprintln!("gpf-lint: {msg}\nusage: gpf-lint [--root DIR] [--json]");
+    ExitCode::from(2)
+}

@@ -1,0 +1,142 @@
+//! Per-rule fixture tests: every rule has a positive fixture (must be
+//! flagged) and a negative fixture (must pass clean).
+
+use gpf_lint::{lint_manifest, lint_source, Rule};
+
+fn rules_hit(findings: &[gpf_lint::Finding]) -> Vec<Rule> {
+    let mut rules: Vec<Rule> = findings.iter().map(|f| f.rule).collect();
+    rules.sort();
+    rules.dedup();
+    rules
+}
+
+#[test]
+fn no_panic_positive() {
+    let f = lint_source(
+        "crates/x/src/lib.rs",
+        include_str!("../fixtures/no_panic_bad.rs"),
+    );
+    assert_eq!(rules_hit(&f), vec![Rule::NoPanic]);
+    // One finding per banned token: unwrap, expect, panic!, todo!,
+    // unimplemented!, unreachable!.
+    assert_eq!(f.len(), 6, "{f:?}");
+    let lines: Vec<usize> = f.iter().map(|x| x.line).collect();
+    assert_eq!(lines, vec![3, 4, 6, 9, 10, 11]);
+}
+
+#[test]
+fn no_panic_negative() {
+    let f = lint_source(
+        "crates/x/src/lib.rs",
+        include_str!("../fixtures/no_panic_ok.rs"),
+    );
+    assert!(f.is_empty(), "{f:?}");
+}
+
+#[test]
+fn safety_comment_positive() {
+    let f = lint_source(
+        "crates/x/src/lib.rs",
+        include_str!("../fixtures/safety_bad.rs"),
+    );
+    assert_eq!(rules_hit(&f), vec![Rule::SafetyComment]);
+    assert_eq!(f.len(), 1);
+    assert_eq!(f[0].line, 3);
+}
+
+#[test]
+fn safety_comment_negative() {
+    let f = lint_source(
+        "crates/x/src/lib.rs",
+        include_str!("../fixtures/safety_ok.rs"),
+    );
+    assert!(f.is_empty(), "{f:?}");
+}
+
+#[test]
+fn relaxed_ordering_positive() {
+    let f = lint_source(
+        "crates/gpf-engine/src/context.rs",
+        include_str!("../fixtures/relaxed_bad.rs"),
+    );
+    assert_eq!(rules_hit(&f), vec![Rule::RelaxedOrdering]);
+    assert_eq!(f.len(), 1, "{f:?}");
+    assert_eq!(f[0].line, 5);
+}
+
+#[test]
+fn relaxed_ordering_negative() {
+    let f = lint_source(
+        "crates/gpf-engine/src/context.rs",
+        include_str!("../fixtures/relaxed_ok.rs"),
+    );
+    assert!(f.is_empty(), "{f:?}");
+    // The same Relaxed code is legal inside gpf-support/src/par.rs.
+    let in_par = lint_source(
+        "crates/gpf-support/src/par.rs",
+        include_str!("../fixtures/relaxed_bad.rs"),
+    );
+    assert!(in_par.is_empty(), "{in_par:?}");
+}
+
+#[test]
+fn thread_spawn_positive() {
+    let f = lint_source(
+        "crates/gpf-engine/src/dataset.rs",
+        include_str!("../fixtures/spawn_bad.rs"),
+    );
+    assert_eq!(rules_hit(&f), vec![Rule::ThreadSpawn]);
+    assert_eq!(f.len(), 1);
+    assert_eq!(f[0].line, 3);
+}
+
+#[test]
+fn thread_spawn_negative() {
+    let f = lint_source(
+        "crates/gpf-engine/src/dataset.rs",
+        include_str!("../fixtures/spawn_ok.rs"),
+    );
+    assert!(f.is_empty(), "{f:?}");
+    // gpf-support itself may spawn.
+    let in_support = lint_source(
+        "crates/gpf-support/src/sync.rs",
+        include_str!("../fixtures/spawn_bad.rs"),
+    );
+    assert!(in_support.is_empty(), "{in_support:?}");
+}
+
+#[test]
+fn hermetic_deps_positive() {
+    let f = lint_manifest(
+        "crates/x/Cargo.toml",
+        include_str!("../fixtures/manifest_bad.toml"),
+    );
+    assert_eq!(rules_hit(&f), vec![Rule::HermeticDeps]);
+    // serde, rand, proptest, and the [dependencies.tokio] subtable.
+    assert_eq!(f.len(), 4, "{f:?}");
+    let lines: Vec<usize> = f.iter().map(|x| x.line).collect();
+    assert_eq!(lines, vec![8, 9, 13, 15]);
+    assert!(f.iter().any(|x| x.message.contains("tokio")), "{f:?}");
+}
+
+#[test]
+fn hermetic_deps_negative() {
+    let f = lint_manifest(
+        "crates/x/Cargo.toml",
+        include_str!("../fixtures/manifest_ok.toml"),
+    );
+    assert!(f.is_empty(), "{f:?}");
+}
+
+#[test]
+fn findings_render_file_line_rule() {
+    let f = lint_source(
+        "crates/x/src/lib.rs",
+        include_str!("../fixtures/safety_bad.rs"),
+    );
+    let text = f[0].to_string();
+    assert!(text.starts_with("crates/x/src/lib.rs:3: [safety-comment]"), "{text}");
+    let json = f[0].to_json();
+    assert!(json.contains("\"rule\":\"safety-comment\""), "{json}");
+    assert!(json.contains("\"line\":3"), "{json}");
+}

@@ -1,0 +1,76 @@
+//! The linter against reality: the actual workspace must pass clean, and
+//! the binary's exit code must gate correctly on a violating tree.
+
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+fn workspace_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("../..")
+}
+
+/// Every crate in the repo satisfies every invariant — the acceptance
+/// criterion that makes the CI gate meaningful.
+#[test]
+fn real_tree_is_clean() {
+    let findings = gpf_lint::lint_tree(&workspace_root()).expect("workspace scan");
+    assert!(
+        findings.is_empty(),
+        "workspace violates its own invariants:\n{}",
+        findings.iter().map(|f| f.to_string()).collect::<Vec<_>>().join("\n")
+    );
+}
+
+/// The binary exits 0 on the real tree and 1 on a tree violating every
+/// rule; `--json` emits machine-readable findings.
+#[test]
+fn binary_exit_codes_gate_ci() {
+    let bin = env!("CARGO_BIN_EXE_gpf-lint");
+    let clean = Command::new(bin)
+        .args(["--root", &workspace_root().display().to_string()])
+        .output()
+        .expect("run gpf-lint");
+    assert!(
+        clean.status.success(),
+        "clean tree must exit 0:\n{}",
+        String::from_utf8_lossy(&clean.stdout)
+    );
+
+    // Build a violating mini-workspace in a scratch dir.
+    let scratch = std::env::temp_dir().join(format!("gpf-lint-it-{}", std::process::id()));
+    let src_dir = scratch.join("crates/badcrate/src");
+    std::fs::create_dir_all(&src_dir).expect("scratch dirs");
+    std::fs::write(
+        scratch.join("Cargo.toml"),
+        "[workspace]\nmembers = [\"crates/*\"]\n",
+    )
+    .expect("write root manifest");
+    std::fs::write(
+        scratch.join("crates/badcrate/Cargo.toml"),
+        include_str!("../fixtures/manifest_bad.toml"),
+    )
+    .expect("write crate manifest");
+    let mut bad_source = String::new();
+    bad_source.push_str(include_str!("../fixtures/no_panic_bad.rs"));
+    bad_source.push_str(include_str!("../fixtures/safety_bad.rs"));
+    bad_source.push_str(include_str!("../fixtures/relaxed_bad.rs"));
+    bad_source.push_str(include_str!("../fixtures/spawn_bad.rs"));
+    std::fs::write(src_dir.join("lib.rs"), bad_source).expect("write bad source");
+
+    let dirty = Command::new(bin)
+        .args(["--root", &scratch.display().to_string(), "--json"])
+        .output()
+        .expect("run gpf-lint on scratch");
+    let stdout = String::from_utf8_lossy(&dirty.stdout);
+    std::fs::remove_dir_all(&scratch).ok();
+
+    assert_eq!(dirty.status.code(), Some(1), "violations must exit 1: {stdout}");
+    for rule in gpf_lint::Rule::all() {
+        assert!(
+            stdout.contains(&format!("\"rule\":\"{}\"", rule.name())),
+            "rule {} missing from JSON output: {stdout}",
+            rule.name()
+        );
+    }
+    // JSON output parses as a non-empty array of objects.
+    assert!(stdout.trim().starts_with('[') && stdout.trim().ends_with(']'), "{stdout}");
+}

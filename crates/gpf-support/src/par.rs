@@ -92,6 +92,9 @@ where
     }
     let mut out = Vec::with_capacity(n);
     for slot in slots {
+        // gpf-lint: allow(no-panic): the fetch_add counter hands out each
+        // chunk index to exactly one worker, and all workers joined above —
+        // an empty slot is a work-stealing bug worth crashing on.
         out.extend(slot.expect("every chunk claimed exactly once"));
     }
     out

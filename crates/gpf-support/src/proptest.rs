@@ -415,6 +415,8 @@ impl<V: Debug + Clone> Strategy for Union<V> {
             }
             pick -= *w as u64;
         }
+        // gpf-lint: allow(no-panic): gen_range(0..total_weight) < the sum of
+        // the arm weights, so one arm always matches.
         unreachable!("pick < total_weight")
     }
 }
@@ -554,6 +556,8 @@ pub fn run<S>(
         let value = strategy.generate(&mut rng);
         eprintln!("[proptest] {name}: replaying case seed {seed:#x} with input {value:?}");
         if let Err(msg) = run_one(&test, value.clone()) {
+            // gpf-lint: allow(no-panic): panicking IS the harness contract —
+            // a failed property must fail the enclosing #[test].
             panic!("[proptest] {name}: replayed case failed: {msg}\ninput: {value:?}");
         }
         return;
@@ -565,6 +569,8 @@ pub fn run<S>(
         let value = strategy.generate(&mut rng);
         if let Err(first_msg) = run_one(&test, value.clone()) {
             let (minimal, msg, steps) = shrink_failure(&cfg, strategy, &test, value, first_msg);
+            // gpf-lint: allow(no-panic): panicking IS the harness contract —
+            // a failed property must fail the enclosing #[test].
             panic!(
                 "[proptest] property `{name}` failed at case {case}/{} \
                  (case seed {case_seed:#x}; replay with GPF_PROPTEST_REPLAY={case_seed:#x})\n\

@@ -57,6 +57,8 @@ impl QualityProfile {
 
     /// Sample a quality string of `len` cycles.
     pub fn sample(&self, len: usize, rng: &mut StdRng) -> Vec<u8> {
+        // gpf-lint: allow(no-panic): jitter_sd is a positive model constant
+        // set in this module, never user input.
         let innov = Normal::new(0.0, self.jitter_sd).expect("valid sd");
         let mut out = Vec::with_capacity(len);
         let mut dev = 0.0f64; // AR(1) deviation from the cycle mean

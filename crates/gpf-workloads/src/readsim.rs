@@ -117,6 +117,8 @@ impl<'a> ReadSimulator<'a> {
     pub fn simulate(&self) -> Vec<SimulatedPair> {
         let mut rng = StdRng::seed_from_u64(self.cfg.seed);
         let n_unique = self.unique_pairs();
+        // gpf-lint: allow(no-panic): fragment_mean/sd are positive model
+        // constants from SimConfig defaults, never user input.
         let frag_dist = Normal::new(self.cfg.fragment_mean, self.cfg.fragment_sd).expect("valid");
 
         // Hotspots per contig (same windows on both haplotypes).
@@ -204,9 +206,12 @@ impl<'a> ReadSimulator<'a> {
         let name = p.pair.fragment_name();
         let mut parts = name.split(':');
         let _ = parts.next();
-        let hap_start: u64 = parts.next().expect("name has start").parse().expect("numeric");
-        let frag_len: usize = parts.next().expect("name has len").parse().expect("numeric");
-        (hap_start, frag_len)
+        let hap_start: Option<u64> = parts.next().and_then(|s| s.parse().ok());
+        let frag_len: Option<usize> = parts.next().and_then(|s| s.parse().ok());
+        // gpf-lint: allow(no-panic): the name was formatted by generate_pair
+        // in this file as `sim{i}:{start}:{len}`; failing to parse our own
+        // encoding is a simulator bug worth crashing on.
+        hap_start.zip(frag_len).expect("simulator-encoded fragment name")
     }
 
     /// Sample a fragment start honouring hotspot weights.
@@ -262,8 +267,12 @@ impl<'a> ReadSimulator<'a> {
         let name = format!("sim{idx}:{hap_start}:{frag_len}");
         let (seq1, qual1) = self.sequence_read(fwd, rng);
         let (seq2, qual2) = self.sequence_read(&rev, rng);
+        // gpf-lint: allow(no-panic): sequence_read emits equal-length
+        // seq/qual from the ACGTN alphabet, which is all FastqRecord checks.
         let r1 = FastqRecord::new(format!("{name}/1"), &seq1, &qual1).expect("simulated read valid");
+        // gpf-lint: allow(no-panic): same sequence_read contract as r1.
         let r2 = FastqRecord::new(format!("{name}/2"), &seq2, &qual2).expect("simulated read valid");
+        // gpf-lint: allow(no-panic): both mates were just built from `name`.
         let pair = FastqPair::new(r1, r2).expect("mate names match");
         let truth = PairTruth {
             contig,

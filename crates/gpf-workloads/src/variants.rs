@@ -123,7 +123,7 @@ impl DonorGenome {
                         // Insertion after the anchor.
                         let mut alt_allele = vec![anchor];
                         for _ in 0..len {
-                            alt_allele.push(*b"ACGT".get(rng.gen_range(0..4)).expect("base"));
+                            alt_allele.push(b"ACGT"[rng.gen_range(0..4)]);
                         }
                         sites.push(PlantedVariant {
                             pos: GenomePosition::new(contig, pos),

@@ -11,8 +11,20 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-echo "== build (release, offline) =="
+# One setting for every step below, so cargo artifacts share a fingerprint
+# (per-step RUSTFLAGS would rebuild the workspace once per step).
+export RUSTFLAGS="${RUSTFLAGS:-} -D warnings"
+
+echo "== build (release, offline, -D warnings) =="
 cargo build --release --offline
+
+echo "== gpf-lint (repo invariants) =="
+if ! cargo run --release --offline -q -p gpf-lint -- --root .; then
+    echo "gpf-lint found violations. Replay locally with:" >&2
+    echo "    cargo run --release --offline -p gpf-lint -- --root ." >&2
+    echo "(annotate intentional sites with '// gpf-lint: allow(<rule>): <reason>')" >&2
+    exit 1
+fi
 
 echo "== test (workspace, offline) =="
 cargo test -q --offline --workspace

@@ -122,7 +122,9 @@ fn malformed_fastq_is_rejected_at_load() {
     }
 }
 
-/// A circular Process graph aborts with the Algorithm-1 exception.
+/// A circular Process graph is refused up front by the static validator,
+/// with the actual cycle path in the diagnostic and the Algorithm-1
+/// "circular dependency" wording preserved in the Display.
 #[test]
 fn circular_pipeline_is_detected() {
     let ctx = EngineContext::new(EngineConfig::gpf());
@@ -133,10 +135,22 @@ fn circular_pipeline_is_detected() {
     pipeline.add_process(MarkDuplicateProcess::new("x", Arc::clone(&a), Arc::clone(&b)));
     pipeline.add_process(MarkDuplicateProcess::new("y", b, a));
     match pipeline.run() {
-        Err(gpf::core::PipelineError::CircularDependency { stuck }) => {
-            assert_eq!(stuck.len(), 2);
+        Err(ref err @ gpf::core::PipelineError::Invalid(ref diags)) => {
+            let cycle = diags
+                .iter()
+                .find_map(|d| match d.kind() {
+                    gpf::core::DiagnosticKind::Cycle { path } => Some(path.clone()),
+                    _ => None,
+                })
+                .expect("cycle diagnostic");
+            // x -[b]-> y -[a]-> x: alternating path closing on itself.
+            assert_eq!(cycle.len(), 5);
+            assert_eq!(cycle.first(), cycle.last());
+            // Compatibility Display still names the stuck Processes.
+            let text = err.to_string();
+            assert!(text.contains("circular dependency among processes:"), "{text}");
         }
-        other => panic!("expected circular dependency, got {other:?}"),
+        other => panic!("expected invalid-pipeline error, got {other:?}"),
     }
 }
 
