@@ -4,6 +4,9 @@
 //! experiments <id>[,<id>...] [--scale X]
 //! experiments all [--scale X]
 //! experiments --smoke
+//! experiments --smoke --trace out.json     # traced WGS run -> Chrome JSON
+//! experiments --validate-trace out.json    # schema-check a trace file
+//! experiments --smoke --trace-overhead     # measure tracing cost (<5%)
 //! ```
 //!
 //! Ids: table1 table3 table4 table5 fig5 fig10 fig11a fig11b fig11c fig11d
@@ -14,11 +17,15 @@
 
 use gpf_bench::experiments::{self, Lab};
 use gpf_bench::ExperimentReport;
+use gpf_trace::sink::{self, console_err, console_out};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut scale = gpf_bench::env_scale();
     let mut smoke = false;
+    let mut trace_path: Option<String> = None;
+    let mut validate_path: Option<String> = None;
+    let mut trace_overhead = false;
     let mut ids: Vec<String> = Vec::new();
     let mut i = 0;
     while i < args.len() {
@@ -31,12 +38,29 @@ fn main() {
                     .and_then(|s| s.parse().ok())
                     .unwrap_or_else(|| die("--scale needs a number"));
             }
+            "--trace" => {
+                i += 1;
+                trace_path =
+                    Some(args.get(i).cloned().unwrap_or_else(|| die("--trace needs a path")));
+            }
+            "--validate-trace" => {
+                i += 1;
+                validate_path = Some(
+                    args.get(i).cloned().unwrap_or_else(|| die("--validate-trace needs a path")),
+                );
+            }
+            "--trace-overhead" => trace_overhead = true,
             "--help" | "-h" => {
                 eprintln!(
                     "usage: experiments <id>[,<id>...]|all [--scale X] [--smoke]\n\
                      ids: table1 table3 table4 table5 fig5 fig10 fig11a fig11b fig11c fig11d fig12 fig13\n\
                      extra: diag (per-stage task/straggler diagnostics, not a paper artifact)\n\
-                     --smoke: tiny fixed scale; verifies code paths, numbers are meaningless"
+                     --smoke: tiny fixed scale; verifies code paths, numbers are meaningless\n\
+                     --trace PATH: run the WGS pipeline traced; write Chrome JSON to PATH,\n\
+                                   print the text report (load PATH at https://ui.perfetto.dev)\n\
+                     --validate-trace PATH: schema-check a Chrome trace file (exit 2 on failure)\n\
+                     --trace-overhead: time the WGS run tracing-off vs tracing-on;\n\
+                                       writes BENCH_trace_overhead.json, exit 3 if >= 5%"
                 );
                 return;
             }
@@ -49,7 +73,20 @@ fn main() {
     }
     if smoke {
         scale = 0.05;
-        eprintln!("[smoke] scale forced to {scale}; output verifies code paths only");
+        console_err(&format!("[smoke] scale forced to {scale}; output verifies code paths only"));
+    }
+
+    if let Some(path) = &validate_path {
+        validate_trace_file(path);
+        return;
+    }
+    if trace_overhead {
+        measure_trace_overhead(scale);
+        return;
+    }
+    if let Some(path) = &trace_path {
+        run_traced(scale, path);
+        return;
     }
 
     if ids.iter().any(|s| s == "all") {
@@ -87,6 +124,77 @@ fn main() {
 fn die(msg: &str) -> ! {
     eprintln!("error: {msg}");
     std::process::exit(2);
+}
+
+/// `--trace PATH`: run the optimized WGS pipeline with tracing enabled,
+/// write the Chrome trace JSON to `path`, and print the terminal report.
+fn run_traced(scale: f64, path: &str) {
+    gpf_trace::set_enabled(true);
+    let lab = Lab::new(scale);
+    let gpf = lab.gpf_opt();
+    let json = sink::chrome_trace(&gpf.trace);
+    if let Err(e) = std::fs::write(path, &json) {
+        die(&format!("cannot write trace to {path}: {e}"));
+    }
+    console_out(&sink::text_report(&gpf.trace, 10));
+    console_err(&format!(
+        "trace: {} events ({} dropped), {} stages derived, {} fused chains -> {path} \
+         (load at https://ui.perfetto.dev)",
+        gpf.trace.events.len(),
+        gpf.trace.dropped,
+        gpf.run.num_stages(),
+        gpf.fused_chains,
+    ));
+}
+
+/// `--validate-trace PATH`: schema-check a Chrome trace file.
+fn validate_trace_file(path: &str) {
+    let text = std::fs::read_to_string(path)
+        .unwrap_or_else(|e| die(&format!("cannot read {path}: {e}")));
+    match sink::validate_chrome_trace(&text) {
+        Ok(n) => console_err(&format!("{path}: valid Chrome trace, {n} events")),
+        Err(e) => die(&format!("{path}: invalid Chrome trace: {e}")),
+    }
+}
+
+/// `--trace-overhead`: wall-clock the WGS run tracing-off vs tracing-on
+/// (min of 3 each, on-side includes the Chrome render), append the result
+/// to `BENCH_trace_overhead.json`, and exit 3 when overhead reaches 5%.
+fn measure_trace_overhead(scale: f64) {
+    use std::time::Instant;
+    let workload = gpf_bench::workload::WgsWorkload::build(scale, 2018);
+    let time_once = |traced: bool| -> f64 {
+        gpf_trace::set_enabled(traced);
+        let t0 = Instant::now();
+        let run = workload.run_gpf(true);
+        if traced {
+            let _ = sink::chrome_trace(&run.trace).len();
+        }
+        let dt = t0.elapsed().as_secs_f64();
+        gpf_trace::set_enabled(false);
+        dt
+    };
+    let min3 = |traced: bool| (0..3).map(|_| time_once(traced)).fold(f64::INFINITY, f64::min);
+    time_once(false); // warmup: page in the workload caches
+    let off_s = min3(false);
+    let on_s = min3(true);
+    let overhead_pct = (on_s / off_s - 1.0) * 100.0;
+    let line = format!(
+        "{{\"group\":\"trace_overhead\",\"bench\":\"smoke\",\"off_s\":{off_s:.4},\
+         \"on_s\":{on_s:.4},\"overhead_pct\":{overhead_pct:.2}}}"
+    );
+    use std::io::Write;
+    match std::fs::OpenOptions::new().create(true).append(true).open("BENCH_trace_overhead.json") {
+        Ok(mut f) => {
+            let _ = writeln!(f, "{line}");
+        }
+        Err(e) => console_err(&format!("cannot append BENCH_trace_overhead.json: {e}")),
+    }
+    console_out(&line);
+    if overhead_pct >= 5.0 {
+        console_err(&format!("trace overhead {overhead_pct:.2}% >= 5% budget"));
+        std::process::exit(3);
+    }
 }
 
 /// Print per-stage diagnostics of the optimized GPF run (not a paper

@@ -72,9 +72,10 @@ impl ExperimentReport {
         out
     }
 
-    /// Print to stdout.
+    /// Print to stdout (through the trace sink's console, like all
+    /// library-side output).
     pub fn print(&self) {
-        println!("{}", self.render());
+        gpf_trace::sink::console_out(&self.render());
     }
 }
 

@@ -42,8 +42,11 @@ pub struct WgsWorkload {
 pub struct GpfRun {
     /// Emitted variant calls.
     pub calls: Vec<VcfRecord>,
-    /// Engine-recorded job.
+    /// Engine-recorded job — derived by replaying `trace`.
     pub run: JobRun,
+    /// The raw event stream the run recorded (spans, scheduler decisions,
+    /// shuffle counters); export with `gpf_trace::sink`.
+    pub trace: gpf_trace::Trace,
     /// Number of fused chains the optimizer found.
     pub fused_chains: usize,
 }
@@ -202,11 +205,11 @@ impl WgsWorkload {
         // the canonical WGS template; a validation failure here is a bench
         // bug and there is no caller to propagate to.
         pipeline.run().expect("WGS pipeline executes");
-        GpfRun {
-            calls: vcf_out.dataset().collect_local(),
-            run: ctx.take_run(),
-            fused_chains: pipeline.fused_chains().len(),
-        }
+        // Collect before draining the trace so the final collect stage is
+        // part of the recorded job, exactly as the metrics tests expect.
+        let calls = vcf_out.dataset().collect_local();
+        let (run, trace) = ctx.take_run_traced();
+        GpfRun { calls, run, trace, fused_chains: pipeline.fused_chains().len() }
     }
 
     /// Run the Churchill-like comparator on the same inputs.

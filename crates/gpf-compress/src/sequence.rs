@@ -68,6 +68,11 @@ pub fn compress_read_fields(
             qual.len()
         )));
     }
+    // Tracing-only base throughput; the enabled() gate keeps the registry
+    // mutex off the untraced hot path.
+    if gpf_trace::enabled() {
+        gpf_trace::counter("codec.bases").add(seq.len() as u64);
+    }
     let mut packed = BitWriter::new();
     let mut tqual = Vec::with_capacity(qual.len());
     let mut n_quals = Vec::new();

@@ -273,6 +273,16 @@ pub trait GpfSerialize: Sized {
     fn read(r: &mut ByteReader<'_>) -> Result<Self, CodecError>;
 }
 
+/// Bump the `codec.*` throughput counters for one batch, but only while
+/// tracing is on: the registry lookup takes a mutex, so untraced runs skip it
+/// entirely.
+fn note_codec_throughput(bytes_name: &'static str, records_name: &'static str, bytes: usize, records: usize) {
+    if gpf_trace::enabled() {
+        gpf_trace::counter(bytes_name).add(bytes as u64);
+        gpf_trace::counter(records_name).add(records as u64);
+    }
+}
+
 /// Serialize a batch of records (count-prefixed) under `kind`.
 pub fn serialize_batch<T: GpfSerialize>(kind: SerializerKind, items: &[T]) -> Vec<u8> {
     let mut w = ByteWriter::new(kind);
@@ -280,6 +290,7 @@ pub fn serialize_batch<T: GpfSerialize>(kind: SerializerKind, items: &[T]) -> Ve
     for item in items {
         item.write(&mut w);
     }
+    note_codec_throughput("codec.serialize.bytes", "codec.serialize.records", w.buf.len(), items.len());
     w.buf
 }
 
@@ -296,6 +307,7 @@ pub fn deserialize_batch<T: GpfSerialize>(
     for _ in 0..n {
         out.push(T::read(&mut r)?);
     }
+    note_codec_throughput("codec.deserialize.bytes", "codec.deserialize.records", buf.len(), out.len());
     Ok(out)
 }
 

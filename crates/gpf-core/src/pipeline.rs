@@ -25,8 +25,27 @@
 use crate::process::{build_bundles, Process};
 use crate::validate::{self, Diagnostic, Severity, ValidationReport};
 use gpf_engine::EngineContext;
+use gpf_trace::{instant_in, span_in, Category, TraceLog};
 use std::fmt;
 use std::sync::Arc;
+
+/// Process scheduling states, attached to `state:<name>` instants as the
+/// `state` counter so the timeline shows every Blocked→Ready→Running→Done
+/// transition the Algorithm 1 scheduler decides.
+mod state {
+    /// Inputs not yet in the resource pool.
+    pub const BLOCKED: u64 = 0;
+    /// All inputs defined; queued behind the topo order.
+    pub const READY: u64 = 1;
+    /// Executing.
+    pub const RUNNING: u64 = 2;
+    /// Outputs defined.
+    pub const DONE: u64 = 3;
+}
+
+fn state_event(log: &Arc<TraceLog>, name: &str, code: u64) {
+    instant_in(log, &format!("state:{name}"), Category::Scheduler, &[("state", code)]);
+}
 
 /// Pipeline execution errors.
 #[derive(Debug, Clone, PartialEq)]
@@ -130,7 +149,13 @@ impl Pipeline {
     pub fn run(&mut self) -> Result<(), PipelineError> {
         self.executed.clear();
         self.fused_chains.clear();
-        let analysis = validate::analyze(&self.processes, self.optimize);
+        let log = Arc::clone(self.ctx.trace_log());
+        let mut pipeline_span =
+            span_in(&log, &format!("pipeline:{}", self.name), Category::Scheduler);
+        let analysis = {
+            let _validate_span = span_in(&log, "validate", Category::Scheduler);
+            validate::analyze(&self.processes, self.optimize)
+        };
         let Some(plan) = analysis.plan else {
             let errors: Vec<Diagnostic> = analysis
                 .diagnostics
@@ -139,20 +164,59 @@ impl Pipeline {
                 .collect();
             return Err(PipelineError::Invalid(errors));
         };
+        pipeline_span.add_counter("processes", self.processes.len() as u64);
+        pipeline_span.add_counter("chains", plan.len() as u64);
+
+        // Every process starts Blocked; the plan's topo order is the
+        // scheduler's decision record, so announce both it and each fusion
+        // choice before any dataset work starts.
+        for process in &self.processes {
+            state_event(&log, process.name(), state::BLOCKED);
+        }
+        for chain in &plan {
+            if chain.len() > 1 {
+                let members: Vec<&str> = chain.iter().map(|&j| self.processes[j].name()).collect();
+                instant_in(
+                    &log,
+                    &format!("fuse:{}", members.join("+")),
+                    Category::Scheduler,
+                    &[("members", chain.len() as u64)],
+                );
+            }
+        }
 
         // The plan lists execution steps in dependency order; each step is a
         // §4.3 fusion chain (singletons run alone).
         for chain in &plan {
             if chain.len() > 1 {
-                self.execute_fused(chain);
-                self.fused_chains
-                    .push(chain.iter().map(|&j| self.processes[j].name().to_string()).collect());
-                for &j in chain {
-                    self.executed.push(self.processes[j].name().to_string());
+                let members: Vec<String> =
+                    chain.iter().map(|&j| self.processes[j].name().to_string()).collect();
+                let label = members.join("+");
+                for name in &members {
+                    state_event(&log, name, state::READY);
+                    state_event(&log, name, state::RUNNING);
                 }
+                {
+                    let mut chain_span =
+                        span_in(&log, &format!("proc:{label}"), Category::Scheduler);
+                    chain_span.add_counter("fused", chain.len() as u64);
+                    self.execute_fused(chain);
+                }
+                for name in &members {
+                    state_event(&log, name, state::DONE);
+                }
+                self.fused_chains.push(members.clone());
+                self.executed.extend(members);
             } else if let Some(&i) = chain.first() {
-                self.processes[i].execute(&self.ctx);
-                self.executed.push(self.processes[i].name().to_string());
+                let name = self.processes[i].name().to_string();
+                state_event(&log, &name, state::READY);
+                state_event(&log, &name, state::RUNNING);
+                {
+                    let _proc_span = span_in(&log, &format!("proc:{name}"), Category::Scheduler);
+                    self.processes[i].execute(&self.ctx);
+                }
+                state_event(&log, &name, state::DONE);
+                self.executed.push(name);
             }
         }
         Ok(())
@@ -169,13 +233,17 @@ impl Pipeline {
         };
         let info = first.partition_info().info();
         let known = first.rod().map(|r| r.dataset());
-        let mut bundles = build_bundles(
-            &self.ctx,
-            &first.reference(),
-            &info,
-            &first.input_sam().dataset(),
-            known.as_ref(),
-        );
+        let mut bundles = {
+            let _build_span =
+                span_in(self.ctx.trace_log(), "bundles:build", Category::Scheduler);
+            build_bundles(
+                &self.ctx,
+                &first.reference(),
+                &info,
+                &first.input_sam().dataset(),
+                known.as_ref(),
+            )
+        };
         for (k, &i) in chain.iter().enumerate() {
             let Some(stage) = self.processes[i].as_bundle_stage() else {
                 debug_assert!(false, "fused chain member is not a bundle stage");

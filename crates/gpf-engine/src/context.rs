@@ -1,28 +1,59 @@
 //! The engine context — GPF's `SparkContext` analogue.
+//!
+//! Since the tracing refactor the context no longer maintains stage metrics
+//! directly. Every accounting call (`record_tasks`, `record_serde`, stage
+//! closes, broadcasts) emits [`gpf_trace`] events into a per-context
+//! session [`TraceLog`]; [`EngineContext::take_run`] replays that stream
+//! through [`crate::metrics::derive_job_run`]. One event stream therefore
+//! feeds both the Chrome-trace timeline and the stage metrics the cluster
+//! simulator consumes — they cannot disagree.
 
 use crate::broadcast::Broadcast;
 use crate::config::EngineConfig;
 use crate::dataset::Dataset;
-use crate::metrics::{JobRun, StageKind, StageMetrics};
+use crate::metrics::{derive_job_run, names, JobRun};
 use gpf_compress::{serializer::serialize_batch, GpfSerialize, SerializerKind};
 use gpf_support::sync::Mutex;
+use gpf_trace::clock::now_ns;
+use gpf_trace::event::Trace;
+use gpf_trace::{current_tid, Category, Event, EventKind, TraceLog};
 use std::sync::Arc;
 
-/// Shared execution context: configuration, metrics recorder, phase tag.
+/// Ring capacity of the per-context session log.
+///
+/// Session events *are* the job metrics, so this is set far above what any
+/// in-repo workload emits (the full WGS pipeline records on the order of
+/// 10^5 events): overflow here would silently corrupt derived metrics, not
+/// just truncate a timeline. The `trace.dropped` counter still reports it
+/// if a future workload ever gets there.
+const SESSION_LOG_CAPACITY: usize = 1 << 22;
+
+/// Shared execution context: configuration, session trace log, phase tag.
 ///
 /// Create once per job with [`EngineContext::new`], hand the `Arc` to every
-/// dataset, and call [`EngineContext::take_run`] at the end to obtain the
-/// recorded [`JobRun`] for simulation and reporting.
+/// dataset, and call [`EngineContext::take_run`] (or
+/// [`EngineContext::take_run_traced`] to also keep the raw event stream) at
+/// the end to obtain the recorded [`JobRun`] for simulation and reporting.
 pub struct EngineContext {
     config: EngineConfig,
-    recorder: Mutex<Recorder>,
+    trace: Arc<TraceLog>,
+    phase: Mutex<Arc<str>>,
 }
 
-struct Recorder {
-    run: JobRun,
-    current: Option<StageMetrics>,
-    phase: String,
-    next_stage_read: Vec<u64>,
+/// One task's measurements, captured on the worker and recorded
+/// driver-side by [`EngineContext::record_tasks`] (driver-side batching
+/// keeps the session ring in deterministic emission order even when tasks
+/// ran on many threads).
+#[derive(Clone, Copy)]
+pub(crate) struct TaskSample {
+    /// Thread-CPU seconds the task consumed.
+    pub cpu_s: f64,
+    /// Wall-clock start ([`now_ns`]).
+    pub start_ns: u64,
+    /// Wall-clock end ([`now_ns`]).
+    pub end_ns: u64,
+    /// Worker thread id ([`current_tid`]).
+    pub tid: u32,
 }
 
 impl EngineContext {
@@ -30,12 +61,8 @@ impl EngineContext {
     pub fn new(config: EngineConfig) -> Arc<Self> {
         Arc::new(Self {
             config,
-            recorder: Mutex::new(Recorder {
-                run: JobRun::default(),
-                current: None,
-                phase: String::new(),
-                next_stage_read: Vec::new(),
-            }),
+            trace: Arc::new(TraceLog::with_capacity(SESSION_LOG_CAPACITY)),
+            phase: Mutex::new(Arc::from("")),
         })
     }
 
@@ -54,10 +81,48 @@ impl EngineContext {
         self.config.serializer
     }
 
+    /// The session trace log (scheduler spans from `gpf-core` and sinks
+    /// read it through this handle).
+    pub fn trace_log(&self) -> &Arc<TraceLog> {
+        &self.trace
+    }
+
+    fn phase_tag(&self) -> Arc<str> {
+        Arc::clone(&self.phase.lock())
+    }
+
+    /// Build an event stamped with the current phase, time and thread.
+    fn ev(
+        &self,
+        kind: EventKind,
+        name: Arc<str>,
+        cat: Category,
+        counters: Vec<(Arc<str>, u64)>,
+    ) -> Event {
+        Event {
+            kind,
+            name,
+            cat,
+            phase: self.phase_tag(),
+            ts_ns: now_ns(),
+            tid: current_tid(),
+            id: 0,
+            parent: 0,
+            counters,
+        }
+    }
+
     /// Tag subsequent stages with a pipeline phase name (e.g. `"aligner"`),
     /// used by the Figure 12/13 per-phase reports.
     pub fn set_phase(self: &Arc<Self>, phase: &str) {
-        self.recorder.lock().phase = phase.to_string();
+        *self.phase.lock() = Arc::from(phase);
+        let ev = self.ev(
+            EventKind::Instant,
+            Arc::from(format!("phase:{phase}")),
+            Category::Scheduler,
+            Vec::new(),
+        );
+        self.trace.push(ev);
     }
 
     /// Distribute `items` into `parts` partitions (round-robin chunks) — the
@@ -77,26 +142,89 @@ impl EngineContext {
     /// broadcast to all of the nodes" (§5.2.2) visible to the simulator.
     pub fn broadcast<T: GpfSerialize + Send + Sync>(self: &Arc<Self>, value: T) -> Broadcast<T> {
         let bytes = serialize_batch(self.serializer(), std::slice::from_ref(&value)).len() as u64;
-        {
-            let mut rec = self.recorder.lock();
-            let stage = Self::ensure_stage(&mut rec);
-            stage.broadcast_bytes += bytes;
-        }
+        let ev = self.ev(
+            EventKind::Counter,
+            Arc::from(names::BROADCAST),
+            Category::Io,
+            vec![(Arc::from(names::BYTES), bytes)],
+        );
+        self.trace.push(ev);
         Broadcast::new(value, bytes)
     }
 
-    fn ensure_stage(rec: &mut Recorder) -> &mut StageMetrics {
-        let id = rec.run.stages.len();
-        let phase = rec.phase.clone();
-        let next_read = &mut rec.next_stage_read;
-        rec.current.get_or_insert_with(|| {
-            let mut stage = StageMetrics::new(id, phase);
-            stage.shuffle_read_bytes = std::mem::take(next_read);
-            stage
-        })
+    /// Record one narrow operation's per-task measurements into the open
+    /// stage: a `Begin`/`End` pair per task (`Begin` only while ambient
+    /// tracing is enabled — `End` events carry the metrics and are always
+    /// recorded) plus one op-metadata instant.
+    pub(crate) fn record_tasks(
+        &self,
+        label: &str,
+        samples: &[TaskSample],
+        records_out: u64,
+        alloc_bytes: u64,
+    ) {
+        if std::env::var_os("GPF_DEBUG_OPS").is_some() && !samples.is_empty() {
+            let mut top: Vec<(f64, usize)> =
+                samples.iter().map(|s| s.cpu_s).zip(0..).collect();
+            top.sort_by(|a, b| b.0.total_cmp(&a.0));
+            let total: f64 = samples.iter().map(|s| s.cpu_s).sum();
+            gpf_trace::warn(&format!(
+                "[op] {:<28} tasks {:>5} cpu {:>8.3}s top {:?}",
+                label,
+                samples.len(),
+                total,
+                &top[..3.min(top.len())]
+            ));
+        }
+        let phase = self.phase_tag();
+        let name: Arc<str> = Arc::from(label);
+        let spans_on = gpf_trace::enabled();
+        let mut batch = Vec::with_capacity(samples.len() * 2 + 1);
+        for (part, s) in samples.iter().enumerate() {
+            if spans_on {
+                batch.push(Event {
+                    kind: EventKind::Begin,
+                    name: Arc::clone(&name),
+                    cat: Category::Compute,
+                    phase: Arc::clone(&phase),
+                    ts_ns: s.start_ns,
+                    tid: s.tid,
+                    id: 0,
+                    parent: 0,
+                    counters: Vec::new(),
+                });
+            }
+            batch.push(Event {
+                kind: EventKind::End,
+                name: Arc::clone(&name),
+                cat: Category::Compute,
+                phase: Arc::clone(&phase),
+                ts_ns: s.end_ns,
+                tid: s.tid,
+                id: 0,
+                parent: 0,
+                counters: vec![
+                    (Arc::from(names::PART), part as u64),
+                    (Arc::from(names::CPU_NS), (s.cpu_s * 1e9) as u64),
+                    (Arc::from(names::CPU_BITS), s.cpu_s.to_bits()),
+                ],
+            });
+        }
+        batch.push(self.ev(
+            EventKind::Instant,
+            name,
+            Category::Compute,
+            vec![
+                (Arc::from(names::RECORDS), records_out),
+                (Arc::from(names::ALLOC), alloc_bytes),
+            ],
+        ));
+        self.trace.push_batch(batch);
     }
 
-    /// Record one narrow operation's execution into the open stage.
+    /// Record one narrow operation from per-partition CPU seconds alone
+    /// (no measured wall windows): task spans are synthesized back-to-back
+    /// from the current clock.
     pub(crate) fn record_narrow(
         &self,
         label: &str,
@@ -104,33 +232,29 @@ impl EngineContext {
         records_out: u64,
         alloc_bytes: u64,
     ) {
-        if std::env::var_os("GPF_DEBUG_OPS").is_some() && !per_partition_cpu_s.is_empty() {
-            let mut top: Vec<(f64, usize)> =
-                per_partition_cpu_s.iter().copied().zip(0..).collect();
-            top.sort_by(|a, b| b.0.total_cmp(&a.0));
-            let total: f64 = per_partition_cpu_s.iter().sum();
-            eprintln!(
-                "[op] {:<28} tasks {:>5} cpu {:>8.3}s top {:?}",
-                label,
-                per_partition_cpu_s.len(),
-                total,
-                &top[..3.min(top.len())]
-            );
-        }
-        let mut rec = self.recorder.lock();
-        let phase = rec.phase.clone();
-        let stage = Self::ensure_stage(&mut rec);
-        stage.add_task_cpu(per_partition_cpu_s, &phase);
-        stage.records_out = records_out;
-        stage.alloc_bytes += alloc_bytes;
-        stage.label = label.to_string();
+        let samples: Vec<TaskSample> = per_partition_cpu_s
+            .iter()
+            .map(|&cpu_s| {
+                let start_ns = now_ns();
+                let end_ns = start_ns.saturating_add((cpu_s * 1e9) as u64);
+                TaskSample { cpu_s, start_ns, end_ns, tid: current_tid() }
+            })
+            .collect();
+        self.record_tasks(label, &samples, records_out, alloc_bytes);
     }
 
     /// Record extra serde CPU seconds (already included in task CPU).
     pub(crate) fn record_serde(&self, seconds: f64) {
-        let mut rec = self.recorder.lock();
-        let stage = Self::ensure_stage(&mut rec);
-        stage.serde_s += seconds;
+        let ev = self.ev(
+            EventKind::Instant,
+            Arc::from(names::SERDE),
+            Category::Serde,
+            vec![
+                (Arc::from(names::NS), (seconds * 1e9) as u64),
+                (Arc::from(names::SECONDS_BITS), seconds.to_bits()),
+            ],
+        );
+        self.trace.push(ev);
     }
 
     /// Close the open stage at a shuffle boundary.
@@ -143,17 +267,23 @@ impl EngineContext {
         write_bytes: Vec<u64>,
         read_bytes: Vec<u64>,
     ) {
-        let mut rec = self.recorder.lock();
-        let stage = Self::ensure_stage(&mut rec);
-        stage.shuffle_write_bytes = write_bytes;
-        stage.kind = StageKind::Shuffle;
-        if !label.is_empty() {
-            stage.label = label.to_string();
-        }
-        if let Some(done) = rec.current.take() {
-            rec.run.stages.push(done);
-        }
-        rec.next_stage_read = read_bytes;
+        let bytes_key: Arc<str> = Arc::from(names::BYTES);
+        let batch = vec![
+            self.ev(
+                EventKind::Counter,
+                Arc::from(names::SHUFFLE_WRITE),
+                Category::Shuffle,
+                write_bytes.iter().map(|&v| (Arc::clone(&bytes_key), v)).collect(),
+            ),
+            self.ev(EventKind::Instant, Arc::from(label), Category::Shuffle, Vec::new()),
+            self.ev(
+                EventKind::Counter,
+                Arc::from(names::SHUFFLE_READ),
+                Category::Shuffle,
+                read_bytes.iter().map(|&v| (Arc::clone(&bytes_key), v)).collect(),
+            ),
+        ];
+        self.trace.push_batch(batch);
     }
 
     /// Close the open stage as a collect-to-driver (serial) step.
@@ -162,36 +292,36 @@ impl EngineContext {
     /// send their results over the network, and the driver drains the total
     /// serially (the simulator charges both).
     pub(crate) fn close_stage_collect(&self, label: &str, per_partition_bytes: Vec<u64>) {
-        let mut rec = self.recorder.lock();
-        let stage = Self::ensure_stage(&mut rec);
-        stage.kind = StageKind::Collect;
-        if !stage.label.is_empty() {
-            stage.label = format!("{} -> {label}", stage.label);
-        } else {
-            stage.label = label.to_string();
-        }
-        stage.shuffle_write_bytes = per_partition_bytes;
-        if let Some(done) = rec.current.take() {
-            rec.run.stages.push(done);
-        }
-        rec.next_stage_read = Vec::new();
+        let bytes_key: Arc<str> = Arc::from(names::BYTES);
+        let batch = vec![
+            self.ev(
+                EventKind::Counter,
+                Arc::from(names::SHUFFLE_WRITE),
+                Category::Shuffle,
+                per_partition_bytes.iter().map(|&v| (Arc::clone(&bytes_key), v)).collect(),
+            ),
+            self.ev(EventKind::Instant, Arc::from(label), Category::Io, Vec::new()),
+        ];
+        self.trace.push_batch(batch);
     }
 
-    /// Finish recording: closes any open stage and returns the job,
-    /// resetting the recorder for the next job.
+    /// Finish recording: derives the job from the session trace and resets
+    /// the log for the next job.
     pub fn take_run(&self) -> JobRun {
-        let mut rec = self.recorder.lock();
-        if let Some(stage) = rec.current.take() {
-            rec.run.stages.push(stage);
-        }
-        rec.next_stage_read.clear();
-        std::mem::take(&mut rec.run)
+        self.take_run_traced().0
+    }
+
+    /// Finish recording, returning both the derived [`JobRun`] and the raw
+    /// [`Trace`] it was derived from (for the Chrome/JSONL/text sinks).
+    pub fn take_run_traced(&self) -> (JobRun, Trace) {
+        let trace = self.trace.drain();
+        let run = derive_job_run(&trace.events);
+        (run, trace)
     }
 
     /// Peek at the number of stages recorded so far (open stage included).
     pub fn stages_so_far(&self) -> usize {
-        let rec = self.recorder.lock();
-        rec.run.stages.len() + rec.current.is_some() as usize
+        derive_job_run(&self.trace.snapshot().events).num_stages()
     }
 
     /// GC seconds charged for `bytes` of heap churn under this config.
@@ -203,6 +333,7 @@ impl EngineContext {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::metrics::StageKind;
 
     #[test]
     fn stages_accumulate_and_close() {
@@ -262,5 +393,55 @@ mod tests {
         let ctx = EngineContext::default_ctx();
         let one_gib = ctx.gc_seconds(1 << 30);
         assert!((one_gib - 25.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn take_run_traced_exposes_the_event_stream() {
+        let ctx = EngineContext::default_ctx();
+        ctx.set_phase("cleaner");
+        ctx.record_narrow("dedup", &[0.25, 0.5], 10, 64);
+        ctx.record_serde(0.125);
+        ctx.close_stage_shuffle("sortByKey", vec![100], vec![100]);
+        let (run, trace) = ctx.take_run_traced();
+        assert_eq!(run.num_stages(), 1, "open trailing stage would need events after the close");
+        assert!((run.stages[0].serde_s - 0.125).abs() < 1e-15);
+        // End events carry lossless CPU bits.
+        let ends: Vec<&Event> =
+            trace.events.iter().filter(|e| e.kind == EventKind::End).collect();
+        assert_eq!(ends.len(), 2);
+        assert_eq!(ends[0].counter(names::PART), Some(0));
+        assert_eq!(ends[0].counter(names::CPU_BITS).map(f64::from_bits), Some(0.25));
+        assert!(ends.iter().all(|e| &*e.phase == "cleaner"));
+        // Re-deriving from the returned trace reproduces the same run.
+        let again = derive_job_run(&trace.events);
+        assert_eq!(again.num_stages(), run.num_stages());
+        assert_eq!(again.stages[0].task_cpu_s, run.stages[0].task_cpu_s);
+        assert_eq!(again.stages[0].shuffle_write_bytes, run.stages[0].shuffle_write_bytes);
+        // The log itself was drained.
+        assert!(ctx.trace_log().is_empty());
+    }
+
+    #[test]
+    fn phase_changes_stamp_events() {
+        let ctx = EngineContext::default_ctx();
+        ctx.set_phase("aligner");
+        ctx.record_narrow("a", &[0.1], 1, 0);
+        ctx.set_phase("caller");
+        ctx.record_narrow("b", &[0.2], 1, 0);
+        let (_, trace) = ctx.take_run_traced();
+        let phases: Vec<&str> = trace
+            .events
+            .iter()
+            .filter(|e| e.kind == EventKind::End)
+            .map(|e| &*e.phase)
+            .collect();
+        assert_eq!(phases, vec!["aligner", "caller"]);
+        // Phase flips also land as scheduler instants for the timeline.
+        let marks = trace
+            .events
+            .iter()
+            .filter(|e| e.cat == Category::Scheduler && e.kind == EventKind::Instant)
+            .count();
+        assert_eq!(marks, 2);
     }
 }

@@ -12,14 +12,15 @@
 //! cheap and read-only datasets (the FASTA/VCF partition RDDs of the paper's
 //! Figure 7) can be reused by many downstream processes without copying.
 
-use crate::context::EngineContext;
+use crate::context::{EngineContext, TaskSample};
+use crate::timing::TaskTimer;
 use gpf_compress::serializer::{deserialize_batch, serialize_batch};
 use gpf_compress::GpfSerialize;
 use gpf_support::par;
+use gpf_trace::clock::now_ns;
+use gpf_trace::current_tid;
 use std::hash::{Hash, Hasher};
 use std::sync::Arc;
-use crate::timing::TaskTimer;
-use std::time::Instant;
 
 /// Deterministic FNV-1a hasher used for hash partitioning, so shuffles
 /// produce identical layouts across runs (important for reproducible
@@ -122,15 +123,17 @@ impl<T: Send + Sync + 'static> Dataset<T> {
         label: &str,
         f: impl Fn(usize, &[T]) -> Vec<U> + Send + Sync,
     ) -> Dataset<U> {
-        let results: Vec<(Vec<U>, f64)> = par::map_indexed(&self.parts, |i, p| {
+        let results: Vec<(Vec<U>, TaskSample)> = par::map_indexed(&self.parts, |i, p| {
+            let start_ns = now_ns();
             let t0 = TaskTimer::start();
             let out = f(i, p);
-            (out, t0.elapsed_s())
+            let cpu_s = t0.elapsed_s();
+            (out, TaskSample { cpu_s, start_ns, end_ns: now_ns(), tid: current_tid() })
         });
-        let cpu: Vec<f64> = results.iter().map(|(_, t)| *t).collect();
+        let samples: Vec<TaskSample> = results.iter().map(|(_, s)| *s).collect();
         let records: u64 = results.iter().map(|(v, _)| v.len() as u64).sum();
         let alloc = records * self.ctx.config().per_record_overhead_bytes;
-        self.ctx.record_narrow(label, &cpu, records, alloc);
+        self.ctx.record_tasks(label, &samples, records, alloc);
         Dataset {
             ctx: Arc::clone(&self.ctx),
             parts: Arc::new(results.into_iter().map(|(v, _)| v).collect()),
@@ -223,10 +226,10 @@ impl<T: Send + Sync + 'static> Dataset<T> {
         T: GpfSerialize + Clone,
     {
         let kind = self.ctx.serializer();
-        let t0 = Instant::now();
+        let t0 = now_ns();
         let per_partition: Vec<u64> =
             par::map(&self.parts, |p| serialize_batch(kind, p).len() as u64);
-        self.ctx.record_serde(t0.elapsed().as_secs_f64());
+        self.ctx.record_serde(now_ns().saturating_sub(t0) as f64 * 1e-9);
         self.ctx.close_stage_collect("collect", per_partition);
         self.collect_local()
     }
@@ -274,30 +277,32 @@ impl<T: Send + Sync + 'static> Dataset<T> {
         T: GpfSerialize + Clone,
     {
         let kind = self.ctx.serializer();
-        let t0 = Instant::now();
+        let t0 = now_ns();
         let bufs: Vec<Vec<u8>> = par::map(&self.parts, |p| serialize_batch(kind, p));
-        let ser_s = t0.elapsed().as_secs_f64();
+        let ser_s = now_ns().saturating_sub(t0) as f64 * 1e-9;
         // (wall time acceptable here: ser_s feeds the aggregate serde metric,
         // not per-task durations)
         let bytes: Vec<u64> = bufs.iter().map(|b| b.len() as u64).collect();
         self.ctx.record_serde(ser_s);
         self.ctx.close_stage_shuffle(label, bytes.clone(), bytes.clone());
-        let t1 = Instant::now();
-        let parts: Vec<(Vec<T>, f64)> = par::map(&bufs, |b| {
+        let t1 = now_ns();
+        let parts: Vec<(Vec<T>, TaskSample)> = par::map(&bufs, |b| {
+            let start_ns = now_ns();
             let t = TaskTimer::start();
             let items: Vec<T> =
                 // gpf-lint: allow(no-panic): the buffer was produced by
                 // serialize_batch in the same shuffle a few lines above; a
                 // decode failure is engine corruption, not an input error.
                 deserialize_batch(kind, b).expect("engine-produced buffer is valid");
-            (items, t.elapsed_s())
+            let cpu_s = t.elapsed_s();
+            (items, TaskSample { cpu_s, start_ns, end_ns: now_ns(), tid: current_tid() })
         });
-        let de_cpu: Vec<f64> = parts.iter().map(|(_, t)| *t).collect();
+        let de_samples: Vec<TaskSample> = parts.iter().map(|(_, s)| *s).collect();
         let records: u64 = parts.iter().map(|(v, _)| v.len() as u64).sum();
         let churn: u64 =
             bytes.iter().sum::<u64>() + records * self.ctx.config().per_record_overhead_bytes;
-        self.ctx.record_narrow(&format!("{label}(read)"), &de_cpu, records, churn);
-        self.ctx.record_serde(t1.elapsed().as_secs_f64());
+        self.ctx.record_tasks(&format!("{label}(read)"), &de_samples, records, churn);
+        self.ctx.record_serde(now_ns().saturating_sub(t1) as f64 * 1e-9);
         Dataset {
             ctx: Arc::clone(&self.ctx),
             parts: Arc::new(parts.into_iter().map(|(v, _)| v).collect()),
@@ -485,7 +490,8 @@ where
     let kind = ctx.serializer();
 
     // Map side: bucket and serialize.
-    let map_out: Vec<(Vec<Vec<u8>>, f64, f64)> = par::map(parts, |p| {
+    let map_out: Vec<(Vec<Vec<u8>>, TaskSample, f64)> = par::map(parts, |p| {
+        let start_ns = now_ns();
         let t0 = TaskTimer::start();
         let mut buckets: Vec<Vec<T>> = (0..nparts).map(|_| Vec::new()).collect();
         for item in p {
@@ -501,10 +507,17 @@ where
             .iter()
             .map(|b| if b.is_empty() { Vec::new() } else { serialize_batch(kind, b) })
             .collect();
-        (ser, bucket_time, t1.elapsed_s())
+        let ser_time = t1.elapsed_s();
+        let sample = TaskSample {
+            cpu_s: bucket_time + ser_time,
+            start_ns,
+            end_ns: now_ns(),
+            tid: current_tid(),
+        };
+        (ser, sample, ser_time)
     });
 
-    let map_cpu: Vec<f64> = map_out.iter().map(|(_, b, s)| b + s).collect();
+    let map_samples: Vec<TaskSample> = map_out.iter().map(|(_, s, _)| *s).collect();
     let ser_s: f64 = map_out.iter().map(|(_, _, s)| *s).sum();
     let write_bytes: Vec<u64> = map_out
         .iter()
@@ -514,12 +527,13 @@ where
         .map(|t| map_out.iter().map(|(bufs, _, _)| bufs[t].len() as u64).sum())
         .collect();
     let records: u64 = parts.iter().map(|p| p.len() as u64).sum();
-    ctx.record_narrow(label, &map_cpu, records, 0);
+    ctx.record_tasks(label, &map_samples, records, 0);
     ctx.record_serde(ser_s);
     ctx.close_stage_shuffle(label, write_bytes, read_bytes.clone());
 
     // Reduce side: deserialize buckets in map order.
-    let reduce_out: Vec<(Vec<T>, f64)> = par::map_range(nparts, |t| {
+    let reduce_out: Vec<(Vec<T>, TaskSample)> = par::map_range(nparts, |t| {
+        let start_ns = now_ns();
         let t0 = TaskTimer::start();
         let mut out: Vec<T> = Vec::new();
         for (bufs, _, _) in &map_out {
@@ -533,15 +547,16 @@ where
                 deserialize_batch(kind, &bufs[t]).expect("engine-produced buffer is valid");
             out.append(&mut items);
         }
-        (out, t0.elapsed_s())
+        let cpu_s = t0.elapsed_s();
+        (out, TaskSample { cpu_s, start_ns, end_ns: now_ns(), tid: current_tid() })
     });
-    let de_cpu: Vec<f64> = reduce_out.iter().map(|(_, t)| *t).collect();
-    let de_s: f64 = de_cpu.iter().sum();
+    let de_samples: Vec<TaskSample> = reduce_out.iter().map(|(_, s)| *s).collect();
+    let de_s: f64 = de_samples.iter().map(|s| s.cpu_s).sum();
     let out_records: u64 = reduce_out.iter().map(|(v, _)| v.len() as u64).sum();
     // Deserialized shuffle data is fresh heap churn (the GC driver).
     let churn: u64 = read_bytes.iter().sum::<u64>()
         + out_records * ctx.config().per_record_overhead_bytes;
-    ctx.record_narrow(&format!("{label}(read)"), &de_cpu, out_records, churn);
+    ctx.record_tasks(&format!("{label}(read)"), &de_samples, out_records, churn);
     ctx.record_serde(de_s);
     Dataset {
         ctx: Arc::clone(ctx),

@@ -1,4 +1,4 @@
-//! Job / stage / task metrics.
+//! Job / stage / task metrics — derived from the trace event stream.
 //!
 //! The engine records a [`JobRun`]: an ordered list of [`StageMetrics`]
 //! following Spark's stage model — a stage is the pipelined narrow work each
@@ -7,10 +7,54 @@
 //! closes the stage (recording per-partition shuffle-write bytes) and opens
 //! a new one (recording shuffle-read bytes).
 //!
+//! Since the tracing refactor the engine no longer maintains this record
+//! directly: [`crate::context::EngineContext`] emits `gpf-trace` events into
+//! a session [`gpf_trace::TraceLog`], and [`derive_job_run`] replays that
+//! event stream into a `JobRun`. The trace is the single source of truth —
+//! the Chrome-trace export and the stage metrics can never disagree,
+//! because one is a rendering and the other a fold over the same events.
+//!
 //! Everything the paper's evaluation reports is derived from this record:
 //! stage counts and shuffle volumes (Table 4), serialized sizes (Table 3),
 //! and — through [`crate::sim`] — scaling curves, blocked-time analysis and
 //! utilization timelines (Figures 10, 12, 13).
+
+use gpf_trace::{Category, Event, EventKind};
+
+/// Event / counter names shared by the emitting side
+/// ([`crate::context::EngineContext`]) and the replay side
+/// ([`derive_job_run`]).
+///
+/// CPU seconds travel losslessly as `f64::to_bits` counters (`cpu_bits`,
+/// `s_bits`); the sibling nanosecond counters (`cpu_ns`, `ns`) exist for
+/// human-readable sinks and are never used in derivation.
+pub(crate) mod names {
+    /// Serde instant (category `Serde`).
+    pub const SERDE: &str = "serde";
+    /// Per-map-partition shuffle bytes written (category `Shuffle`).
+    pub const SHUFFLE_WRITE: &str = "shuffle.write";
+    /// Per-reduce-partition shuffle bytes read (category `Shuffle`).
+    pub const SHUFFLE_READ: &str = "shuffle.read";
+    /// Driver-to-cluster broadcast bytes (category `Io`).
+    pub const BROADCAST: &str = "broadcast";
+    /// Task partition index (on task `End` events).
+    pub const PART: &str = "part";
+    /// Task CPU nanoseconds (display only).
+    pub const CPU_NS: &str = "cpu_ns";
+    /// Task CPU seconds as `f64::to_bits` (derivation).
+    pub const CPU_BITS: &str = "cpu_bits";
+    /// Records flowing out of an operation.
+    pub const RECORDS: &str = "records";
+    /// Estimated heap churn in bytes.
+    pub const ALLOC: &str = "alloc";
+    /// A byte count; repeated entries encode per-partition vectors in
+    /// partition order.
+    pub const BYTES: &str = "b";
+    /// Duration in nanoseconds (display only).
+    pub const NS: &str = "ns";
+    /// Duration in seconds as `f64::to_bits` (derivation).
+    pub const SECONDS_BITS: &str = "s_bits";
+}
 
 /// What closed a stage.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -81,16 +125,39 @@ impl StageMetrics {
         for (acc, &t) in self.task_cpu_s.iter_mut().zip(per_partition) {
             *acc += t;
         }
-        let cpu: f64 = per_partition.iter().sum();
+        self.credit_phase(phase, per_partition.iter().sum());
+    }
+
+    /// Merge one task's CPU seconds at partition index `part` (the
+    /// trace-replay path: task `End` events arrive one partition at a time).
+    pub(crate) fn add_task_cpu_at(&mut self, part: usize, cpu_s: f64, phase: &str) {
+        if self.task_cpu_s.len() <= part {
+            self.task_cpu_s.resize(part + 1, 0.0);
+        }
+        self.task_cpu_s[part] += cpu_s;
+        self.credit_phase(phase, cpu_s);
+    }
+
+    fn credit_phase(&mut self, phase: &str, cpu: f64) {
         match self.phase_cpu.iter_mut().find(|(p, _)| p == phase) {
             Some((_, acc)) => *acc += cpu,
             None => self.phase_cpu.push((phase.to_string(), cpu)),
         }
-        if let Some((dominant, _)) = self
-            .phase_cpu
-            .iter()
-            .max_by(|a, b| a.1.total_cmp(&b.1))
-        {
+        self.recompute_dominant_phase();
+    }
+
+    fn recompute_dominant_phase(&mut self) {
+        // Strictly-greater comparison: on ties the first-inserted phase
+        // wins, so a stage straddling a phase change keeps the tag it
+        // opened under instead of flapping to whichever phase was credited
+        // last.
+        let mut best: Option<(&String, f64)> = None;
+        for (p, c) in &self.phase_cpu {
+            if best.map_or(true, |(_, bc)| *c > bc) {
+                best = Some((p, *c));
+            }
+        }
+        if let Some((dominant, _)) = best {
             self.phase = dominant.clone();
         }
     }
@@ -169,6 +236,116 @@ impl JobRun {
     }
 }
 
+/// Replay an engine trace-event stream into a [`JobRun`].
+///
+/// This is the fold that makes the trace the single source of truth for
+/// stage metrics. Events must be in emission order (the engine records
+/// driver-side, so ring order *is* emission order). The mapping mirrors the
+/// pre-trace recorder exactly:
+///
+/// | event                                  | effect                                    |
+/// |----------------------------------------|-------------------------------------------|
+/// | `End`/`Compute` with `part`+`cpu_bits` | task CPU into the open stage              |
+/// | `Instant`/`Compute`                    | op label, records-out, alloc bytes        |
+/// | `Instant`/`Serde`                      | serde seconds (`s_bits`)                  |
+/// | `Counter`/`Shuffle` `shuffle.write`    | per-partition write bytes                 |
+/// | `Counter`/`Shuffle` `shuffle.read`     | read bytes charged to the *next* stage    |
+/// | `Instant`/`Shuffle`                    | close stage as [`StageKind::Shuffle`]     |
+/// | `Counter`/`Io` `broadcast`             | broadcast bytes into the open stage       |
+/// | `Instant`/`Io`                         | close stage as [`StageKind::Collect`]     |
+///
+/// `Begin`, `Scheduler` and `Warn` events are timeline-only and ignored
+/// here. A stage still open when the stream ends is pushed as
+/// [`StageKind::Final`].
+pub fn derive_job_run(events: &[Event]) -> JobRun {
+    struct Derive {
+        run: JobRun,
+        current: Option<StageMetrics>,
+        next_read: Vec<u64>,
+    }
+    impl Derive {
+        fn ensure(&mut self, phase: &str) -> &mut StageMetrics {
+            let id = self.run.stages.len();
+            let next_read = &mut self.next_read;
+            self.current.get_or_insert_with(|| {
+                let mut stage = StageMetrics::new(id, phase.to_string());
+                stage.shuffle_read_bytes = std::mem::take(next_read);
+                stage
+            })
+        }
+        fn close(&mut self) {
+            if let Some(done) = self.current.take() {
+                self.run.stages.push(done);
+            }
+        }
+    }
+    let mut d = Derive { run: JobRun::default(), current: None, next_read: Vec::new() };
+    for ev in events {
+        let phase = &*ev.phase;
+        match (ev.kind, ev.cat) {
+            (EventKind::End, Category::Compute) => {
+                let (Some(part), Some(bits)) =
+                    (ev.counter(names::PART), ev.counter(names::CPU_BITS))
+                else {
+                    continue;
+                };
+                d.ensure(phase).add_task_cpu_at(part as usize, f64::from_bits(bits), phase);
+            }
+            (EventKind::Instant, Category::Compute) => {
+                let stage = d.ensure(phase);
+                // Mirrors the old recorder: even a zero-task op credits the
+                // phase (with 0 CPU), which can retag an otherwise idle
+                // stage.
+                stage.add_task_cpu(&[], phase);
+                if let Some(records) = ev.counter(names::RECORDS) {
+                    stage.records_out = records;
+                }
+                stage.alloc_bytes += ev.counter(names::ALLOC).unwrap_or(0);
+                stage.label = ev.name.to_string();
+            }
+            (EventKind::Instant, Category::Serde) => {
+                let s = ev.counter(names::SECONDS_BITS).map(f64::from_bits).unwrap_or(0.0);
+                d.ensure(phase).serde_s += s;
+            }
+            (EventKind::Counter, Category::Shuffle) => {
+                if &*ev.name == names::SHUFFLE_READ {
+                    // Charged to the stage the *next* ensure() opens.
+                    d.next_read = ev.counter_values(names::BYTES);
+                } else {
+                    d.ensure(phase).shuffle_write_bytes = ev.counter_values(names::BYTES);
+                }
+            }
+            (EventKind::Instant, Category::Shuffle) => {
+                let stage = d.ensure(phase);
+                stage.kind = StageKind::Shuffle;
+                if !ev.name.is_empty() {
+                    stage.label = ev.name.to_string();
+                }
+                d.close();
+            }
+            (EventKind::Counter, Category::Io) => {
+                if &*ev.name == names::BROADCAST {
+                    d.ensure(phase).broadcast_bytes += ev.counter(names::BYTES).unwrap_or(0);
+                }
+            }
+            (EventKind::Instant, Category::Io) => {
+                let stage = d.ensure(phase);
+                stage.kind = StageKind::Collect;
+                if stage.label.is_empty() {
+                    stage.label = ev.name.to_string();
+                } else {
+                    stage.label = format!("{} -> {}", stage.label, ev.name);
+                }
+                d.close();
+                d.next_read.clear();
+            }
+            _ => {}
+        }
+    }
+    d.close();
+    d.run
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -190,6 +367,98 @@ mod tests {
         assert_eq!(s.phase, "cleaner");
         s.add_task_cpu(&[5.0, 5.0], "caller");
         assert_eq!(s.phase, "caller", "caller dominates the stage's CPU");
+    }
+
+    #[test]
+    fn phase_tie_goes_to_first_inserted() {
+        // Pin the tie-break: with equal CPU, the phase credited first keeps
+        // the stage (the old `max_by` picked whichever was inserted last).
+        let mut s = StageMetrics::new(0, "aligner".into());
+        s.add_task_cpu(&[1.0], "aligner");
+        s.add_task_cpu(&[1.0], "cleaner");
+        assert_eq!(s.phase, "aligner", "first-inserted phase wins the tie");
+
+        let mut s = StageMetrics::new(0, "cleaner".into());
+        s.add_task_cpu(&[1.0], "cleaner");
+        s.add_task_cpu(&[1.0], "aligner");
+        assert_eq!(s.phase, "cleaner", "tie-break is insertion order, not name order");
+    }
+
+    #[test]
+    fn add_task_cpu_at_matches_slice_accumulation() {
+        let mut whole = StageMetrics::new(0, "p".into());
+        whole.add_task_cpu(&[0.25, 0.5], "p");
+        let mut by_part = StageMetrics::new(0, "p".into());
+        by_part.add_task_cpu_at(0, 0.25, "p");
+        by_part.add_task_cpu_at(1, 0.5, "p");
+        assert_eq!(whole.task_cpu_s, by_part.task_cpu_s);
+        assert_eq!(whole.phase, by_part.phase);
+    }
+
+    #[test]
+    fn derive_replays_a_two_stage_job() {
+        use gpf_trace::{Category, Event, EventKind};
+        use std::sync::Arc;
+        let phase: Arc<str> = Arc::from("aligner");
+        let mk = |kind, name: &str, cat, counters: Vec<(&str, u64)>| Event {
+            kind,
+            name: Arc::from(name),
+            cat,
+            phase: Arc::clone(&phase),
+            ts_ns: 0,
+            tid: 0,
+            id: 0,
+            parent: 0,
+            counters: counters.into_iter().map(|(k, v)| (Arc::from(k), v)).collect(),
+        };
+        let events = vec![
+            mk(
+                EventKind::End,
+                "map",
+                Category::Compute,
+                vec![(names::PART, 0), (names::CPU_BITS, 0.5f64.to_bits())],
+            ),
+            mk(
+                EventKind::Instant,
+                "map",
+                Category::Compute,
+                vec![(names::RECORDS, 100), (names::ALLOC, 4096)],
+            ),
+            mk(
+                EventKind::Instant,
+                names::SERDE,
+                Category::Serde,
+                vec![(names::SECONDS_BITS, 0.125f64.to_bits())],
+            ),
+            mk(
+                EventKind::Counter,
+                names::SHUFFLE_WRITE,
+                Category::Shuffle,
+                vec![(names::BYTES, 10), (names::BYTES, 20)],
+            ),
+            mk(EventKind::Instant, "groupBy", Category::Shuffle, vec![]),
+            mk(EventKind::Counter, names::SHUFFLE_READ, Category::Shuffle, vec![(names::BYTES, 30)]),
+            mk(
+                EventKind::End,
+                "reduce",
+                Category::Compute,
+                vec![(names::PART, 0), (names::CPU_BITS, 0.25f64.to_bits())],
+            ),
+        ];
+        let run = derive_job_run(&events);
+        assert_eq!(run.num_stages(), 2);
+        let s0 = &run.stages[0];
+        assert_eq!(s0.label, "groupBy");
+        assert_eq!(s0.kind, StageKind::Shuffle);
+        assert_eq!(s0.task_cpu_s, vec![0.5]);
+        assert_eq!(s0.records_out, 100);
+        assert_eq!(s0.alloc_bytes, 4096);
+        assert_eq!(s0.serde_s, 0.125);
+        assert_eq!(s0.shuffle_write_bytes, vec![10, 20]);
+        let s1 = &run.stages[1];
+        assert_eq!(s1.shuffle_read_bytes, vec![30], "read bytes charge the next stage");
+        assert_eq!(s1.kind, StageKind::Final);
+        assert_eq!(s1.task_cpu_s, vec![0.25]);
     }
 
     #[test]

@@ -1,112 +1,14 @@
-//! Per-task timing.
+//! Per-task timing — re-export of the shared thread-CPU timer.
 //!
-//! Task durations feed the cluster simulator, where a stage's makespan is
-//! bounded by its longest task — so a wall-clock measurement polluted by OS
-//! preemption (another thread scheduled mid-task) would masquerade as a
-//! straggler and corrupt every scaling curve. On Linux we therefore measure
-//! **thread CPU time** (`CLOCK_THREAD_CPUTIME_ID`), which excludes time the
-//! thread spent descheduled; elsewhere we fall back to wall clock.
+//! The implementation lives in [`gpf_trace::clock`] since the tracing
+//! refactor, so the engine and the tracing layer share one clock source and
+//! one deterministic mock ([`gpf_trace::clock::MockClock`]). This module
+//! keeps the engine-local `TaskTimer` name that the dataset operators and
+//! downstream crates use.
 //!
-//! The `clock_gettime` binding is declared here directly (std already links
-//! the platform libc) rather than through the `libc` crate, keeping the
-//! workspace's hermetic zero-dependency build.
+//! Why thread-CPU time and not wall clock: task durations feed the cluster
+//! simulator, where a stage's makespan is bounded by its longest task — a
+//! wall-clock measurement polluted by OS preemption would masquerade as a
+//! straggler and corrupt every scaling curve.
 
-#[cfg(target_os = "linux")]
-mod sys {
-    /// `struct timespec` (Linux x86-64/aarch64 ABI: both fields 64-bit).
-    #[repr(C)]
-    #[derive(Clone, Copy)]
-    pub struct Timespec {
-        pub tv_sec: i64,
-        pub tv_nsec: i64,
-    }
-
-    /// CPU-time clock of the calling thread (`linux/time.h`).
-    pub const CLOCK_THREAD_CPUTIME_ID: i32 = 3;
-
-    extern "C" {
-        pub fn clock_gettime(clockid: i32, tp: *mut Timespec) -> i32;
-    }
-}
-
-/// A started task timer.
-pub struct TaskTimer {
-    #[cfg(target_os = "linux")]
-    start: sys::Timespec,
-    #[cfg(not(target_os = "linux"))]
-    start: std::time::Instant,
-}
-
-#[cfg(target_os = "linux")]
-fn thread_cpu_now() -> sys::Timespec {
-    let mut ts = sys::Timespec { tv_sec: 0, tv_nsec: 0 };
-    // SAFETY: `ts` is a live, writable `timespec` matching the kernel ABI
-    // for this architecture, and CLOCK_THREAD_CPUTIME_ID is a valid clock id
-    // on every Linux the workspace targets; clock_gettime writes the struct
-    // and performs no other memory access.
-    let rc = unsafe { sys::clock_gettime(sys::CLOCK_THREAD_CPUTIME_ID, &mut ts) };
-    if rc != 0 {
-        // clock_gettime can only fail here on an exotic kernel lacking the
-        // thread CPU clock; report zero elapsed time instead of reading a
-        // partially-written struct.
-        return sys::Timespec { tv_sec: 0, tv_nsec: 0 };
-    }
-    ts
-}
-
-impl TaskTimer {
-    /// Start timing the current thread's CPU consumption.
-    pub fn start() -> Self {
-        #[cfg(target_os = "linux")]
-        {
-            Self { start: thread_cpu_now() }
-        }
-        #[cfg(not(target_os = "linux"))]
-        {
-            Self { start: std::time::Instant::now() }
-        }
-    }
-
-    /// CPU seconds consumed by this thread since [`TaskTimer::start`].
-    pub fn elapsed_s(&self) -> f64 {
-        #[cfg(target_os = "linux")]
-        {
-            let now = thread_cpu_now();
-            (now.tv_sec - self.start.tv_sec) as f64
-                + (now.tv_nsec - self.start.tv_nsec) as f64 * 1e-9
-        }
-        #[cfg(not(target_os = "linux"))]
-        {
-            self.start.elapsed().as_secs_f64()
-        }
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn measures_busy_work() {
-        let t = TaskTimer::start();
-        let mut acc = 0u64;
-        for i in 0..2_000_000u64 {
-            acc = acc.wrapping_add(i * i);
-        }
-        std::hint::black_box(acc);
-        let s = t.elapsed_s();
-        assert!(s > 0.0, "busy loop consumed CPU: {s}");
-        assert!(s < 5.0, "sane upper bound: {s}");
-    }
-
-    #[test]
-    fn excludes_sleep_on_linux() {
-        let t = TaskTimer::start();
-        std::thread::sleep(std::time::Duration::from_millis(50));
-        let s = t.elapsed_s();
-        #[cfg(target_os = "linux")]
-        assert!(s < 0.02, "sleep must not count as task CPU: {s}");
-        #[cfg(not(target_os = "linux"))]
-        assert!(s >= 0.05);
-    }
-}
+pub use gpf_trace::clock::ThreadCpuTimer as TaskTimer;

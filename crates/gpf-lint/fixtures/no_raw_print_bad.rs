@@ -1,0 +1,7 @@
+// Fixture: raw console macros in library code.
+pub fn chatty(done: usize, total: usize) {
+    println!("progress: {done}/{total}");
+    eprintln!("warning: {done} items skipped");
+    print!("no newline");
+    eprint!("no newline either");
+}

@@ -1,0 +1,9 @@
+// Fixture: the sanctioned output paths — the trace sink's console, an
+// annotated escape hatch, and macro names inside strings/comments.
+pub fn quiet(done: usize, total: usize) {
+    gpf_trace::sink::console_out(&format!("progress: {done}/{total}"));
+    // gpf-lint: allow(no-raw-print): panic hook runs after the sink is gone.
+    eprintln!("terminal diagnostic");
+    let doc = "call println! at your peril"; // println! in a comment
+    let _ = doc;
+}

@@ -14,6 +14,7 @@
 //! | `relaxed-ordering` | `Ordering::Relaxed` only inside `gpf-support/src/par.rs` |
 //! | `thread-spawn` | `thread::spawn` only inside `gpf-support` (everyone else uses `gpf_support::par`) |
 //! | `hermetic-deps` | every manifest dependency is a workspace/path dep — nothing from crates.io |
+//! | `no-raw-print` | no `println!`/`eprintln!` in non-test library code — route output through `gpf_trace::sink` (binaries and the sink module itself are exempt) |
 //!
 //! `assert!` / `debug_assert!` are deliberately *not* banned: stating an
 //! invariant is encouraged; what the `no-panic` rule bans is using a panic
@@ -57,6 +58,9 @@ pub enum Rule {
     ThreadSpawn,
     /// Manifest dependencies must be workspace/path deps.
     HermeticDeps,
+    /// No raw `println!`/`eprintln!` in library code; console output goes
+    /// through `gpf_trace::sink` so one layer owns the terminal.
+    NoRawPrint,
 }
 
 impl Rule {
@@ -69,17 +73,19 @@ impl Rule {
             Rule::RelaxedOrdering => "relaxed-ordering",
             Rule::ThreadSpawn => "thread-spawn",
             Rule::HermeticDeps => "hermetic-deps",
+            Rule::NoRawPrint => "no-raw-print",
         }
     }
 
     /// Every rule, in reporting order.
-    pub fn all() -> [Rule; 5] {
+    pub fn all() -> [Rule; 6] {
         [
             Rule::NoPanic,
             Rule::SafetyComment,
             Rule::RelaxedOrdering,
             Rule::ThreadSpawn,
             Rule::HermeticDeps,
+            Rule::NoRawPrint,
         ]
     }
 }
@@ -477,14 +483,23 @@ const PANIC_TOKENS: [(&str, &str); 6] = [
     ("unimplemented!", "`unimplemented!`"),
 ];
 
+/// Banned console macros for the `no-raw-print` rule (token-matched, so
+/// `print!` does not also fire inside `println!` or `eprint!`).
+const PRINT_TOKENS: [&str; 4] = ["println!", "eprintln!", "print!", "eprint!"];
+
 /// Lint one Rust source. `file` is the workspace-relative path used both
 /// for reporting and for the location-scoped rules (`relaxed-ordering`,
-/// `thread-spawn`).
+/// `thread-spawn`, `no-raw-print`).
 pub fn lint_source(file: &str, source: &str) -> Vec<Finding> {
     let masked = mask(source);
     let mut findings = Vec::new();
     let in_par = file.ends_with("gpf-support/src/par.rs");
     let in_support = file.contains("gpf-support/");
+    // Binaries own their terminal; the sink module is where library output
+    // funnels to. Everything else must go through the sink.
+    let may_print = file.ends_with("/main.rs")
+        || file.contains("/bin/")
+        || file.ends_with("gpf-trace/src/sink.rs");
     for (idx, code) in masked.code.iter().enumerate() {
         if masked.is_test.get(idx).copied().unwrap_or(false) {
             continue;
@@ -547,6 +562,24 @@ pub fn lint_source(file: &str, source: &str) -> Vec<Finding> {
                           scoped parallelism"
                     .to_string(),
             });
+        }
+        if !may_print {
+            for tok in PRINT_TOKENS {
+                if !token_positions(code, tok).is_empty()
+                    && !is_allowed(&masked, idx, Rule::NoRawPrint)
+                {
+                    findings.push(Finding {
+                        rule: Rule::NoRawPrint,
+                        file: file.to_string(),
+                        line: lineno,
+                        message: format!(
+                            "`{tok}` in library code; route output through \
+                             gpf_trace::sink::console_out/console_err (or annotate \
+                             `// gpf-lint: allow(no-raw-print): <why>`)"
+                        ),
+                    });
+                }
+            }
         }
     }
     findings

@@ -106,6 +106,37 @@ fn thread_spawn_negative() {
 }
 
 #[test]
+fn no_raw_print_positive() {
+    let f = lint_source(
+        "crates/x/src/lib.rs",
+        include_str!("../fixtures/no_raw_print_bad.rs"),
+    );
+    assert_eq!(rules_hit(&f), vec![Rule::NoRawPrint]);
+    // One finding per macro: println!, eprintln!, print!, eprint!.
+    assert_eq!(f.len(), 4, "{f:?}");
+    let lines: Vec<usize> = f.iter().map(|x| x.line).collect();
+    assert_eq!(lines, vec![3, 4, 5, 6]);
+}
+
+#[test]
+fn no_raw_print_negative() {
+    let f = lint_source(
+        "crates/x/src/lib.rs",
+        include_str!("../fixtures/no_raw_print_ok.rs"),
+    );
+    assert!(f.is_empty(), "{f:?}");
+    // Binaries and the sink module itself may print freely.
+    for exempt in [
+        "crates/x/src/main.rs",
+        "crates/x/src/bin/tool.rs",
+        "crates/gpf-trace/src/sink.rs",
+    ] {
+        let f = lint_source(exempt, include_str!("../fixtures/no_raw_print_bad.rs"));
+        assert!(f.is_empty(), "{exempt}: {f:?}");
+    }
+}
+
+#[test]
 fn hermetic_deps_positive() {
     let f = lint_manifest(
         "crates/x/Cargo.toml",

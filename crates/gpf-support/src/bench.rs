@@ -151,7 +151,10 @@ impl BenchmarkGroup<'_> {
 
     fn report(&self, id: &str, bencher: &Bencher) {
         let Some(stats) = bencher.stats() else {
-            println!("{}/{id}: no samples (routine never called iter)", self.name);
+            gpf_trace::sink::console_out(&format!(
+                "{}/{id}: no samples (routine never called iter)",
+                self.name
+            ));
             return;
         };
         let rate = self.throughput.map(|t| match t {
@@ -162,14 +165,14 @@ impl BenchmarkGroup<'_> {
                 format!(" {:>9.2} Melem/s", n as f64 / 1e6 / (stats.median_ns * 1e-9))
             }
         });
-        println!(
+        gpf_trace::sink::console_out(&format!(
             "{}/{id}: median {} p95 {}{}{}",
             self.name,
             fmt_ns(stats.median_ns),
             fmt_ns(stats.p95_ns),
             rate.unwrap_or_default(),
             if self.smoke { "  [smoke]" } else { "" },
-        );
+        ));
         if std::env::var("GPF_BENCH_JSON").is_ok() {
             self.append_json(id, &stats);
         }
@@ -201,7 +204,7 @@ impl BenchmarkGroup<'_> {
             Ok(mut f) => {
                 let _ = writeln!(f, "{line}");
             }
-            Err(e) => eprintln!("bench: cannot append to {path}: {e}"),
+            Err(e) => gpf_trace::sink::console_err(&format!("bench: cannot append to {path}: {e}")),
         }
     }
 }

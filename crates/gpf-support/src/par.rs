@@ -20,6 +20,15 @@
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 
+/// What one worker did during a `map_range_chunked` call — feeds the
+/// `par.*` trace counters when tracing is enabled.
+#[derive(Default, Clone, Copy)]
+struct WorkerStats {
+    chunks: u64,
+    steals: u64,
+    busy_ns: u64,
+}
+
 /// Worker-thread count: `GPF_PAR_THREADS` if set, else available
 /// parallelism, else 1.
 pub fn max_threads() -> usize {
@@ -55,21 +64,38 @@ where
     let next = AtomicUsize::new(0);
     let f = &f;
     let next = &next;
-    let mut per_worker: Vec<Vec<(usize, Vec<U>)>> = std::thread::scope(|scope| {
+    // Per-worker utilization accounting, only while tracing is on: the
+    // enabled() gate keeps clock reads off the untraced hot path.
+    let traced = gpf_trace::enabled();
+    let t_start = if traced { gpf_trace::clock::now_ns() } else { 0 };
+    let mut per_worker: Vec<(Vec<(usize, Vec<U>)>, WorkerStats)> = std::thread::scope(|scope| {
         let handles: Vec<_> = (0..workers)
-            .map(|_| {
+            .map(|w| {
                 scope.spawn(move || {
                     let mut local: Vec<(usize, Vec<U>)> = Vec::new();
+                    let mut stats = WorkerStats::default();
                     loop {
                         let c = next.fetch_add(1, Ordering::Relaxed);
                         if c >= nchunks {
                             break;
                         }
+                        let t0 = if traced { gpf_trace::clock::now_ns() } else { 0 };
                         let lo = c * chunk;
                         let hi = (lo + chunk).min(n);
                         local.push((c, (lo..hi).map(f).collect()));
+                        if traced {
+                            stats.chunks += 1;
+                            // Round-robin would hand chunk c to worker
+                            // c % workers; any other claimant stole it off
+                            // the shared counter.
+                            if c % workers != w {
+                                stats.steals += 1;
+                            }
+                            stats.busy_ns +=
+                                gpf_trace::clock::now_ns().saturating_sub(t0);
+                        }
                     }
-                    local
+                    (local, stats)
                 })
             })
             .collect();
@@ -81,10 +107,24 @@ where
             })
             .collect()
     });
+    if traced {
+        let wall_ns = gpf_trace::clock::now_ns().saturating_sub(t_start);
+        let busy_ns: u64 = per_worker.iter().map(|(_, s)| s.busy_ns).sum();
+        gpf_trace::counter("par.chunks")
+            .add(per_worker.iter().map(|(_, s)| s.chunks).sum());
+        gpf_trace::counter("par.steals")
+            .add(per_worker.iter().map(|(_, s)| s.steals).sum());
+        gpf_trace::counter("par.busy_ns").add(busy_ns);
+        // Idle = the pool's wall-clock capacity the workers did not fill —
+        // thread ramp-up, counter contention, and end-of-map tail where
+        // some workers are drained while a straggler chunk finishes.
+        gpf_trace::counter("par.idle_ns")
+            .add((wall_ns * workers as u64).saturating_sub(busy_ns));
+    }
 
     // Reassemble in chunk order.
     let mut slots: Vec<Option<Vec<U>>> = (0..nchunks).map(|_| None).collect();
-    for worker in &mut per_worker {
+    for (worker, _) in &mut per_worker {
         for (c, vals) in worker.drain(..) {
             debug_assert!(slots[c].is_none(), "chunk {c} claimed twice");
             slots[c] = Some(vals);
@@ -236,6 +276,23 @@ mod tests {
             hits[i].fetch_add(1, Ordering::Relaxed);
         });
         assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1));
+    }
+
+    #[test]
+    fn tracing_counters_account_for_every_chunk() {
+        if max_threads() < 2 {
+            return; // sequential fallback records nothing
+        }
+        gpf_trace::set_enabled(true);
+        let chunks_before = gpf_trace::counter("par.chunks").get();
+        let busy_before = gpf_trace::counter("par.busy_ns").get();
+        let out = map_range_chunked(64, 4, |i| i);
+        gpf_trace::set_enabled(false);
+        assert_eq!(out, (0..64).collect::<Vec<_>>());
+        // Other tests may run concurrently with tracing enabled, so the
+        // deltas are lower bounds: at least this call's 16 chunks landed.
+        assert!(gpf_trace::counter("par.chunks").get() >= chunks_before + 16);
+        assert!(gpf_trace::counter("par.busy_ns").get() >= busy_before);
     }
 
     #[test]

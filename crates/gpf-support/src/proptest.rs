@@ -554,7 +554,9 @@ pub fn run<S>(
     if let Some(seed) = env_u64("GPF_PROPTEST_REPLAY") {
         let mut rng = StdRng::seed_from_u64(seed);
         let value = strategy.generate(&mut rng);
-        eprintln!("[proptest] {name}: replaying case seed {seed:#x} with input {value:?}");
+        gpf_trace::sink::console_err(&format!(
+            "[proptest] {name}: replaying case seed {seed:#x} with input {value:?}"
+        ));
         if let Err(msg) = run_one(&test, value.clone()) {
             // gpf-lint: allow(no-panic): panicking IS the harness contract —
             // a failed property must fail the enclosing #[test].

@@ -1,0 +1,135 @@
+//! Trace-integrity properties: span matching, parent enclosure, and
+//! bounded-ring overflow accounting.
+
+use gpf_support::proptest::prelude::*;
+use gpf_trace::clock::MockClock;
+use gpf_trace::{instant_in, span_in, Category, EventKind, Trace, TraceLog};
+use std::sync::Arc;
+
+const CATS: [Category; 4] =
+    [Category::Compute, Category::Shuffle, Category::Serde, Category::Scheduler];
+
+/// One step of a random recording program.
+#[derive(Debug, Clone, Copy)]
+enum Step {
+    /// Open a nested span (bounded depth).
+    Open(u8),
+    /// Close the innermost open span.
+    Close,
+    /// Emit an instant event.
+    Instant(u8),
+}
+
+fn step_strategy() -> impl Strategy<Value = Step> {
+    prop_oneof![
+        3 => (0u8..4).prop_map(Step::Open),
+        3 => Just(Step::Close),
+        2 => (0u8..4).prop_map(Step::Instant),
+    ]
+}
+
+/// Run a random program against a fresh log on the current thread,
+/// closing any spans still open at the end. The mock clock makes
+/// timestamps strictly increasing, so enclosure checks are exact.
+fn record_program(steps: &[Step]) -> Trace {
+    let _clock = MockClock::install(1_000, 7);
+    let log = Arc::new(TraceLog::new());
+    let mut open = Vec::new();
+    for step in steps {
+        match step {
+            Step::Open(c) => {
+                if open.len() < 8 {
+                    open.push(span_in(&log, &format!("span{}", open.len()), CATS[*c as usize]));
+                }
+            }
+            Step::Close => {
+                open.pop();
+            }
+            Step::Instant(c) => instant_in(&log, "tick", CATS[*c as usize], &[("v", 1)]),
+        }
+    }
+    // Close innermost-first (a plain `drop(open)` would drop the Vec
+    // front-to-back, closing the outermost span while children are open).
+    while open.pop().is_some() {}
+    gpf_trace::recorder::flush_thread();
+    log.snapshot()
+}
+
+proptest! {
+    #[test]
+    fn every_begin_has_a_matching_end(steps in proptest::collection::vec(step_strategy(), 0..60)) {
+        let t = record_program(&steps);
+        let begins = t.events.iter().filter(|e| e.kind == EventKind::Begin).count();
+        let ends = t.events.iter().filter(|e| e.kind == EventKind::End).count();
+        prop_assert_eq!(begins, ends);
+        // Ids pair up exactly: each Begin id appears in exactly one End.
+        for b in t.events.iter().filter(|e| e.kind == EventKind::Begin) {
+            let matches = t
+                .events
+                .iter()
+                .filter(|e| e.kind == EventKind::End && e.id == b.id)
+                .count();
+            prop_assert_eq!(matches, 1, "begin id {} must close exactly once", b.id);
+        }
+        prop_assert_eq!(t.spans().len(), begins);
+    }
+
+    #[test]
+    fn parents_enclose_children(steps in proptest::collection::vec(step_strategy(), 0..60)) {
+        let t = record_program(&steps);
+        let span_of = |id: u64| -> Option<(u64, u64)> {
+            let b = t.events.iter().find(|e| e.kind == EventKind::Begin && e.id == id)?;
+            let e = t.events.iter().find(|e| e.kind == EventKind::End && e.id == id)?;
+            Some((b.ts_ns, e.ts_ns))
+        };
+        for b in t.events.iter().filter(|e| e.kind == EventKind::Begin) {
+            if b.parent == 0 {
+                continue;
+            }
+            let child = span_of(b.id);
+            let parent = span_of(b.parent);
+            prop_assert!(child.is_some() && parent.is_some());
+            let (cs, ce) = child.unwrap_or((0, 0));
+            let (ps, pe) = parent.unwrap_or((0, 0));
+            prop_assert!(
+                ps < cs && ce < pe,
+                "parent [{ps},{pe}] must strictly enclose child [{cs},{ce}]"
+            );
+        }
+    }
+
+    #[test]
+    fn ring_overflow_drops_oldest_and_counts(
+        capacity in 1usize..32,
+        extra in 0usize..64,
+    ) {
+        let _clock = MockClock::install(0, 1);
+        let log = Arc::new(TraceLog::with_capacity(capacity));
+        let total = capacity + extra;
+        for i in 0..total {
+            instant_in(&log, &format!("e{i}"), Category::Other, &[]);
+        }
+        gpf_trace::recorder::flush_thread();
+        let t = log.snapshot();
+        prop_assert_eq!(t.events.len(), capacity.min(total));
+        prop_assert_eq!(t.dropped, extra as u64, "every overflowed event is accounted");
+        // Survivors are the newest `capacity` events, oldest first.
+        let first_kept = total - capacity.min(total);
+        for (slot, ev) in t.events.iter().enumerate() {
+            let expected = format!("e{}", first_kept + slot);
+            prop_assert_eq!(&*ev.name, expected.as_str());
+        }
+    }
+}
+
+#[test]
+fn overflow_feeds_the_global_dropped_counter() {
+    let before = gpf_trace::counters::counter("trace.dropped").get();
+    let log = Arc::new(TraceLog::with_capacity(4));
+    for i in 0..10 {
+        instant_in(&log, &format!("x{i}"), Category::Other, &[]);
+    }
+    gpf_trace::recorder::flush_thread();
+    let after = gpf_trace::counters::counter("trace.dropped").get();
+    assert!(after >= before + 6, "before {before} after {after}");
+}

@@ -47,4 +47,14 @@ fi
 echo "== bench smoke =="
 cargo run --release --offline -p gpf-bench --bin experiments -- --smoke >/dev/null
 
+echo "== trace smoke (chrome export + schema check) =="
+trace_out="$(mktemp -t gpf_trace_XXXX.json)"
+cargo run --release --offline -p gpf-bench --bin experiments -- --smoke --trace "$trace_out" >/dev/null
+cargo run --release --offline -p gpf-bench --bin experiments -- --validate-trace "$trace_out"
+rm -f "$trace_out"
+
+echo "== trace overhead (< 5% budget) =="
+rm -f BENCH_trace_overhead.json
+cargo run --release --offline -p gpf-bench --bin experiments -- --smoke --trace-overhead
+
 echo "CI OK"

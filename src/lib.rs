@@ -6,7 +6,8 @@
 //! See the individual crates for detail:
 //! [`gpf_core`] (Process/Resource/Pipeline), [`gpf_engine`] (execution
 //! engine), [`gpf_formats`], [`gpf_compress`], [`gpf_align`],
-//! [`gpf_cleaner`], [`gpf_caller`], [`gpf_workloads`], [`gpf_baselines`].
+//! [`gpf_cleaner`], [`gpf_caller`], [`gpf_workloads`], [`gpf_baselines`],
+//! [`gpf_trace`] (span tracing, counters, Chrome-trace export).
 
 pub use gpf_align as align;
 pub use gpf_baselines as baselines;
@@ -16,4 +17,5 @@ pub use gpf_compress as compress;
 pub use gpf_core as core;
 pub use gpf_engine as engine;
 pub use gpf_formats as formats;
+pub use gpf_trace as trace;
 pub use gpf_workloads as workloads;
