@@ -26,6 +26,8 @@ fn main() {
     let mut trace_path: Option<String> = None;
     let mut validate_path: Option<String> = None;
     let mut trace_overhead = false;
+    let mut codec_gate = false;
+    let mut shuffle_gate = false;
     let mut ids: Vec<String> = Vec::new();
     let mut i = 0;
     while i < args.len() {
@@ -50,6 +52,8 @@ fn main() {
                 );
             }
             "--trace-overhead" => trace_overhead = true,
+            "--codec-bench" => codec_gate = true,
+            "--shuffle-bench" => shuffle_gate = true,
             "--help" | "-h" => {
                 eprintln!(
                     "usage: experiments <id>[,<id>...]|all [--scale X] [--smoke]\n\
@@ -60,7 +64,12 @@ fn main() {
                                    print the text report (load PATH at https://ui.perfetto.dev)\n\
                      --validate-trace PATH: schema-check a Chrome trace file (exit 2 on failure)\n\
                      --trace-overhead: time the WGS run tracing-off vs tracing-on;\n\
-                                       writes BENCH_trace_overhead.json, exit 3 if >= 5%"
+                                       writes BENCH_trace_overhead.json, exit 3 if >= 5%\n\
+                     --codec-bench: fast vs reference read-field codec throughput;\n\
+                                    writes BENCH_codec.json, exit 3 if speedup < 2x\n\
+                     --shuffle-bench: clone-free vs reference shuffle records/s;\n\
+                                      writes BENCH_shuffle.json, exit 3 if speedup < 1.5x\n\
+                     (--smoke shrinks the gate workloads but keeps real timing)"
                 );
                 return;
             }
@@ -82,6 +91,10 @@ fn main() {
     }
     if trace_overhead {
         measure_trace_overhead(scale);
+        return;
+    }
+    if codec_gate || shuffle_gate {
+        run_perf_gates(codec_gate, shuffle_gate, smoke);
         return;
     }
     if let Some(path) = &trace_path {
@@ -193,6 +206,33 @@ fn measure_trace_overhead(scale: f64) {
     console_out(&line);
     if overhead_pct >= 5.0 {
         console_err(&format!("trace overhead {overhead_pct:.2}% >= 5% budget"));
+        std::process::exit(3);
+    }
+}
+
+/// `--codec-bench` / `--shuffle-bench`: measure the hot-path codec and
+/// shuffle against their retained reference implementations, append the
+/// summary lines to `BENCH_codec.json` / `BENCH_shuffle.json`, and exit 3
+/// when either speedup falls below its floor (codec 2x, shuffle 1.5x).
+fn run_perf_gates(codec: bool, shuffle: bool, smoke: bool) {
+    let mut failed = false;
+    let mut check = |report: gpf_bench::perf::GateReport, what: &str| {
+        console_out(&report.json_line);
+        if !report.passed() {
+            console_err(&format!(
+                "{what} speedup {:.2}x < {:.1}x floor",
+                report.worst_ratio, report.floor
+            ));
+            failed = true;
+        }
+    };
+    if codec {
+        check(gpf_bench::perf::codec_bench(smoke), "codec");
+    }
+    if shuffle {
+        check(gpf_bench::perf::shuffle_bench(smoke), "shuffle");
+    }
+    if failed {
         std::process::exit(3);
     }
 }

@@ -25,6 +25,7 @@
 //! the `experiments` binary and the `paper_tables` bench.
 
 pub mod experiments;
+pub mod perf;
 pub mod report;
 pub mod workload;
 

@@ -1,0 +1,330 @@
+//! Hot-path perf benchmarks and the ratio gates CI defends them with.
+//!
+//! Two entry points, wired to `experiments --codec-bench` and
+//! `--shuffle-bench`:
+//!
+//! * [`codec_bench`] — read-field encode/decode throughput (MB/s over raw
+//!   `seq+qual` bytes) of the word-level/table-driven codec vs the retained
+//!   scalar reference in [`gpf_compress::reference`]. Appends one summary
+//!   line to `BENCH_codec.json`. Floor: **2×** on both directions.
+//! * [`shuffle_bench`] — records/s of a hash repartition through the
+//!   clone-free consuming shuffle vs
+//!   [`Dataset::partition_by_reference`], measured as paired rounds so the
+//!   two sides always sample the same machine state. Appends one summary
+//!   line to `BENCH_shuffle.json`. Floor: **1.5×**.
+//!
+//! Both take real timings even under `--smoke` (smoke only shrinks the
+//! workload): a perf gate measured from a single untimed iteration would
+//! flake, and a flaky gate is worse than no gate. The experiments binary
+//! exits 3 when [`GateReport::passed`] is false — the same contract as
+//! `--trace-overhead`.
+
+use gpf_compress::qualcodec::QualityCodec;
+use gpf_compress::reference::{compress_read_fields_ref, decompress_read_fields_ref};
+use gpf_compress::sequence::{
+    compress_read_fields, compress_read_fields_into, decompress_read_fields_into, CompressedRead,
+    ReadCodecScratch,
+};
+use gpf_engine::{Dataset, EngineConfig, EngineContext};
+use gpf_support::bench::{black_box, BenchmarkGroup, Criterion, Throughput};
+use gpf_support::rng::SplitMix64;
+use std::sync::Arc;
+
+/// Minimum accepted speedup of the fast codec over the scalar reference.
+pub const CODEC_FLOOR: f64 = 2.0;
+/// Minimum accepted speedup of the clone-free shuffle over the reference.
+pub const SHUFFLE_FLOOR: f64 = 1.5;
+
+/// Outcome of one perf gate: the JSON summary line that was appended to
+/// the `BENCH_*.json` artifact, and the measured worst-case ratio.
+pub struct GateReport {
+    /// The summary line appended to the artifact file.
+    pub json_line: String,
+    /// Worst measured new/reference speedup across the gate's benchmarks.
+    pub worst_ratio: f64,
+    /// The floor the ratio is held to.
+    pub floor: f64,
+}
+
+impl GateReport {
+    /// Did the measured speedup clear the floor?
+    pub fn passed(&self) -> bool {
+        self.worst_ratio >= self.floor
+    }
+}
+
+/// Deterministic FASTQ-shaped reads: ~1% `N`s, random-walk qualities
+/// (adjacent scores correlate, as in the paper's Figure 5 corpus).
+fn gen_reads(n: usize, len: usize, seed: u64) -> Vec<(Vec<u8>, Vec<u8>)> {
+    let mut rng = SplitMix64::new(seed);
+    (0..n)
+        .map(|_| {
+            let mut seq = Vec::with_capacity(len);
+            let mut qual = Vec::with_capacity(len);
+            let mut q = 60i64;
+            for _ in 0..len {
+                let r = rng.next_u64();
+                seq.push(if r % 97 == 0 { b'N' } else { b"AGCT"[(r >> 8) as usize % 4] });
+                q = (q + (r >> 16) as i64 % 5 - 2).clamp(33, 73);
+                qual.push(q as u8);
+            }
+            (seq, qual)
+        })
+        .collect()
+}
+
+fn last_median_ns(group: &BenchmarkGroup<'_>) -> f64 {
+    group.last_stats().map(|s| s.median_ns).unwrap_or(f64::INFINITY)
+}
+
+fn mb_per_s(bytes: u64, median_ns: f64) -> f64 {
+    bytes as f64 / 1e6 / (median_ns * 1e-9)
+}
+
+fn append_artifact(path: &str, line: &str) {
+    use std::io::Write;
+    match std::fs::OpenOptions::new().create(true).append(true).open(path) {
+        Ok(mut f) => {
+            let _ = writeln!(f, "{line}");
+        }
+        Err(e) => gpf_trace::sink::console_err(&format!("perf: cannot append {path}: {e}")),
+    }
+}
+
+/// Codec gate: time the fast and reference read-field codecs over the same
+/// corpus and hold fast/reference to [`CODEC_FLOOR`] on both directions.
+pub fn codec_bench(smoke: bool) -> GateReport {
+    let (nreads, readlen) = if smoke { (256, 100) } else { (2048, 100) };
+    let reads = gen_reads(nreads, readlen, 0xc0de_c0de_2018);
+    let codec = QualityCodec::default_codec();
+    let total_bytes: u64 = reads.iter().map(|(s, q)| (s.len() + q.len()) as u64).sum();
+    let compressed: Vec<CompressedRead> = reads
+        .iter()
+        .map(|(s, q)| {
+            // gpf-lint: allow(no-panic): the generator above only emits
+            // AGCTN bases and in-range qualities.
+            compress_read_fields(s, q, &codec).expect("generated reads are encodable")
+        })
+        .collect();
+
+    let mut crit = Criterion::default().smoke(false);
+    let mut group = crit.benchmark_group("codec");
+    group.throughput(Throughput::Bytes(total_bytes)).sample_size(if smoke { 10 } else { 20 });
+
+    let mut scratch = ReadCodecScratch::default();
+    group.bench_function("encode/new", |b| {
+        b.iter(|| {
+            let mut sink = 0u64;
+            for (s, q) in &reads {
+                let parts = compress_read_fields_into(s, q, &codec, &mut scratch)
+                    // gpf-lint: allow(no-panic): same corpus as above.
+                    .expect("generated reads are encodable");
+                sink = sink.wrapping_add(parts.qual_stream.len() as u64);
+            }
+            sink
+        });
+    });
+    let enc_new_ns = last_median_ns(&group);
+
+    group.bench_function("encode/reference", |b| {
+        b.iter(|| {
+            let mut sink = 0u64;
+            for (s, q) in &reads {
+                let c = compress_read_fields_ref(s, q, &codec)
+                    // gpf-lint: allow(no-panic): same corpus as above.
+                    .expect("generated reads are encodable");
+                sink = sink.wrapping_add(c.qual_stream.len() as u64);
+            }
+            sink
+        });
+    });
+    let enc_ref_ns = last_median_ns(&group);
+
+    let mut seq_out = Vec::new();
+    let mut qual_out = Vec::new();
+    group.bench_function("decode/new", |b| {
+        b.iter(|| {
+            let mut sink = 0u64;
+            for c in &compressed {
+                decompress_read_fields_into(
+                    c.len,
+                    &c.packed_seq,
+                    &c.qual_stream,
+                    &c.n_quals,
+                    &codec,
+                    &mut seq_out,
+                    &mut qual_out,
+                )
+                // gpf-lint: allow(no-panic): decoding bytes this bench
+                // itself produced from valid reads.
+                .expect("bench-produced stream is valid");
+                sink = sink.wrapping_add(seq_out.len() as u64);
+            }
+            sink
+        });
+    });
+    let dec_new_ns = last_median_ns(&group);
+
+    group.bench_function("decode/reference", |b| {
+        b.iter(|| {
+            let mut sink = 0u64;
+            for c in &compressed {
+                let (s, _q) = decompress_read_fields_ref(c, &codec)
+                    // gpf-lint: allow(no-panic): decoding bytes this bench
+                    // itself produced from valid reads.
+                    .expect("bench-produced stream is valid");
+                sink = sink.wrapping_add(s.len() as u64);
+            }
+            sink
+        });
+    });
+    let dec_ref_ns = last_median_ns(&group);
+    group.finish();
+
+    let encode_ratio = enc_ref_ns / enc_new_ns;
+    let decode_ratio = dec_ref_ns / dec_new_ns;
+    let json_line = format!(
+        "{{\"group\":\"codec\",\"bench\":\"gate\",\"reads\":{nreads},\"read_len\":{readlen},\
+         \"bytes_per_iter\":{total_bytes},\
+         \"encode_new_mbps\":{:.1},\"encode_ref_mbps\":{:.1},\
+         \"decode_new_mbps\":{:.1},\"decode_ref_mbps\":{:.1},\
+         \"encode_ratio\":{encode_ratio:.2},\"decode_ratio\":{decode_ratio:.2},\
+         \"floor\":{CODEC_FLOOR},\"smoke\":{smoke}}}",
+        mb_per_s(total_bytes, enc_new_ns),
+        mb_per_s(total_bytes, enc_ref_ns),
+        mb_per_s(total_bytes, dec_new_ns),
+        mb_per_s(total_bytes, dec_ref_ns),
+    );
+    append_artifact("BENCH_codec.json", &json_line);
+    GateReport { json_line, worst_ratio: encode_ratio.min(decode_ratio), floor: CODEC_FLOOR }
+}
+
+fn median_ns(samples: &mut [u64]) -> f64 {
+    if samples.is_empty() {
+        return f64::INFINITY;
+    }
+    samples.sort_unstable();
+    samples[samples.len() / 2] as f64
+}
+
+/// Shuffle gate: paired rounds of the same hash repartition — each round
+/// builds two identical fresh inputs and times one consuming clone-free
+/// shuffle and one [`Dataset::partition_by_reference`] back to back, in
+/// alternating order, holding the ratio of per-side median times to
+/// [`SHUFFLE_FLOOR`] as records/s.
+///
+/// Pairing is the point: on a busy single-core host, two long separately
+/// timed loops sample different machine states and the ratio inherits the
+/// drift. Timing both sides within each round (build, drop, and trace
+/// drain all outside the timed window) cancels it — only the shuffles
+/// themselves are compared. The fast side owns its input solely, so every
+/// timed call takes the move path; the reference clones every record and
+/// regrows scratch from empty, which is exactly the retained seed
+/// behavior.
+pub fn shuffle_bench(smoke: bool) -> GateReport {
+    let nrecords: usize = if smoke { 20_000 } else { 40_000 };
+    let in_parts = 8usize;
+    let out_parts = 16usize;
+    let payload_len = 200usize;
+    let rounds = if smoke { 9 } else { 15 };
+    let mut rng = SplitMix64::new(0x5aff_f1e5_2018);
+    let data: Vec<(u64, String)> = (0..nrecords as u64)
+        .map(|i| {
+            let mut s = String::with_capacity(payload_len);
+            while s.len() < payload_len {
+                s.push_str(&format!("{:016x}", rng.next_u64()));
+            }
+            s.truncate(payload_len);
+            (i, s)
+        })
+        .collect();
+    let route = move |kv: &(u64, String)| {
+        (gpf_engine::dataset::stable_hash(&kv.0) % out_parts as u64) as usize
+    };
+
+    let ctx = EngineContext::new(EngineConfig::default());
+    let build = |ctx: &Arc<EngineContext>| {
+        Dataset::from_vec(Arc::clone(ctx), data.clone(), in_parts)
+    };
+
+    let mut new_samples = Vec::with_capacity(rounds);
+    let mut ref_samples = Vec::with_capacity(rounds);
+    // Two untimed warmup rounds populate the scratch pool and fault in the
+    // working set before anything is measured.
+    for round in 0..rounds + 2 {
+        let time_new = |out: &mut Vec<u64>, timed: bool| {
+            let din = build(&ctx);
+            let t0 = gpf_trace::clock::now_ns();
+            let part = din.into_partition_by(out_parts, route);
+            let dt = gpf_trace::clock::now_ns().saturating_sub(t0);
+            black_box(part.len());
+            if timed {
+                out.push(dt);
+            }
+            drop(part);
+            let _ = ctx.take_run();
+        };
+        let time_ref = |out: &mut Vec<u64>, timed: bool| {
+            let din = build(&ctx);
+            let t0 = gpf_trace::clock::now_ns();
+            let part = din.partition_by_reference(out_parts, route);
+            let dt = gpf_trace::clock::now_ns().saturating_sub(t0);
+            black_box(part.len());
+            if timed {
+                out.push(dt);
+            }
+            drop(part);
+            let _ = ctx.take_run();
+        };
+        let timed = round >= 2;
+        // Alternate which side goes first so neither systematically
+        // inherits a warmer cache or allocator.
+        if round % 2 == 0 {
+            time_new(&mut new_samples, timed);
+            time_ref(&mut ref_samples, timed);
+        } else {
+            time_ref(&mut ref_samples, timed);
+            time_new(&mut new_samples, timed);
+        }
+    }
+    let new_ns = median_ns(&mut new_samples);
+    let ref_ns = median_ns(&mut ref_samples);
+
+    let ratio = ref_ns / new_ns;
+    let recs = |ns: f64| nrecords as f64 / (ns * 1e-9);
+    let json_line = format!(
+        "{{\"group\":\"shuffle\",\"bench\":\"gate\",\"records\":{nrecords},\
+         \"in_parts\":{in_parts},\"out_parts\":{out_parts},\
+         \"payload_len\":{payload_len},\"rounds\":{rounds},\
+         \"new_recs_per_s\":{:.0},\"ref_recs_per_s\":{:.0},\
+         \"ratio\":{ratio:.2},\"floor\":{SHUFFLE_FLOOR},\"smoke\":{smoke}}}",
+        recs(new_ns),
+        recs(ref_ns),
+    );
+    append_artifact("BENCH_shuffle.json", &json_line);
+    GateReport { json_line, worst_ratio: ratio, floor: SHUFFLE_FLOOR }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generated_reads_are_encodable_and_deterministic() {
+        let a = gen_reads(8, 50, 7);
+        let b = gen_reads(8, 50, 7);
+        assert_eq!(a, b);
+        let codec = QualityCodec::default_codec();
+        for (s, q) in &a {
+            compress_read_fields(s, q, &codec).unwrap();
+        }
+    }
+
+    #[test]
+    fn gate_report_pass_logic() {
+        let r = GateReport { json_line: String::new(), worst_ratio: 2.0, floor: 1.5 };
+        assert!(r.passed());
+        let r = GateReport { json_line: String::new(), worst_ratio: 1.49, floor: 1.5 };
+        assert!(!r.passed());
+    }
+}

@@ -12,6 +12,15 @@ use crate::error::CodecError;
 /// frequency tables this is never hit, and it bounds decoder state.
 const MAX_CODE_LEN: u8 = 32;
 
+/// Index width of the one-shot decode table: codes of length ≤ 12 bits
+/// (every symbol that actually occurs in quality-delta streams) decode in a
+/// single table load. 2^12 × 4 bytes = 16 KiB per codec — L1/L2-resident.
+const PRIMARY_BITS: u8 = 12;
+
+/// Primary-table entry marking a prefix whose full code is longer than
+/// [`PRIMARY_BITS`]; the decoder falls back to the canonical walk.
+const LONG_CODE: u32 = u32::MAX;
+
 /// A canonical Huffman codec over symbols `0..alphabet_size`.
 #[derive(Debug, Clone)]
 pub struct HuffmanCodec {
@@ -24,6 +33,10 @@ pub struct HuffmanCodec {
     sorted_symbols: Vec<u32>,
     first_code: [u32; MAX_CODE_LEN as usize + 1],
     first_index: [u32; MAX_CODE_LEN as usize + 1],
+    /// One-shot decode table indexed by the next [`PRIMARY_BITS`] stream
+    /// bits: `symbol << 8 | len` for codes of length ≤ `PRIMARY_BITS`,
+    /// [`LONG_CODE`] for longer-code prefixes, 0 for invalid prefixes.
+    primary: Vec<u32>,
 }
 
 impl HuffmanCodec {
@@ -72,7 +85,29 @@ impl HuffmanCodec {
             first_index[len] = idx;
             idx += count[len];
         }
-        Self { lengths, codes, sorted_symbols: sorted, first_code, first_index }
+        // One-shot decode table: every PRIMARY_BITS-wide window that starts
+        // with symbol `s`'s code maps straight to (s, len). Prefix-freeness
+        // guarantees short codes and long-code escape markers never collide.
+        assert!(
+            lengths.len() < (1usize << 24),
+            "alphabet too large for packed primary-table entries"
+        );
+        let mut primary = vec![0u32; 1usize << PRIMARY_BITS];
+        for &s in &sorted {
+            let l = lengths[s as usize];
+            if l <= PRIMARY_BITS {
+                let pad = PRIMARY_BITS - l;
+                let base = (codes[s as usize] as usize) << pad;
+                let entry = (s << 8) | l as u32;
+                for slot in &mut primary[base..base + (1usize << pad)] {
+                    *slot = entry;
+                }
+            } else {
+                let prefix = (codes[s as usize] >> (l - PRIMARY_BITS)) as usize;
+                primary[prefix] = LONG_CODE;
+            }
+        }
+        Self { lengths, codes, sorted_symbols: sorted, first_code, first_index, primary }
     }
 
     /// Number of symbols in the alphabet.
@@ -90,6 +125,17 @@ impl HuffmanCodec {
         &self.lengths
     }
 
+    /// The canonical `(code, length)` pair for `symbol`, or `None` when the
+    /// symbol has no code. Used by external bit sinks (e.g. the retained
+    /// reference encoder) that cannot go through [`HuffmanCodec::encode`].
+    pub fn code(&self, symbol: u32) -> Option<(u32, u8)> {
+        let l = *self.lengths.get(symbol as usize)?;
+        if l == 0 {
+            return None;
+        }
+        Some((self.codes[symbol as usize], l))
+    }
+
     /// Encode one symbol.
     pub fn encode(&self, symbol: u32, w: &mut BitWriter) -> Result<(), CodecError> {
         let l = *self
@@ -103,11 +149,46 @@ impl HuffmanCodec {
         Ok(())
     }
 
-    /// Decode one symbol.
+    /// Decode one symbol: a single primary-table load for codes of length
+    /// ≤ [`PRIMARY_BITS`] (the overwhelmingly common case), with the
+    /// canonical walk as the chained fallback for longer codes — and for
+    /// truncated/invalid streams, so error behavior is bit-for-bit the same
+    /// as the walk-only decoder.
+    #[inline]
     pub fn decode(&self, r: &mut BitReader<'_>) -> Result<u32, CodecError> {
+        let (window, avail) = r.peek_bits(PRIMARY_BITS);
+        let entry = self.primary[window as usize];
+        if entry != 0 && entry != LONG_CODE {
+            let len = entry & 0xFF;
+            if len <= avail {
+                r.consume(len);
+                return Ok(entry >> 8);
+            }
+            // The zero-padded peek matched a code longer than what actually
+            // remains; fall through so the walk reports EOF exactly where
+            // the reference decoder would.
+        }
+        self.decode_canonical(r)
+    }
+
+    /// Decode one symbol by walking the canonical per-length tables one bit
+    /// at a time — the retained reference decoder, also used as the slow
+    /// path for codes longer than [`PRIMARY_BITS`] and for stream-end/error
+    /// handling.
+    pub fn decode_canonical(&self, r: &mut BitReader<'_>) -> Result<u32, CodecError> {
+        self.decode_with(&mut || r.read_bit())
+    }
+
+    /// Canonical-walk decode over an arbitrary bit source (one call per
+    /// bit). This is the original seed algorithm, kept generic so the
+    /// reference bit reader in [`crate::reference`] can drive it too.
+    pub fn decode_with<F>(&self, next_bit: &mut F) -> Result<u32, CodecError>
+    where
+        F: FnMut() -> Result<bool, CodecError>,
+    {
         let mut code = 0u32;
         for len in 1..=MAX_CODE_LEN as usize {
-            code = (code << 1) | r.read_bit()? as u32;
+            code = (code << 1) | next_bit()? as u32;
             let first = self.first_code[len];
             // Number of codes of this length:
             let n_at_len = if len < MAX_CODE_LEN as usize {
@@ -303,6 +384,49 @@ mod tests {
         let eb = codec.expected_bits(&freqs);
         assert!(eb >= entropy - 1e-9);
         assert!(eb <= entropy + 1.0, "within 1 bit of entropy: {eb} vs {entropy}");
+    }
+
+    /// Fibonacci-like weights force a maximally unbalanced tree, so some
+    /// codes exceed PRIMARY_BITS and must take the chained fallback.
+    fn long_code_freqs(n: usize) -> Vec<u64> {
+        let mut freqs = vec![0u64; n];
+        let (mut a, mut b) = (1u64, 1u64);
+        for f in freqs.iter_mut() {
+            *f = a;
+            let next = a.saturating_add(b);
+            a = b;
+            b = next;
+        }
+        freqs
+    }
+
+    #[test]
+    fn long_codes_take_fallback_and_round_trip() {
+        let freqs = long_code_freqs(24);
+        let codec = HuffmanCodec::from_frequencies(&freqs);
+        let max_len = (0..24).map(|s| codec.code_len(s)).max().unwrap();
+        assert!(max_len > PRIMARY_BITS, "workload must exercise the fallback, got {max_len}");
+        let symbols: Vec<u32> = (0..24u32).chain((0..24).rev()).collect();
+        round_trip(&freqs, &symbols);
+    }
+
+    #[test]
+    fn table_decode_equals_canonical_walk() {
+        let freqs = long_code_freqs(20);
+        let codec = HuffmanCodec::from_frequencies(&freqs);
+        let symbols: Vec<u32> = (0..20u32).cycle().take(100).collect();
+        let mut w = BitWriter::new();
+        for &s in &symbols {
+            codec.encode(s, &mut w).unwrap();
+        }
+        let bytes = w.into_bytes();
+        let mut fast = BitReader::new(&bytes);
+        let mut walk = BitReader::new(&bytes);
+        for &s in &symbols {
+            assert_eq!(codec.decode(&mut fast).unwrap(), s);
+            assert_eq!(codec.decode_canonical(&mut walk).unwrap(), s);
+        }
+        assert_eq!(fast.bit_pos(), walk.bit_pos());
     }
 
     #[test]

@@ -30,10 +30,16 @@
 //! paper's Table 3 ("efficient compression of genomic data") and the
 //! Kryo-vs-GPF comparisons are reproduced.
 
+//! The codec hot paths (bit I/O, Huffman decode, field pack/unpack) are
+//! word-level and table-driven; [`reference`] retains the original scalar
+//! implementations so differential tests and the CI perf gate can hold the
+//! fast paths byte-identical — and measurably faster.
+
 pub mod bitio;
 pub mod error;
 pub mod huffman;
 pub mod qualcodec;
+pub mod reference;
 pub mod sequence;
 pub mod serializer;
 pub mod varint;
@@ -41,5 +47,11 @@ pub mod varint;
 pub use error::CodecError;
 pub use huffman::HuffmanCodec;
 pub use qualcodec::QualityCodec;
-pub use sequence::{compress_read_fields, decompress_read_fields, CompressedRead};
-pub use serializer::{ByteReader, ByteWriter, GpfSerialize, SerializerKind};
+pub use sequence::{
+    compress_read_fields, compress_read_fields_into, decompress_read_fields,
+    decompress_read_fields_into, CompressedParts, CompressedRead, ReadCodecScratch,
+};
+pub use serializer::{
+    deserialize_batch_into, serialize_batch_into, ByteReader, ByteWriter, GpfSerialize,
+    SerializerKind,
+};

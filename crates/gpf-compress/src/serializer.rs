@@ -16,7 +16,9 @@
 
 use crate::error::CodecError;
 use crate::qualcodec::QualityCodec;
-use crate::sequence::{compress_read_fields, decompress_read_fields, CompressedRead};
+use crate::sequence::{
+    compress_read_fields_into, decompress_read_fields_into, ReadCodecScratch,
+};
 use crate::varint;
 use gpf_formats::cigar::{Cigar, CigarOp};
 use gpf_formats::fastq::{FastqPair, FastqRecord};
@@ -52,12 +54,16 @@ pub struct ByteWriter {
     /// Output buffer.
     pub buf: Vec<u8>,
     kind: SerializerKind,
+    /// Lazily-created codec scratch so Gpf-kind writers compress every
+    /// record of a batch through the same buffers (see
+    /// [`crate::sequence::ReadCodecScratch`]).
+    codec_scratch: Option<Box<ReadCodecScratch>>,
 }
 
 impl ByteWriter {
     /// Create a writer for `kind`.
     pub fn new(kind: SerializerKind) -> Self {
-        Self { buf: Vec::new(), kind }
+        Self { buf: Vec::new(), kind, codec_scratch: None }
     }
 
     /// The active serializer kind.
@@ -258,6 +264,25 @@ impl<'a> ByteReader<'a> {
         }
     }
 
+    /// Read a variable-length byte field as a borrowed slice of the input
+    /// buffer — no allocation; the slice lives as long as the buffer.
+    pub fn read_bytes_ref(&mut self) -> Result<&'a [u8], CodecError> {
+        match self.kind {
+            SerializerKind::JavaSim => {
+                self.take(JAVA_FIELD_HANDLE)?;
+                let len = {
+                    let b = self.take(4)?;
+                    u32::from_be_bytes([b[0], b[1], b[2], b[3]]) as usize
+                };
+                self.take(len)
+            }
+            _ => {
+                let len = varint::read_u64(self.buf, &mut self.pos)? as usize;
+                self.take(len)
+            }
+        }
+    }
+
     /// Read a string field.
     pub fn read_str(&mut self) -> Result<String, CodecError> {
         String::from_utf8(self.read_bytes()?)
@@ -285,13 +310,32 @@ fn note_codec_throughput(bytes_name: &'static str, records_name: &'static str, b
 
 /// Serialize a batch of records (count-prefixed) under `kind`.
 pub fn serialize_batch<T: GpfSerialize>(kind: SerializerKind, items: &[T]) -> Vec<u8> {
+    let mut out = Vec::new();
+    serialize_batch_into(kind, items, &mut out);
+    out
+}
+
+/// [`serialize_batch`] appending onto a caller-owned buffer (shuffle map
+/// tasks serialize many buckets back-to-back into one reused scratch
+/// buffer). Returns the number of bytes appended.
+pub fn serialize_batch_into<T: GpfSerialize>(
+    kind: SerializerKind,
+    items: &[T],
+    out: &mut Vec<u8>,
+) -> usize {
+    let start = out.len();
     let mut w = ByteWriter::new(kind);
+    // Write through the caller's buffer directly — swap it into the writer
+    // for the duration so no intermediate Vec exists.
+    std::mem::swap(&mut w.buf, out);
     varint::write_u64(&mut w.buf, items.len() as u64);
     for item in items {
         item.write(&mut w);
     }
-    note_codec_throughput("codec.serialize.bytes", "codec.serialize.records", w.buf.len(), items.len());
-    w.buf
+    std::mem::swap(&mut w.buf, out);
+    let written = out.len() - start;
+    note_codec_throughput("codec.serialize.bytes", "codec.serialize.records", written, items.len());
+    written
 }
 
 /// Deserialize a batch written by [`serialize_batch`].
@@ -299,16 +343,29 @@ pub fn deserialize_batch<T: GpfSerialize>(
     kind: SerializerKind,
     buf: &[u8],
 ) -> Result<Vec<T>, CodecError> {
+    let mut out = Vec::new();
+    deserialize_batch_into(kind, buf, &mut out)?;
+    Ok(out)
+}
+
+/// [`deserialize_batch`] appending onto a caller-owned vector (shuffle
+/// reduce tasks pre-size one output and drain every map segment into it).
+/// Returns the number of records appended.
+pub fn deserialize_batch_into<T: GpfSerialize>(
+    kind: SerializerKind,
+    buf: &[u8],
+    out: &mut Vec<T>,
+) -> Result<usize, CodecError> {
     let mut r = ByteReader::new(kind, buf);
     let mut pos = 0usize;
     let n = varint::read_u64(buf, &mut pos)? as usize;
     r.pos = pos;
-    let mut out = Vec::with_capacity(n.min(1 << 20));
+    out.reserve(n.min(1 << 20));
     for _ in 0..n {
         out.push(T::read(&mut r)?);
     }
-    note_codec_throughput("codec.deserialize.bytes", "codec.deserialize.records", buf.len(), out.len());
-    Ok(out)
+    note_codec_throughput("codec.deserialize.bytes", "codec.deserialize.records", buf.len(), n);
+    Ok(n)
 }
 
 /// Serialized size of a batch without keeping the buffer.
@@ -460,16 +517,23 @@ impl GpfSerialize for GenomeInterval {
 fn write_seq_qual(w: &mut ByteWriter, seq: &[u8], qual: &[u8]) {
     match w.kind() {
         SerializerKind::Gpf => {
-            let c = compress_read_fields(seq, qual, default_quality_codec())
+            // Split-borrow the writer: the codec scratch and the output
+            // buffer are disjoint fields. Gpf always uses Kryo (varint)
+            // framing, so the fields are framed inline below — byte-for-byte
+            // what write_u32/write_bytes would have produced.
+            let ByteWriter { buf, codec_scratch, .. } = w;
+            let scratch = codec_scratch.get_or_insert_with(Default::default);
+            let c = compress_read_fields_into(seq, qual, default_quality_codec(), scratch)
                 // gpf-lint: allow(no-panic): SamRecord construction validates
                 // seq/qual lengths match, which is the only failure mode of
-                // compress_read_fields; a panic here means a SamRecord
+                // compress_read_fields_into; a panic here means a SamRecord
                 // invariant was broken upstream.
                 .expect("record validated at construction");
-            w.write_u32(c.len);
-            w.write_bytes(&c.packed_seq);
-            w.write_bytes(&c.qual_stream);
-            w.write_bytes(&c.n_quals);
+            varint::write_u64(buf, c.len as u64);
+            for field in [c.packed_seq, c.qual_stream, c.n_quals] {
+                varint::write_u64(buf, field.len() as u64);
+                buf.extend_from_slice(field);
+            }
         }
         _ => {
             w.write_bytes(seq);
@@ -483,11 +547,24 @@ fn read_seq_qual(r: &mut ByteReader<'_>) -> Result<(Vec<u8>, Vec<u8>), CodecErro
     match r.kind() {
         SerializerKind::Gpf => {
             let len = r.read_u32()?;
-            let packed_seq = r.read_bytes()?;
-            let qual_stream = r.read_bytes()?;
-            let n_quals = r.read_bytes()?;
-            let c = CompressedRead { len, packed_seq, qual_stream, n_quals };
-            decompress_read_fields(&c, default_quality_codec())
+            // Borrow the three compressed fields straight out of the batch
+            // buffer; only the decoded seq/qual (owned by the record being
+            // built) are allocated.
+            let packed_seq = r.read_bytes_ref()?;
+            let qual_stream = r.read_bytes_ref()?;
+            let n_quals = r.read_bytes_ref()?;
+            let mut seq = Vec::new();
+            let mut qual = Vec::new();
+            decompress_read_fields_into(
+                len,
+                packed_seq,
+                qual_stream,
+                n_quals,
+                default_quality_codec(),
+                &mut seq,
+                &mut qual,
+            )?;
+            Ok((seq, qual))
         }
         _ => {
             let seq = r.read_bytes()?;
@@ -805,6 +882,50 @@ mod tests {
             let out: Vec<SamRecord> = deserialize_batch(kind, &buf).unwrap();
             assert_eq!(out[0].tlen, r.tlen);
         }
+    }
+
+    #[test]
+    fn batch_into_appends_and_matches_plain() {
+        for kind in KINDS {
+            let items = vec![sam(), sam()];
+            let plain = serialize_batch(kind, &items);
+            let mut buf = vec![0xEE, 0xFF];
+            let n = serialize_batch_into(kind, &items, &mut buf);
+            assert_eq!(n, plain.len());
+            assert_eq!(&buf[..2], &[0xEE, 0xFF], "prefix must survive");
+            assert_eq!(&buf[2..], &plain[..], "appended bytes must match plain serialize");
+
+            let mut out: Vec<SamRecord> = vec![sam()];
+            let n2 = deserialize_batch_into(kind, &plain, &mut out).unwrap();
+            assert_eq!(n2, 2);
+            assert_eq!(out.len(), 3, "deserialize_batch_into must append");
+            assert_eq!(&out[1..], &items[..]);
+        }
+    }
+
+    #[test]
+    fn gpf_wire_format_matches_reference_codec() {
+        // The Gpf batch stream must stay byte-identical to the seed
+        // encoder: reconstruct the expected bytes from the retained
+        // reference field codec plus varint framing.
+        let rec = fastq();
+        let buf = serialize_batch(SerializerKind::Gpf, std::slice::from_ref(&rec));
+        let c = crate::reference::compress_read_fields_ref(
+            &rec.seq,
+            &rec.qual,
+            default_quality_codec(),
+        )
+        .unwrap();
+        let mut expect = Vec::new();
+        varint::write_u64(&mut expect, 1); // batch count
+        varint::write_u64(&mut expect, rec.name.len() as u64);
+        expect.extend_from_slice(rec.name.as_bytes());
+        varint::write_u64(&mut expect, c.len as u64);
+        for field in [&c.packed_seq, &c.qual_stream, &c.n_quals] {
+            varint::write_u64(&mut expect, field.len() as u64);
+            expect.extend_from_slice(field);
+        }
+        assert_eq!(buf, expect);
     }
 
     #[test]

@@ -1,6 +1,13 @@
-//! Property-based round-trip tests for the compression layer.
+//! Property-based round-trip tests for the compression layer, plus the
+//! differential properties that hold the word-level/table-driven hot paths
+//! byte-identical to the retained scalar reference implementations.
 
+use gpf_compress::bitio::{BitReader, BitWriter};
+use gpf_compress::huffman::HuffmanCodec;
 use gpf_compress::qualcodec::QualityCodec;
+use gpf_compress::reference::{
+    compress_read_fields_ref, decompress_read_fields_ref, RefBitReader, RefBitWriter,
+};
 use gpf_compress::sequence::{compress_read_fields, decompress_read_fields};
 use gpf_compress::serializer::{deserialize_batch, serialize_batch, SerializerKind};
 use gpf_formats::fastq::FastqRecord;
@@ -28,7 +35,117 @@ fn read_strategy(max_len: usize) -> impl Strategy<Value = (Vec<u8>, Vec<u8>)> {
     })
 }
 
+/// `(value, width)` pairs for bit-stream differentials; widths cover the
+/// full 1..=32 range so accumulator splits at every word boundary are hit.
+fn bit_runs(max_len: usize) -> impl Strategy<Value = Vec<(u32, u8)>> {
+    proptest::collection::vec((any::<u32>(), 1u8..=32), 0..max_len)
+}
+
+/// Frequency tables for Huffman differentials: uniform-ish counts (short
+/// codes, exercising the one-shot primary table) unioned with steep
+/// Fibonacci-like skews whose max code length exceeds the table's 12 index
+/// bits, forcing the chained fallback path.
+fn freq_table(max_syms: usize) -> impl Strategy<Value = Vec<u64>> {
+    let uniform = proptest::collection::vec(1u64..100, 2..max_syms);
+    // A Fibonacci frequency ladder over n symbols yields a max code length
+    // of about n-1 bits: n >= 14 guarantees codes longer than the 12-bit
+    // primary table, n <= 30 stays under the codec's 32-bit length cap.
+    let skewed = (14usize..31).prop_map(|n| {
+        let mut freqs = vec![0u64; n];
+        let (mut a, mut b) = (1u64, 1u64);
+        for f in freqs.iter_mut() {
+            *f = a;
+            let next = a.saturating_add(b);
+            a = b;
+            b = next;
+        }
+        freqs
+    });
+    prop_oneof![uniform, skewed]
+}
+
 proptest! {
+    #[test]
+    fn word_bitio_matches_scalar_reference(runs in bit_runs(200)) {
+        // Writers: the word-level accumulator must emit the byte stream the
+        // bit-at-a-time seed implementation produced.
+        let mut fast = BitWriter::new();
+        let mut slow = RefBitWriter::new();
+        for &(v, n) in &runs {
+            fast.write_bits(v, n);
+            slow.write_bits(v, n);
+        }
+        prop_assert_eq!(fast.bit_len(), slow.bit_len());
+        let fast_bytes = fast.into_bytes();
+        let slow_bytes = slow.into_bytes();
+        prop_assert_eq!(&fast_bytes, &slow_bytes);
+
+        // Readers: replaying the same widths yields the same values (the
+        // writer masked each value to its width) and the same positions.
+        let mut fr = BitReader::new(&fast_bytes);
+        let mut sr = RefBitReader::new(&slow_bytes);
+        for &(v, n) in &runs {
+            let expect = if n == 32 { v } else { v & ((1u32 << n) - 1) };
+            prop_assert_eq!(fr.read_bits(n).unwrap(), expect);
+            prop_assert_eq!(sr.read_bits(n).unwrap(), expect);
+            prop_assert_eq!(fr.bit_pos(), sr.bit_pos());
+        }
+        // Reading past the payload errs on both (padding bits allowing).
+        prop_assert_eq!(fr.read_bits(32).is_err(), sr.read_bits(32).is_err());
+    }
+
+    #[test]
+    fn table_huffman_decode_matches_canonical_walk(
+        freqs in freq_table(64),
+        picks in proptest::collection::vec(any::<u32>(), 0..300),
+    ) {
+        let codec = HuffmanCodec::from_frequencies(&freqs);
+        // Draw symbols only from the coded alphabet.
+        let coded: Vec<u32> = (0..freqs.len() as u32)
+            .filter(|&s| codec.code_len(s) > 0)
+            .collect();
+        prop_assert!(!coded.is_empty(), "every generated frequency is positive");
+        let symbols: Vec<u32> =
+            picks.iter().map(|p| coded[(*p as usize) % coded.len()]).collect();
+
+        let mut w = BitWriter::new();
+        for &s in &symbols {
+            codec.encode(s, &mut w).unwrap();
+        }
+        let bytes = w.into_bytes();
+
+        // Three decoders, one answer: the one-shot table (with chained
+        // fallback), the canonical walk over the word reader, and the seed
+        // walk over the scalar reader.
+        let mut table_r = BitReader::new(&bytes);
+        let mut walk_r = BitReader::new(&bytes);
+        let mut ref_r = RefBitReader::new(&bytes);
+        for &s in &symbols {
+            prop_assert_eq!(codec.decode(&mut table_r).unwrap(), s);
+            prop_assert_eq!(codec.decode_canonical(&mut walk_r).unwrap(), s);
+            let via_ref = codec.decode_with(&mut || ref_r.read_bit()).unwrap();
+            prop_assert_eq!(via_ref, s);
+        }
+    }
+
+    #[test]
+    fn field_codec_matches_scalar_reference((seq, qual) in read_strategy(300)) {
+        let codec = QualityCodec::default_codec();
+        let fast = compress_read_fields(&seq, &qual, &codec).unwrap();
+        let slow = compress_read_fields_ref(&seq, &qual, &codec).unwrap();
+        prop_assert_eq!(fast.len, slow.len);
+        prop_assert_eq!(&fast.packed_seq, &slow.packed_seq);
+        prop_assert_eq!(&fast.qual_stream, &slow.qual_stream);
+        prop_assert_eq!(&fast.n_quals, &slow.n_quals);
+        // And each side's decoder inverts the other's output.
+        let (s1, q1) = decompress_read_fields(&slow, &codec).unwrap();
+        let (s2, q2) = decompress_read_fields_ref(&fast, &codec).unwrap();
+        prop_assert_eq!(&s1, &seq);
+        prop_assert_eq!(&q1, &qual);
+        prop_assert_eq!(&s2, &seq);
+        prop_assert_eq!(&q2, &qual);
+    }
+
     #[test]
     fn field_compression_round_trips((seq, qual) in read_strategy(300)) {
         let codec = QualityCodec::default_codec();

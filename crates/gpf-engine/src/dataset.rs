@@ -14,13 +14,16 @@
 
 use crate::context::{EngineContext, TaskSample};
 use crate::timing::TaskTimer;
-use gpf_compress::serializer::{deserialize_batch, serialize_batch};
-use gpf_compress::GpfSerialize;
+use gpf_compress::serializer::{
+    deserialize_batch, deserialize_batch_into, serialize_batch, serialize_batch_into,
+};
+use gpf_compress::{GpfSerialize, SerializerKind};
 use gpf_support::par;
+use gpf_support::sync::Mutex;
 use gpf_trace::clock::now_ns;
 use gpf_trace::current_tid;
 use std::hash::{Hash, Hasher};
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 
 /// Deterministic FNV-1a hasher used for hash partitioning, so shuffles
 /// produce identical layouts across runs (important for reproducible
@@ -318,7 +321,38 @@ impl<T: Send + Sync + 'static> Dataset<T> {
     where
         T: GpfSerialize + Clone,
     {
-        shuffle(&self.ctx, &self.parts, nparts, "partitionBy", route)
+        shuffle(&self.ctx, Arc::clone(&self.parts), nparts, "partitionBy", route)
+    }
+
+    /// Consuming [`Dataset::partition_by`]: when this handle holds the last
+    /// reference to its partitions, every record is *moved* into its shuffle
+    /// bucket instead of cloned. Use it when the source dataset is not
+    /// needed afterwards (the common case for pipeline intermediates).
+    pub fn into_partition_by(
+        self,
+        nparts: usize,
+        route: impl Fn(&T) -> usize + Send + Sync,
+    ) -> Dataset<T>
+    where
+        T: GpfSerialize + Clone,
+    {
+        let Dataset { ctx, parts } = self;
+        shuffle(&ctx, parts, nparts, "partitionBy", route)
+    }
+
+    /// [`Dataset::partition_by`] through the retained reference shuffle
+    /// (clone-per-record map side, per-bucket allocation, post-hoc byte
+    /// counting). Kept for differential tests and the CI perf gate; use
+    /// [`Dataset::partition_by`] everywhere else.
+    pub fn partition_by_reference(
+        &self,
+        nparts: usize,
+        route: impl Fn(&T) -> usize + Send + Sync,
+    ) -> Dataset<T>
+    where
+        T: GpfSerialize + Clone,
+    {
+        shuffle_reference(&self.ctx, &self.parts, nparts, "partitionBy", route)
     }
 }
 
@@ -330,7 +364,7 @@ where
     /// Hash-partition by key, then group values per key (order of first
     /// arrival, so results are deterministic).
     pub fn group_by_key(&self, nparts: usize) -> Dataset<(K, Vec<V>)> {
-        let shuffled = shuffle(&self.ctx, &self.parts, nparts, "groupByKey", |kv: &(K, V)| {
+        let shuffled = shuffle(&self.ctx, Arc::clone(&self.parts), nparts, "groupByKey", |kv: &(K, V)| {
             (stable_hash(&kv.0) % nparts as u64) as usize
         });
         shuffled.narrow_op("group", |_, p| {
@@ -378,7 +412,11 @@ where
                 })
                 .collect()
         });
-        let shuffled = shuffle(&combined.ctx, &combined.parts, nparts, "reduceByKey", |kv: &(K, V)| {
+        // `combined` is a freshly built intermediate nobody else references,
+        // so destructuring it hands the shuffle sole ownership of the
+        // partitions and the map side moves records instead of cloning.
+        let Dataset { ctx, parts } = combined;
+        let shuffled = shuffle(&ctx, parts, nparts, "reduceByKey", |kv: &(K, V)| {
             (stable_hash(&kv.0) % nparts as u64) as usize
         });
         shuffled.narrow_op("reduce", |_, p| {
@@ -408,10 +446,10 @@ where
     where
         W: Clone + Send + Sync + GpfSerialize + 'static,
     {
-        let left = shuffle(&self.ctx, &self.parts, nparts, "join(left)", |kv: &(K, V)| {
+        let left = shuffle(&self.ctx, Arc::clone(&self.parts), nparts, "join(left)", |kv: &(K, V)| {
             (stable_hash(&kv.0) % nparts as u64) as usize
         });
-        let right = shuffle(&other.ctx, &other.parts, nparts, "join(right)", |kv: &(K, W)| {
+        let right = shuffle(&other.ctx, Arc::clone(&other.parts), nparts, "join(right)", |kv: &(K, W)| {
             (stable_hash(&kv.0) % nparts as u64) as usize
         });
         left.zip_partitions(&right, |_, l, r| {
@@ -438,7 +476,9 @@ where
         nparts: usize,
         route: impl Fn(&K) -> usize + Send + Sync,
     ) -> Dataset<(K, V)> {
-        shuffle(&self.ctx, &self.parts, nparts, "partitionByKey", move |kv: &(K, V)| route(&kv.0))
+        shuffle(&self.ctx, Arc::clone(&self.parts), nparts, "partitionByKey", move |kv: &(K, V)| {
+            route(&kv.0)
+        })
     }
 
     /// Range-partition by key and sort each partition — Spark's
@@ -464,7 +504,7 @@ where
         let bounds: Vec<K> = (1..nparts)
             .map(|i| sample[(i * sample.len() / nparts).min(sample.len() - 1)].clone())
             .collect();
-        let shuffled = shuffle(&self.ctx, &self.parts, nparts, "sortByKey", move |kv: &(K, V)| {
+        let shuffled = shuffle(&self.ctx, Arc::clone(&self.parts), nparts, "sortByKey", move |kv: &(K, V)| {
             bounds.partition_point(|b| *b <= kv.0)
         });
         shuffled.narrow_op("sortPartition", |_, p| {
@@ -475,8 +515,253 @@ where
     }
 }
 
-/// The shuffle: bucket, serialize, exchange, deserialize, with metrics.
+/// One serialized bucket inside a map task's output buffer.
+///
+/// Offsets, lengths and record counts are recorded *while writing*, so
+/// nothing re-traverses the serialized data afterwards: shuffle-write bytes
+/// come from the buffer length, shuffle-read bytes from summing one segment
+/// column, and the reduce side pre-sizes its output from the record counts.
+#[derive(Clone, Copy)]
+struct BucketSeg {
+    offset: usize,
+    len: usize,
+    records: usize,
+}
+
+/// Output of one map-side shuffle task: every bucket serialized
+/// back-to-back into a single pooled buffer, indexed by [`BucketSeg`]s.
+struct MapTaskOut {
+    data: Vec<u8>,
+    segs: Vec<BucketSeg>,
+    sample: TaskSample,
+    ser_s: f64,
+}
+
+/// Cap on pooled map-side serialization buffers. Bounds idle memory while
+/// still covering every worker thread of the widest in-repo shuffle.
+const SCRATCH_POOL_CAP: usize = 64;
+
+fn scratch_pool() -> &'static Mutex<Vec<Vec<u8>>> {
+    static POOL: OnceLock<Mutex<Vec<Vec<u8>>>> = OnceLock::new();
+    POOL.get_or_init(|| Mutex::new(Vec::new()))
+}
+
+/// Take a cleared serialization buffer from the pool (or allocate the first
+/// time). Reuse keeps steady-state shuffles from re-growing a fresh `Vec`
+/// through the allocator on every map task.
+fn scratch_take() -> Vec<u8> {
+    let got = scratch_pool().lock().pop();
+    if gpf_trace::enabled() {
+        if got.is_some() {
+            gpf_trace::counter("shuffle.scratch.reused").add(1);
+        } else {
+            gpf_trace::counter("shuffle.scratch.allocated").add(1);
+        }
+    }
+    got.unwrap_or_default()
+}
+
+/// Return a buffer to the pool once the reduce side has drained it.
+fn scratch_put(mut buf: Vec<u8>) {
+    buf.clear();
+    let mut pool = scratch_pool().lock();
+    if pool.len() < SCRATCH_POOL_CAP {
+        pool.push(buf);
+    }
+}
+
+/// Compute every record's target bucket in one routing pass, plus the
+/// per-bucket counts used to pre-size the scatter (no bucket reallocates).
+fn plan_routes<T>(
+    p: &[T],
+    nparts: usize,
+    route: &(impl Fn(&T) -> usize + Send + Sync),
+) -> (Vec<u32>, Vec<usize>) {
+    let mut routes = Vec::with_capacity(p.len());
+    let mut counts = vec![0usize; nparts];
+    for item in p {
+        let target = route(item);
+        assert!(target < nparts, "router produced partition {target} >= {nparts}");
+        counts[target] += 1;
+        routes.push(target as u32);
+    }
+    (routes, counts)
+}
+
+/// Serialize every bucket back-to-back into one pooled buffer, recording a
+/// [`BucketSeg`] per bucket as it is written.
+fn serialize_buckets<T: GpfSerialize>(
+    kind: SerializerKind,
+    buckets: &[Vec<T>],
+) -> (Vec<u8>, Vec<BucketSeg>) {
+    let mut data = scratch_take();
+    let mut segs = Vec::with_capacity(buckets.len());
+    // Bucket stats accumulate locally and merge into the registry once
+    // per task: a smoke run serializes millions of buckets, and even an
+    // uncontended per-bucket `fetch_add` shows up in `--trace-overhead`.
+    let mut stats = if gpf_trace::enabled() {
+        Some((gpf_trace::LocalHistogram::new(), gpf_trace::LocalHistogram::new()))
+    } else {
+        None
+    };
+    for b in buckets {
+        let offset = data.len();
+        // Empty buckets produce zero bytes (Spark's shuffle index marks
+        // them with zero-length segments; no framing is written).
+        let len = if b.is_empty() { 0 } else { serialize_batch_into(kind, b, &mut data) };
+        if let Some((by, recs)) = &mut stats {
+            by.record(len as u64);
+            recs.record(b.len() as u64);
+        }
+        segs.push(BucketSeg { offset, len, records: b.len() });
+    }
+    if let Some((by, recs)) = &stats {
+        gpf_trace::histogram("shuffle.bucket.bytes").merge(by);
+        gpf_trace::histogram("shuffle.bucket.records").merge(recs);
+    }
+    (data, segs)
+}
+
+/// Shared tail of a map-side task: serialize the scattered buckets and
+/// stamp the task sample.
+fn finish_map_task<T: GpfSerialize>(
+    kind: SerializerKind,
+    buckets: Vec<Vec<T>>,
+    bucket_s: f64,
+    start_ns: u64,
+) -> MapTaskOut {
+    let t1 = TaskTimer::start();
+    let (data, segs) = serialize_buckets(kind, &buckets);
+    let ser_s = t1.elapsed_s();
+    MapTaskOut {
+        data,
+        segs,
+        sample: TaskSample {
+            cpu_s: bucket_s + ser_s,
+            start_ns,
+            end_ns: now_ns(),
+            tid: current_tid(),
+        },
+        ser_s,
+    }
+}
+
+/// The shuffle: route, scatter, serialize, exchange, deserialize — with the
+/// same metrics as [`shuffle_reference`] but none of its per-record clones
+/// or per-bucket buffers.
+///
+/// Takes the partition `Arc` by value: when the caller held the only
+/// reference (consuming APIs like [`Dataset::into_partition_by`] or
+/// internal intermediates like `reduceByKey`'s map-side combine), records
+/// are *moved* into their buckets; otherwise each record is cloned exactly
+/// once, as before.
 fn shuffle<T>(
+    ctx: &Arc<EngineContext>,
+    parts: Arc<Vec<Vec<T>>>,
+    nparts: usize,
+    label: &str,
+    route: impl Fn(&T) -> usize + Send + Sync,
+) -> Dataset<T>
+where
+    T: GpfSerialize + Clone + Send + Sync + 'static,
+{
+    assert!(nparts > 0, "shuffle needs at least one output partition");
+    let kind = ctx.serializer();
+    let records: u64 = parts.iter().map(|p| p.len() as u64).sum();
+
+    // Map side: one routing pass plans the scatter, then records move (or,
+    // when the source dataset is still live, clone) into pre-sized buckets.
+    let map_out: Vec<MapTaskOut> = match Arc::try_unwrap(parts) {
+        Ok(owned) => {
+            if gpf_trace::enabled() {
+                gpf_trace::counter("shuffle.partitions.moved").add(owned.len() as u64);
+            }
+            par::map_vec(owned, |p| {
+                let start_ns = now_ns();
+                let t0 = TaskTimer::start();
+                let (routes, counts) = plan_routes(&p, nparts, &route);
+                let mut buckets: Vec<Vec<T>> =
+                    counts.iter().map(|&c| Vec::with_capacity(c)).collect();
+                for (item, &r) in p.into_iter().zip(&routes) {
+                    buckets[r as usize].push(item);
+                }
+                finish_map_task(kind, buckets, t0.elapsed_s(), start_ns)
+            })
+        }
+        Err(shared) => {
+            if gpf_trace::enabled() {
+                gpf_trace::counter("shuffle.partitions.cloned").add(shared.len() as u64);
+            }
+            par::map(&shared, |p| {
+                let start_ns = now_ns();
+                let t0 = TaskTimer::start();
+                let (routes, counts) = plan_routes(p, nparts, &route);
+                let mut buckets: Vec<Vec<T>> =
+                    counts.iter().map(|&c| Vec::with_capacity(c)).collect();
+                for (item, &r) in p.iter().zip(&routes) {
+                    buckets[r as usize].push(item.clone());
+                }
+                finish_map_task(kind, buckets, t0.elapsed_s(), start_ns)
+            })
+        }
+    };
+
+    let map_samples: Vec<TaskSample> = map_out.iter().map(|m| m.sample).collect();
+    let ser_s: f64 = map_out.iter().map(|m| m.ser_s).sum();
+    // Transfer sizes come straight from the segment index recorded while
+    // writing — no second traversal of the serialized buffers.
+    let write_bytes: Vec<u64> = map_out.iter().map(|m| m.data.len() as u64).collect();
+    let read_bytes: Vec<u64> = (0..nparts)
+        .map(|t| map_out.iter().map(|m| m.segs[t].len as u64).sum())
+        .collect();
+    ctx.record_tasks(label, &map_samples, records, 0);
+    ctx.record_serde(ser_s);
+    ctx.close_stage_shuffle(label, write_bytes, read_bytes.clone());
+
+    // Reduce side: deserialize segments in map order into one output vector
+    // pre-sized from the per-bucket record counts.
+    let reduce_out: Vec<(Vec<T>, TaskSample)> = par::map_range(nparts, |t| {
+        let start_ns = now_ns();
+        let t0 = TaskTimer::start();
+        let expected: usize = map_out.iter().map(|m| m.segs[t].records).sum();
+        let mut out: Vec<T> = Vec::with_capacity(expected);
+        for m in &map_out {
+            let seg = m.segs[t];
+            if seg.len == 0 {
+                continue;
+            }
+            deserialize_batch_into(kind, &m.data[seg.offset..seg.offset + seg.len], &mut out)
+                // gpf-lint: allow(no-panic): map-side serialize_batch_into
+                // produced this segment in the same shuffle; a decode
+                // failure is engine corruption, not an input error.
+                .expect("engine-produced buffer is valid");
+        }
+        let cpu_s = t0.elapsed_s();
+        (out, TaskSample { cpu_s, start_ns, end_ns: now_ns(), tid: current_tid() })
+    });
+    for m in map_out {
+        scratch_put(m.data);
+    }
+    let de_samples: Vec<TaskSample> = reduce_out.iter().map(|(_, s)| *s).collect();
+    let de_s: f64 = de_samples.iter().map(|s| s.cpu_s).sum();
+    let out_records: u64 = reduce_out.iter().map(|(v, _)| v.len() as u64).sum();
+    // Deserialized shuffle data is fresh heap churn (the GC driver).
+    let churn: u64 = read_bytes.iter().sum::<u64>()
+        + out_records * ctx.config().per_record_overhead_bytes;
+    ctx.record_tasks(&format!("{label}(read)"), &de_samples, out_records, churn);
+    ctx.record_serde(de_s);
+    Dataset {
+        ctx: Arc::clone(ctx),
+        parts: Arc::new(reduce_out.into_iter().map(|(v, _)| v).collect()),
+    }
+}
+
+/// The pre-optimization shuffle, retained verbatim: clones every record
+/// into its bucket, serializes each bucket into its own fresh buffer, and
+/// sizes transfers by re-reading buffer lengths. Differential property
+/// tests hold [`shuffle`] to this implementation's outputs and metrics, and
+/// the CI perf gate measures the speedup against it.
+fn shuffle_reference<T>(
     ctx: &Arc<EngineContext>,
     parts: &Arc<Vec<Vec<T>>>,
     nparts: usize,
@@ -769,6 +1054,61 @@ mod tests {
         let read = run.stages[1].total_shuffle_read();
         assert!(wrote > 0);
         assert_eq!(wrote, read, "everything written is read back");
+    }
+
+    #[test]
+    fn shuffle_paths_agree_with_reference() {
+        let data: Vec<(u64, String)> =
+            (0u64..300).map(|i| (i % 11, format!("rec-{i:05}"))).collect();
+        let route = |kv: &(u64, String)| (kv.0 % 5) as usize;
+
+        let c_ref = ctx();
+        let d_ref = Dataset::from_vec(Arc::clone(&c_ref), data.clone(), 6);
+        let p_ref = d_ref.partition_by_reference(5, route);
+        let bytes_ref = c_ref.take_run().total_shuffle_bytes();
+
+        let c_new = ctx();
+        let d_new = Dataset::from_vec(Arc::clone(&c_new), data.clone(), 6);
+        let p_new = d_new.partition_by(5, route);
+        let bytes_new = c_new.take_run().total_shuffle_bytes();
+
+        let c_mv = ctx();
+        let d_mv = Dataset::from_vec(Arc::clone(&c_mv), data.clone(), 6);
+        let p_mv = d_mv.into_partition_by(5, route);
+        let bytes_mv = c_mv.take_run().total_shuffle_bytes();
+
+        for t in 0..5 {
+            assert_eq!(p_ref.partition(t), p_new.partition(t), "clone path diverged at {t}");
+            assert_eq!(p_ref.partition(t), p_mv.partition(t), "move path diverged at {t}");
+        }
+        assert_eq!(bytes_ref, bytes_new, "shuffle byte accounting changed");
+        assert_eq!(bytes_ref, bytes_mv, "move path byte accounting changed");
+    }
+
+    #[test]
+    fn consuming_shuffle_moves_partitions() {
+        use gpf_trace::counters_snapshot;
+        let get = |name: &str| {
+            counters_snapshot().iter().find(|(n, _)| *n == name).map(|(_, v)| *v).unwrap_or(0)
+        };
+        gpf_trace::set_enabled(true);
+        let moved0 = get("shuffle.partitions.moved");
+        let d = Dataset::from_vec(ctx(), (0u64..64).collect(), 4);
+        let p = d.into_partition_by(4, |x| (*x % 4) as usize);
+        assert_eq!(p.len(), 64);
+        let moved1 = get("shuffle.partitions.moved");
+        // A shared handle forces the clone fallback.
+        let cloned0 = get("shuffle.partitions.cloned");
+        let d2 = Dataset::from_vec(ctx(), (0u64..64).collect(), 4);
+        let _keep = d2.clone();
+        let p2 = d2.into_partition_by(4, |x| (*x % 4) as usize);
+        assert_eq!(p2.len(), 64);
+        let cloned1 = get("shuffle.partitions.cloned");
+        gpf_trace::set_enabled(false);
+        // Deltas are >= because other concurrently running tests may also
+        // shuffle while tracing is on.
+        assert!(moved1 >= moved0 + 4, "sole-owner shuffle should take the move path");
+        assert!(cloned1 >= cloned0 + 4, "shared partitions must fall back to cloning");
     }
 
     #[test]

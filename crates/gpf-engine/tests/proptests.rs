@@ -61,6 +61,40 @@ proptest! {
     }
 
     #[test]
+    fn shuffle_agrees_with_reference_implementation(
+        data in proptest::collection::vec((0u64..50, any::<u64>()), 0..300),
+        parts in 1usize..8,
+        nparts in 1usize..10,
+    ) {
+        // Three shuffle flavors — the retained reference, the borrowed
+        // (clone-fallback) fast path, and the consuming (move) fast path —
+        // must agree partition-for-partition and byte-for-byte.
+        let c_ref = ctx();
+        let d_ref = Dataset::from_vec(std::sync::Arc::clone(&c_ref), data.clone(), parts);
+        let p_ref = d_ref.partition_by_reference(nparts, move |kv| (kv.0 % nparts as u64) as usize);
+        let bytes_ref = c_ref.take_run().total_shuffle_bytes();
+
+        let c_new = ctx();
+        let d_new = Dataset::from_vec(std::sync::Arc::clone(&c_new), data.clone(), parts);
+        let p_new = d_new.partition_by(nparts, move |kv| (kv.0 % nparts as u64) as usize);
+        let bytes_new = c_new.take_run().total_shuffle_bytes();
+
+        let c_mv = ctx();
+        let d_mv = Dataset::from_vec(std::sync::Arc::clone(&c_mv), data.clone(), parts);
+        let p_mv = d_mv.into_partition_by(nparts, move |kv| (kv.0 % nparts as u64) as usize);
+        let bytes_mv = c_mv.take_run().total_shuffle_bytes();
+
+        prop_assert_eq!(p_ref.num_partitions(), p_new.num_partitions());
+        prop_assert_eq!(p_ref.num_partitions(), p_mv.num_partitions());
+        for t in 0..p_ref.num_partitions() {
+            prop_assert_eq!(p_ref.partition(t), p_new.partition(t));
+            prop_assert_eq!(p_ref.partition(t), p_mv.partition(t));
+        }
+        prop_assert_eq!(bytes_ref, bytes_new);
+        prop_assert_eq!(bytes_ref, bytes_mv);
+    }
+
+    #[test]
     fn reduce_by_key_agrees_with_sequential(
         data in proptest::collection::vec((0u64..10, 0u64..1000), 0..200),
     ) {

@@ -94,6 +94,7 @@ impl Criterion {
             throughput: None,
             sample_size: self.default_sample_size,
             smoke: self.smoke,
+            last: None,
             _criterion: std::marker::PhantomData,
         }
     }
@@ -105,6 +106,7 @@ pub struct BenchmarkGroup<'c> {
     throughput: Option<Throughput>,
     sample_size: usize,
     smoke: bool,
+    last: Option<BenchStats>,
     _criterion: std::marker::PhantomData<&'c mut Criterion>,
 }
 
@@ -149,7 +151,14 @@ impl BenchmarkGroup<'_> {
     /// Close the group (kept for criterion parity; reporting is per-bench).
     pub fn finish(self) {}
 
-    fn report(&self, id: &str, bencher: &Bencher) {
+    /// Stats of the most recently completed benchmark in this group, so
+    /// callers (e.g. perf ratio gates) can compute on the measured numbers
+    /// instead of re-parsing console output.
+    pub fn last_stats(&self) -> Option<&BenchStats> {
+        self.last.as_ref()
+    }
+
+    fn report(&mut self, id: &str, bencher: &Bencher) {
         let Some(stats) = bencher.stats() else {
             gpf_trace::sink::console_out(&format!(
                 "{}/{id}: no samples (routine never called iter)",
@@ -176,9 +185,10 @@ impl BenchmarkGroup<'_> {
         if std::env::var("GPF_BENCH_JSON").is_ok() {
             self.append_json(id, &stats);
         }
+        self.last = Some(stats);
     }
 
-    fn append_json(&self, id: &str, stats: &SampleStats) {
+    fn append_json(&self, id: &str, stats: &BenchStats) {
         use std::io::Write;
         let (tp_unit, tp_per_iter) = match self.throughput {
             Some(Throughput::Bytes(n)) => ("bytes", n),
@@ -209,12 +219,17 @@ impl BenchmarkGroup<'_> {
     }
 }
 
+/// Summary statistics of one benchmark's timed samples.
 #[derive(Debug, Clone)]
-struct SampleStats {
-    median_ns: f64,
-    p95_ns: f64,
-    samples: usize,
-    iters_per_sample: u64,
+pub struct BenchStats {
+    /// Median per-iteration time.
+    pub median_ns: f64,
+    /// 95th-percentile per-iteration time.
+    pub p95_ns: f64,
+    /// Number of timed samples.
+    pub samples: usize,
+    /// Iterations batched into each sample.
+    pub iters_per_sample: u64,
 }
 
 /// Passed to each benchmark routine; call [`Bencher::iter`] with the code
@@ -269,14 +284,14 @@ impl Bencher {
             .collect();
     }
 
-    fn stats(&self) -> Option<SampleStats> {
+    fn stats(&self) -> Option<BenchStats> {
         if self.per_iter_ns.is_empty() {
             return None;
         }
         let mut sorted = self.per_iter_ns.clone();
         sorted.sort_by(|a, b| a.total_cmp(b));
         let pick = |q: f64| sorted[((sorted.len() - 1) as f64 * q).round() as usize];
-        Some(SampleStats {
+        Some(BenchStats {
             median_ns: pick(0.5),
             p95_ns: pick(0.95),
             samples: sorted.len(),

@@ -65,6 +65,16 @@ impl Histogram {
         self.buckets[Self::bucket_of(v)].fetch_add(1, Ordering::SeqCst);
     }
 
+    /// Merge a locally accumulated histogram in one pass — at most one
+    /// RMW per non-empty bucket instead of one per sample.
+    pub fn merge(&self, local: &LocalHistogram) {
+        for (idx, &n) in local.buckets.iter().enumerate() {
+            if n > 0 {
+                self.buckets[idx].fetch_add(n, Ordering::SeqCst);
+            }
+        }
+    }
+
     /// Number of recorded samples.
     pub fn count(&self) -> u64 {
         self.buckets.iter().map(|b| b.load(Ordering::SeqCst)).sum()
@@ -134,6 +144,31 @@ pub fn counter(name: &'static str) -> &'static Counter {
     reg.entry(name).or_insert_with(|| Box::leak(Box::new(Counter(AtomicU64::new(0)))))
 }
 
+/// A plain (non-atomic) histogram for batching samples on a hot path:
+/// record locally, then [`Histogram::merge`] once. Bucket layout is
+/// identical to [`Histogram`], so merging preserves every count exactly.
+pub struct LocalHistogram {
+    buckets: [u64; BUCKETS],
+}
+
+impl Default for LocalHistogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl LocalHistogram {
+    /// A zeroed local histogram.
+    pub fn new() -> Self {
+        Self { buckets: [0; BUCKETS] }
+    }
+
+    /// Record one sample locally (no atomics).
+    pub fn record(&mut self, v: u64) {
+        self.buckets[Histogram::bucket_of(v)] += 1;
+    }
+}
+
 /// The histogram registered under `name` (created on first use).
 pub fn histogram(name: &'static str) -> &'static Histogram {
     let mut reg = lock(histogram_registry());
@@ -189,6 +224,23 @@ mod tests {
         c.add(3);
         counter("test.counters.accumulate").add(4);
         assert_eq!(c.get(), before + 7);
+    }
+
+    #[test]
+    fn local_histogram_merge_matches_direct_records() {
+        let samples = [0u64, 1, 2, 3, 7, 8, 1024, u64::MAX, 1024, 0];
+        let direct = histogram("test.counters.hist.direct");
+        let merged = histogram("test.counters.hist.merged");
+        let mut local = LocalHistogram::new();
+        for &v in &samples {
+            direct.record(v);
+            local.record(v);
+        }
+        merged.merge(&local);
+        assert_eq!(direct.count(), merged.count());
+        for q in [0.5, 0.95, 0.99] {
+            assert_eq!(direct.quantile(q), merged.quantile(q));
+        }
     }
 
     #[test]

@@ -49,7 +49,7 @@ pub mod recorder;
 pub mod ring;
 pub mod sink;
 
-pub use counters::{counter, counters_snapshot, histogram, histograms_snapshot};
+pub use counters::{counter, counters_snapshot, histogram, histograms_snapshot, LocalHistogram};
 pub use event::{Category, Event, EventKind, SpanView, Trace};
 pub use recorder::{
     current_tid, enabled, global, instant, instant_in, set_enabled, span, span_in, warn, SpanGuard,

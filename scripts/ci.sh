@@ -57,4 +57,8 @@ echo "== trace overhead (< 5% budget) =="
 rm -f BENCH_trace_overhead.json
 cargo run --release --offline -p gpf-bench --bin experiments -- --smoke --trace-overhead
 
+echo "== codec/shuffle perf gates (codec >= 2x, shuffle >= 1.5x vs reference) =="
+rm -f BENCH_codec.json BENCH_shuffle.json
+cargo run --release --offline -p gpf-bench --bin experiments -- --smoke --codec-bench --shuffle-bench
+
 echo "CI OK"
