@@ -28,6 +28,7 @@ fn main() {
     let mut trace_overhead = false;
     let mut codec_gate = false;
     let mut shuffle_gate = false;
+    let mut chaos_seed: Option<u64> = None;
     let mut ids: Vec<String> = Vec::new();
     let mut i = 0;
     while i < args.len() {
@@ -54,6 +55,16 @@ fn main() {
             "--trace-overhead" => trace_overhead = true,
             "--codec-bench" => codec_gate = true,
             "--shuffle-bench" => shuffle_gate = true,
+            "--chaos" => {
+                // Optional numeric SEED next-arg; omitted -> default seed.
+                chaos_seed = Some(match args.get(i + 1).and_then(|s| s.parse().ok()) {
+                    Some(seed) => {
+                        i += 1;
+                        seed
+                    }
+                    None => 2018,
+                });
+            }
             "--help" | "-h" => {
                 eprintln!(
                     "usage: experiments <id>[,<id>...]|all [--scale X] [--smoke]\n\
@@ -69,6 +80,9 @@ fn main() {
                                     writes BENCH_codec.json, exit 3 if speedup < 2x\n\
                      --shuffle-bench: clone-free vs reference shuffle records/s;\n\
                                       writes BENCH_shuffle.json, exit 3 if speedup < 1.5x\n\
+                     --chaos [SEED]: run the WGS pipeline under seeded fault plans and\n\
+                                     require byte-identical recovery; writes BENCH_chaos.json,\n\
+                                     exit 3 on divergence or an unexpected task failure\n\
                      (--smoke shrinks the gate workloads but keeps real timing)"
                 );
                 return;
@@ -95,6 +109,10 @@ fn main() {
     }
     if codec_gate || shuffle_gate {
         run_perf_gates(codec_gate, shuffle_gate, smoke);
+        return;
+    }
+    if let Some(seed) = chaos_seed {
+        run_chaos(scale, seed);
         return;
     }
     if let Some(path) = &trace_path {
@@ -234,6 +252,98 @@ fn run_perf_gates(codec: bool, shuffle: bool, smoke: bool) {
     }
     if failed {
         std::process::exit(3);
+    }
+}
+
+/// `--chaos [SEED]`: run the WGS pipeline fault-free, then under seeded
+/// fault plans derived from SEED, and require every recovered run's calls
+/// to be byte-identical to the baseline. Appends a summary line to
+/// `BENCH_chaos.json`; exits 3 on divergence or an unexpected failure.
+/// Each plan's own seed is printed so a divergence replays exactly.
+fn run_chaos(scale: f64, seed: u64) {
+    use gpf_compress::serializer::{serialize_batch, SerializerKind};
+    use gpf_engine::{EngineConfig, FaultConfig, FaultPlan};
+    use gpf_support::rng::SplitMix64;
+    use std::time::Instant;
+
+    const PLANS: u64 = 3;
+    const RATE_PERMILLE: u32 = 25;
+
+    let counter_total = |name: &str| -> u64 {
+        gpf_trace::counters_snapshot()
+            .iter()
+            .find(|(n, _)| *n == name)
+            .map(|(_, v)| *v)
+            .unwrap_or(0)
+    };
+
+    let workload = gpf_bench::workload::WgsWorkload::build(scale, 2018);
+    let t0 = Instant::now();
+    let baseline = workload.run_gpf(true);
+    let base_s = t0.elapsed().as_secs_f64();
+    let base_bytes = serialize_batch(SerializerKind::Gpf, &baseline.calls);
+    console_err(&format!(
+        "[chaos] baseline: {} calls ({} bytes) in {base_s:.2}s; seed {seed}, \
+         {PLANS} plans at {RATE_PERMILLE} permille",
+        baseline.calls.len(),
+        base_bytes.len(),
+    ));
+
+    let faults0 = counter_total("fault.injected");
+    let retries0 = counter_total("task.retries");
+    let recomputed0 = counter_total("shuffle.recomputed");
+    let mut chaos_s = 0.0;
+    for k in 0..PLANS {
+        let plan_seed = SplitMix64::mix(seed, k);
+        let config = EngineConfig::gpf()
+            .with_parallelism(workload.fastq_parts)
+            .with_faults(FaultConfig::new(FaultPlan::seeded(plan_seed, RATE_PERMILLE)));
+        let t = Instant::now();
+        let run = match workload.run_gpf_cfg(true, config) {
+            Ok(run) => run,
+            Err(e) => {
+                console_err(&format!(
+                    "[chaos] plan {k} (seed {plan_seed}): unexpected failure: {e}\n\
+                     replay: experiments --chaos {seed}"
+                ));
+                std::process::exit(3);
+            }
+        };
+        chaos_s += t.elapsed().as_secs_f64();
+        let bytes = serialize_batch(SerializerKind::Gpf, &run.calls);
+        if bytes != base_bytes {
+            console_err(&format!(
+                "[chaos] plan {k} (seed {plan_seed}): output diverged from the fault-free \
+                 run ({} vs {} bytes)\nreplay: experiments --chaos {seed}",
+                bytes.len(),
+                base_bytes.len(),
+            ));
+            std::process::exit(3);
+        }
+        console_err(&format!("[chaos] plan {k} (seed {plan_seed}): recovered byte-identical"));
+    }
+    let faults = counter_total("fault.injected") - faults0;
+    let retries = counter_total("task.retries") - retries0;
+    let recomputed = counter_total("shuffle.recomputed") - recomputed0;
+    let recovery_overhead_pct = (chaos_s / (PLANS as f64 * base_s) - 1.0) * 100.0;
+    let line = format!(
+        "{{\"group\":\"chaos\",\"seed\":{seed},\"plans\":{PLANS},\"faults\":{faults},\
+         \"retries\":{retries},\"recomputed\":{recomputed},\"base_s\":{base_s:.4},\
+         \"chaos_s\":{chaos_s:.4},\"recovery_overhead_pct\":{recovery_overhead_pct:.2}}}"
+    );
+    use std::io::Write;
+    match std::fs::OpenOptions::new().create(true).append(true).open("BENCH_chaos.json") {
+        Ok(mut f) => {
+            let _ = writeln!(f, "{line}");
+        }
+        Err(e) => console_err(&format!("cannot append BENCH_chaos.json: {e}")),
+    }
+    console_out(&line);
+    if faults == 0 {
+        console_err(&format!(
+            "[chaos] warning: no faults fired under seed {seed}; the gate exercised \
+             nothing — raise the rate or change the seed"
+        ));
     }
 }
 

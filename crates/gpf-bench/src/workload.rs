@@ -8,6 +8,7 @@
 use gpf_align::{BwaMemAligner, SnapAligner};
 use gpf_baselines::churchill::ChurchillPipeline;
 use gpf_core::prelude::*;
+use gpf_core::PipelineError;
 use gpf_engine::{Dataset, EngineConfig, EngineContext, JobRun};
 use gpf_formats::fastq::FastqPair;
 use gpf_formats::sam::SamRecord;
@@ -127,7 +128,22 @@ impl WgsWorkload {
     /// Run the full GPF pipeline (Figure 3's program) with or without the
     /// §4.3 redundancy elimination.
     pub fn run_gpf(&self, optimize: bool) -> GpfRun {
-        let ctx = EngineContext::new(EngineConfig::gpf().with_parallelism(self.fastq_parts));
+        self.run_gpf_cfg(optimize, EngineConfig::gpf().with_parallelism(self.fastq_parts))
+            // gpf-lint: allow(no-panic): the bench constructs this pipeline
+            // from the canonical WGS template with faults disabled; a failure
+            // here is a bench bug and there is no caller to propagate to.
+            .expect("WGS pipeline executes")
+    }
+
+    /// [`Self::run_gpf`] under a caller-supplied engine configuration —
+    /// the chaos gate uses this to re-run the identical pipeline with a
+    /// seeded fault plan and observe recovery (or a structured failure).
+    pub fn run_gpf_cfg(
+        &self,
+        optimize: bool,
+        config: EngineConfig,
+    ) -> Result<GpfRun, PipelineError> {
+        let ctx = EngineContext::new(config);
         let mut pipeline = Pipeline::new("wgs", Arc::clone(&ctx));
         pipeline.set_optimize(optimize);
         let dict = self.reference.dict().clone();
@@ -201,15 +217,12 @@ impl WgsWorkload {
             false,
         ));
 
-        // gpf-lint: allow(no-panic): the bench constructs this pipeline from
-        // the canonical WGS template; a validation failure here is a bench
-        // bug and there is no caller to propagate to.
-        pipeline.run().expect("WGS pipeline executes");
+        pipeline.run()?;
         // Collect before draining the trace so the final collect stage is
         // part of the recorded job, exactly as the metrics tests expect.
         let calls = vcf_out.dataset().collect_local();
         let (run, trace) = ctx.take_run_traced();
-        GpfRun { calls, run, trace, fused_chains: pipeline.fused_chains().len() }
+        Ok(GpfRun { calls, run, trace, fused_chains: pipeline.fused_chains().len() })
     }
 
     /// Run the Churchill-like comparator on the same inputs.

@@ -8,12 +8,13 @@ use gpf_compress::qualcodec::QualityCodec;
 use gpf_compress::reference::{
     compress_read_fields_ref, decompress_read_fields_ref, RefBitReader, RefBitWriter,
 };
-use gpf_compress::sequence::{compress_read_fields, decompress_read_fields};
+use gpf_compress::sequence::{compress_read_fields, decompress_read_fields, CompressedRead};
 use gpf_compress::serializer::{deserialize_batch, serialize_batch, SerializerKind};
 use gpf_formats::fastq::FastqRecord;
 use gpf_formats::sam::{SamFlags, SamRecord};
 use gpf_formats::Cigar;
 use gpf_support::proptest::prelude::*;
+use gpf_support::rng::SplitMix64;
 
 fn seq_strategy(max_len: usize) -> impl Strategy<Value = Vec<u8>> {
     proptest::collection::vec(
@@ -230,5 +231,125 @@ proptest! {
         let java = serialize_batch(SerializerKind::JavaSim, &records).len();
         let gpf = serialize_batch(SerializerKind::Gpf, &records).len();
         prop_assert!(gpf <= java, "gpf {gpf} > java {java}");
+    }
+}
+
+/// Deterministic corpus of 256 encoded reads for the hostile-bytes
+/// properties below: real compressor output, so every corruption lands
+/// inside a structurally valid stream rather than random garbage.
+fn encoded_corpus() -> Vec<CompressedRead> {
+    let codec = QualityCodec::default_codec();
+    let mut rng = SplitMix64::new(0xFA17_C0DE);
+    (0..256)
+        .map(|_| {
+            let len = (rng.next_u64() % 180) as usize + 1;
+            let seq: Vec<u8> = (0..len)
+                .map(|_| {
+                    let r = rng.next_u64();
+                    if r % 16 == 0 {
+                        b'N'
+                    } else {
+                        b"ACGT"[(r % 4) as usize]
+                    }
+                })
+                .collect();
+            let qual: Vec<u8> = (0..len).map(|_| 33 + (rng.next_u64() % 94) as u8).collect();
+            compress_read_fields(&seq, &qual, &codec).unwrap()
+        })
+        .collect()
+}
+
+/// Index the mutable byte fields of a read, skipping empty ones so a
+/// corruption always has somewhere to land (`packed_seq` is non-empty for
+/// every corpus read because `len >= 1`).
+fn corruptible_fields(c: &mut CompressedRead) -> Vec<&mut Vec<u8>> {
+    [&mut c.packed_seq, &mut c.qual_stream, &mut c.n_quals]
+        .into_iter()
+        .filter(|f| !f.is_empty())
+        .collect()
+}
+
+/// A decode of hostile bytes may succeed (a flipped base bit is a valid
+/// different read), but an `Ok` must be self-consistent: the advertised
+/// read length, never a short or ragged pair.
+fn assert_clean_decode(
+    c: &CompressedRead,
+    res: Result<(Vec<u8>, Vec<u8>), gpf_compress::CodecError>,
+) -> Result<(), TestCaseError> {
+    if let Ok((seq, qual)) = res {
+        prop_assert_eq!(seq.len(), c.len as usize, "Ok decode with wrong seq length");
+        prop_assert_eq!(qual.len(), c.len as usize, "Ok decode with wrong qual length");
+    }
+    Ok(())
+}
+
+proptest! {
+    #[test]
+    fn bit_flip_in_encoded_read_never_panics(pick in any::<u64>(), site in any::<u64>()) {
+        let codec = QualityCodec::default_codec();
+        let mut corpus = encoded_corpus();
+        let c = &mut corpus[(pick % 256) as usize];
+        {
+            let mut fields = corruptible_fields(c);
+            let fi = (site % fields.len() as u64) as usize;
+            let field = &mut *fields[fi];
+            let bit = (site >> 8) as usize % (field.len() * 8);
+            field[bit / 8] ^= 1 << (bit % 8);
+        }
+        let res = decompress_read_fields(c, &codec);
+        assert_clean_decode(c, res)?;
+    }
+
+    #[test]
+    fn truncated_encoded_read_never_panics(pick in any::<u64>(), site in any::<u64>()) {
+        let codec = QualityCodec::default_codec();
+        let mut corpus = encoded_corpus();
+        let c = &mut corpus[(pick % 256) as usize];
+        {
+            let mut fields = corruptible_fields(c);
+            let fi = (site % fields.len() as u64) as usize;
+            let field = &mut *fields[fi];
+            let cut = (site >> 8) as usize % field.len();
+            field.truncate(cut);
+        }
+        let res = decompress_read_fields(c, &codec);
+        assert_clean_decode(c, res)?;
+    }
+
+    #[test]
+    fn corrupted_length_field_is_rejected_cleanly(pick in any::<u64>(), delta in any::<u32>()) {
+        // A hostile `len` must not drive an unchecked pre-size allocation:
+        // the decoder bounds-checks against the packed payload before any
+        // reserve, so even `len = u32::MAX` errs instead of OOMing.
+        let codec = QualityCodec::default_codec();
+        let mut corpus = encoded_corpus();
+        let c = &mut corpus[(pick % 256) as usize];
+        c.len ^= delta | 1;
+        let res = decompress_read_fields(c, &codec);
+        assert_clean_decode(c, res)?;
+    }
+
+    #[test]
+    fn truncated_batch_buffer_errors_cleanly(
+        records in proptest::collection::vec(
+            (
+                any::<u64>(),
+                proptest::collection::vec(97u8..=122, 0..12)
+                    .prop_map(|b| String::from_utf8(b).unwrap()),
+            ),
+            1..16,
+        ),
+        cut_sel in any::<u64>(),
+    ) {
+        for kind in [SerializerKind::JavaSim, SerializerKind::KryoSim, SerializerKind::Gpf] {
+            let buf = serialize_batch(kind, &records);
+            let cut = (cut_sel % buf.len() as u64) as usize;
+            let res: Result<Vec<(u64, String)>, _> = deserialize_batch(kind, &buf[..cut]);
+            prop_assert!(
+                res.is_err(),
+                "{kind:?}: truncation to {cut}/{} bytes decoded Ok",
+                buf.len()
+            );
+        }
     }
 }

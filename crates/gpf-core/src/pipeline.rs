@@ -56,6 +56,16 @@ pub enum PipelineError {
     Invalid(Vec<Diagnostic>),
     /// Input loading failed.
     Load(String),
+    /// A task exhausted its retry budget under the engine's fault-tolerance
+    /// layer. Names the Process (or fused chain) that was executing and
+    /// carries the engine's structured failure — stage, partition, and the
+    /// full attempt history with per-attempt causes and backoff accounting.
+    TaskFailed {
+        /// The Process (or `a+b` fused-chain label) whose execution failed.
+        process: String,
+        /// The engine-level failure detail.
+        failure: gpf_engine::EngineError,
+    },
 }
 
 impl fmt::Display for PipelineError {
@@ -74,6 +84,9 @@ impl fmt::Display for PipelineError {
                 Ok(())
             }
             PipelineError::Load(msg) => write!(f, "load error: {msg}"),
+            PipelineError::TaskFailed { process, failure } => {
+                write!(f, "task failed in process `{process}`: {failure}")
+            }
         }
     }
 }
@@ -188,6 +201,15 @@ impl Pipeline {
         // The plan lists execution steps in dependency order; each step is a
         // §4.3 fusion chain (singletons run alone).
         for chain in &plan {
+            let step_label: String = if chain.len() > 1 {
+                chain
+                    .iter()
+                    .map(|&j| self.processes[j].name())
+                    .collect::<Vec<_>>()
+                    .join("+")
+            } else {
+                chain.first().map(|&i| self.processes[i].name().to_string()).unwrap_or_default()
+            };
             if chain.len() > 1 {
                 let members: Vec<String> =
                     chain.iter().map(|&j| self.processes[j].name().to_string()).collect();
@@ -217,6 +239,12 @@ impl Pipeline {
                 }
                 state_event(&log, &name, state::DONE);
                 self.executed.push(name);
+            }
+            // The engine records terminal task failures in the context
+            // (Process::execute has no Result channel); surface the first
+            // one here with the step that was executing.
+            if let Some(failure) = self.ctx.take_failure() {
+                return Err(PipelineError::TaskFailed { process: step_label, failure });
             }
         }
         Ok(())
@@ -375,5 +403,61 @@ mod tests {
         assert_eq!(pipeline.executed().len(), 3);
         assert_eq!(pipeline.executed().last().unwrap(), "join");
         assert!(out.is_defined());
+    }
+
+    /// A process that actually maps through the engine, so fault injection
+    /// has a task to hit (the `Copy` helper defines without running tasks).
+    struct Mapper {
+        input: Arc<SamBundle>,
+        output: Arc<SamBundle>,
+    }
+
+    impl Process for Mapper {
+        fn name(&self) -> &str {
+            "mapper"
+        }
+        fn input_resources(&self) -> Vec<Arc<dyn ResourceAny>> {
+            vec![self.input.clone()]
+        }
+        fn output_resources(&self) -> Vec<Arc<dyn ResourceAny>> {
+            vec![self.output.clone()]
+        }
+        fn execute(&self, _ctx: &Arc<EngineContext>) {
+            self.output.define(self.input.dataset().map(|r| r.clone()));
+        }
+    }
+
+    #[test]
+    fn task_failure_surfaces_process_and_site_detail() {
+        use gpf_engine::{FaultConfig, FaultKind, FaultPlan, FaultSite};
+        // Explicit panics at (stage 0, partition 0) on every attempt defeat
+        // the default 3-retry budget.
+        let sites = (0..=3)
+            .map(|a| FaultSite { stage: 0, partition: 0, attempt: a, kind: FaultKind::TaskPanic })
+            .collect();
+        let ctx = EngineContext::new(
+            EngineConfig::default().with_faults(FaultConfig::new(FaultPlan::explicit(sites))),
+        );
+        let a = bundle("a");
+        let b = bundle("b");
+        a.define(Dataset::from_vec(Arc::clone(&ctx), vec![], 1));
+        let mut pipeline = Pipeline::new("doomed", Arc::clone(&ctx));
+        pipeline.add_process(Arc::new(Mapper { input: a, output: b }));
+        let err = pipeline.run().unwrap_err();
+        match &err {
+            PipelineError::TaskFailed { process, failure } => {
+                assert_eq!(process, "mapper");
+                assert_eq!(failure.stage, 0);
+                assert_eq!(failure.partition, 0);
+                assert_eq!(failure.attempts.len(), 4, "1 + max_task_retries attempts");
+                assert!(failure.attempts.iter().all(|r| r.cause.contains("injected")));
+            }
+            other => panic!("unexpected {other}"),
+        }
+        let text = err.to_string();
+        assert!(text.contains("`mapper`"), "{text}");
+        assert!(text.contains("stage 0"), "{text}");
+        assert!(text.contains("partition 0"), "{text}");
+        assert!(text.contains("failed after 4 attempts"), "{text}");
     }
 }

@@ -1,5 +1,6 @@
 //! Engine configuration.
 
+use crate::fault::FaultConfig;
 use gpf_compress::SerializerKind;
 
 /// Engine-wide configuration — the analogue of a `SparkConf`.
@@ -24,6 +25,10 @@ pub struct EngineConfig {
     /// Fixed per-record heap-churn estimate (object headers, boxing) in
     /// bytes, on top of payload bytes.
     pub per_record_overhead_bytes: u64,
+    /// Fault-tolerance configuration. `None` (the default) disables the
+    /// whole fault path — no injection, no checksums, no retry machinery —
+    /// so pipelines that don't opt in pay nothing.
+    pub faults: Option<FaultConfig>,
 }
 
 impl EngineConfig {
@@ -48,6 +53,13 @@ impl EngineConfig {
         self.default_parallelism = parts;
         self
     }
+
+    /// Enable fault tolerance (injection, checksums, retry, speculation)
+    /// under the given configuration.
+    pub fn with_faults(mut self, faults: FaultConfig) -> Self {
+        self.faults = Some(faults);
+        self
+    }
 }
 
 impl Default for EngineConfig {
@@ -57,6 +69,7 @@ impl Default for EngineConfig {
             default_parallelism: 8,
             gc_seconds_per_byte: 25.0 / (1u64 << 30) as f64,
             per_record_overhead_bytes: 48,
+            faults: None,
         }
     }
 }
@@ -82,5 +95,13 @@ mod tests {
     #[should_panic(expected = "positive")]
     fn zero_parallelism_rejected() {
         let _ = EngineConfig::default().with_parallelism(0);
+    }
+
+    #[test]
+    fn faults_default_off_and_opt_in() {
+        assert!(EngineConfig::default().faults.is_none());
+        let fc = FaultConfig::new(crate::fault::FaultPlan::seeded(9, 100));
+        let c = EngineConfig::gpf().with_faults(fc);
+        assert_eq!(c.faults.as_ref().map(|f| f.plan.seed), Some(9));
     }
 }

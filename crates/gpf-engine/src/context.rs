@@ -11,12 +11,14 @@
 use crate::broadcast::Broadcast;
 use crate::config::EngineConfig;
 use crate::dataset::Dataset;
+use crate::fault::{EngineError, FaultConfig};
 use crate::metrics::{derive_job_run, names, JobRun};
 use gpf_compress::{serializer::serialize_batch, GpfSerialize, SerializerKind};
 use gpf_support::sync::Mutex;
 use gpf_trace::clock::now_ns;
 use gpf_trace::event::Trace;
 use gpf_trace::{current_tid, Category, Event, EventKind, TraceLog};
+use std::sync::atomic::{AtomicBool, AtomicU32, Ordering};
 use std::sync::Arc;
 
 /// Ring capacity of the per-context session log.
@@ -38,6 +40,15 @@ pub struct EngineContext {
     config: EngineConfig,
     trace: Arc<TraceLog>,
     phase: Mutex<Arc<str>>,
+    /// Stage index used to address fault sites: incremented at every stage
+    /// close so `(stage, partition, attempt)` coordinates are stable and
+    /// cheap to read (unlike `stages_so_far`, which replays the trace).
+    stage_counter: AtomicU32,
+    /// Set once a task exhausts its retry budget; datasets short-circuit to
+    /// empty results after this so the failure propagates without panics.
+    failed_flag: AtomicBool,
+    /// The first terminal failure (first-failure-wins).
+    failure: Mutex<Option<EngineError>>,
 }
 
 /// One task's measurements, captured on the worker and recorded
@@ -63,6 +74,9 @@ impl EngineContext {
             config,
             trace: Arc::new(TraceLog::with_capacity(SESSION_LOG_CAPACITY)),
             phase: Mutex::new(Arc::from("")),
+            stage_counter: AtomicU32::new(0),
+            failed_flag: AtomicBool::new(false),
+            failure: Mutex::new(None),
         })
     }
 
@@ -284,6 +298,7 @@ impl EngineContext {
             ),
         ];
         self.trace.push_batch(batch);
+        self.advance_stage();
     }
 
     /// Close the open stage as a collect-to-driver (serial) step.
@@ -303,6 +318,79 @@ impl EngineContext {
             self.ev(EventKind::Instant, Arc::from(label), Category::Io, Vec::new()),
         ];
         self.trace.push_batch(batch);
+        self.advance_stage();
+    }
+
+    /// Stage index for fault-site addressing (0 until the first stage
+    /// closes).
+    pub fn current_stage(&self) -> u32 {
+        self.stage_counter.load(Ordering::SeqCst)
+    }
+
+    pub(crate) fn advance_stage(&self) {
+        self.stage_counter.fetch_add(1, Ordering::SeqCst);
+    }
+
+    /// The fault-tolerance configuration, if enabled.
+    pub(crate) fn faults(&self) -> Option<&FaultConfig> {
+        self.config.faults.as_ref()
+    }
+
+    /// Record a terminal task failure. First failure wins; later ones are
+    /// dropped (they are usually short-circuit echoes of the first).
+    pub(crate) fn fail(&self, err: EngineError) {
+        let mut slot = self.failure.lock();
+        if slot.is_none() {
+            self.failed_flag.store(true, Ordering::SeqCst);
+            let ev = self.ev(
+                EventKind::Instant,
+                Arc::from("task.failed"),
+                Category::Scheduler,
+                vec![
+                    (Arc::from("stage"), err.stage as u64),
+                    (Arc::from("part"), err.partition as u64),
+                    (Arc::from("attempts"), err.attempts.len() as u64),
+                ],
+            );
+            self.trace.push(ev);
+            *slot = Some(err);
+        }
+    }
+
+    /// Whether a terminal failure has been recorded (datasets short-circuit
+    /// on this to let the error surface without running further work).
+    pub(crate) fn has_failed(&self) -> bool {
+        self.failed_flag.load(Ordering::SeqCst)
+    }
+
+    /// Take the recorded failure, if any, clearing it so the context can be
+    /// reused for another run.
+    pub fn take_failure(&self) -> Option<EngineError> {
+        let taken = self.failure.lock().take();
+        if taken.is_some() {
+            self.failed_flag.store(false, Ordering::SeqCst);
+        }
+        taken
+    }
+
+    /// Record one recovery event: a scheduler instant in the session trace
+    /// plus a global counter bump. The global counters are unconditional
+    /// (not gated on ambient tracing) — this path only executes when faults
+    /// are configured, so the disabled-cost is zero and chaos tests can
+    /// read the counters without toggling `set_enabled`.
+    pub(crate) fn record_fault_event(&self, name: &'static str, stage: u32, part: u32, n: u64) {
+        gpf_trace::counter(name).add(n);
+        let ev = self.ev(
+            EventKind::Instant,
+            Arc::from(name),
+            Category::Scheduler,
+            vec![
+                (Arc::from("stage"), stage as u64),
+                (Arc::from("part"), part as u64),
+                (Arc::from("n"), n),
+            ],
+        );
+        self.trace.push(ev);
     }
 
     /// Finish recording: derives the job from the session trace and resets
@@ -316,6 +404,9 @@ impl EngineContext {
     pub fn take_run_traced(&self) -> (JobRun, Trace) {
         let trace = self.trace.drain();
         let run = derive_job_run(&trace.events);
+        // Reset fault-site addressing so a reused context replays the same
+        // (stage, partition) coordinates on its next job.
+        self.stage_counter.store(0, Ordering::SeqCst);
         (run, trace)
     }
 

@@ -13,6 +13,7 @@
 //! Figure 7) can be reused by many downstream processes without copying.
 
 use crate::context::{EngineContext, TaskSample};
+use crate::fault::{corrupt_bit, AttemptRecord, EngineError, FaultConfig, FaultKind, FaultSurface};
 use crate::timing::TaskTimer;
 use gpf_compress::serializer::{
     deserialize_batch, deserialize_batch_into, serialize_batch, serialize_batch_into,
@@ -23,6 +24,7 @@ use gpf_support::sync::Mutex;
 use gpf_trace::clock::now_ns;
 use gpf_trace::current_tid;
 use std::hash::{Hash, Hasher};
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::{Arc, OnceLock};
 
 /// Deterministic FNV-1a hasher used for hash partitioning, so shuffles
@@ -49,6 +51,13 @@ impl Hasher for Fnv1a {
 pub fn stable_hash<K: Hash>(key: &K) -> u64 {
     let mut h = Fnv1a::default();
     key.hash(&mut h);
+    h.finish()
+}
+
+/// FNV-1a over a byte buffer — the shuffle-segment / spill checksum.
+fn fnv64(bytes: &[u8]) -> u64 {
+    let mut h = Fnv1a::default();
+    h.write(bytes);
     h.finish()
 }
 
@@ -126,6 +135,9 @@ impl<T: Send + Sync + 'static> Dataset<T> {
         label: &str,
         f: impl Fn(usize, &[T]) -> Vec<U> + Send + Sync,
     ) -> Dataset<U> {
+        if let Some(fc) = self.ctx.faults() {
+            return self.narrow_op_ft(label, f, fc);
+        }
         let results: Vec<(Vec<U>, TaskSample)> = par::map_indexed(&self.parts, |i, p| {
             let start_ns = now_ns();
             let t0 = TaskTimer::start();
@@ -140,6 +152,57 @@ impl<T: Send + Sync + 'static> Dataset<T> {
         Dataset {
             ctx: Arc::clone(&self.ctx),
             parts: Arc::new(results.into_iter().map(|(v, _)| v).collect()),
+        }
+    }
+
+    /// Fault-tolerant [`Dataset::narrow_op`]: every task runs under
+    /// [`run_with_retry`] (injection, bounded retries, panic capture) and
+    /// completed stages speculate duplicates for straggler tasks.
+    fn narrow_op_ft<U: Send + Sync + 'static>(
+        &self,
+        label: &str,
+        f: impl Fn(usize, &[T]) -> Vec<U> + Send + Sync,
+        fc: &FaultConfig,
+    ) -> Dataset<U> {
+        if self.ctx.has_failed() {
+            return Dataset {
+                ctx: Arc::clone(&self.ctx),
+                parts: Arc::new((0..self.parts.len()).map(|_| Vec::new()).collect()),
+            };
+        }
+        let stage = self.ctx.current_stage();
+        let results: Vec<Result<TaskRun<Vec<U>>, EngineError>> =
+            par::map_indexed(&self.parts, |i, p| {
+                run_with_retry(fc, label, stage, i as u32, FaultSurface::NarrowTask, || f(i, p))
+            });
+        let mut runs: Vec<TaskRun<Vec<U>>> = Vec::with_capacity(results.len());
+        for r in results {
+            match r {
+                Ok(tr) => runs.push(tr),
+                Err(err) => {
+                    self.ctx.record_fault_event(
+                        "task.retries",
+                        stage,
+                        err.partition,
+                        err.attempts.len() as u64,
+                    );
+                    self.ctx.fail(err);
+                    return Dataset {
+                        ctx: Arc::clone(&self.ctx),
+                        parts: Arc::new((0..self.parts.len()).map(|_| Vec::new()).collect()),
+                    };
+                }
+            }
+        }
+        speculate(&self.ctx, fc, stage, &mut runs, |i| f(i, &self.parts[i]));
+        record_task_fault_events(&self.ctx, stage, &runs);
+        let samples: Vec<TaskSample> = runs.iter().map(|r| r.sample).collect();
+        let records: u64 = runs.iter().map(|r| r.out.len() as u64).sum();
+        let alloc = records * self.ctx.config().per_record_overhead_bytes;
+        self.ctx.record_tasks(label, &samples, records, alloc);
+        Dataset {
+            ctx: Arc::clone(&self.ctx),
+            parts: Arc::new(runs.into_iter().map(|r| r.out).collect()),
         }
     }
 
@@ -228,6 +291,9 @@ impl<T: Send + Sync + 'static> Dataset<T> {
     where
         T: GpfSerialize + Clone,
     {
+        if self.ctx.has_failed() {
+            return Vec::new();
+        }
         let kind = self.ctx.serializer();
         let t0 = now_ns();
         let per_partition: Vec<u64> =
@@ -279,6 +345,9 @@ impl<T: Send + Sync + 'static> Dataset<T> {
     where
         T: GpfSerialize + Clone,
     {
+        if let Some(fc) = self.ctx.faults() {
+            return self.barrier_via_disk_ft(label, fc);
+        }
         let kind = self.ctx.serializer();
         let t0 = now_ns();
         let bufs: Vec<Vec<u8>> = par::map(&self.parts, |p| serialize_batch(kind, p));
@@ -309,6 +378,86 @@ impl<T: Send + Sync + 'static> Dataset<T> {
         Dataset {
             ctx: Arc::clone(&self.ctx),
             parts: Arc::new(parts.into_iter().map(|(v, _)| v).collect()),
+        }
+    }
+
+    /// Fault-tolerant [`Dataset::barrier_via_disk`]: every spill buffer is
+    /// checksummed when written; on read-back a checksum, decode, or record
+    /// count mismatch recomputes the partition from the in-memory lineage
+    /// (`self` still holds the pre-spill partitions) instead of trusting the
+    /// corrupt bytes.
+    fn barrier_via_disk_ft(&self, label: &str, fc: &FaultConfig) -> Dataset<T>
+    where
+        T: GpfSerialize + Clone,
+    {
+        if self.ctx.has_failed() {
+            return Dataset {
+                ctx: Arc::clone(&self.ctx),
+                parts: Arc::new((0..self.parts.len()).map(|_| Vec::new()).collect()),
+            };
+        }
+        let kind = self.ctx.serializer();
+        let stage = self.ctx.current_stage();
+        let t0 = now_ns();
+        let mut bufs: Vec<Vec<u8>> = par::map(&self.parts, |p| serialize_batch(kind, p));
+        let sums: Vec<u64> = bufs.iter().map(|b| fnv64(b)).collect();
+        let ser_s = now_ns().saturating_sub(t0) as f64 * 1e-9;
+        // Inject spill corruption driver-side, after the checksums were
+        // taken over the correct bytes — detection must fire even when the
+        // flipped bit would still decode.
+        for (i, buf) in bufs.iter_mut().enumerate() {
+            if fc.plan.decide(stage, i as u32, 0, FaultSurface::Spill)
+                == Some(FaultKind::CorruptSpill)
+                && corrupt_bit(buf, fc.plan.corruption_salt(stage, i as u32))
+            {
+                self.ctx.record_fault_event("fault.injected", stage, i as u32, 1);
+            }
+        }
+        let bytes: Vec<u64> = bufs.iter().map(|b| b.len() as u64).collect();
+        self.ctx.record_serde(ser_s);
+        self.ctx.close_stage_shuffle(label, bytes.clone(), bytes.clone());
+        let read_stage = self.ctx.current_stage();
+        let t1 = now_ns();
+        let expected: Vec<usize> = self.parts.iter().map(Vec::len).collect();
+        let parts: Vec<(Vec<T>, TaskSample, u64)> = par::map_range(bufs.len(), |i| {
+            let start_ns = now_ns();
+            let t = TaskTimer::start();
+            let ok = fnv64(&bufs[i]) == sums[i];
+            let decoded: Option<Vec<T>> = if ok {
+                match deserialize_batch(kind, &bufs[i]) {
+                    Ok(items) if items.len() == expected[i] => Some(items),
+                    _ => None,
+                }
+            } else {
+                None
+            };
+            let (items, recomputed) = match decoded {
+                Some(items) => (items, 0u64),
+                // Lineage recompute: the pre-spill partition is still
+                // resident, so a lost spill costs one clone, not a rerun.
+                None => (self.parts[i].clone(), 1u64),
+            };
+            let cpu_s = t.elapsed_s();
+            (
+                items,
+                TaskSample { cpu_s, start_ns, end_ns: now_ns(), tid: current_tid() },
+                recomputed,
+            )
+        });
+        for (i, (_, _, rec)) in parts.iter().enumerate() {
+            if *rec > 0 {
+                self.ctx.record_fault_event("shuffle.recomputed", read_stage, i as u32, *rec);
+            }
+        }
+        let de_samples: Vec<TaskSample> = parts.iter().map(|(_, s, _)| *s).collect();
+        let records: u64 = parts.iter().map(|(v, _, _)| v.len() as u64).sum();
+        let churn: u64 =
+            bytes.iter().sum::<u64>() + records * self.ctx.config().per_record_overhead_bytes;
+        self.ctx.record_tasks(&format!("{label}(read)"), &de_samples, records, churn);
+        self.ctx.record_serde(now_ns().saturating_sub(t1) as f64 * 1e-9);
+        Dataset {
+            ctx: Arc::clone(&self.ctx),
+            parts: Arc::new(parts.into_iter().map(|(v, _, _)| v).collect()),
         }
     }
 
@@ -526,6 +675,10 @@ struct BucketSeg {
     offset: usize,
     len: usize,
     records: usize,
+    /// FNV-1a over the segment's bytes when the shuffle runs under fault
+    /// tolerance; 0 (and unchecked) otherwise, so the fast path never pays
+    /// for hashing (DESIGN.md §11 documents this trade).
+    checksum: u64,
 }
 
 /// Output of one map-side shuffle task: every bucket serialized
@@ -593,6 +746,7 @@ fn plan_routes<T>(
 fn serialize_buckets<T: GpfSerialize>(
     kind: SerializerKind,
     buckets: &[Vec<T>],
+    with_checksum: bool,
 ) -> (Vec<u8>, Vec<BucketSeg>) {
     let mut data = scratch_take();
     let mut segs = Vec::with_capacity(buckets.len());
@@ -613,7 +767,9 @@ fn serialize_buckets<T: GpfSerialize>(
             by.record(len as u64);
             recs.record(b.len() as u64);
         }
-        segs.push(BucketSeg { offset, len, records: b.len() });
+        let checksum =
+            if with_checksum && len > 0 { fnv64(&data[offset..offset + len]) } else { 0 };
+        segs.push(BucketSeg { offset, len, records: b.len(), checksum });
     }
     if let Some((by, recs)) = &stats {
         gpf_trace::histogram("shuffle.bucket.bytes").merge(by);
@@ -629,9 +785,10 @@ fn finish_map_task<T: GpfSerialize>(
     buckets: Vec<Vec<T>>,
     bucket_s: f64,
     start_ns: u64,
+    with_checksum: bool,
 ) -> MapTaskOut {
     let t1 = TaskTimer::start();
-    let (data, segs) = serialize_buckets(kind, &buckets);
+    let (data, segs) = serialize_buckets(kind, &buckets, with_checksum);
     let ser_s = t1.elapsed_s();
     MapTaskOut {
         data,
@@ -643,6 +800,145 @@ fn finish_map_task<T: GpfSerialize>(
             tid: current_tid(),
         },
         ser_s,
+    }
+}
+
+/// A task that survived [`run_with_retry`]: its output plus the attempt
+/// history the retry loop accumulated.
+struct TaskRun<R> {
+    out: R,
+    sample: TaskSample,
+    /// Failed attempts, in order (empty when the first attempt succeeded).
+    attempts: Vec<AttemptRecord>,
+    /// Faults injected into this task (panics that were retried away plus
+    /// straggler delays).
+    injected: u32,
+}
+
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        format!("panic: {s}")
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        format!("panic: {s}")
+    } else {
+        "panic: <non-string payload>".to_string()
+    }
+}
+
+/// Run one task body under the fault plan: injected panics and real panics
+/// (captured via `catch_unwind`) consume attempts until the budget is
+/// exhausted; an injected straggler completes but with its measured window
+/// inflated by [`FaultConfig::straggler_extra_ns`] (accounting-only — no
+/// sleeping — which is what keeps chaos runs fast and deterministic).
+fn run_with_retry<R>(
+    fc: &FaultConfig,
+    label: &str,
+    stage: u32,
+    partition: u32,
+    surface: FaultSurface,
+    body: impl Fn() -> R,
+) -> Result<TaskRun<R>, EngineError> {
+    let mut attempts: Vec<AttemptRecord> = Vec::new();
+    let mut injected = 0u32;
+    let mut attempt = 0u32;
+    loop {
+        let backoff_ns = fc.backoff_ns(attempt);
+        let decision = fc.plan.decide(stage, partition, attempt, surface);
+        if decision == Some(FaultKind::TaskPanic) {
+            injected += 1;
+            attempts.push(AttemptRecord {
+                attempt,
+                cause: "injected: task panic".to_string(),
+                backoff_ns,
+            });
+        } else {
+            let start_ns = now_ns();
+            let t0 = TaskTimer::start();
+            match catch_unwind(AssertUnwindSafe(&body)) {
+                Ok(out) => {
+                    let mut cpu_s = t0.elapsed_s();
+                    let mut end_ns = now_ns();
+                    if decision == Some(FaultKind::Straggler) {
+                        injected += 1;
+                        end_ns = end_ns.saturating_add(fc.straggler_extra_ns);
+                        cpu_s += fc.straggler_extra_ns as f64 * 1e-9;
+                    }
+                    return Ok(TaskRun {
+                        out,
+                        sample: TaskSample { cpu_s, start_ns, end_ns, tid: current_tid() },
+                        attempts,
+                        injected,
+                    });
+                }
+                Err(payload) => {
+                    attempts.push(AttemptRecord {
+                        attempt,
+                        cause: panic_message(payload),
+                        backoff_ns,
+                    });
+                }
+            }
+        }
+        if attempt >= fc.max_task_retries {
+            return Err(EngineError { label: label.to_string(), stage, partition, attempts });
+        }
+        attempt += 1;
+    }
+}
+
+/// Speculative execution over a completed stage's tasks: any task whose
+/// measured window exceeds `speculation_multiplier ×` the stage median gets
+/// one clean (injection-free) duplicate, and the strictly faster finisher
+/// wins. Runs driver-side after the stage completes, which makes the winner
+/// deterministic — under MockClock and, for the injected-straggler case,
+/// under the real clock too (the injected delay dwarfs task jitter).
+fn speculate<R>(
+    ctx: &EngineContext,
+    fc: &FaultConfig,
+    stage: u32,
+    runs: &mut [TaskRun<R>],
+    rerun: impl Fn(usize) -> R,
+) {
+    if !fc.speculation || runs.len() < 2 {
+        return;
+    }
+    let mut durs: Vec<u64> =
+        runs.iter().map(|r| r.sample.end_ns.saturating_sub(r.sample.start_ns)).collect();
+    durs.sort_unstable();
+    let median = durs[durs.len() / 2];
+    if median == 0 {
+        return;
+    }
+    let threshold = (median as f64 * fc.speculation_multiplier) as u64;
+    for i in 0..runs.len() {
+        let dur = runs[i].sample.end_ns.saturating_sub(runs[i].sample.start_ns);
+        if dur <= threshold {
+            continue;
+        }
+        ctx.record_fault_event("spec.launched", stage, i as u32, 1);
+        let start_ns = now_ns();
+        let t0 = TaskTimer::start();
+        let out = rerun(i);
+        let cpu_s = t0.elapsed_s();
+        let end_ns = now_ns();
+        if end_ns.saturating_sub(start_ns) < dur {
+            runs[i].out = out;
+            runs[i].sample = TaskSample { cpu_s, start_ns, end_ns, tid: current_tid() };
+            ctx.record_fault_event("spec.won", stage, i as u32, 1);
+        }
+    }
+}
+
+/// Emit the per-task recovery events for a completed stage, driver-side so
+/// the session trace stays in deterministic order.
+fn record_task_fault_events<R>(ctx: &EngineContext, stage: u32, runs: &[TaskRun<R>]) {
+    for (i, r) in runs.iter().enumerate() {
+        if r.injected > 0 {
+            ctx.record_fault_event("fault.injected", stage, i as u32, r.injected as u64);
+        }
+        if !r.attempts.is_empty() {
+            ctx.record_fault_event("task.retries", stage, i as u32, r.attempts.len() as u64);
+        }
     }
 }
 
@@ -666,6 +962,9 @@ where
     T: GpfSerialize + Clone + Send + Sync + 'static,
 {
     assert!(nparts > 0, "shuffle needs at least one output partition");
+    if let Some(fc) = ctx.faults() {
+        return shuffle_ft(ctx, fc, parts, nparts, label, route);
+    }
     let kind = ctx.serializer();
     let records: u64 = parts.iter().map(|p| p.len() as u64).sum();
 
@@ -685,7 +984,7 @@ where
                 for (item, &r) in p.into_iter().zip(&routes) {
                     buckets[r as usize].push(item);
                 }
-                finish_map_task(kind, buckets, t0.elapsed_s(), start_ns)
+                finish_map_task(kind, buckets, t0.elapsed_s(), start_ns, false)
             })
         }
         Err(shared) => {
@@ -701,7 +1000,7 @@ where
                 for (item, &r) in p.iter().zip(&routes) {
                     buckets[r as usize].push(item.clone());
                 }
-                finish_map_task(kind, buckets, t0.elapsed_s(), start_ns)
+                finish_map_task(kind, buckets, t0.elapsed_s(), start_ns, false)
             })
         }
     };
@@ -730,11 +1029,19 @@ where
             if seg.len == 0 {
                 continue;
             }
-            deserialize_batch_into(kind, &m.data[seg.offset..seg.offset + seg.len], &mut out)
-                // gpf-lint: allow(no-panic): map-side serialize_batch_into
-                // produced this segment in the same shuffle; a decode
-                // failure is engine corruption, not an input error.
-                .expect("engine-produced buffer is valid");
+            let n =
+                deserialize_batch_into(kind, &m.data[seg.offset..seg.offset + seg.len], &mut out)
+                    // gpf-lint: allow(no-panic): map-side serialize_batch_into
+                    // produced this segment in the same shuffle; a decode
+                    // failure is engine corruption, not an input error.
+                    .expect("engine-produced buffer is valid");
+            // The pre-sizing above trusted the segment index; verify it
+            // against what actually decoded instead of silently mis-sizing.
+            assert_eq!(
+                n, seg.records,
+                "shuffle segment index records {} but {} decoded",
+                seg.records, n
+            );
         }
         let cpu_s = t0.elapsed_s();
         (out, TaskSample { cpu_s, start_ns, end_ns: now_ns(), tid: current_tid() })
@@ -753,6 +1060,163 @@ where
     Dataset {
         ctx: Arc::clone(ctx),
         parts: Arc::new(reduce_out.into_iter().map(|(v, _)| v).collect()),
+    }
+}
+
+/// Fault-tolerant [`shuffle`]: map tasks run under [`run_with_retry`] and
+/// speculate duplicates, every bucket segment is checksummed, and the
+/// reduce side recomputes any segment that fails its checksum, decode, or
+/// record-count check from the owning input partition (lineage = the
+/// routing closure + the input, which stays resident for exactly this).
+///
+/// Always takes the clone path — the input partitions must outlive the map
+/// side to serve as lineage, so the move optimization is deliberately
+/// traded away while faults are on.
+fn shuffle_ft<T>(
+    ctx: &Arc<EngineContext>,
+    fc: &FaultConfig,
+    parts: Arc<Vec<Vec<T>>>,
+    nparts: usize,
+    label: &str,
+    route: impl Fn(&T) -> usize + Send + Sync,
+) -> Dataset<T>
+where
+    T: GpfSerialize + Clone + Send + Sync + 'static,
+{
+    if ctx.has_failed() {
+        return Dataset {
+            ctx: Arc::clone(ctx),
+            parts: Arc::new((0..nparts).map(|_| Vec::new()).collect()),
+        };
+    }
+    let kind = ctx.serializer();
+    let stage = ctx.current_stage();
+    let lineage = parts;
+    let records: u64 = lineage.iter().map(|p| p.len() as u64).sum();
+
+    let map_body = |i: usize| -> MapTaskOut {
+        let p = &lineage[i];
+        let start_ns = now_ns();
+        let t0 = TaskTimer::start();
+        let (routes, counts) = plan_routes(p, nparts, &route);
+        let mut buckets: Vec<Vec<T>> = counts.iter().map(|&c| Vec::with_capacity(c)).collect();
+        for (item, &r) in p.iter().zip(&routes) {
+            buckets[r as usize].push(item.clone());
+        }
+        finish_map_task(kind, buckets, t0.elapsed_s(), start_ns, true)
+    };
+    let results: Vec<Result<TaskRun<MapTaskOut>, EngineError>> =
+        par::map_range(lineage.len(), |i| {
+            run_with_retry(fc, label, stage, i as u32, FaultSurface::ShuffleMap, || map_body(i))
+        });
+    let mut runs: Vec<TaskRun<MapTaskOut>> = Vec::with_capacity(results.len());
+    for r in results {
+        match r {
+            Ok(tr) => runs.push(tr),
+            Err(err) => {
+                ctx.record_fault_event(
+                    "task.retries",
+                    stage,
+                    err.partition,
+                    err.attempts.len() as u64,
+                );
+                ctx.fail(err);
+                return Dataset {
+                    ctx: Arc::clone(ctx),
+                    parts: Arc::new((0..nparts).map(|_| Vec::new()).collect()),
+                };
+            }
+        }
+    }
+    speculate(ctx, fc, stage, &mut runs, &map_body);
+
+    // Bucket corruption is injected driver-side, after the map side
+    // checksummed the correct bytes — the reduce-side verify must fire even
+    // if the flipped bit would still decode to something.
+    for (i, run) in runs.iter_mut().enumerate() {
+        if fc.plan.decide(stage, i as u32, 0, FaultSurface::ShuffleBucket)
+            != Some(FaultKind::CorruptBucket)
+        {
+            continue;
+        }
+        let m = &mut run.out;
+        let nonempty: Vec<usize> = (0..m.segs.len()).filter(|&j| m.segs[j].len > 0).collect();
+        if nonempty.is_empty() {
+            continue;
+        }
+        let salt = fc.plan.corruption_salt(stage, i as u32);
+        let seg = m.segs[nonempty[(salt % nonempty.len() as u64) as usize]];
+        if corrupt_bit(&mut m.data[seg.offset..seg.offset + seg.len], salt) {
+            run.injected += 1;
+        }
+    }
+    record_task_fault_events(ctx, stage, &runs);
+
+    let map_samples: Vec<TaskSample> = runs.iter().map(|r| r.sample).collect();
+    let ser_s: f64 = runs.iter().map(|r| r.out.ser_s).sum();
+    let map_out: Vec<MapTaskOut> = runs.into_iter().map(|r| r.out).collect();
+    let write_bytes: Vec<u64> = map_out.iter().map(|m| m.data.len() as u64).collect();
+    let read_bytes: Vec<u64> = (0..nparts)
+        .map(|t| map_out.iter().map(|m| m.segs[t].len as u64).sum())
+        .collect();
+    ctx.record_tasks(label, &map_samples, records, 0);
+    ctx.record_serde(ser_s);
+    ctx.close_stage_shuffle(label, write_bytes, read_bytes.clone());
+    let read_stage = ctx.current_stage();
+
+    // Reduce side: verify → decode → count-check every segment; any failure
+    // discards the segment's partial output and recomputes its records from
+    // the owning input partition (same routing closure, same order, so the
+    // recovered bytes are byte-identical to the lost ones).
+    let reduce_out: Vec<(Vec<T>, TaskSample, u64)> = par::map_range(nparts, |t| {
+        let start_ns = now_ns();
+        let t0 = TaskTimer::start();
+        let expected: usize = map_out.iter().map(|m| m.segs[t].records).sum();
+        let mut out: Vec<T> = Vec::with_capacity(expected);
+        let mut recomputes = 0u64;
+        for (mi, m) in map_out.iter().enumerate() {
+            let seg = m.segs[t];
+            if seg.len == 0 {
+                continue;
+            }
+            let base = out.len();
+            let bytes = &m.data[seg.offset..seg.offset + seg.len];
+            let ok = fnv64(bytes) == seg.checksum
+                && match deserialize_batch_into(kind, bytes, &mut out) {
+                    Ok(n) => n == seg.records,
+                    Err(_) => false,
+                };
+            if !ok {
+                out.truncate(base);
+                out.extend(lineage[mi].iter().filter(|item| route(item) == t).cloned());
+                recomputes += 1;
+            }
+        }
+        let cpu_s = t0.elapsed_s();
+        (
+            out,
+            TaskSample { cpu_s, start_ns, end_ns: now_ns(), tid: current_tid() },
+            recomputes,
+        )
+    });
+    for m in map_out {
+        scratch_put(m.data);
+    }
+    for (t, (_, _, rec)) in reduce_out.iter().enumerate() {
+        if *rec > 0 {
+            ctx.record_fault_event("shuffle.recomputed", read_stage, t as u32, *rec);
+        }
+    }
+    let de_samples: Vec<TaskSample> = reduce_out.iter().map(|(_, s, _)| *s).collect();
+    let de_s: f64 = de_samples.iter().map(|s| s.cpu_s).sum();
+    let out_records: u64 = reduce_out.iter().map(|(v, _, _)| v.len() as u64).sum();
+    let churn: u64 = read_bytes.iter().sum::<u64>()
+        + out_records * ctx.config().per_record_overhead_bytes;
+    ctx.record_tasks(&format!("{label}(read)"), &de_samples, out_records, churn);
+    ctx.record_serde(de_s);
+    Dataset {
+        ctx: Arc::clone(ctx),
+        parts: Arc::new(reduce_out.into_iter().map(|(v, _, _)| v).collect()),
     }
 }
 

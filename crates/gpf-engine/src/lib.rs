@@ -43,6 +43,7 @@ pub mod broadcast;
 pub mod config;
 pub mod context;
 pub mod dataset;
+pub mod fault;
 pub mod fsmodel;
 pub mod metrics;
 pub mod sim;
@@ -52,5 +53,6 @@ pub use broadcast::Broadcast;
 pub use config::EngineConfig;
 pub use context::EngineContext;
 pub use dataset::Dataset;
+pub use fault::{AttemptRecord, EngineError, FaultConfig, FaultKind, FaultPlan, FaultSite};
 pub use metrics::{JobRun, StageKind, StageMetrics};
 pub use sim::{BlockedTimeReport, SimCluster, SimOptions, SimResult};

@@ -3,7 +3,6 @@
 use std::sync::atomic::{AtomicUsize, Ordering};
 
 pub fn bump(counter: &AtomicUsize) -> usize {
-    let hint = "do not use Relaxed here";
-    let _ = hint;
+    let _hint = "do not use Relaxed here";
     counter.fetch_add(1, Ordering::SeqCst)
 }

@@ -1,0 +1,5 @@
+// Fixture: silently discarded results in engine/core code.
+pub fn lossy(res: Result<u64, String>, tx: std::sync::mpsc::Sender<u64>) {
+    let _ = tx.send(1);
+    res.ok();
+}

@@ -1,0 +1,19 @@
+// Fixture: results handled, renamed-combinator lookalikes, and an
+// explicitly justified discard.
+pub fn careful(res: Result<u64, String>) -> u64 {
+    match res {
+        Ok(v) => v,
+        Err(_) => 0,
+    }
+}
+
+pub fn lookalikes(res: Result<u64, u64>) -> u64 {
+    // `.ok_or(...)` / `.unwrap_or(...)` are not discards.
+    res.ok_or(7u64).unwrap_or(0)
+}
+
+pub fn annotated(tx: std::sync::mpsc::Sender<u64>) {
+    // gpf-lint: allow(swallowed-error): receiver hangup here means the
+    // session is already shutting down; nothing left to notify.
+    let _ = tx.send(1);
+}

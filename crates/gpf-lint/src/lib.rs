@@ -15,6 +15,7 @@
 //! | `thread-spawn` | `thread::spawn` only inside `gpf-support` (everyone else uses `gpf_support::par`) |
 //! | `hermetic-deps` | every manifest dependency is a workspace/path dep — nothing from crates.io |
 //! | `no-raw-print` | no `println!`/`eprintln!` in non-test library code — route output through `gpf_trace::sink` (binaries and the sink module itself are exempt) |
+//! | `swallowed-error` | no `let _ = ...` / `.ok()` discards in non-test `gpf-engine`/`gpf-core` code — the fault-tolerance layer relies on every error reaching `EngineContext::fail` |
 //!
 //! `assert!` / `debug_assert!` are deliberately *not* banned: stating an
 //! invariant is encouraged; what the `no-panic` rule bans is using a panic
@@ -61,6 +62,9 @@ pub enum Rule {
     /// No raw `println!`/`eprintln!` in library code; console output goes
     /// through `gpf_trace::sink` so one layer owns the terminal.
     NoRawPrint,
+    /// No silently discarded results (`let _ = ...`, `.ok()`) in the
+    /// engine/core crates: recovery decisions need every error surfaced.
+    SwallowedError,
 }
 
 impl Rule {
@@ -74,11 +78,12 @@ impl Rule {
             Rule::ThreadSpawn => "thread-spawn",
             Rule::HermeticDeps => "hermetic-deps",
             Rule::NoRawPrint => "no-raw-print",
+            Rule::SwallowedError => "swallowed-error",
         }
     }
 
     /// Every rule, in reporting order.
-    pub fn all() -> [Rule; 6] {
+    pub fn all() -> [Rule; 7] {
         [
             Rule::NoPanic,
             Rule::SafetyComment,
@@ -86,6 +91,7 @@ impl Rule {
             Rule::ThreadSpawn,
             Rule::HermeticDeps,
             Rule::NoRawPrint,
+            Rule::SwallowedError,
         ]
     }
 }
@@ -495,6 +501,9 @@ pub fn lint_source(file: &str, source: &str) -> Vec<Finding> {
     let mut findings = Vec::new();
     let in_par = file.ends_with("gpf-support/src/par.rs");
     let in_support = file.contains("gpf-support/");
+    // The crates where a dropped `Result` can hide a lost task or a corrupt
+    // shuffle segment from the recovery machinery.
+    let error_strict = file.contains("gpf-engine/") || file.contains("gpf-core/");
     // Binaries own their terminal; the sink module is where library output
     // funnels to. Everything else must go through the sink.
     let may_print = file.ends_with("/main.rs")
@@ -562,6 +571,28 @@ pub fn lint_source(file: &str, source: &str) -> Vec<Finding> {
                           scoped parallelism"
                     .to_string(),
             });
+        }
+        if error_strict {
+            let discards_binding = code.contains("let _ =")
+                || code.contains("let _=")
+                || code.contains("let _:")
+                || code.contains("let _ :");
+            let drops_result = code.contains(".ok()");
+            if (discards_binding || drops_result)
+                && !is_allowed(&masked, idx, Rule::SwallowedError)
+            {
+                let what = if discards_binding { "`let _ = ...`" } else { "`.ok()`" };
+                findings.push(Finding {
+                    rule: Rule::SwallowedError,
+                    file: file.to_string(),
+                    line: lineno,
+                    message: format!(
+                        "{what} silently discards a result in engine/core code; handle \
+                         the error, route it through EngineContext::fail, or annotate \
+                         `// gpf-lint: allow(swallowed-error): <why the drop is safe>`"
+                    ),
+                });
+            }
         }
         if !may_print {
             for tok in PRINT_TOKENS {

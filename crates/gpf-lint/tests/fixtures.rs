@@ -137,6 +137,35 @@ fn no_raw_print_negative() {
 }
 
 #[test]
+fn swallowed_error_positive() {
+    let f = lint_source(
+        "crates/gpf-engine/src/dataset.rs",
+        include_str!("../fixtures/swallowed_error_bad.rs"),
+    );
+    assert_eq!(rules_hit(&f), vec![Rule::SwallowedError]);
+    // One finding per discard: `let _ =`, `.ok()`.
+    assert_eq!(f.len(), 2, "{f:?}");
+    let lines: Vec<usize> = f.iter().map(|x| x.line).collect();
+    assert_eq!(lines, vec![3, 4]);
+}
+
+#[test]
+fn swallowed_error_negative() {
+    let f = lint_source(
+        "crates/gpf-core/src/pipeline.rs",
+        include_str!("../fixtures/swallowed_error_ok.rs"),
+    );
+    assert!(f.is_empty(), "{f:?}");
+    // The rule is scoped to the engine/core crates: the same discards are
+    // legal (if still ugly) elsewhere in the workspace.
+    let outside = lint_source(
+        "crates/gpf-bench/src/workload.rs",
+        include_str!("../fixtures/swallowed_error_bad.rs"),
+    );
+    assert!(outside.is_empty(), "{outside:?}");
+}
+
+#[test]
 fn hermetic_deps_positive() {
     let f = lint_manifest(
         "crates/x/Cargo.toml",

@@ -56,6 +56,15 @@ fn binary_exit_codes_gate_ci() {
     bad_source.push_str(include_str!("../fixtures/spawn_bad.rs"));
     bad_source.push_str(include_str!("../fixtures/no_raw_print_bad.rs"));
     std::fs::write(src_dir.join("lib.rs"), bad_source).expect("write bad source");
+    // `swallowed-error` is scoped to the engine/core crates, so its fixture
+    // must live under a matching path to register in the sweep.
+    let engine_src = scratch.join("crates/gpf-engine/src");
+    std::fs::create_dir_all(&engine_src).expect("scratch engine dir");
+    std::fs::write(
+        engine_src.join("lib.rs"),
+        include_str!("../fixtures/swallowed_error_bad.rs"),
+    )
+    .expect("write engine bad source");
 
     let dirty = Command::new(bin)
         .args(["--root", &scratch.display().to_string(), "--json"])

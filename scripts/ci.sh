@@ -61,4 +61,8 @@ echo "== codec/shuffle perf gates (codec >= 2x, shuffle >= 1.5x vs reference) ==
 rm -f BENCH_codec.json BENCH_shuffle.json
 cargo run --release --offline -p gpf-bench --bin experiments -- --smoke --codec-bench --shuffle-bench
 
+echo "== chaos gate (seeded fault plans must recover byte-identically) =="
+rm -f BENCH_chaos.json
+cargo run --release --offline -p gpf-bench --bin experiments -- --smoke --chaos 2018
+
 echo "CI OK"
