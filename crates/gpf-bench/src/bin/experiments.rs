@@ -28,6 +28,7 @@ fn main() {
     let mut trace_overhead = false;
     let mut codec_gate = false;
     let mut shuffle_gate = false;
+    let mut skew_gate = false;
     let mut chaos_seed: Option<u64> = None;
     let mut ids: Vec<String> = Vec::new();
     let mut i = 0;
@@ -55,6 +56,7 @@ fn main() {
             "--trace-overhead" => trace_overhead = true,
             "--codec-bench" => codec_gate = true,
             "--shuffle-bench" => shuffle_gate = true,
+            "--skew-bench" => skew_gate = true,
             "--chaos" => {
                 // Optional numeric SEED next-arg; omitted -> default seed.
                 chaos_seed = Some(match args.get(i + 1).and_then(|s| s.parse().ok()) {
@@ -80,6 +82,9 @@ fn main() {
                                     writes BENCH_codec.json, exit 3 if speedup < 2x\n\
                      --shuffle-bench: clone-free vs reference shuffle records/s;\n\
                                       writes BENCH_shuffle.json, exit 3 if speedup < 1.5x\n\
+                     --skew-bench: adaptive repartition vs static layout on the skewed\n\
+                                   workload; writes BENCH_skew.json, exit 3 if the\n\
+                                   straggler-tail cut < 1.3x or the outputs diverge\n\
                      --chaos [SEED]: run the WGS pipeline under seeded fault plans and\n\
                                      require byte-identical recovery; writes BENCH_chaos.json,\n\
                                      exit 3 on divergence or an unexpected task failure\n\
@@ -107,8 +112,8 @@ fn main() {
         measure_trace_overhead(scale);
         return;
     }
-    if codec_gate || shuffle_gate {
-        run_perf_gates(codec_gate, shuffle_gate, smoke);
+    if codec_gate || shuffle_gate || skew_gate {
+        run_perf_gates(codec_gate, shuffle_gate, skew_gate, smoke);
         return;
     }
     if let Some(seed) = chaos_seed {
@@ -228,11 +233,14 @@ fn measure_trace_overhead(scale: f64) {
     }
 }
 
-/// `--codec-bench` / `--shuffle-bench`: measure the hot-path codec and
-/// shuffle against their retained reference implementations, append the
-/// summary lines to `BENCH_codec.json` / `BENCH_shuffle.json`, and exit 3
-/// when either speedup falls below its floor (codec 2x, shuffle 1.5x).
-fn run_perf_gates(codec: bool, shuffle: bool, smoke: bool) {
+/// `--codec-bench` / `--shuffle-bench` / `--skew-bench`: measure the
+/// hot-path codec and shuffle against their retained reference
+/// implementations and the adaptive repartition against the static layout,
+/// append the summary lines to `BENCH_codec.json` / `BENCH_shuffle.json` /
+/// `BENCH_skew.json`, and exit 3 when any ratio falls below its floor
+/// (codec 2x, shuffle 1.5x, skew straggler-tail 1.3x — a skew ratio of
+/// 0.00 means the split run's output diverged from the unsplit run).
+fn run_perf_gates(codec: bool, shuffle: bool, skew: bool, smoke: bool) {
     let mut failed = false;
     let mut check = |report: gpf_bench::perf::GateReport, what: &str| {
         console_out(&report.json_line);
@@ -249,6 +257,9 @@ fn run_perf_gates(codec: bool, shuffle: bool, smoke: bool) {
     }
     if shuffle {
         check(gpf_bench::perf::shuffle_bench(smoke), "shuffle");
+    }
+    if skew {
+        check(gpf_bench::perf::skew_bench(smoke), "skew straggler-tail");
     }
     if failed {
         std::process::exit(3);

@@ -30,7 +30,7 @@ pub mod report;
 pub mod workload;
 
 pub use report::ExperimentReport;
-pub use workload::WgsWorkload;
+pub use workload::{SkewRun, SkewedWorkload, WgsWorkload};
 
 /// Scale factor from the `GPF_SCALE` env var (default 1.0).
 pub fn env_scale() -> f64 {

@@ -1,7 +1,7 @@
 //! Hot-path perf benchmarks and the ratio gates CI defends them with.
 //!
-//! Two entry points, wired to `experiments --codec-bench` and
-//! `--shuffle-bench`:
+//! Three entry points, wired to `experiments --codec-bench`,
+//! `--shuffle-bench`, and `--skew-bench`:
 //!
 //! * [`codec_bench`] — read-field encode/decode throughput (MB/s over raw
 //!   `seq+qual` bytes) of the word-level/table-driven codec vs the retained
@@ -12,6 +12,12 @@
 //!   [`Dataset::partition_by_reference`], measured as paired rounds so the
 //!   two sides always sample the same machine state. Appends one summary
 //!   line to `BENCH_shuffle.json`. Floor: **1.5×**.
+//! * [`skew_bench`] — the adaptive-repartition gate (paper §4.4): runs the
+//!   deterministic skewed workload unsplit and adaptively, checks the two
+//!   outputs are byte-identical, and holds the straggler-tail reduction
+//!   (max/median task CPU of the compute stage) to [`SKEW_FLOOR`]. Appends
+//!   one summary line — including 2048-core simulated makespans and the
+//!   64-piece-cap hits — to `BENCH_skew.json`.
 //!
 //! Both take real timings even under `--smoke` (smoke only shrinks the
 //! workload): a perf gate measured from a single untimed iteration would
@@ -19,13 +25,15 @@
 //! exits 3 when [`GateReport::passed`] is false — the same contract as
 //! `--trace-overhead`.
 
+use crate::workload::SkewedWorkload;
 use gpf_compress::qualcodec::QualityCodec;
 use gpf_compress::reference::{compress_read_fields_ref, decompress_read_fields_ref};
 use gpf_compress::sequence::{
     compress_read_fields, compress_read_fields_into, decompress_read_fields_into, CompressedRead,
     ReadCodecScratch,
 };
-use gpf_engine::{Dataset, EngineConfig, EngineContext};
+use gpf_engine::sim::simulate;
+use gpf_engine::{Dataset, EngineConfig, EngineContext, JobRun, SimCluster, SimOptions};
 use gpf_support::bench::{black_box, BenchmarkGroup, Criterion, Throughput};
 use gpf_support::rng::SplitMix64;
 use std::sync::Arc;
@@ -34,6 +42,9 @@ use std::sync::Arc;
 pub const CODEC_FLOOR: f64 = 2.0;
 /// Minimum accepted speedup of the clone-free shuffle over the reference.
 pub const SHUFFLE_FLOOR: f64 = 1.5;
+/// Minimum accepted straggler-tail (max/median task CPU) reduction of the
+/// adaptive repartition over the unsplit layout on the skewed workload.
+pub const SKEW_FLOOR: f64 = 1.3;
 
 /// Outcome of one perf gate: the JSON summary line that was appended to
 /// the `BENCH_*.json` artifact, and the measured worst-case ratio.
@@ -303,6 +314,71 @@ pub fn shuffle_bench(smoke: bool) -> GateReport {
     );
     append_artifact("BENCH_shuffle.json", &json_line);
     GateReport { json_line, worst_ratio: ratio, floor: SHUFFLE_FLOOR }
+}
+
+/// Straggler tail of the compute stage: max over median task CPU seconds.
+/// The compute stage is the last recorded stage (shuffle read + the fused
+/// pileup narrow op), so its per-task CPU is exactly the per-final-partition
+/// load the repartition is supposed to level.
+fn straggler_tail(run: &JobRun) -> (f64, f64) {
+    let Some(stage) = run.stages.last() else {
+        return (f64::INFINITY, f64::INFINITY);
+    };
+    let mut cpu: Vec<f64> = stage.task_cpu_s.clone();
+    if cpu.is_empty() {
+        return (f64::INFINITY, f64::INFINITY);
+    }
+    cpu.sort_unstable_by(|a, b| a.total_cmp(b));
+    let max = cpu[cpu.len() - 1];
+    let median = cpu[cpu.len() / 2].max(1e-12);
+    let p95 = cpu[(cpu.len() * 95 / 100).min(cpu.len() - 1)];
+    (max / median, p95)
+}
+
+/// Adaptive-repartition gate: the skewed workload run twice — once on the
+/// static base layout, once through the dynamic count-pass/split-table path
+/// — must (a) produce byte-identical canonical output (divergence zeroes
+/// the ratio, failing the gate outright) and (b) cut the compute stage's
+/// straggler tail by at least [`SKEW_FLOOR`]. The summary line also carries
+/// simulated 2048-core makespans of both runs and the split decision
+/// (splits, moved records, and any 64-piece cap hits — the cap is a
+/// reported signal here, never a silent truncation).
+pub fn skew_bench(smoke: bool) -> GateReport {
+    let scale = if smoke { 0.2 } else { 1.0 };
+    let w = SkewedWorkload::build(scale, 0x5e_2018);
+    let unsplit = w.run(false);
+    let adaptive = w.run(true);
+
+    let identical = unsplit.canonical == adaptive.canonical;
+    let (tail_unsplit, p95_unsplit) = straggler_tail(&unsplit.run);
+    let (tail_adaptive, p95_adaptive) = straggler_tail(&adaptive.run);
+    let tail_ratio = if identical { tail_unsplit / tail_adaptive } else { 0.0 };
+
+    let cluster = SimCluster::paper_cluster(2048);
+    let opts = SimOptions::default();
+    let makespan_unsplit = simulate(&unsplit.run, &cluster, &opts).makespan_s;
+    let makespan_adaptive = simulate(&adaptive.run, &cluster, &opts).makespan_s;
+
+    let json_line = format!(
+        "{{\"group\":\"skew\",\"bench\":\"gate\",\"records\":{},\
+         \"base_parts\":{},\"final_parts\":{},\
+         \"splits\":{},\"moved_records\":{},\"cap_hits\":{},\
+         \"identical\":{identical},\
+         \"tail_unsplit\":{tail_unsplit:.2},\"tail_adaptive\":{tail_adaptive:.2},\
+         \"tail_ratio\":{tail_ratio:.2},\
+         \"task_p95_unsplit_s\":{p95_unsplit:.4},\"task_p95_adaptive_s\":{p95_adaptive:.4},\
+         \"sim2048_makespan_unsplit_s\":{makespan_unsplit:.3},\
+         \"sim2048_makespan_adaptive_s\":{makespan_adaptive:.3},\
+         \"floor\":{SKEW_FLOOR},\"smoke\":{smoke}}}",
+        w.records.len(),
+        unsplit.n_partitions,
+        adaptive.n_partitions,
+        adaptive.splits,
+        adaptive.moved_records,
+        adaptive.cap_hits,
+    );
+    append_artifact("BENCH_skew.json", &json_line);
+    GateReport { json_line, worst_ratio: tail_ratio, floor: SKEW_FLOOR }
 }
 
 #[cfg(test)]

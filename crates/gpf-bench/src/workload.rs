@@ -236,3 +236,248 @@ impl WgsWorkload {
         pipeline.run(&self.pairs, &self.known)
     }
 }
+
+// ---------------------------------------------------------------------------
+// Skewed workload for the adaptive-repartition gate (paper §4.4)
+// ---------------------------------------------------------------------------
+
+use gpf_core::partition::PartitionInfo;
+use gpf_support::rng::{Rng, SeedableRng, StdRng};
+
+/// Pack a genomic locus into a shuffle key (contig in the high bits).
+fn pack_locus(contig: u32, pos: u64) -> u64 {
+    ((contig as u64) << 40) | pos
+}
+
+fn unpack_locus(key: u64) -> gpf_formats::GenomePosition {
+    gpf_formats::GenomePosition::new((key >> 40) as u32, key & ((1u64 << 40) - 1))
+}
+
+/// Deterministic skewed engine workload: one hotspot window on contig 0
+/// holds most records, with coverage decaying exponentially off the
+/// hotspot start (real WGS coverage is this uneven — a uniform model would
+/// make the skew gate trivial), over a uniform floor across the genome.
+/// Records are `(packed locus, payload)` pairs — the engine-level
+/// distillation of read routing, cheap enough to shuffle repeatedly yet
+/// skewed exactly like the pileup the caller sees.
+pub struct SkewedWorkload {
+    /// `(packed locus, payload)` records (see [`pack_locus`]).
+    pub records: Vec<(u64, u64)>,
+    /// Contig lengths of the synthetic genome.
+    pub contig_lengths: Vec<u64>,
+    /// Base partition length handed to [`PartitionInfo::new`].
+    pub partition_len: u64,
+    /// Engine partitions of the input dataset.
+    pub input_parts: usize,
+}
+
+/// Result of one [`SkewedWorkload::run`].
+pub struct SkewRun {
+    /// Engine-recorded job (the compute stage's task CPU distribution is
+    /// the straggler-tail input; feed the run to `sim` for makespans).
+    pub run: JobRun,
+    /// Per-base-partition canonical output bytes: final partitions grouped
+    /// back to their base partition, concatenated, sorted, serialized.
+    /// Identical across split and unsplit runs iff the repartition changed
+    /// placement only.
+    pub canonical: Vec<Vec<u8>>,
+    /// Final partition count (== base count when unsplit).
+    pub n_partitions: usize,
+    /// Base partitions split ([`gpf_core::partition::SplitStats`]).
+    pub splits: u64,
+    /// Records living in split partitions.
+    pub moved_records: u64,
+    /// Partitions truncated by the 64-piece cap.
+    pub cap_hits: u64,
+}
+
+impl SkewedWorkload {
+    /// Build the workload. `scale = 1.0` is ~48k records over a 1.2 Mb
+    /// genome in 96 base partitions, with ~55% of records inside one
+    /// partition-length hotspot window.
+    pub fn build(scale: f64, seed: u64) -> Self {
+        let contig_lengths = vec![600_000u64, 400_000, 200_000];
+        let partition_len = 12_500u64; // 1.2 Mb / 12.5 kb = 96 base partitions
+        let genome: u64 = contig_lengths.iter().sum();
+        let n = ((48_000.0 * scale) as usize).max(4_000);
+        let hot_start = 17 * partition_len; // inside contig 0
+        let mut rng = StdRng::seed_from_u64(seed);
+        let records = (0..n)
+            .map(|_| {
+                let (contig, pos) = if rng.gen_bool(0.55) {
+                    // Exponential coverage decay off the hotspot start;
+                    // mean partition_len/6 keeps ~99% inside one window.
+                    let u = rng.next_f64();
+                    let d = (-(1.0 - u).ln() * (partition_len as f64 / 6.0)) as u64;
+                    (0u32, (hot_start + d).min(contig_lengths[0] - 1))
+                } else {
+                    // Uniform floor: pick a genome offset, map to a contig.
+                    let mut off = rng.gen_range(0..genome);
+                    let mut contig = 0u32;
+                    for (c, &len) in contig_lengths.iter().enumerate() {
+                        if off < len {
+                            contig = c as u32;
+                            break;
+                        }
+                        off -= len;
+                    }
+                    (contig, off)
+                };
+                (pack_locus(contig, pos), rng.next_u64())
+            })
+            .collect();
+        Self { records, contig_lengths, partition_len, input_parts: 64 }
+    }
+
+    /// The unsplit base layout.
+    pub fn base_info(&self) -> PartitionInfo {
+        PartitionInfo::new(&self.contig_lengths, self.partition_len)
+    }
+
+    /// Shuffle into genomic partitions (adaptive split table or static base
+    /// layout), run a pileup-shaped compute stage, and canonicalize the
+    /// output per base partition.
+    ///
+    /// `adaptive` opts the engine config into
+    /// [`EngineConfig::with_adaptive_skew`] with the automatic threshold,
+    /// and the run routes through `Dataset::into_partition_by_adaptive`:
+    /// count pass, driver-side [`PartitionInfo::with_splits_stats`], split
+    /// table broadcast, shuffle through final ids.
+    pub fn run(&self, adaptive: bool) -> SkewRun {
+        let base = self.base_info();
+        let nbase = base.num_partitions() as usize;
+        let cfg = EngineConfig::gpf().with_parallelism(self.input_parts);
+        let cfg = if adaptive { cfg.with_adaptive_skew(0) } else { cfg };
+        let ctx = EngineContext::new(cfg);
+        let d = Dataset::from_vec(Arc::clone(&ctx), self.records.clone(), self.input_parts);
+
+        let mut stats = (0u64, 0u64, 0u64);
+        let final_info: PartitionInfo;
+        let shuffled = match ctx.config().adaptive_skew {
+            Some(threshold_cfg) => {
+                let slot = Arc::new(gpf_support::sync::Mutex::new(None));
+                let slot_w = Arc::clone(&slot);
+                let base_c = base.clone();
+                let base_r = base.clone();
+                let ctx_b = Arc::clone(&ctx);
+                let out = d.into_partition_by_adaptive(
+                    nbase,
+                    move |kv: &(u64, u64)| base_c.partition_id(unpack_locus(kv.0)) as usize,
+                    move |counts| {
+                        let pairs: Vec<(u32, u64)> =
+                            counts.iter().enumerate().map(|(i, &c)| (i as u32, c)).collect();
+                        let threshold = if threshold_cfg == 0 {
+                            (counts.iter().sum::<u64>() / nbase as u64 / 2).max(1)
+                        } else {
+                            threshold_cfg
+                        };
+                        let (info, s) = base_r.with_splits_stats(&pairs, threshold);
+                        let _b = ctx_b.broadcast(info.clone());
+                        *slot_w.lock() = Some((info.clone(), s));
+                        gpf_engine::RebalancePlan {
+                            n_final: info.num_partitions() as usize,
+                            route: Box::new(move |kv: &(u64, u64)| {
+                                info.partition_id(unpack_locus(kv.0)) as usize
+                            }),
+                            splits: s.splits as u64,
+                            moved_records: s.moved_records,
+                            cap_hits: s.cap_hits as u64,
+                        }
+                    },
+                );
+                let (info, s) = slot
+                    .lock()
+                    .take()
+                    // gpf-lint: allow(no-panic): the rebalance closure runs
+                    // synchronously inside into_partition_by_adaptive; an
+                    // empty slot is engine breakage, not a workload error.
+                    .expect("rebalance closure filled the split-table slot");
+                stats = (s.splits as u64, s.moved_records, s.cap_hits as u64);
+                final_info = info;
+                out
+            }
+            None => {
+                let base_c = base.clone();
+                final_info = base.clone();
+                d.into_partition_by(nbase, move |kv: &(u64, u64)| {
+                    base_c.partition_id(unpack_locus(kv.0)) as usize
+                })
+            }
+        };
+
+        // Pileup-shaped compute: a per-record hash chain, so a task's CPU
+        // time is proportional to partition depth — the quantity whose max
+        // over median is the straggler tail the gate holds.
+        let computed = shuffled.narrow_op("pileup", |_, p| {
+            p.iter()
+                .map(|&(k, v)| {
+                    let mut h = k ^ v;
+                    for _ in 0..256 {
+                        h = h.wrapping_mul(0x9e37_79b9_7f4a_7c15).rotate_left(29) ^ k;
+                    }
+                    (k, h)
+                })
+                .collect()
+        });
+
+        // Canonicalize per base partition: split pieces occupy contiguous
+        // final ids, so grouping + sorting erases placement differences and
+        // leaves only content.
+        let canonical: Vec<Vec<u8>> = (0..nbase as u32)
+            .map(|b| {
+                let mut group: Vec<(u64, u64)> = final_info
+                    .final_range_of_base(b)
+                    .flat_map(|t| computed.partition(t as usize).to_vec())
+                    .collect();
+                group.sort_unstable();
+                let mut bytes = Vec::with_capacity(group.len() * 16);
+                for (k, v) in group {
+                    bytes.extend_from_slice(&k.to_le_bytes());
+                    bytes.extend_from_slice(&v.to_le_bytes());
+                }
+                bytes
+            })
+            .collect();
+
+        SkewRun {
+            run: ctx.take_run(),
+            canonical,
+            n_partitions: final_info.num_partitions() as usize,
+            splits: stats.0,
+            moved_records: stats.1,
+            cap_hits: stats.2,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn skewed_workload_is_seed_deterministic() {
+        let a = SkewedWorkload::build(0.1, 0x2018);
+        let b = SkewedWorkload::build(0.1, 0x2018);
+        assert_eq!(a.records, b.records, "same seed must reproduce records byte-identically");
+        let c = SkewedWorkload::build(0.1, 0x2019);
+        assert_ne!(a.records, c.records, "a different seed must actually change the workload");
+        // And the full adaptive run is deterministic end-to-end.
+        let r1 = a.run(true);
+        let r2 = b.run(true);
+        assert_eq!(r1.canonical, r2.canonical);
+        assert_eq!(r1.n_partitions, r2.n_partitions);
+        assert_eq!((r1.splits, r1.moved_records, r1.cap_hits), (r2.splits, r2.moved_records, r2.cap_hits));
+    }
+
+    #[test]
+    fn adaptive_skew_run_splits_hotspot_and_preserves_output() {
+        let w = SkewedWorkload::build(0.1, 7);
+        let unsplit = w.run(false);
+        let adaptive = w.run(true);
+        assert_eq!(unsplit.n_partitions, w.base_info().num_partitions() as usize);
+        assert!(adaptive.n_partitions > unsplit.n_partitions, "hotspot must split");
+        assert!(adaptive.splits >= 1);
+        assert!(adaptive.moved_records > 0);
+        assert_eq!(adaptive.canonical, unsplit.canonical, "split must change placement only");
+    }
+}

@@ -24,6 +24,31 @@ pub struct SplitEntry {
     pub start_id: u32,
 }
 
+/// Maximum pieces one base partition may split into. Bounds the final
+/// partition count against a degenerate count distribution (one partition
+/// holding nearly every read would otherwise explode the task count);
+/// [`SplitStats::cap_hits`] reports when the bound actually binds.
+pub const MAX_SPLIT_PIECES: u32 = 64;
+
+/// Statistics of one [`PartitionInfo::with_splits_stats`] rebalance
+/// decision — what the engine's `repartition.*` trace counters and the
+/// skew-bench report surface.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SplitStats {
+    /// Base partitions that were split.
+    pub splits: u32,
+    /// Records living in split partitions (the reads whose partition id
+    /// changes relative to the base layout).
+    pub moved_records: u64,
+    /// Partitions whose needed piece count exceeded [`MAX_SPLIT_PIECES`]
+    /// and were truncated to it — a partition this hot stays overloaded
+    /// even after splitting, so the cap firing silently would hide the
+    /// exact stragglers splitting exists to remove.
+    pub cap_hits: u32,
+    /// Largest piece count any partition asked for before capping.
+    pub max_pieces_requested: u64,
+}
+
 /// The position → partition-id map.
 #[derive(Debug, Clone, PartialEq)]
 pub struct PartitionInfo {
@@ -109,12 +134,30 @@ impl PartitionInfo {
     /// `counts` are `(base partition id, reads)` pairs as returned by the
     /// driver's reduce (absent ids count 0).
     pub fn with_splits(&self, counts: &[(u32, u64)], threshold: u64) -> Self {
+        self.with_splits_stats(counts, threshold).0
+    }
+
+    /// [`PartitionInfo::with_splits`] plus the decision's [`SplitStats`].
+    ///
+    /// The stats are what makes the [`MAX_SPLIT_PIECES`] cap observable:
+    /// callers feed them into the `repartition.splits` /
+    /// `repartition.moved_records` / `repartition.cap_hit` trace counters
+    /// instead of truncating silently.
+    pub fn with_splits_stats(&self, counts: &[(u32, u64)], threshold: u64) -> (Self, SplitStats) {
         assert!(threshold > 0);
         let n_base = self.num_base_partitions();
         let mut split_count = vec![1u32; n_base as usize];
+        let mut stats = SplitStats::default();
         for &(id, count) in counts {
             if (id as usize) < split_count.len() && count > threshold {
-                split_count[id as usize] = count.div_ceil(threshold).min(64) as u32;
+                let need = count.div_ceil(threshold);
+                stats.max_pieces_requested = stats.max_pieces_requested.max(need);
+                if need > MAX_SPLIT_PIECES as u64 {
+                    stats.cap_hits += 1;
+                }
+                split_count[id as usize] = need.min(MAX_SPLIT_PIECES as u64) as u32;
+                stats.splits += 1;
+                stats.moved_records += count;
             }
         }
         let mut out = self.clone();
@@ -128,7 +171,20 @@ impl PartitionInfo {
             next += sc;
         }
         out.total_final = next;
-        out
+        (out, stats)
+    }
+
+    /// Final partition ids owned by a base partition — a one-element range
+    /// when the partition is unsplit, `split_count` consecutive ids when
+    /// split. Lets callers reconstruct the base layout from a split one
+    /// (the split-vs-unsplit differential tests group outputs this way).
+    ///
+    /// # Panics
+    /// Panics when `base_id` is out of range.
+    pub fn final_range_of_base(&self, base_id: u32) -> std::ops::Range<u32> {
+        let start = self.final_id_of_base[base_id as usize];
+        let pieces = self.splits.get(&base_id).map(|e| e.split_count).unwrap_or(1);
+        start..start + pieces
     }
 
     /// The genomic interval of a *base* partition id.
@@ -342,7 +398,41 @@ mod tests {
     #[test]
     fn split_cap_prevents_explosion() {
         let pi = PartitionInfo::new(&[1000], 100);
-        let split = pi.with_splits(&[(0, u64::MAX / 2)], 1);
-        assert_eq!(split.splits[&0].split_count, 64, "cap at 64 pieces");
+        let (split, stats) = pi.with_splits_stats(&[(0, u64::MAX / 2)], 1);
+        assert_eq!(split.splits[&0].split_count, MAX_SPLIT_PIECES, "cap at 64 pieces");
+        assert_eq!(stats.cap_hits, 1, "the cap firing is reported, not silent");
+        assert_eq!(stats.max_pieces_requested, u64::MAX / 2);
+    }
+
+    #[test]
+    fn split_stats_report_the_decision() {
+        let pi = PartitionInfo::new(&[1000, 500], 100);
+        let counts = vec![(2u32, 5000u64), (12u32, 2500u64), (7u32, 100u64)];
+        let (split, stats) = pi.with_splits_stats(&counts, 1000);
+        assert_eq!(split.splits.len(), 2);
+        assert_eq!(stats.splits, 2);
+        assert_eq!(stats.moved_records, 7500, "only over-threshold partitions move");
+        assert_eq!(stats.cap_hits, 0);
+        assert_eq!(stats.max_pieces_requested, 5);
+        // No over-threshold partition: identity plus zeroed stats.
+        let (same, none) = pi.with_splits_stats(&[(3, 50)], 1000);
+        assert!(same.splits.is_empty());
+        assert_eq!(none, SplitStats::default());
+    }
+
+    #[test]
+    fn final_ranges_tile_final_ids() {
+        let pi = PartitionInfo::new(&[1000, 500], 100);
+        let split = pi.with_splits(&[(2u32, 5000u64), (12u32, 2500u64)], 1000);
+        let mut next = 0u32;
+        for base in 0..split.num_base_partitions() {
+            let r = split.final_range_of_base(base);
+            assert_eq!(r.start, next, "ranges are consecutive");
+            next = r.end;
+        }
+        assert_eq!(next, split.num_partitions(), "ranges tile 0..n_final");
+        assert_eq!(split.final_range_of_base(2).len(), 5);
+        assert_eq!(split.final_range_of_base(12).len(), 3);
+        assert_eq!(split.final_range_of_base(0).len(), 1);
     }
 }

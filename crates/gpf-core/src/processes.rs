@@ -231,6 +231,15 @@ impl Process for ReadRepartitioner {
 
     fn execute(&self, ctx: &Arc<EngineContext>) {
         let base = PartitionInfo::new(&self.reference_lengths, self.advised_partition_length);
+        // Under adaptive skew the split decision moves into the shuffle
+        // itself (`build_bundles` counts live data mid-run), so the static
+        // pre-pass would be paid twice for a table that gets recomputed
+        // anyway: publish the unsplit base layout and stop here.
+        if ctx.config().adaptive_skew.is_some() {
+            let _b = ctx.broadcast(base.clone());
+            self.output.define(base);
+            return;
+        }
         // Tuple (partition id, 1), reduced and collected to the driver —
         // §4.4's second step verbatim.
         let mut counts: std::collections::HashMap<u32, u64> = std::collections::HashMap::new();
@@ -254,7 +263,8 @@ impl Process for ReadRepartitioner {
             let total: u64 = count_vec.iter().map(|&(_, c)| c).sum();
             (total / base.num_base_partitions().max(1) as u64 / 2).max(1)
         });
-        let info = base.with_splits(&count_vec, threshold);
+        let (info, stats) = base.with_splits_stats(&count_vec, threshold);
+        ctx.record_repartition(stats.splits as u64, stats.moved_records, stats.cap_hits as u64);
         // The per-contig start-id table is broadcast to executors (§4.4's
         // `SparkContext.broadcast(x)`).
         let _b = ctx.broadcast(info.clone());

@@ -29,6 +29,14 @@ pub struct EngineConfig {
     /// whole fault path — no injection, no checksums, no retry machinery —
     /// so pipelines that don't opt in pay nothing.
     pub faults: Option<FaultConfig>,
+    /// Adaptive skew mitigation (the paper's §4.4 dynamic repartition).
+    /// `None` (the default) keeps every shuffle on its static layout.
+    /// `Some(n)` enables the count-pass + split-table path on adaptive
+    /// shuffles: a partition holding more than `n` records is split.
+    /// `Some(0)` means "auto": the threshold becomes half the mean
+    /// partition load, the same heuristic the static `ReadRepartitioner`
+    /// uses.
+    pub adaptive_skew: Option<u64>,
 }
 
 impl EngineConfig {
@@ -60,6 +68,15 @@ impl EngineConfig {
         self.faults = Some(faults);
         self
     }
+
+    /// Enable adaptive skew mitigation: shuffles routed through the
+    /// adaptive path count records per base partition and split partitions
+    /// holding more than `threshold` records. `0` selects the automatic
+    /// threshold (half the mean partition load).
+    pub fn with_adaptive_skew(mut self, threshold: u64) -> Self {
+        self.adaptive_skew = Some(threshold);
+        self
+    }
 }
 
 impl Default for EngineConfig {
@@ -70,6 +87,7 @@ impl Default for EngineConfig {
             gc_seconds_per_byte: 25.0 / (1u64 << 30) as f64,
             per_record_overhead_bytes: 48,
             faults: None,
+            adaptive_skew: None,
         }
     }
 }
@@ -95,6 +113,15 @@ mod tests {
     #[should_panic(expected = "positive")]
     fn zero_parallelism_rejected() {
         let _ = EngineConfig::default().with_parallelism(0);
+    }
+
+    #[test]
+    fn adaptive_skew_default_off_and_opt_in() {
+        assert!(EngineConfig::default().adaptive_skew.is_none());
+        let auto = EngineConfig::gpf().with_adaptive_skew(0);
+        assert_eq!(auto.adaptive_skew, Some(0));
+        let fixed = EngineConfig::gpf().with_adaptive_skew(5000);
+        assert_eq!(fixed.adaptive_skew, Some(5000));
     }
 
     #[test]

@@ -393,6 +393,34 @@ impl EngineContext {
         self.trace.push(ev);
     }
 
+    /// Record one adaptive-repartition decision (the paper's §4.4 dynamic
+    /// split). Bumps the global `repartition.splits` /
+    /// `repartition.moved_records` counters (and `repartition.cap_hit` when
+    /// the 64-piece cap actually bound), and drops one scheduler instant
+    /// into the session trace so the timeline shows *when* the driver
+    /// rebalanced. Counters are unconditional for the same reason as
+    /// [`EngineContext::record_fault_event`]: this path only runs when
+    /// `adaptive_skew` is configured, so tests read them without toggling
+    /// ambient tracing.
+    pub fn record_repartition(&self, splits: u64, moved_records: u64, cap_hits: u64) {
+        gpf_trace::counter("repartition.splits").add(splits);
+        gpf_trace::counter("repartition.moved_records").add(moved_records);
+        if cap_hits > 0 {
+            gpf_trace::counter("repartition.cap_hit").add(cap_hits);
+        }
+        let ev = self.ev(
+            EventKind::Instant,
+            Arc::from("repartition.split"),
+            Category::Scheduler,
+            vec![
+                (Arc::from("splits"), splits),
+                (Arc::from("moved"), moved_records),
+                (Arc::from("cap_hits"), cap_hits),
+            ],
+        );
+        self.trace.push(ev);
+    }
+
     /// Finish recording: derives the job from the session trace and resets
     /// the log for the next job.
     pub fn take_run(&self) -> JobRun {
@@ -510,6 +538,40 @@ mod tests {
         assert_eq!(again.stages[0].shuffle_write_bytes, run.stages[0].shuffle_write_bytes);
         // The log itself was drained.
         assert!(ctx.trace_log().is_empty());
+    }
+
+    #[test]
+    fn record_repartition_emits_counters_and_instant() {
+        let before_splits = gpf_trace::counters_snapshot()
+            .iter()
+            .find(|(n, _)| *n == "repartition.splits")
+            .map(|(_, v)| *v)
+            .unwrap_or(0);
+        let before_cap = gpf_trace::counters_snapshot()
+            .iter()
+            .find(|(n, _)| *n == "repartition.cap_hit")
+            .map(|(_, v)| *v)
+            .unwrap_or(0);
+        let ctx = EngineContext::default_ctx();
+        ctx.record_repartition(3, 12_000, 0);
+        ctx.record_repartition(1, 500, 2);
+        let (_, trace) = ctx.take_run_traced();
+        let instants: Vec<&Event> = trace
+            .events
+            .iter()
+            .filter(|e| &*e.name == "repartition.split")
+            .collect();
+        assert_eq!(instants.len(), 2);
+        assert_eq!(instants[0].counter("splits"), Some(3));
+        assert_eq!(instants[0].counter("moved"), Some(12_000));
+        assert_eq!(instants[1].counter("cap_hits"), Some(2));
+        let snap = gpf_trace::counters_snapshot();
+        let splits_now =
+            snap.iter().find(|(n, _)| *n == "repartition.splits").map(|(_, v)| *v).unwrap_or(0);
+        let cap_now =
+            snap.iter().find(|(n, _)| *n == "repartition.cap_hit").map(|(_, v)| *v).unwrap_or(0);
+        assert_eq!(splits_now - before_splits, 4);
+        assert_eq!(cap_now - before_cap, 2);
     }
 
     #[test]

@@ -503,6 +503,42 @@ impl<T: Send + Sync + 'static> Dataset<T> {
     {
         shuffle_reference(&self.ctx, &self.parts, nparts, "partitionBy", route)
     }
+
+    /// Adaptive repartition — the paper's §4.4 dynamic split, engine side.
+    ///
+    /// Counts records per *base* partition (a narrow pass recorded into the
+    /// same stage as the shuffle map that follows, the Spark-AQE "map
+    /// statistics" shape), hands the aggregated counts to `rebalance` on
+    /// the driver, then runs the real shuffle through the final
+    /// (post-split) routing the returned [`RebalancePlan`] carries. The
+    /// plan's split stats land in the `repartition.*` trace counters.
+    pub fn partition_by_adaptive(
+        &self,
+        nbase: usize,
+        route_base: impl Fn(&T) -> usize + Send + Sync,
+        rebalance: impl FnOnce(&[u64]) -> RebalancePlan<T>,
+    ) -> Dataset<T>
+    where
+        T: GpfSerialize + Clone,
+    {
+        adaptive_shuffle(&self.ctx, Arc::clone(&self.parts), nbase, route_base, rebalance)
+    }
+
+    /// Consuming [`Dataset::partition_by_adaptive`]: the count pass still
+    /// borrows the partitions, but the shuffle that follows moves records
+    /// into buckets when this handle held the last reference.
+    pub fn into_partition_by_adaptive(
+        self,
+        nbase: usize,
+        route_base: impl Fn(&T) -> usize + Send + Sync,
+        rebalance: impl FnOnce(&[u64]) -> RebalancePlan<T>,
+    ) -> Dataset<T>
+    where
+        T: GpfSerialize + Clone,
+    {
+        let Dataset { ctx, parts } = self;
+        adaptive_shuffle(&ctx, parts, nbase, route_base, rebalance)
+    }
 }
 
 impl<K, V> Dataset<(K, V)>
@@ -940,6 +976,88 @@ fn record_task_fault_events<R>(ctx: &EngineContext, stage: u32, runs: &[TaskRun<
             ctx.record_fault_event("task.retries", stage, i as u32, r.attempts.len() as u64);
         }
     }
+}
+
+/// A driver-side rebalance decision: the final (post-split) layout an
+/// adaptive shuffle routes through, plus the decision stats the engine
+/// reports via the `repartition.*` trace counters.
+///
+/// Produced by the `rebalance` callback of
+/// [`Dataset::partition_by_adaptive`] from the aggregated per-base-partition
+/// record counts. The engine stays split-table-agnostic on purpose: callers
+/// (gpf-core, the bench workloads, tests) build the routing from
+/// `PartitionInfo::with_splits_stats` or any equivalent table, and the
+/// engine only needs the final partition count and a routing closure.
+pub struct RebalancePlan<T> {
+    /// Number of final (post-split) partitions the shuffle writes to.
+    pub n_final: usize,
+    /// Routes a record to its final partition id in `0..n_final`.
+    pub route: Box<dyn Fn(&T) -> usize + Send + Sync>,
+    /// Base partitions the decision split.
+    pub splits: u64,
+    /// Records living in split partitions (their id changed vs the base
+    /// layout).
+    pub moved_records: u64,
+    /// Partitions whose requested piece count was truncated by the
+    /// 64-piece cap — surfaced so a too-hot-to-fix partition never
+    /// truncates silently.
+    pub cap_hits: u64,
+}
+
+/// Adaptive shuffle (paper §4.4): count → driver rebalance → shuffle.
+///
+/// The count pass is recorded as a narrow op into the *open* stage, so the
+/// statistics cost shows up in the same stage as the shuffle map tasks —
+/// mirroring where Spark's AQE pays for its map statistics. Driver
+/// aggregation between the two passes is a plain vector sum. The data
+/// movement itself delegates to [`shuffle`] with the plan's final routing,
+/// which means the fault-tolerant path ([`shuffle_ft`]) and its lineage
+/// recompute automatically resolve *final* partition ids — a corrupted
+/// bucket on a split piece recomputes exactly that piece.
+fn adaptive_shuffle<T>(
+    ctx: &Arc<EngineContext>,
+    parts: Arc<Vec<Vec<T>>>,
+    nbase: usize,
+    route_base: impl Fn(&T) -> usize + Send + Sync,
+    rebalance: impl FnOnce(&[u64]) -> RebalancePlan<T>,
+) -> Dataset<T>
+where
+    T: GpfSerialize + Clone + Send + Sync + 'static,
+{
+    assert!(nbase > 0, "adaptive shuffle needs at least one base partition");
+    if ctx.has_failed() {
+        return Dataset {
+            ctx: Arc::clone(ctx),
+            parts: Arc::new((0..nbase).map(|_| Vec::new()).collect()),
+        };
+    }
+    // Count pass: per-map-partition histograms over base ids.
+    let hists: Vec<(Vec<u64>, TaskSample)> = par::map(&parts, |p| {
+        let start_ns = now_ns();
+        let t0 = TaskTimer::start();
+        let mut h = vec![0u64; nbase];
+        for item in p {
+            let r = route_base(item);
+            assert!(r < nbase, "base route {r} out of range ({nbase} base partitions)");
+            h[r] += 1;
+        }
+        (h, TaskSample { cpu_s: t0.elapsed_s(), start_ns, end_ns: now_ns(), tid: current_tid() })
+    });
+    let samples: Vec<TaskSample> = hists.iter().map(|(_, s)| *s).collect();
+    let records: u64 = parts.iter().map(|p| p.len() as u64).sum();
+    ctx.record_tasks("repartition.count", &samples, records, 0);
+    // Driver side: aggregate the histograms and let the caller decide the
+    // final layout from them.
+    let mut counts = vec![0u64; nbase];
+    for (h, _) in &hists {
+        for (c, &v) in counts.iter_mut().zip(h) {
+            *c += v;
+        }
+    }
+    let plan = rebalance(&counts);
+    assert!(plan.n_final > 0, "rebalance produced an empty final layout");
+    ctx.record_repartition(plan.splits, plan.moved_records, plan.cap_hits);
+    shuffle(ctx, parts, plan.n_final, "partitionByAdaptive", plan.route)
 }
 
 /// The shuffle: route, scatter, serialize, exchange, deserialize — with the
@@ -1547,6 +1665,76 @@ mod tests {
         }
         assert_eq!(bytes_ref, bytes_new, "shuffle byte accounting changed");
         assert_eq!(bytes_ref, bytes_mv, "move path byte accounting changed");
+    }
+
+    #[test]
+    fn adaptive_shuffle_counts_then_routes_final_ids() {
+        // 4 base partitions; base 1 is hot. The rebalance splits it in two:
+        // final ids become [0, 1..3, 4, 5] for bases [0, 1, 2, 3].
+        let data: Vec<u64> = (0u64..400).map(|i| if i % 2 == 0 { 1 } else { i % 4 }).collect();
+        let c = ctx();
+        let d = Dataset::from_vec(Arc::clone(&c), data.clone(), 4);
+        let seen = Arc::new(gpf_support::sync::Mutex::new(Vec::new()));
+        let seen2 = Arc::clone(&seen);
+        let out = d.partition_by_adaptive(
+            4,
+            |x| (*x % 4) as usize,
+            move |counts| {
+                seen2.lock().extend_from_slice(counts);
+                RebalancePlan {
+                    n_final: 6,
+                    route: Box::new(|x: &u64| match *x % 4 {
+                        0 => 0,
+                        1 => 1 + (*x as usize / 4) % 3,
+                        2 => 4,
+                        _ => 5,
+                    }),
+                    splits: 1,
+                    moved_records: 250,
+                    cap_hits: 0,
+                }
+            },
+        );
+        // The driver saw the true per-base histogram.
+        let hot = data.iter().filter(|x| **x % 4 == 1).count() as u64;
+        assert_eq!(seen.lock().as_slice(), &[
+            data.iter().filter(|x| **x % 4 == 0).count() as u64,
+            hot,
+            data.iter().filter(|x| **x % 4 == 2).count() as u64,
+            data.iter().filter(|x| **x % 4 == 3).count() as u64,
+        ]);
+        // Records landed in their *final* partitions, none lost.
+        assert_eq!(out.num_partitions(), 6);
+        assert_eq!(out.len(), data.len());
+        let split_total: usize = (1..4).map(|t| out.partition(t).len()).sum();
+        assert_eq!(split_total as u64, hot, "hot base split across final ids 1..3");
+        // The count pass shares a stage with the shuffle map: same stage
+        // count as a plain partition_by, and the repartition instant shows.
+        let (run, trace) = c.take_run_traced();
+        assert_eq!(run.num_stages(), 2);
+        assert!(trace.events.iter().any(|e| &*e.name == "repartition.split"));
+        assert!(trace.events.iter().any(|e| &*e.name == "repartition.count"));
+    }
+
+    #[test]
+    fn adaptive_identity_plan_matches_plain_shuffle() {
+        let data: Vec<(u64, u64)> = (0u64..300).map(|i| (i * 17 % 23, i)).collect();
+        let route = |kv: &(u64, u64)| (kv.0 % 5) as usize;
+        let plain = Dataset::from_vec(ctx(), data.clone(), 6).into_partition_by(5, route);
+        let adaptive = Dataset::from_vec(ctx(), data, 6).into_partition_by_adaptive(
+            5,
+            route,
+            |_| RebalancePlan {
+                n_final: 5,
+                route: Box::new(route),
+                splits: 0,
+                moved_records: 0,
+                cap_hits: 0,
+            },
+        );
+        for t in 0..5 {
+            assert_eq!(plain.partition(t), adaptive.partition(t), "identity plan diverged at {t}");
+        }
     }
 
     #[test]

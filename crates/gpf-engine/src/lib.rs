@@ -52,7 +52,7 @@ pub mod timing;
 pub use broadcast::Broadcast;
 pub use config::EngineConfig;
 pub use context::EngineContext;
-pub use dataset::Dataset;
+pub use dataset::{Dataset, RebalancePlan};
 pub use fault::{AttemptRecord, EngineError, FaultConfig, FaultKind, FaultPlan, FaultSite};
 pub use metrics::{JobRun, StageKind, StageMetrics};
 pub use sim::{BlockedTimeReport, SimCluster, SimOptions, SimResult};

@@ -61,6 +61,10 @@ echo "== codec/shuffle perf gates (codec >= 2x, shuffle >= 1.5x vs reference) ==
 rm -f BENCH_codec.json BENCH_shuffle.json
 cargo run --release --offline -p gpf-bench --bin experiments -- --smoke --codec-bench --shuffle-bench
 
+echo "== skew gate (adaptive repartition: tail cut >= 1.3x, byte-identical) =="
+rm -f BENCH_skew.json
+cargo run --release --offline -p gpf-bench --bin experiments -- --smoke --skew-bench
+
 echo "== chaos gate (seeded fault plans must recover byte-identically) =="
 rm -f BENCH_chaos.json
 cargo run --release --offline -p gpf-bench --bin experiments -- --smoke --chaos 2018
