@@ -17,7 +17,8 @@ use gpf_formats::ReferenceGenome;
 use gpf_workloads::readsim::{ReadSimulator, SimulatorConfig};
 use gpf_workloads::refgen::ReferenceSpec;
 use gpf_workloads::variants::{DonorGenome, VariantSpec};
-use std::sync::{Arc, OnceLock};
+use gpf_support::chk::sync::OnceLock;
+use std::sync::Arc;
 
 /// The WGS benchmark workload.
 pub struct WgsWorkload {

@@ -1,0 +1,319 @@
+//! Schedule exploration: drives many schedules of one model and turns the
+//! first failing schedule into a replayable [`Failure`].
+//!
+//! Two modes:
+//!
+//! * **Exhaustive** — depth-first over the recorded decision tree with a
+//!   preemption bound: rerun with a choice prefix, then backtrack the last
+//!   decision that still has an untried alternative. Complete (up to the
+//!   bound) for small models.
+//! * **Random** — per-schedule SplitMix64 seeds derived from a base seed.
+//!   Scales to models whose trees are too big to enumerate.
+//!
+//! Every failure carries a replay token (`seed:<hex>` or `path:c0.c1...`).
+//! Setting `GPF_CHECK_REPLAY=<token>` makes the explorer run exactly that
+//! schedule — byte-identical decisions — instead of exploring, so a CI
+//! failure reproduces locally under a debugger. `GPF_CHECK_SCHEDULES=<n>`
+//! overrides the schedule budget (both the random count and the exhaustive
+//! cap), which is how CI pins the time box.
+
+use std::sync::Arc;
+
+use crate::rt::{self, Choice, DecisionSource, FailureKind, Outcome, Sched, SchedConfig};
+
+/// How to explore the schedule space.
+#[derive(Debug, Clone)]
+pub enum Mode {
+    /// DFS over recorded decisions, at most `max_preemptions` involuntary
+    /// context switches per schedule, stopping after `max_schedules`.
+    Exhaustive { max_preemptions: usize, max_schedules: usize },
+    /// `schedules` runs with seeds derived from `seed`.
+    Random { seed: u64, schedules: usize },
+}
+
+/// A configured model-checking run.
+#[derive(Debug, Clone)]
+pub struct Explorer {
+    pub mode: Mode,
+    /// Per-schedule op budget; exceeding it is a livelock failure.
+    pub max_steps: usize,
+    /// When set, run exactly this schedule instead of exploring
+    /// (programmatic equivalent of `GPF_CHECK_REPLAY`).
+    pub replay: Option<DecisionSource>,
+}
+
+/// Summary of a passing exploration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Report {
+    /// Schedules actually run.
+    pub schedules: usize,
+    /// True iff exhaustive mode enumerated the entire (bounded) tree.
+    pub complete: bool,
+}
+
+/// A failing schedule, with everything needed to reproduce it.
+#[derive(Debug, Clone)]
+pub struct Failure {
+    pub kind: FailureKind,
+    pub message: String,
+    /// Replay token: pass via `GPF_CHECK_REPLAY` to rerun this schedule.
+    pub replay: String,
+    /// 1-based index of the failing schedule within this exploration.
+    pub schedule: usize,
+    /// Model name (for the report).
+    pub name: String,
+}
+
+impl std::fmt::Display for Failure {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "gpf-check FAILURE [{}] in model '{}' (schedule {}): {}",
+            self.kind, self.name, self.schedule, self.message
+        )?;
+        write!(
+            f,
+            "  replay: GPF_CHECK_REPLAY={} RUSTFLAGS=\"--cfg gpf_check\" cargo test -p gpf-check -- {}",
+            self.replay, self.name
+        )
+    }
+}
+
+impl Explorer {
+    /// Exhaustive DFS with the given preemption bound and default budgets.
+    pub fn exhaustive(max_preemptions: usize) -> Self {
+        Self {
+            mode: Mode::Exhaustive { max_preemptions, max_schedules: 100_000 },
+            max_steps: 20_000,
+            replay: None,
+        }
+    }
+
+    /// Seeded-random exploration.
+    pub fn random(seed: u64, schedules: usize) -> Self {
+        Self { mode: Mode::Random { seed, schedules }, max_steps: 20_000, replay: None }
+    }
+
+    /// Override the per-schedule op budget.
+    pub fn max_steps(mut self, n: usize) -> Self {
+        self.max_steps = n;
+        self
+    }
+
+    /// Replay one specific schedule from a failure's token (`None` if the
+    /// token is malformed).
+    pub fn with_replay(mut self, token: &str) -> Option<Self> {
+        self.replay = Some(parse_replay(token)?);
+        Some(self)
+    }
+
+    /// Check a single-rooted model: `f` runs as model thread 0 (on the
+    /// calling OS thread) and may spawn further model threads through the
+    /// shim. Called once per schedule.
+    pub fn check<F>(&self, name: &str, f: F) -> Result<Report, Failure>
+    where
+        F: Fn(),
+    {
+        install_panic_filter();
+        self.drive(name, &|source| {
+            let sched = Sched::new(self.config(source));
+            let tid = sched.register_thread();
+            sched.launch();
+            let _ = rt::run_root(Arc::clone(&sched), tid, &f);
+            sched.outcome()
+        })
+    }
+
+    /// Check a model given as N peer thread bodies. The calling thread is
+    /// *not* a model thread, so the decision tree is exactly the set of
+    /// interleavings of the bodies' ops.
+    pub fn check_threads(&self, name: &str, bodies: &[&(dyn Fn() + Sync)]) -> Result<Report, Failure> {
+        install_panic_filter();
+        self.drive(name, &|source| {
+            let sched = Sched::new(self.config(source));
+            let tids: Vec<usize> = bodies.iter().map(|_| sched.register_thread()).collect();
+            std::thread::scope(|s| {
+                let handles: Vec<_> = bodies
+                    .iter()
+                    .zip(&tids)
+                    .map(|(body, tid)| {
+                        let sched = Arc::clone(&sched);
+                        let tid = *tid;
+                        s.spawn(move || rt::run_thread(sched, tid, || body()))
+                    })
+                    .collect();
+                sched.launch();
+                for h in handles {
+                    let _ = h.join();
+                }
+            });
+            sched.outcome()
+        })
+    }
+
+    fn config(&self, decisions: DecisionSource) -> SchedConfig {
+        let max_preemptions = match self.mode {
+            Mode::Exhaustive { max_preemptions, .. } => Some(max_preemptions),
+            Mode::Random { .. } => None,
+        };
+        SchedConfig { max_steps: self.max_steps, max_preemptions, decisions }
+    }
+
+    fn drive(&self, name: &str, run: &dyn Fn(DecisionSource) -> Outcome) -> Result<Report, Failure> {
+        if let Some(source) = self.replay.clone().or_else(replay_source) {
+            let token = replay_token_of(&source);
+            let outcome = run(source);
+            return match outcome.failure {
+                Some(f) => Err(Failure {
+                    kind: f.kind,
+                    message: f.message,
+                    replay: token,
+                    schedule: 1,
+                    name: name.to_string(),
+                }),
+                None => Ok(Report { schedules: 1, complete: false }),
+            };
+        }
+        match self.mode {
+            Mode::Exhaustive { max_schedules, .. } => {
+                let cap = env_schedules().unwrap_or(max_schedules);
+                self.drive_exhaustive(name, run, cap)
+            }
+            Mode::Random { seed, schedules } => {
+                let n = env_schedules().unwrap_or(schedules);
+                self.drive_random(name, run, seed, n)
+            }
+        }
+    }
+
+    fn drive_exhaustive(
+        &self,
+        name: &str,
+        run: &dyn Fn(DecisionSource) -> Outcome,
+        max_schedules: usize,
+    ) -> Result<Report, Failure> {
+        let mut prefix: Vec<u32> = Vec::new();
+        let mut schedules = 0usize;
+        loop {
+            let outcome = run(DecisionSource::Prefix(prefix.clone()));
+            schedules += 1;
+            if let Some(f) = outcome.failure {
+                return Err(Failure {
+                    kind: f.kind,
+                    message: f.message,
+                    replay: path_token(&outcome.choices),
+                    schedule: schedules,
+                    name: name.to_string(),
+                });
+            }
+            // Backtrack: drop trailing fully-explored decisions, advance
+            // the deepest one that still has an untried alternative.
+            let mut choices = outcome.choices;
+            let mut advanced = false;
+            while let Some(c) = choices.pop() {
+                if c.chosen + 1 < c.n {
+                    choices.push(Choice { n: c.n, chosen: c.chosen + 1 });
+                    advanced = true;
+                    break;
+                }
+            }
+            if !advanced {
+                return Ok(Report { schedules, complete: true });
+            }
+            if schedules >= max_schedules {
+                return Ok(Report { schedules, complete: false });
+            }
+            prefix = choices.iter().map(|c| c.chosen).collect();
+        }
+    }
+
+    fn drive_random(
+        &self,
+        name: &str,
+        run: &dyn Fn(DecisionSource) -> Outcome,
+        seed: u64,
+        schedules: usize,
+    ) -> Result<Report, Failure> {
+        for i in 0..schedules {
+            let mut s = seed ^ (i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+            let sched_seed = rt::splitmix64(&mut s);
+            let outcome = run(DecisionSource::Random(sched_seed));
+            if let Some(f) = outcome.failure {
+                return Err(Failure {
+                    kind: f.kind,
+                    message: f.message,
+                    replay: format!("seed:{sched_seed:016x}"),
+                    schedule: i + 1,
+                    name: name.to_string(),
+                });
+            }
+        }
+        Ok(Report { schedules, complete: false })
+    }
+}
+
+/// Parse a replay token (`seed:<hex>` or `path:c0.c1...`).
+pub fn parse_replay(token: &str) -> Option<DecisionSource> {
+    if let Some(hex) = token.strip_prefix("seed:") {
+        return u64::from_str_radix(hex, 16).ok().map(DecisionSource::Random);
+    }
+    if let Some(path) = token.strip_prefix("path:") {
+        if path.is_empty() {
+            return Some(DecisionSource::Prefix(Vec::new()));
+        }
+        return path
+            .split('.')
+            .map(|c| c.parse::<u32>().ok())
+            .collect::<Option<Vec<u32>>>()
+            .map(DecisionSource::Prefix);
+    }
+    None
+}
+
+fn path_token(choices: &[Choice]) -> String {
+    let parts: Vec<String> = choices.iter().map(|c| c.chosen.to_string()).collect();
+    format!("path:{}", parts.join("."))
+}
+
+fn replay_token_of(source: &DecisionSource) -> String {
+    match source {
+        DecisionSource::Random(seed) => format!("seed:{seed:016x}"),
+        DecisionSource::Prefix(p) => {
+            let parts: Vec<String> = p.iter().map(|c| c.to_string()).collect();
+            format!("path:{}", parts.join("."))
+        }
+    }
+}
+
+fn replay_source() -> Option<DecisionSource> {
+    let token = std::env::var("GPF_CHECK_REPLAY").ok()?;
+    let parsed = parse_replay(&token);
+    if parsed.is_none() {
+        // gpf-lint: allow(no-raw-print): operator-facing diagnostic for a
+        // malformed env token; the trace sink may not be initialised here.
+        eprintln!("gpf-check: ignoring malformed GPF_CHECK_REPLAY token {token:?}");
+    }
+    parsed
+}
+
+fn env_schedules() -> Option<usize> {
+    std::env::var("GPF_CHECK_SCHEDULES").ok()?.parse().ok()
+}
+
+/// Model threads unwind on purpose (schedule aborts, seeded-bug
+/// assertions); without a filter the default panic hook floods stderr
+/// with thousands of backtraces. Install once, delegating non-model
+/// panics to the previous hook untouched.
+fn install_panic_filter() {
+    use std::sync::OnceLock;
+    static INSTALLED: OnceLock<()> = OnceLock::new();
+    INSTALLED.get_or_init(|| {
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            if rt::suppress_panic_output() {
+                return;
+            }
+            prev(info);
+        }));
+    });
+}

@@ -1,0 +1,71 @@
+//! `RaceCell`: shared non-atomic state visible to the race detector.
+//!
+//! In a normal build this is a transparent `UnsafeCell` wrapper — callers
+//! promise external synchronization (a shim `Mutex`, or a release/acquire
+//! edge on a shim atomic), exactly like plain shared memory.
+//!
+//! Under `gpf_check`, every access is vector-clock checked: a write must
+//! happen-after every prior read and write of the cell, and a read must
+//! happen-after every prior write, else the schedule fails with a
+//! `DataRace` report. Because model threads execute one at a time under
+//! the scheduler baton, the underlying access never physically tears even
+//! on racy schedules — the *detector* is what fails, deterministically.
+
+use std::cell::UnsafeCell;
+
+/// Shared mutable cell checked for data races under `gpf_check`.
+#[derive(Debug, Default)]
+pub struct RaceCell<T> {
+    v: UnsafeCell<T>,
+    #[cfg(gpf_check)]
+    id: crate::rt::LocId,
+}
+
+// SAFETY: RaceCell is a deliberate escape hatch for modeling shared
+// non-atomic state. Under gpf_check, the cooperative scheduler serializes
+// model threads, so concurrent physical access cannot occur; in normal
+// builds callers must synchronize externally (the type exists for model
+// code, which only runs under gpf_check).
+unsafe impl<T: Send> Sync for RaceCell<T> {}
+
+impl<T> RaceCell<T> {
+    /// Wrap a value.
+    pub const fn new(v: T) -> Self {
+        Self {
+            v: UnsafeCell::new(v),
+            #[cfg(gpf_check)]
+            id: crate::rt::LocId::new(),
+        }
+    }
+
+    /// Read the value (race-checked under `gpf_check`).
+    pub fn get(&self) -> T
+    where
+        T: Copy,
+    {
+        #[cfg(gpf_check)]
+        crate::rt::race_read(&self.id);
+        // SAFETY: under gpf_check the scheduler baton serializes model
+        // threads (and the detector reports logical races); in normal
+        // builds the caller synchronizes externally per the type contract.
+        unsafe { *self.v.get() }
+    }
+
+    /// Overwrite the value (race-checked under `gpf_check`).
+    pub fn set(&self, v: T) {
+        #[cfg(gpf_check)]
+        crate::rt::race_write(&self.id);
+        // SAFETY: see `get`.
+        unsafe { *self.v.get() = v };
+    }
+
+    /// Mutable access without checking (exclusive borrow).
+    pub fn get_mut(&mut self) -> &mut T {
+        self.v.get_mut()
+    }
+
+    /// Consume, returning the inner value.
+    pub fn into_inner(self) -> T {
+        self.v.into_inner()
+    }
+}

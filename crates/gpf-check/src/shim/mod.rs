@@ -1,0 +1,25 @@
+//! The shim layer: the only concurrency primitives workspace code may use
+//! (enforced by gpf-lint's `concurrency-boundary` rule).
+//!
+//! | module | normal build | `--cfg gpf_check` |
+//! |---|---|---|
+//! | [`atomic`] | `std::sync::atomic` aliases | store-history atomics with ordering-aware visibility |
+//! | [`sync`] | non-poisoning `std::sync` wrappers | scheduler-mediated locks with happens-before edges |
+//! | [`thread`] | `std::thread` spawn/scope | virtual threads under the cooperative scheduler |
+//! | [`cell`] | transparent `UnsafeCell` wrapper | vector-clock race-checked shared cell |
+//!
+//! `gpf-support` re-exports this module as `gpf_support::chk`.
+
+pub mod atomic;
+pub mod cell;
+pub mod sync;
+pub mod thread;
+
+/// A scheduling point with no memory effect. No-op in normal builds; under
+/// `gpf_check` it lets the explorer preempt here (useful in spin loops so
+/// random schedules make progress).
+#[inline]
+pub fn yield_point() {
+    #[cfg(gpf_check)]
+    crate::rt::yield_point();
+}

@@ -1,0 +1,376 @@
+//! Shimmed locks and condition variables, with `parking_lot` ergonomics.
+//!
+//! The workspace treats a poisoned lock as unreachable: engine tasks that
+//! panic already abort the whole job through `gpf_support::par`'s panic
+//! propagation, so a poison state can only be observed while unwinding —
+//! where propagating data is harmless. Both builds therefore expose
+//! `lock()` returning a guard directly and recover the inner data from
+//! poison instead of bubbling a `Result` through every call site.
+//!
+//! Under `gpf_check`, acquisition order is mediated by the scheduler: a
+//! model thread that finds the lock model-held parks in the lock-wait
+//! graph (deadlock-detectable) instead of blocking in the OS, and every
+//! release→acquire pair carries a happens-before edge for the race
+//! detector. The inner `std` lock still provides real mutual exclusion
+//! against non-model threads (pass-through access stays correct).
+
+#[cfg(not(gpf_check))]
+pub use real::{Condvar, Mutex, MutexGuard, RwLock, RwLockReadGuard, RwLockWriteGuard};
+
+#[cfg(gpf_check)]
+pub use checked::{Condvar, Mutex, MutexGuard, RwLock, RwLockReadGuard, RwLockWriteGuard};
+
+/// Init-once cell. Pass-through in both builds: initialization racing is
+/// resolved by `std`, and init closures must not perform shim operations
+/// (documented model-checker gap — the registry-style init closures in
+/// this workspace are trivial).
+pub use std::sync::OnceLock;
+
+#[cfg(not(gpf_check))]
+mod real {
+    /// A mutual-exclusion lock whose `lock()` never fails.
+    #[derive(Debug, Default)]
+    pub struct Mutex<T: ?Sized>(std::sync::Mutex<T>);
+
+    /// Guard type returned by [`Mutex::lock`].
+    pub type MutexGuard<'a, T> = std::sync::MutexGuard<'a, T>;
+
+    impl<T> Mutex<T> {
+        /// Wrap a value.
+        pub const fn new(value: T) -> Self {
+            Self(std::sync::Mutex::new(value))
+        }
+
+        /// Consume the lock, returning the inner value.
+        pub fn into_inner(self) -> T {
+            self.0.into_inner().unwrap_or_else(|e| e.into_inner())
+        }
+    }
+
+    impl<T: ?Sized> Mutex<T> {
+        /// Acquire the lock, ignoring poison.
+        pub fn lock(&self) -> MutexGuard<'_, T> {
+            self.0.lock().unwrap_or_else(|e| e.into_inner())
+        }
+
+        /// Try to acquire the lock without blocking.
+        pub fn try_lock(&self) -> Option<MutexGuard<'_, T>> {
+            match self.0.try_lock() {
+                Ok(g) => Some(g),
+                Err(std::sync::TryLockError::Poisoned(e)) => Some(e.into_inner()),
+                Err(std::sync::TryLockError::WouldBlock) => None,
+            }
+        }
+
+        /// Mutable access without locking (requires exclusive borrow).
+        pub fn get_mut(&mut self) -> &mut T {
+            self.0.get_mut().unwrap_or_else(|e| e.into_inner())
+        }
+    }
+
+    /// A readers-writer lock whose acquisition methods never fail.
+    #[derive(Debug, Default)]
+    pub struct RwLock<T: ?Sized>(std::sync::RwLock<T>);
+
+    /// Guard type returned by [`RwLock::read`].
+    pub type RwLockReadGuard<'a, T> = std::sync::RwLockReadGuard<'a, T>;
+    /// Guard type returned by [`RwLock::write`].
+    pub type RwLockWriteGuard<'a, T> = std::sync::RwLockWriteGuard<'a, T>;
+
+    impl<T> RwLock<T> {
+        /// Wrap a value.
+        pub const fn new(value: T) -> Self {
+            Self(std::sync::RwLock::new(value))
+        }
+
+        /// Consume the lock, returning the inner value.
+        pub fn into_inner(self) -> T {
+            self.0.into_inner().unwrap_or_else(|e| e.into_inner())
+        }
+    }
+
+    impl<T: ?Sized> RwLock<T> {
+        /// Acquire a shared read guard, ignoring poison.
+        pub fn read(&self) -> RwLockReadGuard<'_, T> {
+            self.0.read().unwrap_or_else(|e| e.into_inner())
+        }
+
+        /// Acquire an exclusive write guard, ignoring poison.
+        pub fn write(&self) -> RwLockWriteGuard<'_, T> {
+            self.0.write().unwrap_or_else(|e| e.into_inner())
+        }
+    }
+
+    /// Condition variable paired with [`Mutex`].
+    #[derive(Debug, Default)]
+    pub struct Condvar(std::sync::Condvar);
+
+    impl Condvar {
+        /// A fresh condvar.
+        pub const fn new() -> Self {
+            Self(std::sync::Condvar::new())
+        }
+
+        /// Release the guard's lock, park until notified, re-acquire.
+        pub fn wait<'a, T>(&self, guard: MutexGuard<'a, T>) -> MutexGuard<'a, T> {
+            self.0.wait(guard).unwrap_or_else(|e| e.into_inner())
+        }
+
+        /// Wake one parked waiter.
+        pub fn notify_one(&self) {
+            self.0.notify_one();
+        }
+
+        /// Wake every parked waiter.
+        pub fn notify_all(&self) {
+            self.0.notify_all();
+        }
+    }
+}
+
+#[cfg(gpf_check)]
+mod checked {
+    use crate::rt::{self, LocId};
+
+    /// Instrumented mutual-exclusion lock (non-poisoning API).
+    #[derive(Debug, Default)]
+    pub struct Mutex<T: ?Sized> {
+        id: LocId,
+        inner: std::sync::Mutex<T>,
+    }
+
+    /// Guard for [`Mutex`]: releases the real lock first, then reports the
+    /// model-level release (with its happens-before edge) to the scheduler.
+    pub struct MutexGuard<'a, T: ?Sized> {
+        lock: &'a Mutex<T>,
+        std: Option<std::sync::MutexGuard<'a, T>>,
+        model: bool,
+    }
+
+    impl<T> Mutex<T> {
+        /// Wrap a value.
+        pub const fn new(value: T) -> Self {
+            Self { id: LocId::new(), inner: std::sync::Mutex::new(value) }
+        }
+
+        /// Consume the lock, returning the inner value.
+        pub fn into_inner(self) -> T {
+            self.inner.into_inner().unwrap_or_else(|e| e.into_inner())
+        }
+    }
+
+    impl<T: ?Sized> Mutex<T> {
+        fn std_lock(&self) -> std::sync::MutexGuard<'_, T> {
+            self.inner.lock().unwrap_or_else(|e| e.into_inner())
+        }
+
+        /// Acquire the lock, ignoring poison.
+        pub fn lock(&self) -> MutexGuard<'_, T> {
+            // Model path: `lock_acquire` returns once this thread won the
+            // model-level acquisition, so no *model* thread holds the std
+            // lock; any contention below is a brief non-model holder.
+            let model = rt::lock_acquire(&self.id);
+            MutexGuard { lock: self, std: Some(self.std_lock()), model }
+        }
+
+        /// Try to acquire the lock without blocking.
+        pub fn try_lock(&self) -> Option<MutexGuard<'_, T>> {
+            match rt::lock_try_acquire(&self.id) {
+                Some(true) => Some(MutexGuard { lock: self, std: Some(self.std_lock()), model: true }),
+                Some(false) => None,
+                None => match self.inner.try_lock() {
+                    Ok(g) => Some(MutexGuard { lock: self, std: Some(g), model: false }),
+                    Err(std::sync::TryLockError::Poisoned(e)) => {
+                        Some(MutexGuard { lock: self, std: Some(e.into_inner()), model: false })
+                    }
+                    Err(std::sync::TryLockError::WouldBlock) => None,
+                },
+            }
+        }
+
+        /// Mutable access without locking (requires exclusive borrow).
+        pub fn get_mut(&mut self) -> &mut T {
+            self.inner.get_mut().unwrap_or_else(|e| e.into_inner())
+        }
+    }
+
+    impl<'a, T: ?Sized> std::ops::Deref for MutexGuard<'a, T> {
+        type Target = T;
+        fn deref(&self) -> &T {
+            // gpf-lint: allow(no-panic): the guard holds the std guard for
+            // its whole lifetime (Condvar::wait consumes the guard by value
+            // and returns a fresh one).
+            self.std.as_ref().expect("guard taken")
+        }
+    }
+
+    impl<'a, T: ?Sized> std::ops::DerefMut for MutexGuard<'a, T> {
+        fn deref_mut(&mut self) -> &mut T {
+            // gpf-lint: allow(no-panic): see Deref.
+            self.std.as_mut().expect("guard taken")
+        }
+    }
+
+    impl<'a, T: ?Sized> Drop for MutexGuard<'a, T> {
+        fn drop(&mut self) {
+            // Order matters: release the real lock before telling the
+            // scheduler, so a model waiter granted next never OS-blocks on
+            // our still-held std guard while carrying the baton.
+            drop(self.std.take());
+            if self.model {
+                rt::lock_release(&self.lock.id);
+            }
+        }
+    }
+
+    /// Instrumented readers-writer lock (non-poisoning API).
+    #[derive(Debug, Default)]
+    pub struct RwLock<T: ?Sized> {
+        id: LocId,
+        inner: std::sync::RwLock<T>,
+    }
+
+    /// Read guard for [`RwLock`].
+    pub struct RwLockReadGuard<'a, T: ?Sized> {
+        lock: &'a RwLock<T>,
+        std: Option<std::sync::RwLockReadGuard<'a, T>>,
+        model: bool,
+    }
+
+    /// Write guard for [`RwLock`].
+    pub struct RwLockWriteGuard<'a, T: ?Sized> {
+        lock: &'a RwLock<T>,
+        std: Option<std::sync::RwLockWriteGuard<'a, T>>,
+        model: bool,
+    }
+
+    impl<T> RwLock<T> {
+        /// Wrap a value.
+        pub const fn new(value: T) -> Self {
+            Self { id: LocId::new(), inner: std::sync::RwLock::new(value) }
+        }
+
+        /// Consume the lock, returning the inner value.
+        pub fn into_inner(self) -> T {
+            self.inner.into_inner().unwrap_or_else(|e| e.into_inner())
+        }
+    }
+
+    impl<T: ?Sized> RwLock<T> {
+        /// Acquire a shared read guard, ignoring poison.
+        pub fn read(&self) -> RwLockReadGuard<'_, T> {
+            let model = rt::rw_read_acquire(&self.id);
+            let std = self.inner.read().unwrap_or_else(|e| e.into_inner());
+            RwLockReadGuard { lock: self, std: Some(std), model }
+        }
+
+        /// Acquire an exclusive write guard, ignoring poison.
+        pub fn write(&self) -> RwLockWriteGuard<'_, T> {
+            let model = rt::rw_write_acquire(&self.id);
+            let std = self.inner.write().unwrap_or_else(|e| e.into_inner());
+            RwLockWriteGuard { lock: self, std: Some(std), model }
+        }
+    }
+
+    impl<'a, T: ?Sized> std::ops::Deref for RwLockReadGuard<'a, T> {
+        type Target = T;
+        fn deref(&self) -> &T {
+            // gpf-lint: allow(no-panic): the std guard is present for the
+            // guard's whole lifetime.
+            self.std.as_ref().expect("guard taken")
+        }
+    }
+
+    impl<'a, T: ?Sized> std::ops::Deref for RwLockWriteGuard<'a, T> {
+        type Target = T;
+        fn deref(&self) -> &T {
+            // gpf-lint: allow(no-panic): the std guard is present for the
+            // guard's whole lifetime.
+            self.std.as_ref().expect("guard taken")
+        }
+    }
+
+    impl<'a, T: ?Sized> std::ops::DerefMut for RwLockWriteGuard<'a, T> {
+        fn deref_mut(&mut self) -> &mut T {
+            // gpf-lint: allow(no-panic): see Deref.
+            self.std.as_mut().expect("guard taken")
+        }
+    }
+
+    impl<'a, T: ?Sized> Drop for RwLockReadGuard<'a, T> {
+        fn drop(&mut self) {
+            drop(self.std.take());
+            if self.model {
+                rt::rw_read_release(&self.lock.id);
+            }
+        }
+    }
+
+    impl<'a, T: ?Sized> Drop for RwLockWriteGuard<'a, T> {
+        fn drop(&mut self) {
+            drop(self.std.take());
+            if self.model {
+                rt::rw_write_release(&self.lock.id);
+            }
+        }
+    }
+
+    /// Instrumented condition variable: waiters park in the scheduler (so
+    /// lost wakeups are detected as all-parked states) and wakeups carry
+    /// the notifier's clock as a happens-before edge.
+    #[derive(Debug, Default)]
+    pub struct Condvar {
+        id: LocId,
+        inner: std::sync::Condvar,
+    }
+
+    impl Condvar {
+        /// A fresh condvar.
+        pub const fn new() -> Self {
+            Self { id: LocId::new(), inner: std::sync::Condvar::new() }
+        }
+
+        /// Release the guard's lock, park until notified, re-acquire.
+        pub fn wait<'a, T>(&self, mut guard: MutexGuard<'a, T>) -> MutexGuard<'a, T> {
+            let lock = guard.lock;
+            let std_guard = guard.std.take();
+            let model = guard.model;
+            guard.model = false; // the drop below must not double-release
+            drop(guard);
+            match (model, std_guard) {
+                (true, Some(std_guard)) => {
+                    // Model path: drop the real lock, park in the scheduler
+                    // (which performs the model-level release and, on
+                    // wakeup, the model-level re-acquisition), then re-take
+                    // the real lock.
+                    drop(std_guard);
+                    rt::cond_wait(&self.id, &lock.id);
+                    MutexGuard { lock, std: Some(lock.std_lock()), model: true }
+                }
+                (false, Some(std_guard)) => {
+                    let std = self.inner.wait(std_guard).unwrap_or_else(|e| e.into_inner());
+                    MutexGuard { lock, std: Some(std), model: false }
+                }
+                // gpf-lint: allow(no-panic): a live guard always holds its
+                // std guard; only this method takes it, and it consumes the
+                // guard by value.
+                _ => unreachable!("wait on a consumed guard"),
+            }
+        }
+
+        /// Wake one parked waiter (scheduler chooses which — an explored
+        /// decision point).
+        pub fn notify_one(&self) {
+            if !rt::cond_notify(&self.id, false) {
+                self.inner.notify_one();
+            }
+        }
+
+        /// Wake every parked waiter.
+        pub fn notify_all(&self) {
+            if !rt::cond_notify(&self.id, true) {
+                self.inner.notify_all();
+            }
+        }
+    }
+}

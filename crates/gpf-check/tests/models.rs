@@ -1,0 +1,186 @@
+//! Model checks over the REAL workspace components (tentpole acceptance):
+//! the work-stealing pool, the sync locks, the trace ring, and the counter
+//! registry run unmodified under the schedule explorer, and every declared
+//! invariant holds across thousands of schedules.
+//!
+//! These are the other half of the battery: `battery.rs` proves the checker
+//! *can* find seeded bugs; this file proves the shipped code *has* none of
+//! them (within the explored schedule set).
+//!
+//! Run with `RUSTFLAGS="--cfg gpf_check" cargo test -p gpf-check`.
+//! `GPF_CHECK_SCHEDULES=<n>` overrides the per-model schedule budget.
+#![cfg(gpf_check)]
+
+use std::sync::Arc;
+
+use gpf_check::explore::{Explorer, Report};
+use gpf_check::shim::thread as chk_thread;
+use gpf_support::sync::{Mutex, RwLock};
+use gpf_trace::{Category, Event, EventKind, TraceLog};
+
+/// Default schedule budget per random-mode model (the acceptance bar).
+const SCHEDULES: usize = 10_000;
+
+fn pass(result: Result<Report, gpf_check::explore::Failure>, name: &str) -> Report {
+    match result {
+        Ok(report) => report,
+        Err(f) => panic!("real component '{name}' failed model check:\n{f}"),
+    }
+}
+
+fn ev(n: u64) -> Event {
+    Event {
+        kind: EventKind::Instant,
+        name: Arc::from(format!("e{n}")),
+        cat: Category::Other,
+        phase: Arc::from(""),
+        ts_ns: n,
+        tid: 0,
+        id: 0,
+        parent: 0,
+        counters: Vec::new(),
+    }
+}
+
+/// Pool: `map_range_chunked` preserves input order and claims every chunk
+/// exactly once (the internal `expect` fires on a double/missed claim) no
+/// matter how the workers' counter bumps interleave.
+#[test]
+fn model_par_pool_order_and_coverage() {
+    // Pin the worker count so the model's thread set is schedule-independent.
+    std::env::set_var("GPF_PAR_THREADS", "2");
+    let model = || {
+        let out = gpf_support::par::map_range_chunked(4, 1, |i| i * 10 + 1);
+        assert_eq!(out, vec![1, 11, 21, 31], "order must survive work stealing");
+    };
+    let report = pass(
+        Explorer::exhaustive(64).check("model_par_pool_exhaustive", model),
+        "par pool (exhaustive)",
+    );
+    assert!(report.complete, "the 2-worker 4-chunk pool must be enumerable");
+    assert!(report.schedules > 1, "exploration must actually branch");
+    pass(
+        Explorer::random(0x9AF_F00D, SCHEDULES).check("model_par_pool", model),
+        "par pool",
+    );
+}
+
+/// Locks: increments under `sync::Mutex` are never lost, and `RwLock`
+/// readers only ever observe pair-consistent state.
+#[test]
+fn model_sync_locks_exclusion_and_consistency() {
+    let mutex_model = || {
+        let m = Mutex::new(0u64);
+        chk_thread::scope(|s| {
+            for _ in 0..2 {
+                s.spawn(|| {
+                    for _ in 0..2 {
+                        *m.lock() += 1;
+                    }
+                });
+            }
+        });
+        assert_eq!(*m.lock(), 4, "mutex increments must not be lost");
+    };
+    let report = pass(
+        Explorer::exhaustive(64).check("model_mutex_exhaustive", mutex_model),
+        "mutex (exhaustive)",
+    );
+    assert!(report.complete);
+    pass(Explorer::random(0x10C_C0DE, SCHEDULES).check("model_mutex", mutex_model), "mutex");
+
+    let rw_model = || {
+        let rw = RwLock::new((0u64, 0u64));
+        chk_thread::scope(|s| {
+            s.spawn(|| {
+                for i in 1..=2u64 {
+                    let mut g = rw.write();
+                    g.0 = i;
+                    g.1 = i;
+                }
+            });
+            s.spawn(|| {
+                for _ in 0..2 {
+                    let g = rw.read();
+                    assert_eq!(g.0, g.1, "readers must never see a torn pair");
+                }
+            });
+        });
+    };
+    pass(Explorer::random(0x5EE0_0B57, SCHEDULES).check("model_rwlock", rw_model), "rwlock");
+}
+
+/// Ring: under concurrent pushers the single-lock [`TraceLog::stats`]
+/// snapshot balances (`held + dropped == pushed`) at every observation
+/// point, including mid-flight — the exact tear the old separate
+/// `len()`/`dropped()` reads allowed.
+#[test]
+fn model_ring_stats_balance() {
+    let model = || {
+        let log = TraceLog::with_capacity(2);
+        chk_thread::scope(|s| {
+            s.spawn(|| {
+                log.push(ev(1));
+                log.push(ev(2));
+            });
+            s.spawn(|| log.push(ev(3)));
+            s.spawn(|| {
+                // Mid-flight observer: whatever prefix of the pushes has
+                // landed, the snapshot must balance.
+                let snap = log.stats();
+                assert_eq!(
+                    snap.held as u64 + snap.dropped,
+                    snap.pushed,
+                    "stats snapshot tore: {snap:?}"
+                );
+                assert!(snap.pushed <= 3);
+            });
+        });
+        let end = log.stats();
+        assert_eq!(end.pushed, 3);
+        assert_eq!(end.held, 2, "capacity-2 ring holds the newest two");
+        assert_eq!(end.dropped, 1, "exactly one overflow drop");
+        let drained = log.drain();
+        assert_eq!(drained.events.len(), 2);
+        assert_eq!(log.stats(), gpf_trace::RingStats { held: 0, dropped: 0, pushed: 0 });
+    };
+    pass(Explorer::random(0x0411_0111, SCHEDULES).check("model_ring", model), "ring");
+}
+
+/// Counters: concurrent `add`s on one registry counter are all visible
+/// after the scope join (the synchronizing edge the `// ordering:` comments
+/// in `counters.rs` lean on), and histogram merge preserves every sample.
+#[test]
+fn model_counters_join_publishes_all_adds() {
+    let model = || {
+        // The registry is process-global and persists across schedules, so
+        // the invariant is phrased over per-schedule deltas.
+        let c = gpf_trace::counter("check.model.counter");
+        let before = c.get();
+        chk_thread::scope(|s| {
+            s.spawn(|| c.add(2));
+            s.spawn(|| {
+                c.add(1);
+                c.add(1);
+            });
+        });
+        assert_eq!(c.get(), before + 4, "the join must publish every add");
+    };
+    pass(Explorer::random(0xC0_117E5, SCHEDULES).check("model_counters", model), "counters");
+
+    let hist_model = || {
+        let h = gpf_trace::histogram("check.model.hist");
+        let before = h.count();
+        chk_thread::scope(|s| {
+            s.spawn(|| {
+                let mut local = gpf_trace::LocalHistogram::new();
+                local.record(1);
+                local.record(1024);
+                h.merge(&local);
+            });
+            s.spawn(|| h.record(7));
+        });
+        assert_eq!(h.count(), before + 3, "merge and record must not lose samples");
+    };
+    pass(Explorer::random(0x0B15_7067, SCHEDULES).check("model_histogram", hist_model), "histogram");
+}

@@ -14,11 +14,11 @@ use crate::dataset::Dataset;
 use crate::fault::{EngineError, FaultConfig};
 use crate::metrics::{derive_job_run, names, JobRun};
 use gpf_compress::{serializer::serialize_batch, GpfSerialize, SerializerKind};
+use gpf_support::chk::atomic::{AtomicBool, AtomicU32, Ordering};
 use gpf_support::sync::Mutex;
 use gpf_trace::clock::now_ns;
 use gpf_trace::event::Trace;
 use gpf_trace::{current_tid, Category, Event, EventKind, TraceLog};
-use std::sync::atomic::{AtomicBool, AtomicU32, Ordering};
 use std::sync::Arc;
 
 /// Ring capacity of the per-context session log.

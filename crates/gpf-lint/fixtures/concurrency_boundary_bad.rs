@@ -1,0 +1,11 @@
+// Fixture: raw std concurrency primitives outside the checker crate.
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Condvar, Mutex};
+
+pub fn observe(m: &Mutex<u64>, c: &AtomicU64) -> u64 {
+    let g = match m.lock() {
+        Ok(g) => g,
+        Err(e) => e.into_inner(),
+    };
+    *g + c.load(Ordering::SeqCst)
+}

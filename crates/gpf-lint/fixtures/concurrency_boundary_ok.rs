@@ -1,0 +1,10 @@
+// Fixture: shim-backed re-exports are the sanctioned route; Arc and
+// OnceLock are not schedule-relevant and stay allowed raw.
+use gpf_support::chk::atomic::{AtomicU64, Ordering};
+use gpf_support::sync::Mutex;
+use std::sync::{Arc, OnceLock};
+
+pub fn bump(shared: &Arc<Mutex<u64>>, c: &AtomicU64) -> u64 {
+    *shared.lock() += 1;
+    c.fetch_add(1, Ordering::SeqCst)
+}

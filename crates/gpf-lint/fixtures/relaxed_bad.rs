@@ -1,5 +1,5 @@
-// Fixture: raw Relaxed atomics outside gpf-support/src/par.rs.
-use std::sync::atomic::{AtomicUsize, Ordering};
+// Fixture: shim atomics with Relaxed but no `// ordering:` justification.
+use gpf_support::chk::atomic::{AtomicUsize, Ordering};
 
 pub fn bump(counter: &AtomicUsize) -> usize {
     counter.fetch_add(1, Ordering::Relaxed)

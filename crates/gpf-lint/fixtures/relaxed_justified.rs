@@ -1,0 +1,8 @@
+// Fixture: Relaxed with an adjacent `// ordering:` justification — legal
+// inside the sanctioned zones (gpf-support/src/par.rs, gpf-trace/src).
+use gpf_support::chk::atomic::{AtomicUsize, Ordering};
+
+pub fn bump(counter: &AtomicUsize) -> usize {
+    // ordering: Relaxed — pure accumulator; no data is published through it.
+    counter.fetch_add(1, Ordering::Relaxed)
+}

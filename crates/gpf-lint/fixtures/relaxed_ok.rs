@@ -1,6 +1,6 @@
 // Fixture: SeqCst ordering is fine anywhere, and the word Relaxed may
 // appear in comments ("Relaxed is banned here") or strings.
-use std::sync::atomic::{AtomicUsize, Ordering};
+use gpf_support::chk::atomic::{AtomicUsize, Ordering};
 
 pub fn bump(counter: &AtomicUsize) -> usize {
     let _hint = "do not use Relaxed here";

@@ -1,4 +1,6 @@
 // Fixture: free-threading outside gpf-support.
+use std::thread;
+
 pub fn fire_and_forget() {
-    std::thread::spawn(|| {});
+    thread::spawn(|| {});
 }

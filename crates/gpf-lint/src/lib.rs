@@ -11,8 +11,9 @@
 //! |------|-----------|
 //! | `no-panic` | no `.unwrap()` / `.expect(` / `panic!` / `unreachable!` / `todo!` / `unimplemented!` in non-test library code |
 //! | `safety-comment` | every `unsafe` is preceded by (or shares a line with) a `// SAFETY:` comment |
-//! | `relaxed-ordering` | `Ordering::Relaxed` only inside `gpf-support/src/par.rs` |
-//! | `thread-spawn` | `thread::spawn` only inside `gpf-support` (everyone else uses `gpf_support::par`) |
+//! | `relaxed-ordering` | `Ordering::Relaxed` only inside `gpf-support/src/par.rs` or `gpf-trace/src`, and only with an adjacent `// ordering:` justification comment |
+//! | `thread-spawn` | `thread::spawn` only inside `gpf-support` and `gpf-check` (everyone else uses `gpf_support::par`) |
+//! | `concurrency-boundary` | raw `std::sync::atomic`, `std::thread::spawn`, and `std::sync::{Mutex,RwLock,Condvar}` only inside `gpf-check` (the shim home) — everyone else uses the shim-backed re-exports (`gpf_support::chk`, `gpf_support::sync`), so the model checker sees every primitive |
 //! | `hermetic-deps` | every manifest dependency is a workspace/path dep — nothing from crates.io |
 //! | `no-raw-print` | no `println!`/`eprintln!` in non-test library code — route output through `gpf_trace::sink` (binaries and the sink module itself are exempt) |
 //! | `swallowed-error` | no `let _ = ...` / `.ok()` discards in non-test `gpf-engine`/`gpf-core` code — the fault-tolerance layer relies on every error reaching `EngineContext::fail` |
@@ -53,10 +54,17 @@ pub enum Rule {
     NoPanic,
     /// `unsafe` requires an adjacent `// SAFETY:` comment.
     SafetyComment,
-    /// `Ordering::Relaxed` is confined to `gpf-support/src/par.rs`.
+    /// `Ordering::Relaxed` is confined to `gpf-support/src/par.rs` and
+    /// `gpf-trace/src`, and every use needs an adjacent `// ordering:`
+    /// justification comment.
     RelaxedOrdering,
-    /// `thread::spawn` is confined to `gpf-support`.
+    /// `thread::spawn` is confined to `gpf-support` and `gpf-check`.
     ThreadSpawn,
+    /// Raw `std::sync` concurrency primitives (atomics, `Mutex`, `RwLock`,
+    /// `Condvar`) and `std::thread::spawn` are confined to `gpf-check`:
+    /// everything else must use the shim-backed re-exports so the model
+    /// checker can explore schedules over the real code.
+    ConcurrencyBoundary,
     /// Manifest dependencies must be workspace/path deps.
     HermeticDeps,
     /// No raw `println!`/`eprintln!` in library code; console output goes
@@ -76,6 +84,7 @@ impl Rule {
             Rule::SafetyComment => "safety-comment",
             Rule::RelaxedOrdering => "relaxed-ordering",
             Rule::ThreadSpawn => "thread-spawn",
+            Rule::ConcurrencyBoundary => "concurrency-boundary",
             Rule::HermeticDeps => "hermetic-deps",
             Rule::NoRawPrint => "no-raw-print",
             Rule::SwallowedError => "swallowed-error",
@@ -83,12 +92,13 @@ impl Rule {
     }
 
     /// Every rule, in reporting order.
-    pub fn all() -> [Rule; 7] {
+    pub fn all() -> [Rule; 8] {
         [
             Rule::NoPanic,
             Rule::SafetyComment,
             Rule::RelaxedOrdering,
             Rule::ThreadSpawn,
+            Rule::ConcurrencyBoundary,
             Rule::HermeticDeps,
             Rule::NoRawPrint,
             Rule::SwallowedError,
@@ -501,6 +511,12 @@ pub fn lint_source(file: &str, source: &str) -> Vec<Finding> {
     let mut findings = Vec::new();
     let in_par = file.ends_with("gpf-support/src/par.rs");
     let in_support = file.contains("gpf-support/");
+    // gpf-check IS the shim / model-checker home: it implements the memory
+    // model, so it legitimately holds raw std primitives and Relaxed loads.
+    let in_check = file.contains("gpf-check/");
+    // Files where `Relaxed` is admissible at all — and then only with an
+    // adjacent `// ordering:` justification comment.
+    let relaxed_zone = in_par || file.contains("gpf-trace/src/");
     // The crates where a dropped `Result` can hide a lost task or a corrupt
     // shuffle segment from the recovery machinery.
     let error_strict = file.contains("gpf-engine/") || file.contains("gpf-core/");
@@ -546,20 +562,33 @@ pub fn lint_source(file: &str, source: &str) -> Vec<Finding> {
                 });
             }
         }
-        if !in_par
+        if !in_check
             && !token_positions(code, "Relaxed").is_empty()
             && !is_allowed(&masked, idx, Rule::RelaxedOrdering)
         {
-            findings.push(Finding {
-                rule: Rule::RelaxedOrdering,
-                file: file.to_string(),
-                line: lineno,
-                message: "`Ordering::Relaxed` outside gpf-support/src/par.rs; use the \
-                          gpf_support::par primitives instead of raw atomics"
-                    .to_string(),
-            });
+            if !relaxed_zone {
+                findings.push(Finding {
+                    rule: Rule::RelaxedOrdering,
+                    file: file.to_string(),
+                    line: lineno,
+                    message: "`Ordering::Relaxed` outside gpf-support/src/par.rs and \
+                              gpf-trace/src; use the gpf_support primitives instead of \
+                              raw atomics"
+                        .to_string(),
+                });
+            } else if !has_adjacent_marker(&masked, idx, "ordering:") {
+                findings.push(Finding {
+                    rule: Rule::RelaxedOrdering,
+                    file: file.to_string(),
+                    line: lineno,
+                    message: "`Ordering::Relaxed` without an adjacent `// ordering:` \
+                              comment justifying why relaxed is sufficient here"
+                        .to_string(),
+                });
+            }
         }
         if !in_support
+            && !in_check
             && code.contains("thread::spawn")
             && !is_allowed(&masked, idx, Rule::ThreadSpawn)
         {
@@ -571,6 +600,33 @@ pub fn lint_source(file: &str, source: &str) -> Vec<Finding> {
                           scoped parallelism"
                     .to_string(),
             });
+        }
+        if !in_check && !is_allowed(&masked, idx, Rule::ConcurrencyBoundary) {
+            let raw_hit = if code.contains("std::sync::atomic") {
+                Some("raw `std::sync::atomic`")
+            } else if code.contains("std::thread::spawn") {
+                Some("raw `std::thread::spawn`")
+            } else if code.contains("std::sync::")
+                && ["Mutex", "RwLock", "Condvar"]
+                    .iter()
+                    .any(|t| !token_positions(code, t).is_empty())
+            {
+                Some("raw `std::sync` lock primitive")
+            } else {
+                None
+            };
+            if let Some(what) = raw_hit {
+                findings.push(Finding {
+                    rule: Rule::ConcurrencyBoundary,
+                    file: file.to_string(),
+                    line: lineno,
+                    message: format!(
+                        "{what} outside gpf-check; use the shim-backed re-exports \
+                         (gpf_support::chk / gpf_support::sync) so the model checker \
+                         can explore this code's schedules"
+                    ),
+                });
+            }
         }
         if error_strict {
             let discards_binding = code.contains("let _ =")
@@ -834,10 +890,37 @@ mod tests {
     }
 
     #[test]
-    fn relaxed_allowed_only_in_par() {
-        let src = "let c = x.fetch_add(1, Ordering::Relaxed);\n";
-        assert!(lint_source("crates/gpf-support/src/par.rs", src).is_empty());
-        assert_eq!(lint_source("crates/gpf-engine/src/context.rs", src).len(), 1);
+    fn relaxed_needs_zone_and_justification() {
+        let bare = "let c = x.fetch_add(1, Ordering::Relaxed);\n";
+        let justified =
+            "// ordering: Relaxed — pure accumulator.\nlet c = x.fetch_add(1, Ordering::Relaxed);\n";
+        // In-zone without a justification comment: flagged.
+        assert_eq!(lint_source("crates/gpf-support/src/par.rs", bare).len(), 1);
+        // In-zone with an adjacent `// ordering:` comment: clean.
+        assert!(lint_source("crates/gpf-support/src/par.rs", justified).is_empty());
+        assert!(lint_source("crates/gpf-trace/src/counters.rs", justified).is_empty());
+        // Outside the zones: flagged even when justified.
+        assert_eq!(lint_source("crates/gpf-engine/src/context.rs", justified).len(), 1);
+        // The checker crate implements the memory model and is exempt.
+        assert!(lint_source("crates/gpf-check/src/rt/mod.rs", bare).is_empty());
+    }
+
+    #[test]
+    fn concurrency_boundary_confines_raw_primitives() {
+        let atomic = "use std::sync::atomic::AtomicUsize;\n";
+        let spawn = "let h = std::thread::spawn(|| {});\n";
+        let lock = "use std::sync::Mutex;\n";
+        for src in [atomic, spawn, lock] {
+            let f = lint_source("crates/gpf-core/src/process.rs", src);
+            assert!(
+                f.iter().any(|f| f.rule == Rule::ConcurrencyBoundary),
+                "expected concurrency-boundary for {src:?}, got {f:?}"
+            );
+            assert!(lint_source("crates/gpf-check/src/shim/thread.rs", src).is_empty());
+        }
+        // `Arc` / `OnceLock` are not schedule-relevant and stay allowed.
+        let arc = "use std::sync::Arc;\nuse std::sync::OnceLock;\n";
+        assert!(lint_source("crates/gpf-core/src/process.rs", arc).is_empty());
     }
 
     #[test]

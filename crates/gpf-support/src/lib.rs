@@ -11,6 +11,7 @@
 //! | [`sync`] | `parking_lot` | `Mutex`/`RwLock` with non-poisoning `lock()` ergonomics |
 //! | [`proptest`] | `proptest` | strategy combinators, `proptest!` macro, fixed-seed corpus, halving shrinker |
 //! | [`bench`] | `criterion` | warmup + timed iters, median/p95, JSON-lines `BENCH_*.json` output |
+//! | [`chk`] | `loom` | concurrency shim: real `std` primitives normally, scheduler-instrumented doubles under `--cfg gpf_check` |
 //!
 //! Design constraints, in order:
 //!
@@ -27,3 +28,11 @@ pub mod par;
 pub mod proptest;
 pub mod rng;
 pub mod sync;
+
+/// The concurrency shim the workspace's primitives are built on: real
+/// `std` types in normal builds, scheduler-instrumented doubles under
+/// `RUSTFLAGS="--cfg gpf_check"` so gpf-check can model-check the code
+/// that uses them. Downstream crates reach the shim through this alias
+/// (`gpf_support::chk::atomic`, `chk::thread`, ...) rather than naming
+/// `std::sync` directly — the `concurrency-boundary` lint enforces it.
+pub use gpf_check::shim as chk;

@@ -18,7 +18,8 @@
 //!   `GPF_PAR_THREADS=1` all take the plain-loop path, which is also the
 //!   reference semantics the parallel path is tested against.
 
-use std::sync::atomic::{AtomicUsize, Ordering};
+use crate::chk::atomic::{AtomicUsize, Ordering};
+use crate::chk::thread as chk_thread;
 
 /// What one worker did during a `map_range_chunked` call — feeds the
 /// `par.*` trace counters when tracing is enabled.
@@ -72,13 +73,16 @@ where
     // enabled() gate keeps clock reads off the untraced hot path.
     let traced = gpf_trace::enabled();
     let t_start = if traced { gpf_trace::clock::now_ns() } else { 0 };
-    let mut per_worker: Vec<WorkerOut<U>> = std::thread::scope(|scope| {
+    let mut per_worker: Vec<WorkerOut<U>> = chk_thread::scope(|scope| {
         let handles: Vec<_> = (0..workers)
             .map(|w| {
                 scope.spawn(move || {
                     let mut local: Vec<(usize, Vec<U>)> = Vec::new();
                     let mut stats = WorkerStats::default();
                     loop {
+                        // ordering: Relaxed suffices — the counter only
+                        // hands out chunk indices; results flow back through
+                        // the scope join, which is the synchronizing edge.
                         let c = next.fetch_add(1, Ordering::Relaxed);
                         if c >= nchunks {
                             break;
@@ -334,8 +338,10 @@ mod tests {
     fn for_each_runs_every_index() {
         let hits: Vec<AtomicUsize> = (0..256).map(|_| AtomicUsize::new(0)).collect();
         for_each(256, |i| {
+            // ordering: Relaxed — per-slot counts; the map's join orders them.
             hits[i].fetch_add(1, Ordering::Relaxed);
         });
+        // ordering: Relaxed — read after the join; no concurrent writers left.
         assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1));
     }
 

@@ -54,4 +54,4 @@ pub use event::{Category, Event, EventKind, SpanView, Trace};
 pub use recorder::{
     current_tid, enabled, global, instant, instant_in, set_enabled, span, span_in, warn, SpanGuard,
 };
-pub use ring::TraceLog;
+pub use ring::{RingStats, TraceLog};

@@ -19,9 +19,10 @@
 use crate::clock::now_ns;
 use crate::event::{Category, Event, EventKind};
 use crate::ring::TraceLog;
+use gpf_check::shim::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
+use gpf_check::shim::sync::OnceLock;
 use std::cell::{Cell, RefCell};
-use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
-use std::sync::{Arc, OnceLock};
+use std::sync::Arc;
 
 /// Pending events per thread before a forced flush.
 const FLUSH_THRESHOLD: usize = 64;
@@ -32,12 +33,15 @@ static NEXT_SPAN_ID: AtomicU64 = AtomicU64::new(1);
 
 /// Turn ambient tracing on or off (explicit-log recording is unaffected).
 pub fn set_enabled(on: bool) {
-    ENABLED.store(on, Ordering::SeqCst);
+    // ordering: Relaxed — a pure on/off gate; every event it gates is
+    // published through the ring's mutex, so the flag carries no data.
+    ENABLED.store(on, Ordering::Relaxed);
 }
 
 /// Whether ambient tracing is on.
 pub fn enabled() -> bool {
-    ENABLED.load(Ordering::SeqCst)
+    // ordering: Relaxed — see set_enabled; this is the per-span hot gate.
+    ENABLED.load(Ordering::Relaxed)
 }
 
 /// The process-global trace log (ambient recording target).
@@ -103,7 +107,9 @@ pub fn current_tid() -> u32 {
     TID.with(|t| match t.get() {
         Some(id) => id,
         None => {
-            let id = NEXT_TID.fetch_add(1, Ordering::SeqCst);
+            // ordering: Relaxed — a unique-id generator; only atomicity of
+            // the increment matters, never ordering against other memory.
+            let id = NEXT_TID.fetch_add(1, Ordering::Relaxed);
             t.set(Some(id));
             id
         }
@@ -190,7 +196,9 @@ pub fn span(name: &str, cat: Category) -> SpanGuard {
 
 /// Open a span in an explicit log (always records).
 pub fn span_in(log: &Arc<TraceLog>, name: &str, cat: Category) -> SpanGuard {
-    let id = NEXT_SPAN_ID.fetch_add(1, Ordering::SeqCst);
+    // ordering: Relaxed — a unique-id generator; only atomicity of the
+    // increment matters, never ordering against other memory.
+    let id = NEXT_SPAN_ID.fetch_add(1, Ordering::Relaxed);
     let parent = stack_top();
     let name: Arc<str> = Arc::from(name);
     let event = Event {

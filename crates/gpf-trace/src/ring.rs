@@ -2,8 +2,8 @@
 
 use crate::counters;
 use crate::event::{Event, Trace};
+use gpf_check::shim::sync::{Mutex, MutexGuard};
 use std::collections::VecDeque;
-use std::sync::Mutex;
 
 /// Default ring capacity for the ambient global log.
 pub const DEFAULT_CAPACITY: usize = 1 << 16;
@@ -11,6 +11,21 @@ pub const DEFAULT_CAPACITY: usize = 1 << 16;
 struct Inner {
     events: VecDeque<Event>,
     dropped: u64,
+    pushed: u64,
+}
+
+/// A consistent accounting snapshot of a [`TraceLog`], taken under one
+/// lock acquisition so the three figures always balance:
+/// `held + dropped == pushed`. (Reading them through separate calls can
+/// tear — a concurrent pusher may land between the reads.)
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RingStats {
+    /// Events currently held in the ring.
+    pub held: usize,
+    /// Events dropped by overflow since creation (or the last drain).
+    pub dropped: u64,
+    /// Events ever pushed since creation (or the last drain).
+    pub pushed: u64,
 }
 
 /// A bounded ring of trace events.
@@ -40,15 +55,16 @@ impl TraceLog {
     pub fn with_capacity(capacity: usize) -> Self {
         let capacity = capacity.max(1);
         Self {
-            inner: Mutex::new(Inner { events: VecDeque::new(), dropped: 0 }),
+            inner: Mutex::new(Inner { events: VecDeque::new(), dropped: 0, pushed: 0 }),
             capacity,
         }
     }
 
-    fn lock(&self) -> std::sync::MutexGuard<'_, Inner> {
-        // Non-poisoning: a panicking writer left a consistent ring (every
-        // push is a complete event), so later readers proceed.
-        self.inner.lock().unwrap_or_else(|e| e.into_inner())
+    fn lock(&self) -> MutexGuard<'_, Inner> {
+        // Non-poisoning (the shim lock recovers from poison): a panicking
+        // writer left a consistent ring — every push is a complete event —
+        // so later readers proceed.
+        self.inner.lock()
     }
 
     /// Maximum number of events held.
@@ -91,6 +107,7 @@ impl TraceLog {
             inner.dropped += 1;
             *newly_dropped += 1;
         }
+        inner.pushed += 1;
         inner.events.push_back(event);
     }
 
@@ -109,15 +126,29 @@ impl TraceLog {
         self.lock().dropped
     }
 
+    /// Consistent `(held, dropped, pushed)` snapshot from one lock
+    /// acquisition — the numbers always satisfy
+    /// `held + dropped == pushed`, which separate `len()`/`dropped()`
+    /// calls cannot guarantee under concurrent pushers.
+    pub fn stats(&self) -> RingStats {
+        let inner = self.lock();
+        RingStats {
+            held: inner.events.len(),
+            dropped: inner.dropped,
+            pushed: inner.pushed,
+        }
+    }
+
     /// Copy the current contents.
     pub fn snapshot(&self) -> Trace {
         let inner = self.lock();
         Trace { events: inner.events.iter().cloned().collect(), dropped: inner.dropped }
     }
 
-    /// Take the contents, resetting the ring (and its drop count).
+    /// Take the contents, resetting the ring (and its drop and push counts).
     pub fn drain(&self) -> Trace {
         let mut inner = self.lock();
+        inner.pushed = 0;
         Trace {
             events: std::mem::take(&mut inner.events).into_iter().collect(),
             dropped: std::mem::take(&mut inner.dropped),
@@ -171,6 +202,17 @@ mod tests {
         let after = counters::counter("trace.dropped").get();
         // `>=`: other tests in this binary may also drop concurrently.
         assert!(after >= before + 4, "before {before} after {after}");
+    }
+
+    #[test]
+    fn stats_balance_and_reset() {
+        let log = TraceLog::with_capacity(3);
+        log.push_batch((0..7).map(ev).collect());
+        let s = log.stats();
+        assert_eq!(s, RingStats { held: 3, dropped: 4, pushed: 7 });
+        assert_eq!(s.held as u64 + s.dropped, s.pushed);
+        let _ = log.drain();
+        assert_eq!(log.stats(), RingStats { held: 0, dropped: 0, pushed: 0 });
     }
 
     #[test]

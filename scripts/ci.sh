@@ -33,6 +33,20 @@ if [[ "${1:-}" == "quick" ]]; then
     exit 0
 fi
 
+echo "== model check (gpf-check: schedule explorer + race detector) =="
+# Separate target dir: --cfg gpf_check changes every crate's fingerprint,
+# and sharing ./target would force a full rebuild of the normal artifacts
+# on the next plain cargo invocation. Serial (--test-threads=1) so the
+# schedule budget below is the only knob governing wall-clock.
+# The battery tests assert the checker still FLAGS every seeded bug; the
+# model tests assert the real pool/locks/ring/counters pass every explored
+# schedule. GPF_CHECK_SCHEDULES pins the per-model budget (CI time box);
+# a failure prints a GPF_CHECK_REPLAY token that reruns the exact schedule.
+CARGO_TARGET_DIR=target/gpf-check \
+RUSTFLAGS="${RUSTFLAGS:-} --cfg gpf_check" \
+GPF_CHECK_SCHEDULES="${GPF_CHECK_SCHEDULES:-10000}" \
+    cargo test -q --offline -p gpf-check -- --test-threads=1
+
 echo "== clippy (best effort) =="
 # Clippy is advisory: warnings fail the step, but a missing clippy
 # component must not fail CI on minimal toolchains.
