@@ -26,6 +26,9 @@ fn main() {
     let mut trace_path: Option<String> = None;
     let mut validate_path: Option<String> = None;
     let mut trace_overhead = false;
+    let mut mem_report = false;
+    let mut mem_gate = false;
+    let mut allow_drops = false;
     let mut codec_gate = false;
     let mut shuffle_gate = false;
     let mut skew_gate = false;
@@ -54,6 +57,9 @@ fn main() {
                 );
             }
             "--trace-overhead" => trace_overhead = true,
+            "--mem-report" => mem_report = true,
+            "--mem-gate" => mem_gate = true,
+            "--allow-drops" => allow_drops = true,
             "--codec-bench" => codec_gate = true,
             "--shuffle-bench" => shuffle_gate = true,
             "--skew-bench" => skew_gate = true,
@@ -75,9 +81,16 @@ fn main() {
                      --smoke: tiny fixed scale; verifies code paths, numbers are meaningless\n\
                      --trace PATH: run the WGS pipeline traced; write Chrome JSON to PATH,\n\
                                    print the text report (load PATH at https://ui.perfetto.dev)\n\
-                     --validate-trace PATH: schema-check a Chrome trace file (exit 2 on failure)\n\
+                     --validate-trace PATH: schema-check a Chrome trace file; exit 2 on\n\
+                                            failure or when events were dropped (ring\n\
+                                            overflow) unless --allow-drops is also given\n\
                      --trace-overhead: time the WGS run tracing-off vs tracing-on;\n\
                                        writes BENCH_trace_overhead.json, exit 3 if >= 5%\n\
+                     --mem-report: run the WGS pipeline with the tracking allocator on and\n\
+                                   print the per-stage heap breakdown + tag attribution\n\
+                     --mem-gate: time the traced WGS run heap-tracking-off vs -on;\n\
+                                 writes BENCH_mem.json (with per-stage peak bytes),\n\
+                                 exit 3 if overhead >= 5%\n\
                      --codec-bench: fast vs reference read-field codec throughput;\n\
                                     writes BENCH_codec.json, exit 3 if speedup < 2x\n\
                      --shuffle-bench: clone-free vs reference shuffle records/s;\n\
@@ -105,11 +118,19 @@ fn main() {
     }
 
     if let Some(path) = &validate_path {
-        validate_trace_file(path);
+        validate_trace_file(path, allow_drops);
         return;
     }
     if trace_overhead {
         measure_trace_overhead(scale);
+        return;
+    }
+    if mem_gate {
+        measure_mem_gate(scale);
+        return;
+    }
+    if mem_report {
+        run_mem_report(scale);
         return;
     }
     if codec_gate || shuffle_gate || skew_gate {
@@ -166,6 +187,10 @@ fn die(msg: &str) -> ! {
 /// write the Chrome trace JSON to `path`, and print the terminal report.
 fn run_traced(scale: f64, path: &str) {
     gpf_trace::set_enabled(true);
+    // Heap tracking rides along on traced runs so the exported trace
+    // carries the heap.live_bytes counter track and the text report its
+    // memory section.
+    gpf_trace::alloc::set_tracking(true);
     let lab = Lab::new(scale);
     let gpf = lab.gpf_opt();
     let json = sink::chrome_trace(&gpf.trace);
@@ -183,14 +208,37 @@ fn run_traced(scale: f64, path: &str) {
     ));
 }
 
-/// `--validate-trace PATH`: schema-check a Chrome trace file.
-fn validate_trace_file(path: &str) {
+/// `--validate-trace PATH`: schema-check a Chrome trace file, and fail when
+/// the exporter recorded ring drops (the derived numbers undercount) unless
+/// `--allow-drops` waives the check.
+fn validate_trace_file(path: &str, allow_drops: bool) {
     let text = std::fs::read_to_string(path)
         .unwrap_or_else(|e| die(&format!("cannot read {path}: {e}")));
     match sink::validate_chrome_trace(&text) {
         Ok(n) => console_err(&format!("{path}: valid Chrome trace, {n} events")),
         Err(e) => die(&format!("{path}: invalid Chrome trace: {e}")),
     }
+    let dropped = parse_gpf_dropped(&text).unwrap_or(0);
+    if dropped > 0 {
+        if allow_drops {
+            console_err(&format!(
+                "{path}: {dropped} events dropped (ring overflow) — accepted via --allow-drops"
+            ));
+        } else {
+            die(&format!(
+                "{path}: {dropped} events dropped (ring overflow) — derived numbers \
+                 undercount; raise the trace capacity or pass --allow-drops"
+            ));
+        }
+    }
+}
+
+/// Extract the `"gpfDropped":N` header field the Chrome exporter stamps.
+fn parse_gpf_dropped(text: &str) -> Option<u64> {
+    let key = "\"gpfDropped\":";
+    let at = text.find(key)? + key.len();
+    let digits: String = text[at..].chars().take_while(char::is_ascii_digit).collect();
+    digits.parse().ok()
 }
 
 /// `--trace-overhead`: wall-clock the WGS run tracing-off vs tracing-on
@@ -229,6 +277,135 @@ fn measure_trace_overhead(scale: f64) {
     console_out(&line);
     if overhead_pct >= 5.0 {
         console_err(&format!("trace overhead {overhead_pct:.2}% >= 5% budget"));
+        std::process::exit(3);
+    }
+}
+
+/// Render the per-stage heap columns of a derived run plus the global tag
+/// attribution the tracking allocator accumulated.
+fn mem_breakdown(run: &gpf_engine::JobRun) -> String {
+    use std::fmt::Write as _;
+    let mb = |b: u64| b as f64 / (1024.0 * 1024.0);
+    let mut out = String::new();
+    let _ = writeln!(out, "per-stage heap (tracking allocator)");
+    let _ = writeln!(
+        out,
+        "{:<4} {:<10} {:<28} {:>10} {:>12} {:>13}",
+        "id", "phase", "label", "peak(MB)", "live-end(MB)", "task-peak(MB)"
+    );
+    for s in &run.stages {
+        let _ = writeln!(
+            out,
+            "{:<4} {:<10} {:<28} {:>10.2} {:>12.2} {:>13.2}",
+            s.id,
+            s.phase,
+            s.label.chars().take(28).collect::<String>(),
+            mb(s.heap_peak_bytes),
+            mb(s.heap_live_bytes),
+            mb(s.heap_task_peak_bytes),
+        );
+    }
+    let total = |name: &str| -> u64 {
+        gpf_trace::counters_snapshot()
+            .iter()
+            .find(|(n, _)| *n == name)
+            .map(|(_, v)| *v)
+            .unwrap_or(0)
+    };
+    use gpf_trace::names as tn;
+    let _ = writeln!(
+        out,
+        "heap tags (MB allocated): task {:.2}  serde {:.2}  shuffle {:.2}  spill {:.2}  \
+         repartition {:.2}  untagged {:.2}",
+        mb(total(tn::HEAP_TAG_TASK)),
+        mb(total(tn::HEAP_TAG_SERDE)),
+        mb(total(tn::HEAP_TAG_SHUFFLE)),
+        mb(total(tn::HEAP_TAG_SPILL)),
+        mb(total(tn::HEAP_TAG_REPARTITION)),
+        mb(total(tn::HEAP_TAG_UNTAGGED)),
+    );
+    let _ = writeln!(
+        out,
+        "heap totals: {:.2} MB allocated / {:.2} MB freed over {} allocations",
+        mb(total(tn::HEAP_ALLOC_BYTES)),
+        mb(total(tn::HEAP_FREED_BYTES)),
+        total(tn::HEAP_ALLOC_COUNT),
+    );
+    out
+}
+
+/// `--mem-report`: run the WGS pipeline with tracing and the tracking
+/// allocator on, then print the trace text report followed by the
+/// per-stage heap breakdown and tag attribution.
+fn run_mem_report(scale: f64) {
+    gpf_trace::set_enabled(true);
+    gpf_trace::alloc::set_tracking(true);
+    let workload = gpf_bench::workload::WgsWorkload::build(scale, 2018);
+    let run = workload.run_gpf(true);
+    gpf_trace::alloc::flush_thread_stats();
+    gpf_trace::alloc::set_tracking(false);
+    gpf_trace::set_enabled(false);
+    console_out(&sink::text_report(&run.trace, 10));
+    console_out(&mem_breakdown(&run.run));
+}
+
+/// `--mem-gate`: wall-clock the *traced* WGS run with heap tracking off vs
+/// on (min of 3 each — the tracked side is the marginal allocator cost, not
+/// the tracing cost), append a summary with per-stage peak bytes to
+/// `BENCH_mem.json`, and exit 3 when tracking overhead reaches 5%.
+fn measure_mem_gate(scale: f64) {
+    use std::time::Instant;
+    let workload = gpf_bench::workload::WgsWorkload::build(scale, 2018);
+    let time_once = |tracked: bool| -> f64 {
+        gpf_trace::set_enabled(true);
+        gpf_trace::alloc::set_tracking(tracked);
+        let t0 = Instant::now();
+        let _run = workload.run_gpf(true);
+        let dt = t0.elapsed().as_secs_f64();
+        gpf_trace::alloc::set_tracking(false);
+        gpf_trace::set_enabled(false);
+        dt
+    };
+    let min3 = |tracked: bool| (0..3).map(|_| time_once(tracked)).fold(f64::INFINITY, f64::min);
+    time_once(false); // warmup: page in the workload caches
+    let off_s = min3(false);
+    let on_s = min3(true);
+    let overhead_pct = (on_s / off_s - 1.0) * 100.0;
+    // One final tracked run provides the per-stage heap profile.
+    gpf_trace::set_enabled(true);
+    gpf_trace::alloc::set_tracking(true);
+    let profile = workload.run_gpf(true);
+    gpf_trace::alloc::flush_thread_stats();
+    gpf_trace::alloc::set_tracking(false);
+    gpf_trace::set_enabled(false);
+    let stages: Vec<String> = profile
+        .run
+        .stages
+        .iter()
+        .map(|s| {
+            format!(
+                "{{\"id\":{},\"label\":\"{}\",\"peak_bytes\":{},\"live_bytes\":{},\
+                 \"task_peak_bytes\":{}}}",
+                s.id, s.label, s.heap_peak_bytes, s.heap_live_bytes, s.heap_task_peak_bytes
+            )
+        })
+        .collect();
+    let line = format!(
+        "{{\"group\":\"mem\",\"bench\":\"sim-wgs\",\"off_s\":{off_s:.4},\"on_s\":{on_s:.4},\
+         \"overhead_pct\":{overhead_pct:.2},\"stages\":[{}]}}",
+        stages.join(",")
+    );
+    use std::io::Write;
+    match std::fs::OpenOptions::new().create(true).append(true).open("BENCH_mem.json") {
+        Ok(mut f) => {
+            let _ = writeln!(f, "{line}");
+        }
+        Err(e) => console_err(&format!("cannot append BENCH_mem.json: {e}")),
+    }
+    console_out(&line);
+    console_out(&mem_breakdown(&profile.run));
+    if overhead_pct >= 5.0 {
+        console_err(&format!("heap tracking overhead {overhead_pct:.2}% >= 5% budget"));
         std::process::exit(3);
     }
 }

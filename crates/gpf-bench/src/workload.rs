@@ -368,7 +368,12 @@ impl SkewedWorkload {
                         let pairs: Vec<(u32, u64)> =
                             counts.iter().enumerate().map(|(i, &c)| (i as u32, c)).collect();
                         let threshold = if threshold_cfg == 0 {
-                            (counts.iter().sum::<u64>() / nbase as u64 / 2).max(1)
+                            // Auto threshold from the recorded count pass;
+                            // the aggregated counts are the untraced
+                            // fallback (identical total).
+                            ctx_b.auto_skew_threshold(nbase).unwrap_or_else(|| {
+                                (counts.iter().sum::<u64>() / nbase as u64 / 2).max(1)
+                            })
                         } else {
                             threshold_cfg
                         };

@@ -1,7 +1,8 @@
 //! Model checks over the REAL workspace components (tentpole acceptance):
-//! the work-stealing pool, the sync locks, the trace ring, and the counter
-//! registry run unmodified under the schedule explorer, and every declared
-//! invariant holds across thousands of schedules.
+//! the work-stealing pool, the sync locks, the trace ring, the counter
+//! registry, and the tracking-allocator accounting run unmodified under
+//! the schedule explorer, and every declared invariant holds across
+//! thousands of schedules.
 //!
 //! These are the other half of the battery: `battery.rs` proves the checker
 //! *can* find seeded bugs; this file proves the shipped code *has* none of
@@ -16,6 +17,7 @@ use std::sync::Arc;
 use gpf_check::explore::{Explorer, Report};
 use gpf_check::shim::thread as chk_thread;
 use gpf_support::sync::{Mutex, RwLock};
+use gpf_trace::alloc::{self, AllocTag};
 use gpf_trace::{Category, Event, EventKind, TraceLog};
 
 /// Default schedule budget per random-mode model (the acceptance bar).
@@ -183,4 +185,92 @@ fn model_counters_join_publishes_all_adds() {
         assert_eq!(h.count(), before + 3, "merge and record must not lose samples");
     };
     pass(Explorer::random(0x0B15_7067, SCHEDULES).check("model_histogram", hist_model), "histogram");
+}
+
+/// Allocator gauges: balanced `note_alloc`/`note_dealloc` pairs on
+/// concurrent threads return the global live gauge to baseline, the window
+/// peak observes between one and two concurrent allocations, and the
+/// flushed totals reach the registry exactly once — under every explored
+/// interleaving of the pending-delta publishes. (The `#[global_allocator]`
+/// static is not installed under gpf_check; the models drive the
+/// accounting machinery directly, which is why `note_*` are public and
+/// unconditional.)
+#[test]
+fn model_alloc_gauge_balance() {
+    // 128 KiB exceeds the 64 KiB flush quantum, so every note publishes to
+    // the global gauges immediately and the schedules interleave the gauge
+    // RMWs themselves rather than thread-local Cell arithmetic.
+    const SZ: usize = 128 * 1024;
+    let model = || {
+        // The gauges are process-global; models run single-threaded at the
+        // harness level (ci uses --test-threads=1), so a reset isolates
+        // each schedule.
+        alloc::reset_gauges();
+        let allocated = gpf_trace::counter(gpf_trace::names::HEAP_ALLOC_BYTES);
+        let freed = gpf_trace::counter(gpf_trace::names::HEAP_FREED_BYTES);
+        let (a0, f0) = (allocated.get(), freed.get());
+        chk_thread::scope(|s| {
+            for _ in 0..2 {
+                s.spawn(|| {
+                    alloc::note_alloc(SZ);
+                    alloc::note_dealloc(SZ);
+                    // ThreadHeap's Drop flush is disabled under gpf_check
+                    // (it would re-enter the scheduler during teardown);
+                    // models publish explicitly instead.
+                    alloc::flush_thread_stats();
+                });
+            }
+        });
+        assert_eq!(alloc::live_bytes(), 0, "balanced pairs must return live to baseline");
+        let peak = alloc::take_peak();
+        assert!(
+            (SZ as u64..=2 * SZ as u64).contains(&peak),
+            "peak must observe one to two concurrent allocations, got {peak}"
+        );
+        assert_eq!(allocated.get() - a0, 2 * SZ as u64, "alloc totals must flush exactly once");
+        assert_eq!(freed.get() - f0, 2 * SZ as u64, "free totals must flush exactly once");
+    };
+    pass(Explorer::random(0xA110_CA7E, SCHEDULES).check("model_alloc_gauges", model), "alloc gauges");
+}
+
+/// Attribution scopes: bytes allocated under a tag scope land on exactly
+/// that tag's registry counter (innermost scope wins), and the
+/// outermost-scope-exit flush publishes once per thread regardless of how
+/// the two threads' registry adds interleave.
+#[test]
+fn model_alloc_scope_attribution() {
+    let model = || {
+        let task = gpf_trace::counter(gpf_trace::names::HEAP_TAG_TASK);
+        let serde = gpf_trace::counter(gpf_trace::names::HEAP_TAG_SERDE);
+        let shuffle = gpf_trace::counter(gpf_trace::names::HEAP_TAG_SHUFFLE);
+        let (t0, se0, sh0) = (task.get(), serde.get(), shuffle.get());
+        chk_thread::scope(|s| {
+            s.spawn(|| {
+                let outer = alloc::scope(AllocTag::Serde);
+                alloc::note_alloc(256);
+                {
+                    let inner = alloc::scope(AllocTag::Task);
+                    alloc::note_alloc(64);
+                    alloc::note_dealloc(64);
+                    drop(inner);
+                }
+                alloc::note_dealloc(256);
+                // The outermost drop flushes this thread's tag bytes.
+                drop(outer);
+            });
+            s.spawn(|| {
+                let scope = alloc::scope(AllocTag::Shuffle);
+                alloc::note_alloc(512);
+                alloc::note_dealloc(512);
+                drop(scope);
+            });
+        });
+        assert_eq!(task.get() - t0, 64, "the inner scope must win attribution");
+        assert_eq!(serde.get() - se0, 256, "outer-scope bytes must not leak to the inner tag");
+        assert_eq!(shuffle.get() - sh0, 512, "concurrent scopes must not cross-charge");
+    };
+    pass(
+        Explorer::random(0x7A65_CA7E, SCHEDULES).check("model_alloc_scopes", model),
+        "alloc scopes",
+    );
 }

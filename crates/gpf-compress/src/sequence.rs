@@ -155,7 +155,7 @@ pub fn compress_read_fields_into<'s>(
     // Tracing-only base throughput; the enabled() gate keeps the registry
     // mutex off the untraced hot path.
     if gpf_trace::enabled() {
-        gpf_trace::counter("codec.bases").add(seq.len() as u64);
+        gpf_trace::counter(gpf_trace::names::CODEC_BASES).add(seq.len() as u64);
     }
     scratch.packed.clear();
     scratch.packed.reserve(seq.len().div_ceil(4));

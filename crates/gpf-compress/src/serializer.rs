@@ -310,6 +310,10 @@ fn note_codec_throughput(bytes_name: &'static str, records_name: &'static str, b
 
 /// Serialize a batch of records (count-prefixed) under `kind`.
 pub fn serialize_batch<T: GpfSerialize>(kind: SerializerKind, items: &[T]) -> Vec<u8> {
+    // Heap attribution: batch-level codec work charges the serde tag. The
+    // per-bucket `_into` variants are left unscoped — their callers hold a
+    // scope per task, keeping TLS pushes off the per-bucket hot path.
+    let _scope = gpf_trace::alloc::scope(gpf_trace::alloc::AllocTag::Serde);
     let mut out = Vec::new();
     serialize_batch_into(kind, items, &mut out);
     out
@@ -334,7 +338,12 @@ pub fn serialize_batch_into<T: GpfSerialize>(
     }
     std::mem::swap(&mut w.buf, out);
     let written = out.len() - start;
-    note_codec_throughput("codec.serialize.bytes", "codec.serialize.records", written, items.len());
+    note_codec_throughput(
+        gpf_trace::names::CODEC_SERIALIZE_BYTES,
+        gpf_trace::names::CODEC_SERIALIZE_RECORDS,
+        written,
+        items.len(),
+    );
     written
 }
 
@@ -343,6 +352,8 @@ pub fn deserialize_batch<T: GpfSerialize>(
     kind: SerializerKind,
     buf: &[u8],
 ) -> Result<Vec<T>, CodecError> {
+    // Heap attribution: see serialize_batch.
+    let _scope = gpf_trace::alloc::scope(gpf_trace::alloc::AllocTag::Serde);
     let mut out = Vec::new();
     deserialize_batch_into(kind, buf, &mut out)?;
     Ok(out)
@@ -364,7 +375,12 @@ pub fn deserialize_batch_into<T: GpfSerialize>(
     for _ in 0..n {
         out.push(T::read(&mut r)?);
     }
-    note_codec_throughput("codec.deserialize.bytes", "codec.deserialize.records", buf.len(), n);
+    note_codec_throughput(
+        gpf_trace::names::CODEC_DESERIALIZE_BYTES,
+        gpf_trace::names::CODEC_DESERIALIZE_RECORDS,
+        buf.len(),
+        n,
+    );
     Ok(n)
 }
 

@@ -222,8 +222,13 @@ fn build_bundles_adaptive(
         let pairs: Vec<(u32, u64)> =
             counts.iter().enumerate().map(|(i, &c)| (i as u32, c)).collect();
         let threshold = if threshold_cfg == 0 {
-            let total: u64 = counts.iter().sum();
-            (total / nbase as u64 / 2).max(1)
+            // Half the mean partition load, derived from the count pass the
+            // engine just recorded into the trace; when tracing is off the
+            // aggregated counts give the identical total.
+            ctx_b.auto_skew_threshold(nbase).unwrap_or_else(|| {
+                let total: u64 = counts.iter().sum();
+                (total / nbase as u64 / 2).max(1)
+            })
         } else {
             threshold_cfg
         };
@@ -443,6 +448,47 @@ mod tests {
         // The decision is visible in the trace.
         let (_, trace) = ctx_a.take_run_traced();
         assert!(trace.events.iter().any(|e| &*e.name == "repartition.split"));
+    }
+
+    #[test]
+    fn auto_threshold_pins_explicit_split_decisions() {
+        // Same hotspot profile as the split test: 300 records total, so
+        // the explicit half-mean-load threshold is known in closed form.
+        let r = reference();
+        let info = PartitionInfo::new(&r.dict().lengths(), 250);
+        let records: Vec<SamRecord> = (0..300)
+            .map(|i| {
+                if i % 10 == 0 {
+                    mapped(&format!("cold{i}"), 1, (i * 13) as u64 % 480)
+                } else {
+                    mapped(&format!("hot{i}"), 0, (i % 240) as u64)
+                }
+            })
+            .collect();
+        let nbase = info.num_partitions() as u64;
+        let explicit = (300 / nbase / 2).max(1);
+
+        let layout = |threshold: u64| {
+            let ctx = gpf_engine::EngineContext::new(
+                EngineConfig::default().with_adaptive_skew(threshold),
+            );
+            let sams = Dataset::from_vec(Arc::clone(&ctx), records.clone(), 4);
+            build_bundles(&ctx, &r, &info, &sams, None)
+                .collect_local()
+                .iter()
+                .map(|b| {
+                    let mut names: Vec<String> =
+                        b.sams.iter().map(|s| s.name.clone()).collect();
+                    names.sort();
+                    (b.partition_id, format!("{:?}", b.region), names)
+                })
+                .collect::<Vec<_>>()
+        };
+
+        // Threshold 0 selects the auto path (half mean load derived from
+        // the count pass's `repartition.count` trace instant); it must
+        // make exactly the split decisions of the explicit formula.
+        assert_eq!(layout(0), layout(explicit), "auto threshold must pin the explicit layout");
     }
 
     #[test]

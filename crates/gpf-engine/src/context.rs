@@ -65,6 +65,11 @@ pub(crate) struct TaskSample {
     pub end_ns: u64,
     /// Worker thread id ([`current_tid`]).
     pub tid: u32,
+    /// Peak net heap growth on the worker during the task, measured by the
+    /// tracking allocator's per-thread window (0 while untracked).
+    pub heap_peak_bytes: u64,
+    /// Bytes allocated on the worker during the task (0 while untracked).
+    pub heap_alloc_bytes: u64,
 }
 
 impl EngineContext {
@@ -208,6 +213,17 @@ impl EngineContext {
                     counters: Vec::new(),
                 });
             }
+            let mut counters = vec![
+                (Arc::from(names::PART), part as u64),
+                (Arc::from(names::CPU_NS), (s.cpu_s * 1e9) as u64),
+                (Arc::from(names::CPU_BITS), s.cpu_s.to_bits()),
+            ];
+            // Per-task heap attribution, only when the tracking allocator
+            // measured something (keeps untracked traces byte-identical).
+            if s.heap_peak_bytes > 0 || s.heap_alloc_bytes > 0 {
+                counters.push((Arc::from(names::HEAP_TASK_PEAK), s.heap_peak_bytes));
+                counters.push((Arc::from(names::HEAP_TASK_ALLOC), s.heap_alloc_bytes));
+            }
             batch.push(Event {
                 kind: EventKind::End,
                 name: Arc::clone(&name),
@@ -217,11 +233,7 @@ impl EngineContext {
                 tid: s.tid,
                 id: 0,
                 parent: 0,
-                counters: vec![
-                    (Arc::from(names::PART), part as u64),
-                    (Arc::from(names::CPU_NS), (s.cpu_s * 1e9) as u64),
-                    (Arc::from(names::CPU_BITS), s.cpu_s.to_bits()),
-                ],
+                counters,
             });
         }
         batch.push(self.ev(
@@ -234,6 +246,9 @@ impl EngineContext {
             ],
         ));
         self.trace.push_batch(batch);
+        // Sample the heap gauges at the op (span-batch) boundary so the
+        // Perfetto counter track follows the schedule.
+        self.heap_sample();
     }
 
     /// Record one narrow operation from per-partition CPU seconds alone
@@ -251,7 +266,14 @@ impl EngineContext {
             .map(|&cpu_s| {
                 let start_ns = now_ns();
                 let end_ns = start_ns.saturating_add((cpu_s * 1e9) as u64);
-                TaskSample { cpu_s, start_ns, end_ns, tid: current_tid() }
+                TaskSample {
+                    cpu_s,
+                    start_ns,
+                    end_ns,
+                    tid: current_tid(),
+                    heap_peak_bytes: 0,
+                    heap_alloc_bytes: 0,
+                }
             })
             .collect();
         self.record_tasks(label, &samples, records_out, alloc_bytes);
@@ -281,6 +303,8 @@ impl EngineContext {
         write_bytes: Vec<u64>,
         read_bytes: Vec<u64>,
     ) {
+        // Charge the closing stage's heap profile before the close events.
+        self.heap_sample();
         let bytes_key: Arc<str> = Arc::from(names::BYTES);
         let batch = vec![
             self.ev(
@@ -307,6 +331,8 @@ impl EngineContext {
     /// send their results over the network, and the driver drains the total
     /// serially (the simulator charges both).
     pub(crate) fn close_stage_collect(&self, label: &str, per_partition_bytes: Vec<u64>) {
+        // Charge the closing stage's heap profile before the close events.
+        self.heap_sample();
         let bytes_key: Arc<str> = Arc::from(names::BYTES);
         let batch = vec![
             self.ev(
@@ -319,6 +345,51 @@ impl EngineContext {
         ];
         self.trace.push_batch(batch);
         self.advance_stage();
+    }
+
+    /// Sample the tracking allocator's global gauges into the session
+    /// trace as one `heap.live_bytes` [`EventKind::Counter`] event — the
+    /// Perfetto counter track. No-op while allocation tracking is
+    /// inactive, so untracked traces stay byte-identical.
+    fn heap_sample(&self) {
+        if !gpf_trace::alloc::tracking_active() {
+            return;
+        }
+        // Publish the driver thread's own pending delta first; workers
+        // flushed theirs when their task scopes closed.
+        gpf_trace::alloc::flush_thread_stats();
+        let live = gpf_trace::alloc::live_bytes();
+        let peak = gpf_trace::alloc::take_peak().max(live);
+        let ev = self.ev(
+            EventKind::Counter,
+            Arc::from(gpf_trace::names::HEAP_LIVE_TRACK),
+            Category::Scheduler,
+            vec![
+                (Arc::from(gpf_trace::names::HEAP_LIVE_KEY), live),
+                (Arc::from(gpf_trace::names::HEAP_PEAK_KEY), peak),
+            ],
+        );
+        self.trace.push(ev);
+    }
+
+    /// Derive the adaptive-skew split threshold — "half the mean per-base
+    /// load" — from the trace instead of a caller-side formula: reads the
+    /// `records` total of the latest `repartition.count` op instant in the
+    /// session log. Returns `None` until a count pass has been recorded
+    /// (callers fall back to their local counts).
+    pub fn auto_skew_threshold(&self, nbase: usize) -> Option<u64> {
+        let mut total: Option<u64> = None;
+        self.trace.for_each(|e| {
+            if e.kind == EventKind::Instant
+                && e.cat == Category::Compute
+                && &*e.name == names::REPARTITION_COUNT
+            {
+                if let Some(r) = e.counter(names::RECORDS) {
+                    total = Some(r);
+                }
+            }
+        });
+        total.map(|t| (t / (nbase.max(1) as u64) / 2).max(1))
     }
 
     /// Stage index for fault-site addressing (0 until the first stage
@@ -403,10 +474,10 @@ impl EngineContext {
     /// `adaptive_skew` is configured, so tests read them without toggling
     /// ambient tracing.
     pub fn record_repartition(&self, splits: u64, moved_records: u64, cap_hits: u64) {
-        gpf_trace::counter("repartition.splits").add(splits);
-        gpf_trace::counter("repartition.moved_records").add(moved_records);
+        gpf_trace::counter(gpf_trace::names::REPARTITION_SPLITS).add(splits);
+        gpf_trace::counter(gpf_trace::names::REPARTITION_MOVED).add(moved_records);
         if cap_hits > 0 {
-            gpf_trace::counter("repartition.cap_hit").add(cap_hits);
+            gpf_trace::counter(gpf_trace::names::REPARTITION_CAP_HIT).add(cap_hits);
         }
         let ev = self.ev(
             EventKind::Instant,

@@ -21,8 +21,10 @@ use gpf_compress::serializer::{
 use gpf_compress::{GpfSerialize, SerializerKind};
 use gpf_support::par;
 use gpf_support::sync::Mutex;
+use gpf_trace::alloc::{self, AllocTag};
 use gpf_trace::clock::now_ns;
 use gpf_trace::current_tid;
+use gpf_trace::names as tn;
 use std::hash::{Hash, Hasher};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::{Arc, OnceLock};
@@ -141,9 +143,23 @@ impl<T: Send + Sync + 'static> Dataset<T> {
         let results: Vec<(Vec<U>, TaskSample)> = par::map_indexed(&self.parts, |i, p| {
             let start_ns = now_ns();
             let t0 = TaskTimer::start();
+            let scope = alloc::scope(AllocTag::Task);
+            let ht = alloc::window_begin();
             let out = f(i, p);
+            let w = alloc::window_end(ht);
+            drop(scope);
             let cpu_s = t0.elapsed_s();
-            (out, TaskSample { cpu_s, start_ns, end_ns: now_ns(), tid: current_tid() })
+            (
+                out,
+                TaskSample {
+                    cpu_s,
+                    start_ns,
+                    end_ns: now_ns(),
+                    tid: current_tid(),
+                    heap_peak_bytes: w.peak_bytes,
+                    heap_alloc_bytes: w.alloc_bytes,
+                },
+            )
         });
         let samples: Vec<TaskSample> = results.iter().map(|(_, s)| *s).collect();
         let records: u64 = results.iter().map(|(v, _)| v.len() as u64).sum();
@@ -181,7 +197,7 @@ impl<T: Send + Sync + 'static> Dataset<T> {
                 Ok(tr) => runs.push(tr),
                 Err(err) => {
                     self.ctx.record_fault_event(
-                        "task.retries",
+                        tn::TASK_RETRIES,
                         stage,
                         err.partition,
                         err.attempts.len() as u64,
@@ -361,13 +377,27 @@ impl<T: Send + Sync + 'static> Dataset<T> {
         let parts: Vec<(Vec<T>, TaskSample)> = par::map(&bufs, |b| {
             let start_ns = now_ns();
             let t = TaskTimer::start();
+            let scope = alloc::scope(AllocTag::Spill);
+            let ht = alloc::window_begin();
             let items: Vec<T> =
                 // gpf-lint: allow(no-panic): the buffer was produced by
                 // serialize_batch in the same shuffle a few lines above; a
                 // decode failure is engine corruption, not an input error.
                 deserialize_batch(kind, b).expect("engine-produced buffer is valid");
+            let w = alloc::window_end(ht);
+            drop(scope);
             let cpu_s = t.elapsed_s();
-            (items, TaskSample { cpu_s, start_ns, end_ns: now_ns(), tid: current_tid() })
+            (
+                items,
+                TaskSample {
+                    cpu_s,
+                    start_ns,
+                    end_ns: now_ns(),
+                    tid: current_tid(),
+                    heap_peak_bytes: w.peak_bytes,
+                    heap_alloc_bytes: w.alloc_bytes,
+                },
+            )
         });
         let de_samples: Vec<TaskSample> = parts.iter().map(|(_, s)| *s).collect();
         let records: u64 = parts.iter().map(|(v, _)| v.len() as u64).sum();
@@ -410,7 +440,7 @@ impl<T: Send + Sync + 'static> Dataset<T> {
                 == Some(FaultKind::CorruptSpill)
                 && corrupt_bit(buf, fc.plan.corruption_salt(stage, i as u32))
             {
-                self.ctx.record_fault_event("fault.injected", stage, i as u32, 1);
+                self.ctx.record_fault_event(tn::FAULT_INJECTED, stage, i as u32, 1);
             }
         }
         let bytes: Vec<u64> = bufs.iter().map(|b| b.len() as u64).collect();
@@ -422,6 +452,8 @@ impl<T: Send + Sync + 'static> Dataset<T> {
         let parts: Vec<(Vec<T>, TaskSample, u64)> = par::map_range(bufs.len(), |i| {
             let start_ns = now_ns();
             let t = TaskTimer::start();
+            let scope = alloc::scope(AllocTag::Spill);
+            let ht = alloc::window_begin();
             let ok = fnv64(&bufs[i]) == sums[i];
             let decoded: Option<Vec<T>> = if ok {
                 match deserialize_batch(kind, &bufs[i]) {
@@ -437,16 +469,25 @@ impl<T: Send + Sync + 'static> Dataset<T> {
                 // resident, so a lost spill costs one clone, not a rerun.
                 None => (self.parts[i].clone(), 1u64),
             };
+            let w = alloc::window_end(ht);
+            drop(scope);
             let cpu_s = t.elapsed_s();
             (
                 items,
-                TaskSample { cpu_s, start_ns, end_ns: now_ns(), tid: current_tid() },
+                TaskSample {
+                    cpu_s,
+                    start_ns,
+                    end_ns: now_ns(),
+                    tid: current_tid(),
+                    heap_peak_bytes: w.peak_bytes,
+                    heap_alloc_bytes: w.alloc_bytes,
+                },
                 recomputed,
             )
         });
         for (i, (_, _, rec)) in parts.iter().enumerate() {
             if *rec > 0 {
-                self.ctx.record_fault_event("shuffle.recomputed", read_stage, i as u32, *rec);
+                self.ctx.record_fault_event(tn::SHUFFLE_RECOMPUTED, read_stage, i as u32, *rec);
             }
         }
         let de_samples: Vec<TaskSample> = parts.iter().map(|(_, s, _)| *s).collect();
@@ -742,9 +783,9 @@ fn scratch_take() -> Vec<u8> {
     let got = scratch_pool().lock().pop();
     if gpf_trace::enabled() {
         if got.is_some() {
-            gpf_trace::counter("shuffle.scratch.reused").add(1);
+            gpf_trace::counter(tn::SHUFFLE_SCRATCH_REUSED).add(1);
         } else {
-            gpf_trace::counter("shuffle.scratch.allocated").add(1);
+            gpf_trace::counter(tn::SHUFFLE_SCRATCH_ALLOCATED).add(1);
         }
     }
     got.unwrap_or_default()
@@ -785,6 +826,10 @@ fn serialize_buckets<T: GpfSerialize>(
     with_checksum: bool,
 ) -> (Vec<u8>, Vec<BucketSeg>) {
     let mut data = scratch_take();
+    // Serialization allocations (scratch growth, codec temporaries) charge
+    // the serde heap tag; one scope per map task keeps this off the
+    // per-bucket hot path.
+    let _serde_scope = alloc::scope(AllocTag::Serde);
     let mut segs = Vec::with_capacity(buckets.len());
     // Bucket stats accumulate locally and merge into the registry once
     // per task: a smoke run serializes millions of buckets, and even an
@@ -808,24 +853,28 @@ fn serialize_buckets<T: GpfSerialize>(
         segs.push(BucketSeg { offset, len, records: b.len(), checksum });
     }
     if let Some((by, recs)) = &stats {
-        gpf_trace::histogram("shuffle.bucket.bytes").merge(by);
-        gpf_trace::histogram("shuffle.bucket.records").merge(recs);
+        gpf_trace::histogram(tn::SHUFFLE_BUCKET_BYTES).merge(by);
+        gpf_trace::histogram(tn::SHUFFLE_BUCKET_RECORDS).merge(recs);
     }
     (data, segs)
 }
 
-/// Shared tail of a map-side task: serialize the scattered buckets and
-/// stamp the task sample.
+/// Shared tail of a map-side task: serialize the scattered buckets, close
+/// the task's heap window, and stamp the task sample. `heap` is the window
+/// the caller opened before routing, so the sample's heap columns cover
+/// the whole map task (scatter + serialize).
 fn finish_map_task<T: GpfSerialize>(
     kind: SerializerKind,
     buckets: Vec<Vec<T>>,
     bucket_s: f64,
     start_ns: u64,
     with_checksum: bool,
+    heap: alloc::WindowToken,
 ) -> MapTaskOut {
     let t1 = TaskTimer::start();
     let (data, segs) = serialize_buckets(kind, &buckets, with_checksum);
     let ser_s = t1.elapsed_s();
+    let w = alloc::window_end(heap);
     MapTaskOut {
         data,
         segs,
@@ -834,6 +883,8 @@ fn finish_map_task<T: GpfSerialize>(
             start_ns,
             end_ns: now_ns(),
             tid: current_tid(),
+            heap_peak_bytes: w.peak_bytes,
+            heap_alloc_bytes: w.alloc_bytes,
         },
         ser_s,
     }
@@ -849,6 +900,15 @@ struct TaskRun<R> {
     /// Faults injected into this task (panics that were retried away plus
     /// straggler delays).
     injected: u32,
+}
+
+/// Heap attribution tag for a fault surface's task body.
+fn tag_for_surface(surface: FaultSurface) -> AllocTag {
+    match surface {
+        FaultSurface::NarrowTask => AllocTag::Task,
+        FaultSurface::ShuffleMap => AllocTag::Shuffle,
+        _ => AllocTag::Untagged,
+    }
 }
 
 fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
@@ -890,8 +950,12 @@ fn run_with_retry<R>(
         } else {
             let start_ns = now_ns();
             let t0 = TaskTimer::start();
+            let scope = alloc::scope(tag_for_surface(surface));
+            let ht = alloc::window_begin();
             match catch_unwind(AssertUnwindSafe(&body)) {
                 Ok(out) => {
+                    let w = alloc::window_end(ht);
+                    drop(scope);
                     let mut cpu_s = t0.elapsed_s();
                     let mut end_ns = now_ns();
                     if decision == Some(FaultKind::Straggler) {
@@ -901,12 +965,26 @@ fn run_with_retry<R>(
                     }
                     return Ok(TaskRun {
                         out,
-                        sample: TaskSample { cpu_s, start_ns, end_ns, tid: current_tid() },
+                        sample: TaskSample {
+                            cpu_s,
+                            start_ns,
+                            end_ns,
+                            tid: current_tid(),
+                            heap_peak_bytes: w.peak_bytes,
+                            heap_alloc_bytes: w.alloc_bytes,
+                        },
                         attempts,
                         injected,
                     });
                 }
                 Err(payload) => {
+                    // A panicked attempt leaked its partial allocations past
+                    // the window; close it for balance and discard the stats.
+                    // gpf-lint: allow(swallowed-error): heap stats of a failed
+                    // attempt are meaningless; the window must still close so
+                    // the thread-local peak state stays balanced.
+                    let _ = alloc::window_end(ht);
+                    drop(scope);
                     attempts.push(AttemptRecord {
                         attempt,
                         cause: panic_message(payload),
@@ -951,16 +1029,27 @@ fn speculate<R>(
         if dur <= threshold {
             continue;
         }
-        ctx.record_fault_event("spec.launched", stage, i as u32, 1);
+        ctx.record_fault_event(tn::SPEC_LAUNCHED, stage, i as u32, 1);
         let start_ns = now_ns();
         let t0 = TaskTimer::start();
+        let scope = alloc::scope(AllocTag::Task);
+        let ht = alloc::window_begin();
         let out = rerun(i);
+        let w = alloc::window_end(ht);
+        drop(scope);
         let cpu_s = t0.elapsed_s();
         let end_ns = now_ns();
         if end_ns.saturating_sub(start_ns) < dur {
             runs[i].out = out;
-            runs[i].sample = TaskSample { cpu_s, start_ns, end_ns, tid: current_tid() };
-            ctx.record_fault_event("spec.won", stage, i as u32, 1);
+            runs[i].sample = TaskSample {
+                cpu_s,
+                start_ns,
+                end_ns,
+                tid: current_tid(),
+                heap_peak_bytes: w.peak_bytes,
+                heap_alloc_bytes: w.alloc_bytes,
+            };
+            ctx.record_fault_event(tn::SPEC_WON, stage, i as u32, 1);
         }
     }
 }
@@ -970,10 +1059,10 @@ fn speculate<R>(
 fn record_task_fault_events<R>(ctx: &EngineContext, stage: u32, runs: &[TaskRun<R>]) {
     for (i, r) in runs.iter().enumerate() {
         if r.injected > 0 {
-            ctx.record_fault_event("fault.injected", stage, i as u32, r.injected as u64);
+            ctx.record_fault_event(tn::FAULT_INJECTED, stage, i as u32, r.injected as u64);
         }
         if !r.attempts.is_empty() {
-            ctx.record_fault_event("task.retries", stage, i as u32, r.attempts.len() as u64);
+            ctx.record_fault_event(tn::TASK_RETRIES, stage, i as u32, r.attempts.len() as u64);
         }
     }
 }
@@ -1035,17 +1124,31 @@ where
     let hists: Vec<(Vec<u64>, TaskSample)> = par::map(&parts, |p| {
         let start_ns = now_ns();
         let t0 = TaskTimer::start();
+        let scope = alloc::scope(AllocTag::Repartition);
+        let ht = alloc::window_begin();
         let mut h = vec![0u64; nbase];
         for item in p {
             let r = route_base(item);
             assert!(r < nbase, "base route {r} out of range ({nbase} base partitions)");
             h[r] += 1;
         }
-        (h, TaskSample { cpu_s: t0.elapsed_s(), start_ns, end_ns: now_ns(), tid: current_tid() })
+        let w = alloc::window_end(ht);
+        drop(scope);
+        (
+            h,
+            TaskSample {
+                cpu_s: t0.elapsed_s(),
+                start_ns,
+                end_ns: now_ns(),
+                tid: current_tid(),
+                heap_peak_bytes: w.peak_bytes,
+                heap_alloc_bytes: w.alloc_bytes,
+            },
+        )
     });
     let samples: Vec<TaskSample> = hists.iter().map(|(_, s)| *s).collect();
     let records: u64 = parts.iter().map(|p| p.len() as u64).sum();
-    ctx.record_tasks("repartition.count", &samples, records, 0);
+    ctx.record_tasks(crate::metrics::names::REPARTITION_COUNT, &samples, records, 0);
     // Driver side: aggregate the histograms and let the caller decide the
     // final layout from them.
     let mut counts = vec![0u64; nbase];
@@ -1091,34 +1194,42 @@ where
     let map_out: Vec<MapTaskOut> = match Arc::try_unwrap(parts) {
         Ok(owned) => {
             if gpf_trace::enabled() {
-                gpf_trace::counter("shuffle.partitions.moved").add(owned.len() as u64);
+                gpf_trace::counter(tn::SHUFFLE_PARTITIONS_MOVED).add(owned.len() as u64);
             }
             par::map_vec(owned, |p| {
                 let start_ns = now_ns();
                 let t0 = TaskTimer::start();
+                let scope = alloc::scope(AllocTag::Shuffle);
+                let ht = alloc::window_begin();
                 let (routes, counts) = plan_routes(&p, nparts, &route);
                 let mut buckets: Vec<Vec<T>> =
                     counts.iter().map(|&c| Vec::with_capacity(c)).collect();
                 for (item, &r) in p.into_iter().zip(&routes) {
                     buckets[r as usize].push(item);
                 }
-                finish_map_task(kind, buckets, t0.elapsed_s(), start_ns, false)
+                let out = finish_map_task(kind, buckets, t0.elapsed_s(), start_ns, false, ht);
+                drop(scope);
+                out
             })
         }
         Err(shared) => {
             if gpf_trace::enabled() {
-                gpf_trace::counter("shuffle.partitions.cloned").add(shared.len() as u64);
+                gpf_trace::counter(tn::SHUFFLE_PARTITIONS_CLONED).add(shared.len() as u64);
             }
             par::map(&shared, |p| {
                 let start_ns = now_ns();
                 let t0 = TaskTimer::start();
+                let scope = alloc::scope(AllocTag::Shuffle);
+                let ht = alloc::window_begin();
                 let (routes, counts) = plan_routes(p, nparts, &route);
                 let mut buckets: Vec<Vec<T>> =
                     counts.iter().map(|&c| Vec::with_capacity(c)).collect();
                 for (item, &r) in p.iter().zip(&routes) {
                     buckets[r as usize].push(item.clone());
                 }
-                finish_map_task(kind, buckets, t0.elapsed_s(), start_ns, false)
+                let out = finish_map_task(kind, buckets, t0.elapsed_s(), start_ns, false, ht);
+                drop(scope);
+                out
             })
         }
     };
@@ -1140,6 +1251,8 @@ where
     let reduce_out: Vec<(Vec<T>, TaskSample)> = par::map_range(nparts, |t| {
         let start_ns = now_ns();
         let t0 = TaskTimer::start();
+        let scope = alloc::scope(AllocTag::Serde);
+        let ht = alloc::window_begin();
         let expected: usize = map_out.iter().map(|m| m.segs[t].records).sum();
         let mut out: Vec<T> = Vec::with_capacity(expected);
         for m in &map_out {
@@ -1161,8 +1274,20 @@ where
                 seg.records, n
             );
         }
+        let w = alloc::window_end(ht);
+        drop(scope);
         let cpu_s = t0.elapsed_s();
-        (out, TaskSample { cpu_s, start_ns, end_ns: now_ns(), tid: current_tid() })
+        (
+            out,
+            TaskSample {
+                cpu_s,
+                start_ns,
+                end_ns: now_ns(),
+                tid: current_tid(),
+                heap_peak_bytes: w.peak_bytes,
+                heap_alloc_bytes: w.alloc_bytes,
+            },
+        )
     });
     for m in map_out {
         scratch_put(m.data);
@@ -1216,12 +1341,15 @@ where
         let p = &lineage[i];
         let start_ns = now_ns();
         let t0 = TaskTimer::start();
+        // run_with_retry opens the outer (attributing) scope and window for
+        // this body; this inner window only feeds the MapTaskOut sample.
+        let ht = alloc::window_begin();
         let (routes, counts) = plan_routes(p, nparts, &route);
         let mut buckets: Vec<Vec<T>> = counts.iter().map(|&c| Vec::with_capacity(c)).collect();
         for (item, &r) in p.iter().zip(&routes) {
             buckets[r as usize].push(item.clone());
         }
-        finish_map_task(kind, buckets, t0.elapsed_s(), start_ns, true)
+        finish_map_task(kind, buckets, t0.elapsed_s(), start_ns, true, ht)
     };
     let results: Vec<Result<TaskRun<MapTaskOut>, EngineError>> =
         par::map_range(lineage.len(), |i| {
@@ -1233,7 +1361,7 @@ where
             Ok(tr) => runs.push(tr),
             Err(err) => {
                 ctx.record_fault_event(
-                    "task.retries",
+                    tn::TASK_RETRIES,
                     stage,
                     err.partition,
                     err.attempts.len() as u64,
@@ -1289,6 +1417,8 @@ where
     let reduce_out: Vec<(Vec<T>, TaskSample, u64)> = par::map_range(nparts, |t| {
         let start_ns = now_ns();
         let t0 = TaskTimer::start();
+        let scope = alloc::scope(AllocTag::Serde);
+        let ht = alloc::window_begin();
         let expected: usize = map_out.iter().map(|m| m.segs[t].records).sum();
         let mut out: Vec<T> = Vec::with_capacity(expected);
         let mut recomputes = 0u64;
@@ -1310,10 +1440,19 @@ where
                 recomputes += 1;
             }
         }
+        let w = alloc::window_end(ht);
+        drop(scope);
         let cpu_s = t0.elapsed_s();
         (
             out,
-            TaskSample { cpu_s, start_ns, end_ns: now_ns(), tid: current_tid() },
+            TaskSample {
+                cpu_s,
+                start_ns,
+                end_ns: now_ns(),
+                tid: current_tid(),
+                heap_peak_bytes: w.peak_bytes,
+                heap_alloc_bytes: w.alloc_bytes,
+            },
             recomputes,
         )
     });
@@ -1322,7 +1461,7 @@ where
     }
     for (t, (_, _, rec)) in reduce_out.iter().enumerate() {
         if *rec > 0 {
-            ctx.record_fault_event("shuffle.recomputed", read_stage, t as u32, *rec);
+            ctx.record_fault_event(tn::SHUFFLE_RECOMPUTED, read_stage, t as u32, *rec);
         }
     }
     let de_samples: Vec<TaskSample> = reduce_out.iter().map(|(_, s, _)| *s).collect();
@@ -1375,11 +1514,15 @@ where
             .map(|b| if b.is_empty() { Vec::new() } else { serialize_batch(kind, b) })
             .collect();
         let ser_time = t1.elapsed_s();
+        // The reference shuffle stays uninstrumented: it is the differential
+        // baseline, so its samples carry no heap columns.
         let sample = TaskSample {
             cpu_s: bucket_time + ser_time,
             start_ns,
             end_ns: now_ns(),
             tid: current_tid(),
+            heap_peak_bytes: 0,
+            heap_alloc_bytes: 0,
         };
         (ser, sample, ser_time)
     });
@@ -1415,7 +1558,17 @@ where
             out.append(&mut items);
         }
         let cpu_s = t0.elapsed_s();
-        (out, TaskSample { cpu_s, start_ns, end_ns: now_ns(), tid: current_tid() })
+        (
+            out,
+            TaskSample {
+                cpu_s,
+                start_ns,
+                end_ns: now_ns(),
+                tid: current_tid(),
+                heap_peak_bytes: 0,
+                heap_alloc_bytes: 0,
+            },
+        )
     });
     let de_samples: Vec<TaskSample> = reduce_out.iter().map(|(_, s)| *s).collect();
     let de_s: f64 = de_samples.iter().map(|s| s.cpu_s).sum();

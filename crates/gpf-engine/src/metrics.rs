@@ -54,6 +54,14 @@ pub(crate) mod names {
     pub const NS: &str = "ns";
     /// Duration in seconds as `f64::to_bits` (derivation).
     pub const SECONDS_BITS: &str = "s_bits";
+    /// Per-task peak heap bytes measured by the tracking allocator (on
+    /// task `End` events, only while tracking is active).
+    pub const HEAP_TASK_PEAK: &str = "h_peak";
+    /// Per-task allocated heap bytes (sibling of `h_peak`).
+    pub const HEAP_TASK_ALLOC: &str = "h_alloc";
+    /// Label of the adaptive-skew count pass; its `records` counter is the
+    /// total the trace-derived split threshold is computed from.
+    pub const REPARTITION_COUNT: &str = "repartition.count";
 }
 
 /// What closed a stage.
@@ -93,6 +101,15 @@ pub struct StageMetrics {
     pub kind: StageKind,
     /// Bytes broadcast to every node during this stage (driver → cluster).
     pub broadcast_bytes: u64,
+    /// Measured peak live heap bytes during the stage (max over the
+    /// stage's `heap.live_bytes` samples; 0 while tracking is inactive).
+    pub heap_peak_bytes: u64,
+    /// Measured live heap bytes at the stage boundary (last sample; 0
+    /// while tracking is inactive).
+    pub heap_live_bytes: u64,
+    /// Max single-task peak heap bytes (worker-thread windows; 0 while
+    /// tracking is inactive).
+    pub heap_task_peak_bytes: u64,
     /// CPU seconds contributed per phase tag (a stage can straddle a phase
     /// change; `phase` reports the dominant contributor).
     pub(crate) phase_cpu: Vec<(String, f64)>,
@@ -112,6 +129,9 @@ impl StageMetrics {
             serde_s: 0.0,
             kind: StageKind::Final,
             broadcast_bytes: 0,
+            heap_peak_bytes: 0,
+            heap_live_bytes: 0,
+            heap_task_peak_bytes: 0,
             phase_cpu: Vec::new(),
         }
     }
@@ -253,9 +273,10 @@ impl JobRun {
 /// | `Instant`/`Shuffle`                    | close stage as [`StageKind::Shuffle`]     |
 /// | `Counter`/`Io` `broadcast`             | broadcast bytes into the open stage       |
 /// | `Instant`/`Io`                         | close stage as [`StageKind::Collect`]     |
+/// | `Counter`/`Scheduler` `heap.live_bytes`| stage heap peak/live (max/last sample)    |
 ///
-/// `Begin`, `Scheduler` and `Warn` events are timeline-only and ignored
-/// here. A stage still open when the stream ends is pushed as
+/// `Begin`, other `Scheduler`, and `Warn` events are timeline-only and
+/// ignored here. A stage still open when the stream ends is pushed as
 /// [`StageKind::Final`].
 pub fn derive_job_run(events: &[Event]) -> JobRun {
     struct Derive {
@@ -289,7 +310,11 @@ pub fn derive_job_run(events: &[Event]) -> JobRun {
                 else {
                     continue;
                 };
-                d.ensure(phase).add_task_cpu_at(part as usize, f64::from_bits(bits), phase);
+                let stage = d.ensure(phase);
+                stage.add_task_cpu_at(part as usize, f64::from_bits(bits), phase);
+                if let Some(task_peak) = ev.counter(names::HEAP_TASK_PEAK) {
+                    stage.heap_task_peak_bytes = stage.heap_task_peak_bytes.max(task_peak);
+                }
             }
             (EventKind::Instant, Category::Compute) => {
                 let stage = d.ensure(phase);
@@ -338,6 +363,19 @@ pub fn derive_job_run(events: &[Event]) -> JobRun {
                 }
                 d.close();
                 d.next_read.clear();
+            }
+            (EventKind::Counter, Category::Scheduler) => {
+                // Heap gauge samples from the tracking allocator; other
+                // scheduler counters stay timeline-only.
+                if &*ev.name == gpf_trace::names::HEAP_LIVE_TRACK {
+                    let stage = d.ensure(phase);
+                    if let Some(live) = ev.counter(gpf_trace::names::HEAP_LIVE_KEY) {
+                        stage.heap_live_bytes = live;
+                    }
+                    if let Some(peak) = ev.counter(gpf_trace::names::HEAP_PEAK_KEY) {
+                        stage.heap_peak_bytes = stage.heap_peak_bytes.max(peak);
+                    }
+                }
             }
             _ => {}
         }

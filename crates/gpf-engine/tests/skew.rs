@@ -295,3 +295,20 @@ fn repartition_counters_reflect_plan_stats() {
     assert!(counter("repartition.moved_records") >= moved0 + 57);
     assert!(counter("repartition.cap_hit") >= cap0 + 3);
 }
+
+/// The trace-derived auto threshold ("half the mean per-base load", read
+/// from the count pass's `repartition.count` instant) equals the explicit
+/// formula callers would compute from the aggregated counts — the identity
+/// that lets `with_adaptive_skew(0)` pin the explicit split decisions.
+#[test]
+fn auto_skew_threshold_matches_half_mean_formula() {
+    let (nbase, plen, threshold, data) = skew_profile(0xA010);
+    let ctx = plain_ctx();
+    assert_eq!(ctx.auto_skew_threshold(nbase), None, "no count pass recorded yet");
+    let _ = adaptive_canonical(&ctx, &data, 4, nbase, plen, threshold);
+    assert_eq!(
+        ctx.auto_skew_threshold(nbase),
+        Some(threshold),
+        "auto threshold must equal the explicit half-mean-load formula"
+    );
+}

@@ -1,0 +1,6 @@
+// Fixture: literal metric registrations whose names are missing from the
+// gpf_trace::names registry (one typo'd counter, one typo'd histogram).
+pub fn mistyped() {
+    gpf_trace::counter("task.retires").add(1);
+    counters::histogram("shuffle.bucket.byte").observe(7);
+}

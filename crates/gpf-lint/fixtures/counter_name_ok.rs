@@ -1,0 +1,18 @@
+// Fixture: the legal shapes — registered literals, const arguments
+// (checked at their declaration site), per-event key reads via the method
+// form, the accessor declaration itself, an annotated escape hatch, and
+// metric-like text inside strings and comments.
+pub fn accounted(ev: &Event) {
+    gpf_trace::counter("task.retries").add(1);
+    counters::histogram("shuffle.bucket.bytes").observe(7);
+    gpf_trace::counter(names::TASK_RETRIES).add(1);
+    let cpu = ev.counter("cpu_ns");
+    // gpf-lint: allow(counter-name-registry): experiment-local scratch metric.
+    gpf_trace::counter("scratch.experiment").add(cpu.unwrap_or(0));
+    let doc = "counter(\"not.a.metric\")"; // counter("also.not") in a comment
+    drop(doc);
+}
+
+pub fn counter(name: &'static str) -> u64 {
+    name.len() as u64
+}

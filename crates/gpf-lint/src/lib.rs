@@ -17,6 +17,7 @@
 //! | `hermetic-deps` | every manifest dependency is a workspace/path dep — nothing from crates.io |
 //! | `no-raw-print` | no `println!`/`eprintln!` in non-test library code — route output through `gpf_trace::sink` (binaries and the sink module itself are exempt) |
 //! | `swallowed-error` | no `let _ = ...` / `.ok()` discards in non-test `gpf-engine`/`gpf-core` code — the fault-tolerance layer relies on every error reaching `EngineContext::fail` |
+//! | `counter-name-registry` | every literal `counter("...")` / `histogram("...")` registration uses a name declared in `gpf_trace::names` — a typo'd name would silently accumulate into a metric nobody reads |
 //!
 //! `assert!` / `debug_assert!` are deliberately *not* banned: stating an
 //! invariant is encouraged; what the `no-panic` rule bans is using a panic
@@ -73,6 +74,10 @@ pub enum Rule {
     /// No silently discarded results (`let _ = ...`, `.ok()`) in the
     /// engine/core crates: recovery decisions need every error surfaced.
     SwallowedError,
+    /// Literal `counter("...")` / `histogram("...")` registrations must use
+    /// a name from the `gpf_trace::names` registry; unregistered names
+    /// accumulate into metrics no report reads.
+    CounterNameRegistry,
 }
 
 impl Rule {
@@ -88,11 +93,12 @@ impl Rule {
             Rule::HermeticDeps => "hermetic-deps",
             Rule::NoRawPrint => "no-raw-print",
             Rule::SwallowedError => "swallowed-error",
+            Rule::CounterNameRegistry => "counter-name-registry",
         }
     }
 
     /// Every rule, in reporting order.
-    pub fn all() -> [Rule; 8] {
+    pub fn all() -> [Rule; 9] {
         [
             Rule::NoPanic,
             Rule::SafetyComment,
@@ -102,6 +108,7 @@ impl Rule {
             Rule::HermeticDeps,
             Rule::NoRawPrint,
             Rule::SwallowedError,
+            Rule::CounterNameRegistry,
         ]
     }
 }
@@ -503,11 +510,102 @@ const PANIC_TOKENS: [(&str, &str); 6] = [
 /// `print!` does not also fire inside `println!` or `eprint!`).
 const PRINT_TOKENS: [&str; 4] = ["println!", "eprintln!", "print!", "eprint!"];
 
+/// Registered metric names for the `counter-name-registry` rule —
+/// gpf-lint's dependency-free copy of `gpf_trace::names::ALL_COUNTERS` and
+/// `ALL_HISTOGRAMS` merged. A cross-check test in this crate's test suite
+/// (which may use dev-dependencies) keeps the copy in sync with the
+/// registry.
+pub const KNOWN_METRIC_NAMES: &[&str] = &[
+    "codec.bases",
+    "codec.deserialize.bytes",
+    "codec.deserialize.records",
+    "codec.serialize.bytes",
+    "codec.serialize.records",
+    "fault.injected",
+    "heap.alloc.bytes",
+    "heap.alloc.count",
+    "heap.freed.bytes",
+    "heap.size_class",
+    "heap.tag.repartition",
+    "heap.tag.serde",
+    "heap.tag.shuffle",
+    "heap.tag.spill",
+    "heap.tag.task",
+    "heap.tag.untagged",
+    "par.busy_ns",
+    "par.chunks",
+    "par.idle_ns",
+    "par.steals",
+    "repartition.cap_hit",
+    "repartition.moved_records",
+    "repartition.splits",
+    "shuffle.bucket.bytes",
+    "shuffle.bucket.records",
+    "shuffle.partitions.cloned",
+    "shuffle.partitions.moved",
+    "shuffle.recomputed",
+    "shuffle.scratch.allocated",
+    "shuffle.scratch.reused",
+    "spec.launched",
+    "spec.won",
+    "task.retries",
+    "trace.dropped",
+];
+
+/// Literal first arguments of `counter("...")` / `histogram("...")`
+/// registration calls on one line. `code` is the masked view (comments and
+/// string contents blanked, char-aligned with the source); `raw` is the
+/// original line, used to recover the blanked literal. Method calls
+/// (`ev.counter(...)` reads a per-event key, not the registry) and
+/// declarations (`fn counter(`) are not registrations; non-literal
+/// arguments (const names) are checked at their declaration site instead.
+fn metric_literal_args(code: &str, raw: &str, fn_name: &str) -> Vec<String> {
+    let code_c: Vec<char> = code.chars().collect();
+    let raw_c: Vec<char> = raw.chars().collect();
+    let mut out = Vec::new();
+    for pos in token_positions(code, fn_name) {
+        // token_positions reports byte offsets; the views align by char.
+        let start = code[..pos].chars().count();
+        let prefix: String = code_c[..start].iter().collect();
+        let t = prefix.trim_end();
+        if t.ends_with('.') || t.ends_with("fn") {
+            continue;
+        }
+        let mut j = start + fn_name.chars().count();
+        while j < code_c.len() && code_c[j].is_whitespace() {
+            j += 1;
+        }
+        if code_c.get(j) != Some(&'(') {
+            continue;
+        }
+        // The literal itself is blanked in the code view — read it from
+        // the raw line at the same char positions.
+        let mut k = j + 1;
+        while k < raw_c.len() && raw_c[k].is_whitespace() {
+            k += 1;
+        }
+        if raw_c.get(k) != Some(&'"') {
+            continue;
+        }
+        k += 1;
+        let mut lit = String::new();
+        while k < raw_c.len() && raw_c[k] != '"' && raw_c[k] != '\\' {
+            lit.push(raw_c[k]);
+            k += 1;
+        }
+        if raw_c.get(k) == Some(&'"') {
+            out.push(lit);
+        }
+    }
+    out
+}
+
 /// Lint one Rust source. `file` is the workspace-relative path used both
 /// for reporting and for the location-scoped rules (`relaxed-ordering`,
 /// `thread-spawn`, `no-raw-print`).
 pub fn lint_source(file: &str, source: &str) -> Vec<Finding> {
     let masked = mask(source);
+    let raw_lines: Vec<&str> = source.lines().collect();
     let mut findings = Vec::new();
     let in_par = file.ends_with("gpf-support/src/par.rs");
     let in_support = file.contains("gpf-support/");
@@ -663,6 +761,25 @@ pub fn lint_source(file: &str, source: &str) -> Vec<Finding> {
                             "`{tok}` in library code; route output through \
                              gpf_trace::sink::console_out/console_err (or annotate \
                              `// gpf-lint: allow(no-raw-print): <why>`)"
+                        ),
+                    });
+                }
+            }
+        }
+        let raw = raw_lines.get(idx).copied().unwrap_or("");
+        for fn_name in ["counter", "histogram"] {
+            for lit in metric_literal_args(code, raw, fn_name) {
+                if !KNOWN_METRIC_NAMES.contains(&lit.as_str())
+                    && !is_allowed(&masked, idx, Rule::CounterNameRegistry)
+                {
+                    findings.push(Finding {
+                        rule: Rule::CounterNameRegistry,
+                        file: file.to_string(),
+                        line: lineno,
+                        message: format!(
+                            "`{fn_name}(\"{lit}\")` registers a metric name missing \
+                             from gpf_trace::names; declare it there (and in \
+                             ALL_COUNTERS / ALL_HISTOGRAMS) and use the const"
                         ),
                     });
                 }

@@ -209,6 +209,30 @@ fn swallowed_error_negative() {
 }
 
 #[test]
+fn counter_name_registry_positive() {
+    let f = lint_source(
+        "crates/x/src/lib.rs",
+        include_str!("../fixtures/counter_name_bad.rs"),
+    );
+    assert_eq!(rules_hit(&f), vec![Rule::CounterNameRegistry]);
+    // One finding per typo'd registration: counter, histogram.
+    assert_eq!(f.len(), 2, "{f:?}");
+    let lines: Vec<usize> = f.iter().map(|x| x.line).collect();
+    assert_eq!(lines, vec![4, 5]);
+    assert!(f[0].message.contains("task.retires"), "{f:?}");
+    assert!(f[1].message.contains("shuffle.bucket.byte"), "{f:?}");
+}
+
+#[test]
+fn counter_name_registry_negative() {
+    let f = lint_source(
+        "crates/x/src/lib.rs",
+        include_str!("../fixtures/counter_name_ok.rs"),
+    );
+    assert!(f.is_empty(), "{f:?}");
+}
+
+#[test]
 fn hermetic_deps_positive() {
     let f = lint_manifest(
         "crates/x/Cargo.toml",

@@ -56,6 +56,7 @@ fn binary_exit_codes_gate_ci() {
     bad_source.push_str(include_str!("../fixtures/spawn_bad.rs"));
     bad_source.push_str(include_str!("../fixtures/concurrency_boundary_bad.rs"));
     bad_source.push_str(include_str!("../fixtures/no_raw_print_bad.rs"));
+    bad_source.push_str(include_str!("../fixtures/counter_name_bad.rs"));
     std::fs::write(src_dir.join("lib.rs"), bad_source).expect("write bad source");
     // `swallowed-error` is scoped to the engine/core crates, so its fixture
     // must live under a matching path to register in the sweep.

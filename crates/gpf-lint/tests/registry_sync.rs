@@ -1,0 +1,18 @@
+//! The linter itself is dependency-free, so `KNOWN_METRIC_NAMES` is a
+//! copy of the gpf-trace registry; this cross-check (tests may use
+//! dev-dependencies) keeps the two lists from drifting.
+
+#[test]
+fn known_metric_names_match_gpf_trace_registry() {
+    let mut registry: Vec<&str> = gpf_trace::names::ALL_COUNTERS
+        .iter()
+        .chain(gpf_trace::names::ALL_HISTOGRAMS)
+        .copied()
+        .collect();
+    registry.sort_unstable();
+    assert_eq!(
+        gpf_lint::KNOWN_METRIC_NAMES,
+        registry.as_slice(),
+        "gpf-lint's KNOWN_METRIC_NAMES drifted from gpf_trace::names"
+    );
+}

@@ -118,15 +118,15 @@ where
     if traced {
         let wall_ns = gpf_trace::clock::now_ns().saturating_sub(t_start);
         let busy_ns: u64 = per_worker.iter().map(|(_, s)| s.busy_ns).sum();
-        gpf_trace::counter("par.chunks")
+        gpf_trace::counter(gpf_trace::names::PAR_CHUNKS)
             .add(per_worker.iter().map(|(_, s)| s.chunks).sum());
-        gpf_trace::counter("par.steals")
+        gpf_trace::counter(gpf_trace::names::PAR_STEALS)
             .add(per_worker.iter().map(|(_, s)| s.steals).sum());
-        gpf_trace::counter("par.busy_ns").add(busy_ns);
+        gpf_trace::counter(gpf_trace::names::PAR_BUSY_NS).add(busy_ns);
         // Idle = the pool's wall-clock capacity the workers did not fill —
         // thread ramp-up, counter contention, and end-of-map tail where
         // some workers are drained while a straggler chunk finishes.
-        gpf_trace::counter("par.idle_ns")
+        gpf_trace::counter(gpf_trace::names::PAR_IDLE_NS)
             .add((wall_ns * workers as u64).saturating_sub(busy_ns));
     }
 

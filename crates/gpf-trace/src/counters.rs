@@ -43,7 +43,7 @@ impl Counter {
     }
 }
 
-const BUCKETS: usize = 65;
+pub(crate) const BUCKETS: usize = 65;
 
 /// A log₂-bucketed histogram: bucket `0` holds value `0`, bucket `k`
 /// (k ≥ 1) holds values in `[2^(k-1), 2^k)`.
@@ -56,7 +56,7 @@ impl Histogram {
         Self { buckets: std::array::from_fn(|_| AtomicU64::new(0)) }
     }
 
-    fn bucket_of(v: u64) -> usize {
+    pub(crate) fn bucket_of(v: u64) -> usize {
         (64 - v.leading_zeros()) as usize
     }
 
@@ -79,6 +79,18 @@ impl Histogram {
     /// RMW per non-empty bucket instead of one per sample.
     pub fn merge(&self, local: &LocalHistogram) {
         for (idx, &n) in local.buckets.iter().enumerate() {
+            if n > 0 {
+                // ordering: Relaxed — bucket counts are pure accumulators.
+                self.buckets[idx].fetch_add(n, Ordering::Relaxed);
+            }
+        }
+    }
+
+    /// Merge a raw bucket-count array sharing [`LocalHistogram`]'s layout
+    /// (the tracking allocator's thread-local flush path, which cannot
+    /// afford a `LocalHistogram` round-trip per sample).
+    pub(crate) fn merge_raw(&self, buckets: &[u64; BUCKETS]) {
+        for (idx, &n) in buckets.iter().enumerate() {
             if n > 0 {
                 // ordering: Relaxed — bucket counts are pure accumulators.
                 self.buckets[idx].fetch_add(n, Ordering::Relaxed);

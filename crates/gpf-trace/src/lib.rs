@@ -42,9 +42,11 @@
 //! the explicit form: its events *are* the metrics, so they cannot be
 //! optional).
 
+pub mod alloc;
 pub mod clock;
 pub mod counters;
 pub mod event;
+pub mod names;
 pub mod recorder;
 pub mod ring;
 pub mod sink;

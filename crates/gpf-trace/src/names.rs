@@ -1,0 +1,162 @@
+//! Canonical registry of counter and histogram names.
+//!
+//! Every name passed to [`crate::counter`] / [`crate::histogram`] anywhere
+//! in the workspace is declared here exactly once. A typo'd metric name
+//! used to register (and silently accumulate into) a fresh counter nobody
+//! reads; gpf-lint's `counter-name-registry` rule now flags any
+//! `counter("...")` / `histogram("...")` call site whose string literal is
+//! not in this registry, and a cross-check test in gpf-lint keeps the
+//! linter's copy of the list in sync with [`ALL_COUNTERS`] /
+//! [`ALL_HISTOGRAMS`].
+//!
+//! The `heap.*` names belong to the tracking allocator ([`crate::alloc`]);
+//! [`HEAP_LIVE_TRACK`] is a trace *event* name (the Perfetto counter
+//! track), not a registry counter, and is declared here so the emitting
+//! side (gpf-engine) and the report side agree on it.
+
+/// Events dropped by bounded trace rings (bumped on overflow).
+pub const TRACE_DROPPED: &str = "trace.dropped";
+
+/// Chunks claimed by the work-stealing pool.
+pub const PAR_CHUNKS: &str = "par.chunks";
+/// Successful steals in the work-stealing pool.
+pub const PAR_STEALS: &str = "par.steals";
+/// Worker busy nanoseconds.
+pub const PAR_BUSY_NS: &str = "par.busy_ns";
+/// Worker idle (stealing/parked) nanoseconds.
+pub const PAR_IDLE_NS: &str = "par.idle_ns";
+
+/// Bases pushed through the 2-bit sequence codec.
+pub const CODEC_BASES: &str = "codec.bases";
+/// Bytes written by batch serialization.
+pub const CODEC_SERIALIZE_BYTES: &str = "codec.serialize.bytes";
+/// Records written by batch serialization.
+pub const CODEC_SERIALIZE_RECORDS: &str = "codec.serialize.records";
+/// Bytes read by batch deserialization.
+pub const CODEC_DESERIALIZE_BYTES: &str = "codec.deserialize.bytes";
+/// Records read by batch deserialization.
+pub const CODEC_DESERIALIZE_RECORDS: &str = "codec.deserialize.records";
+
+/// Partition splits decided by adaptive repartition.
+pub const REPARTITION_SPLITS: &str = "repartition.splits";
+/// Records moved off their base partition by a split.
+pub const REPARTITION_MOVED: &str = "repartition.moved_records";
+/// Times the 64-piece split cap actually bound.
+pub const REPARTITION_CAP_HIT: &str = "repartition.cap_hit";
+
+/// Faults injected by the active fault plan.
+pub const FAULT_INJECTED: &str = "fault.injected";
+/// Task attempts beyond the first.
+pub const TASK_RETRIES: &str = "task.retries";
+/// Shuffle segments recomputed from lineage.
+pub const SHUFFLE_RECOMPUTED: &str = "shuffle.recomputed";
+/// Speculative duplicates launched for stragglers.
+pub const SPEC_LAUNCHED: &str = "spec.launched";
+/// Speculative duplicates that beat the original.
+pub const SPEC_WON: &str = "spec.won";
+
+/// Shuffle scratch buffers reused from the pool.
+pub const SHUFFLE_SCRATCH_REUSED: &str = "shuffle.scratch.reused";
+/// Shuffle scratch buffers freshly allocated.
+pub const SHUFFLE_SCRATCH_ALLOCATED: &str = "shuffle.scratch.allocated";
+/// Partitions scattered by move (sole owner).
+pub const SHUFFLE_PARTITIONS_MOVED: &str = "shuffle.partitions.moved";
+/// Partitions scattered by clone (shared input).
+pub const SHUFFLE_PARTITIONS_CLONED: &str = "shuffle.partitions.cloned";
+
+/// Bytes allocated while heap tracking was active (all threads).
+pub const HEAP_ALLOC_BYTES: &str = "heap.alloc.bytes";
+/// Bytes freed while heap tracking was active (all threads).
+pub const HEAP_FREED_BYTES: &str = "heap.freed.bytes";
+/// Allocation count while heap tracking was active.
+pub const HEAP_ALLOC_COUNT: &str = "heap.alloc.count";
+/// Bytes charged to no attribution scope.
+pub const HEAP_TAG_UNTAGGED: &str = "heap.tag.untagged";
+/// Bytes charged to task (narrow-operator) scopes.
+pub const HEAP_TAG_TASK: &str = "heap.tag.task";
+/// Bytes charged to serialization scopes.
+pub const HEAP_TAG_SERDE: &str = "heap.tag.serde";
+/// Bytes charged to shuffle scopes.
+pub const HEAP_TAG_SHUFFLE: &str = "heap.tag.shuffle";
+/// Bytes charged to spill (barrier-via-disk) scopes.
+pub const HEAP_TAG_SPILL: &str = "heap.tag.spill";
+/// Bytes charged to adaptive-repartition scopes.
+pub const HEAP_TAG_REPARTITION: &str = "heap.tag.repartition";
+
+/// Allocation-size distribution (log₂ size classes).
+pub const HEAP_SIZE_CLASS: &str = "heap.size_class";
+/// Serialized shuffle bucket sizes in bytes.
+pub const SHUFFLE_BUCKET_BYTES: &str = "shuffle.bucket.bytes";
+/// Records per serialized shuffle bucket.
+pub const SHUFFLE_BUCKET_RECORDS: &str = "shuffle.bucket.records";
+
+/// Trace *event* name of the Perfetto heap counter track sampled at span
+/// and stage boundaries (not a registry counter).
+pub const HEAP_LIVE_TRACK: &str = "heap.live_bytes";
+/// Counter key on a [`HEAP_LIVE_TRACK`] event: live bytes at the sample.
+pub const HEAP_LIVE_KEY: &str = "live";
+/// Counter key on a [`HEAP_LIVE_TRACK`] event: peak bytes over the window
+/// since the previous sample.
+pub const HEAP_PEAK_KEY: &str = "peak";
+
+/// Every registered counter name (sorted), for the registry cross-check.
+pub const ALL_COUNTERS: &[&str] = &[
+    CODEC_BASES,
+    CODEC_DESERIALIZE_BYTES,
+    CODEC_DESERIALIZE_RECORDS,
+    CODEC_SERIALIZE_BYTES,
+    CODEC_SERIALIZE_RECORDS,
+    FAULT_INJECTED,
+    HEAP_ALLOC_BYTES,
+    HEAP_ALLOC_COUNT,
+    HEAP_FREED_BYTES,
+    HEAP_TAG_REPARTITION,
+    HEAP_TAG_SERDE,
+    HEAP_TAG_SHUFFLE,
+    HEAP_TAG_SPILL,
+    HEAP_TAG_TASK,
+    HEAP_TAG_UNTAGGED,
+    PAR_BUSY_NS,
+    PAR_CHUNKS,
+    PAR_IDLE_NS,
+    PAR_STEALS,
+    REPARTITION_CAP_HIT,
+    REPARTITION_MOVED,
+    REPARTITION_SPLITS,
+    SHUFFLE_PARTITIONS_CLONED,
+    SHUFFLE_PARTITIONS_MOVED,
+    SHUFFLE_RECOMPUTED,
+    SHUFFLE_SCRATCH_ALLOCATED,
+    SHUFFLE_SCRATCH_REUSED,
+    SPEC_LAUNCHED,
+    SPEC_WON,
+    TASK_RETRIES,
+    TRACE_DROPPED,
+];
+
+/// Every registered histogram name (sorted), for the registry cross-check.
+pub const ALL_HISTOGRAMS: &[&str] = &[HEAP_SIZE_CLASS, SHUFFLE_BUCKET_BYTES, SHUFFLE_BUCKET_RECORDS];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_is_sorted_and_unique() {
+        for list in [ALL_COUNTERS, ALL_HISTOGRAMS] {
+            for pair in list.windows(2) {
+                assert!(pair[0] < pair[1], "registry must be sorted/deduped: {pair:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn registry_names_are_dotted_lowercase() {
+        for name in ALL_COUNTERS.iter().chain(ALL_HISTOGRAMS) {
+            assert!(
+                name.chars().all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '.' || c == '_'),
+                "metric name {name:?} breaks the lowercase.dotted convention"
+            );
+        }
+    }
+}

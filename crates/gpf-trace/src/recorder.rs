@@ -36,6 +36,9 @@ pub fn set_enabled(on: bool) {
     // ordering: Relaxed — a pure on/off gate; every event it gates is
     // published through the ring's mutex, so the flag carries no data.
     ENABLED.store(on, Ordering::Relaxed);
+    // The tracking allocator's hook gate is `requested && enabled`;
+    // recompute the derived flag so untraced runs pay it zero cost.
+    crate::alloc::sync_enabled(on);
 }
 
 /// Whether ambient tracing is on.
@@ -138,6 +141,11 @@ fn stack_top() -> u64 {
 #[must_use = "dropping the guard immediately records a zero-length span"]
 pub struct SpanGuard {
     active: Option<ActiveSpan>,
+    // Heap-attribution scope for the span's category. Declared after
+    // `active` so drop glue releases it *after* Drop::drop records the End
+    // event: allocations made while building the End event still charge to
+    // this span's tag.
+    _alloc_scope: Option<crate::alloc::AllocScope>,
 }
 
 struct ActiveSpan {
@@ -189,7 +197,7 @@ impl Drop for SpanGuard {
 /// Open an ambient span (no-op guard while tracing is disabled).
 pub fn span(name: &str, cat: Category) -> SpanGuard {
     if !enabled() {
-        return SpanGuard { active: None };
+        return SpanGuard { active: None, _alloc_scope: None };
     }
     span_in(global(), name, cat)
 }
@@ -214,7 +222,10 @@ pub fn span_in(log: &Arc<TraceLog>, name: &str, cat: Category) -> SpanGuard {
     };
     SPAN_STACK.with(|s| s.borrow_mut().push(id));
     enqueue(log, event);
-    SpanGuard { active: Some(ActiveSpan { log: Arc::clone(log), name, cat, id, counters: Vec::new() }) }
+    SpanGuard {
+        active: Some(ActiveSpan { log: Arc::clone(log), name, cat, id, counters: Vec::new() }),
+        _alloc_scope: crate::alloc::scope_for_category(cat),
+    }
 }
 
 /// Record an ambient instant event (no-op while tracing is disabled).

@@ -80,7 +80,7 @@ impl TraceLog {
             Self::push_locked(&mut inner, self.capacity, event, &mut newly_dropped);
         }
         if newly_dropped > 0 {
-            counters::counter("trace.dropped").add(newly_dropped);
+            counters::counter(crate::names::TRACE_DROPPED).add(newly_dropped);
         }
     }
 
@@ -97,7 +97,7 @@ impl TraceLog {
             }
         }
         if newly_dropped > 0 {
-            counters::counter("trace.dropped").add(newly_dropped);
+            counters::counter(crate::names::TRACE_DROPPED).add(newly_dropped);
         }
     }
 
@@ -143,6 +143,16 @@ impl TraceLog {
     pub fn snapshot(&self) -> Trace {
         let inner = self.lock();
         Trace { events: inner.events.iter().cloned().collect(), dropped: inner.dropped }
+    }
+
+    /// Visit every held event, oldest first, under one lock acquisition —
+    /// a clone-free alternative to [`snapshot`](Self::snapshot) for scans
+    /// (e.g. deriving a threshold from the latest matching counter event).
+    pub fn for_each(&self, mut f: impl FnMut(&Event)) {
+        let inner = self.lock();
+        for ev in &inner.events {
+            f(ev);
+        }
     }
 
     /// Take the contents, resetting the ring (and its drop and push counts).

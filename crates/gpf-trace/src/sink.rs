@@ -86,7 +86,13 @@ fn chrome_args(ev: &Event) -> String {
 /// output byte-identical across runs under a
 /// [`crate::clock::MockClock`].
 pub fn chrome_trace(trace: &Trace) -> String {
-    let mut out = String::from("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[");
+    // `gpfDropped` surfaces ring overflow to validators (extra top-level
+    // keys are ignored by Chrome/Perfetto); deterministic, so MockClock
+    // byte-stability is preserved.
+    let mut out = format!(
+        "{{\"displayTimeUnit\":\"ms\",\"gpfDropped\":{},\"traceEvents\":[",
+        trace.dropped
+    );
     let mut first = true;
     for ev in trace.sorted_events() {
         if !first {
@@ -168,6 +174,14 @@ pub fn text_report(trace: &Trace, top_n: usize) -> String {
         trace.dropped,
         trace.spans().len()
     );
+    if trace.dropped > 0 {
+        let _ = writeln!(
+            out,
+            "WARNING: {} events dropped (ring overflow) — derived numbers below undercount; \
+             raise the log capacity or trace a smaller run",
+            trace.dropped
+        );
+    }
 
     // Top-N slowest spans.
     let mut spans = trace.spans();
@@ -255,6 +269,32 @@ pub fn text_report(trace: &Trace, top_n: usize) -> String {
     let _ = writeln!(out, "serde     {:>14}s", fmt_s(serde_ns));
     let _ = writeln!(out, "scheduler {:>14}s (outermost scheduler spans, wall)", fmt_s(sched_ns));
     let _ = writeln!(out, "shuffle   {:>14} B written, {} B read", shuffle_write, shuffle_read);
+
+    // Memory: the heap.live_bytes counter track sampled at stage/span
+    // boundaries (present only when allocation tracking was active).
+    let mut heap_samples = 0usize;
+    let mut heap_last_live = 0u64;
+    let mut heap_max_live = 0u64;
+    let mut heap_max_peak = 0u64;
+    for ev in trace.sorted_events() {
+        if ev.kind == EventKind::Counter && &*ev.name == crate::names::HEAP_LIVE_TRACK {
+            heap_samples += 1;
+            if let Some(live) = ev.counter(crate::names::HEAP_LIVE_KEY) {
+                heap_last_live = live;
+                heap_max_live = heap_max_live.max(live);
+            }
+            if let Some(peak) = ev.counter(crate::names::HEAP_PEAK_KEY) {
+                heap_max_peak = heap_max_peak.max(peak);
+            }
+        }
+    }
+    if heap_samples > 0 {
+        let _ = writeln!(out, "\n-- memory (heap.live_bytes track) --");
+        let _ = writeln!(out, "samples   {heap_samples:>14}");
+        let _ = writeln!(out, "peak      {:>14} B", heap_max_peak.max(heap_max_live));
+        let _ = writeln!(out, "max live  {heap_max_live:>14} B");
+        let _ = writeln!(out, "end live  {heap_last_live:>14} B");
+    }
 
     // Global registries.
     let counter_rows = counters::counters_snapshot();
@@ -461,7 +501,7 @@ mod tests {
     #[test]
     fn chrome_trace_shape_and_validation() {
         let json = chrome_trace(&sample_trace());
-        assert!(json.starts_with("{\"displayTimeUnit\":\"ms\",\"traceEvents\":["));
+        assert!(json.starts_with("{\"displayTimeUnit\":\"ms\",\"gpfDropped\":0,\"traceEvents\":["));
         assert!(json.contains("\"ph\":\"B\""));
         assert!(json.contains("\"ts\":1.000"));
         // Repeated "b" keys sum in chrome args.

@@ -71,6 +71,10 @@ echo "== trace overhead (< 5% budget) =="
 rm -f BENCH_trace_overhead.json
 cargo run --release --offline -p gpf-bench --bin experiments -- --smoke --trace-overhead
 
+echo "== memory gate (heap tracking overhead < 5%, per-stage peaks) =="
+rm -f BENCH_mem.json
+cargo run --release --offline -p gpf-bench --bin experiments -- --smoke --mem-gate
+
 echo "== codec/shuffle perf gates (codec >= 2x, shuffle >= 1.5x vs reference) =="
 rm -f BENCH_codec.json BENCH_shuffle.json
 cargo run --release --offline -p gpf-bench --bin experiments -- --smoke --codec-bench --shuffle-bench
