@@ -226,9 +226,21 @@ impl BwaMemAligner {
         let window = self.index.contig_window(GenomeInterval::new(contig, w_start, w_end));
         let read_ranks: Vec<u8> = oriented.iter().map(|&b| rank4(b)).collect();
         let diag_offset = (pos - w_start) as usize;
-        let aln = fit_align(&read_ranks, window, diag_offset, &self.opts.scoring)?;
         let perfect = oriented.len() as i32 * self.opts.scoring.match_score;
-        if (aln.score as f64) < self.opts.min_score_frac * perfect as f64 {
+        let threshold = self.opts.min_score_frac * perfect as f64;
+        // Bit-parallel prefilter: skip the affine DP when no path can
+        // reach the acceptance threshold (output-preserving — see
+        // myers::prefilter_allows).
+        if !crate::myers::prefilter_allows(
+            &read_ranks,
+            window,
+            threshold.ceil() as i64,
+            &self.opts.scoring,
+        ) {
+            return None;
+        }
+        let aln = fit_align(&read_ranks, window, diag_offset, &self.opts.scoring)?;
+        if (aln.score as f64) < threshold {
             return None;
         }
         Some(Candidate {
@@ -301,6 +313,20 @@ impl BwaMemAligner {
         let window =
             self.index.contig_window(GenomeInterval::new(anchor.contig, w_start, w_end));
         let read_ranks: Vec<u8> = oriented.iter().map(|&b| rank4(b)).collect();
+        let perfect = oriented.len() as i32 * self.opts.scoring.match_score;
+        let threshold = self.opts.min_score_frac * perfect as f64;
+        // One bit-parallel prefilter covers the whole diagonal scan: the
+        // fitting distance is diagonal-independent, so if no path anywhere
+        // in the window can reach the threshold, every banded attempt
+        // below would be rejected too.
+        if !crate::myers::prefilter_allows(
+            &read_ranks,
+            window,
+            threshold.ceil() as i64,
+            &self.opts.scoring,
+        ) {
+            return None;
+        }
         // A wide band is unnecessary: scan the window by trying several
         // diagonal offsets.
         let mut best: Option<Candidate> = None;
@@ -308,8 +334,7 @@ impl BwaMemAligner {
         let mut diag = 0usize;
         while diag + oriented.len() / 2 < window.len() {
             if let Some(aln) = fit_align(&read_ranks, window, diag, &self.opts.scoring) {
-                let perfect = oriented.len() as i32 * self.opts.scoring.match_score;
-                if (aln.score as f64) >= self.opts.min_score_frac * perfect as f64
+                if (aln.score as f64) >= threshold
                     && best.as_ref().map_or(true, |b| aln.score > b.score)
                 {
                     best = Some(Candidate {

@@ -9,7 +9,10 @@
 //! * [`suffix`] — suffix-array construction (prefix doubling);
 //! * [`fmindex`] — BWT + FM-index with backward search and O(1) locate;
 //! * [`sw`] — banded fitting alignment (Smith–Waterman style) with CIGAR
-//!   traceback;
+//!   traceback, computed anti-diagonal-wise with packed 16-bit SWAR lanes
+//!   (the scalar seed kernel survives as [`sw::reference::fit_align_ref`]);
+//! * [`myers`] — bit-parallel Myers edit distance, used as a sound
+//!   prefilter that lets candidate windows skip the affine DP entirely;
 //! * [`bwamem`] — the BWA-MEM-like aligner: exact-match seeding through the
 //!   FM-index, diagonal voting, banded extension, paired-end pairing with
 //!   mate rescue, MAPQ from score margins;
@@ -22,6 +25,7 @@
 
 pub mod bwamem;
 pub mod fmindex;
+pub mod myers;
 pub mod snap;
 pub mod suffix;
 pub mod sw;

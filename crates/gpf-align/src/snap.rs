@@ -201,9 +201,21 @@ impl SnapAligner {
             .map(|&b| rank4(b))
             .collect();
         let ranks: Vec<u8> = oriented.iter().map(|&b| rank4(b)).collect();
-        let aln = fit_align(&ranks, &window, (pos - w_start) as usize, &self.opts.scoring)?;
         let perfect = oriented.len() as i32 * self.opts.scoring.match_score;
-        if (aln.score as f64) < self.opts.min_score_frac * perfect as f64 {
+        let threshold = self.opts.min_score_frac * perfect as f64;
+        // Bit-parallel prefilter: skip the affine DP when no path can
+        // reach the acceptance threshold (output-preserving — see
+        // myers::prefilter_allows).
+        if !crate::myers::prefilter_allows(
+            &ranks,
+            &window,
+            threshold.ceil() as i64,
+            &self.opts.scoring,
+        ) {
+            return None;
+        }
+        let aln = fit_align(&ranks, &window, (pos - w_start) as usize, &self.opts.scoring)?;
+        if (aln.score as f64) < threshold {
             return None;
         }
         Some((

@@ -7,8 +7,20 @@
 //! Gaps are affine (`gap_open + len × gap_extend`), so a contiguous indel is
 //! preferred over the same bases split into several gaps — essential both
 //! for alignment quality and for unambiguous variant extraction downstream.
+//!
+//! Two kernels compute the same DP. [`swar`] packs four 16-bit band lanes
+//! into each u64 accumulator and fills a row per sweep; [`reference`] is the
+//! original cell-at-a-time seed kernel, retained verbatim. [`fit_align`]
+//! dispatches to the SWAR kernel whenever the scoring fits its 16-bit
+//! envelope ([`swar::in_envelope`]) and falls back to the reference
+//! otherwise, so results are identical on every input — the differential
+//! proptests in `tests/kernel_differential.rs` pin score, CIGAR,
+//! `window_start`, and edit distance to the reference bit for bit.
 
-use gpf_formats::cigar::{Cigar, CigarOp};
+pub mod reference;
+pub mod swar;
+
+use gpf_formats::cigar::Cigar;
 
 /// Alignment scoring parameters.
 #[derive(Debug, Clone, Copy)]
@@ -56,139 +68,29 @@ const S_Y: usize = 2; // gap in read (reference deletion)
 ///
 /// Returns `None` when the band never covers a full-read path.
 pub fn fit_align(read: &[u8], window: &[u8], diag_offset: usize, sc: &Scoring) -> Option<Alignment> {
-    let m = read.len();
-    let n = window.len();
-    if m == 0 || n == 0 || n + sc.band < m {
-        return None;
+    if gpf_trace::enabled() && !read.is_empty() && !window.is_empty() {
+        // Band area actually evaluated: Σ_i (hi(i) - lo(i)).
+        let (m, n, band) = (read.len(), window.len(), sc.band);
+        let cells: u64 = (0..=m)
+            .map(|i| {
+                let lo = (i + diag_offset).saturating_sub(band);
+                let hi = (i + diag_offset + band + 1).min(n + 1);
+                hi.saturating_sub(lo) as u64
+            })
+            .sum();
+        gpf_trace::counter(gpf_trace::names::ALIGN_SW_CELLS).add(cells);
     }
-    let band = sc.band;
-    // j counts consumed window characters: 0..=n.
-    let lo = |i: usize| (i + diag_offset).saturating_sub(band);
-    let hi = |i: usize| (i + diag_offset + band + 1).min(n + 1);
-    let width = 2 * band + 1;
-    let cells = (m + 1) * width;
-    // dp[state][cell], bt[state][cell] = predecessor state + op marker.
-    let mut dp = [vec![NEG; cells], vec![NEG; cells], vec![NEG; cells]];
-    // bt codes: 0 = invalid/start, 1..=3 = came from state (code-1).
-    let mut bt = [vec![0u8; cells], vec![0u8; cells], vec![0u8; cells]];
-    let at = |i: usize, j: usize| i * width + (j - lo(i));
-
-    // Row 0: free leading reference gap — start in M with score 0 anywhere.
-    for j in lo(0)..hi(0) {
-        dp[S_M][at(0, j)] = 0;
+    if swar::in_envelope(read.len(), window.len(), sc) {
+        swar::fit_align_swar(read, window, diag_offset, sc)
+    } else {
+        reference::fit_align_ref(read, window, diag_offset, sc)
     }
-    for i in 1..=m {
-        for j in lo(i)..hi(i) {
-            let cell = at(i, j);
-            // M: consume read[i-1] and window[j-1].
-            if j >= 1 && j - 1 >= lo(i - 1) && j - 1 < hi(i - 1) {
-                let prev = at(i - 1, j - 1);
-                let sub = if read[i - 1] == window[j - 1] { sc.match_score } else { sc.mismatch };
-                let (mut best, mut from) = (NEG, 0u8);
-                for s in [S_M, S_X, S_Y] {
-                    if dp[s][prev] > best {
-                        best = dp[s][prev];
-                        from = s as u8 + 1;
-                    }
-                }
-                if best > NEG {
-                    dp[S_M][cell] = best + sub;
-                    bt[S_M][cell] = from;
-                }
-            }
-            // X: consume read[i-1] only (insertion to reference).
-            if j >= lo(i - 1) && j < hi(i - 1) {
-                let prev = at(i - 1, j);
-                let open = dp[S_M][prev].saturating_add(sc.gap_open + sc.gap_extend);
-                let extend = dp[S_X][prev].saturating_add(sc.gap_extend);
-                if open >= extend && open > NEG {
-                    dp[S_X][cell] = open;
-                    bt[S_X][cell] = S_M as u8 + 1;
-                } else if extend > NEG {
-                    dp[S_X][cell] = extend;
-                    bt[S_X][cell] = S_X as u8 + 1;
-                }
-            }
-            // Y: consume window[j-1] only (deletion from reference).
-            if j >= 1 && j - 1 >= lo(i) {
-                let prev = at(i, j - 1);
-                let open = dp[S_M][prev].saturating_add(sc.gap_open + sc.gap_extend);
-                let extend = dp[S_Y][prev].saturating_add(sc.gap_extend);
-                if open >= extend && open > NEG {
-                    dp[S_Y][cell] = open;
-                    bt[S_Y][cell] = S_M as u8 + 1;
-                } else if extend > NEG {
-                    dp[S_Y][cell] = extend;
-                    bt[S_Y][cell] = S_Y as u8 + 1;
-                }
-            }
-        }
-    }
-
-    // Best end cell on the last row: M or X states (ending in Y would mean a
-    // trailing reference deletion, which the free end gap makes pointless).
-    let (mut best, mut j_end, mut s_end) = (NEG, 0usize, S_M);
-    for j in lo(m)..hi(m) {
-        for s in [S_M, S_X] {
-            if dp[s][at(m, j)] > best {
-                best = dp[s][at(m, j)];
-                j_end = j;
-                s_end = s;
-            }
-        }
-    }
-    if best <= NEG {
-        return None;
-    }
-
-    // Traceback.
-    let mut ops_rev: Vec<CigarOp> = Vec::with_capacity(m + 8);
-    let mut edit = 0u32;
-    let (mut i, mut j, mut s) = (m, j_end, s_end);
-    while i > 0 {
-        let from = bt[s][at(i, j)];
-        if from == 0 {
-            return None; // band broke the path
-        }
-        let prev_state = (from - 1) as usize;
-        match s {
-            S_M => {
-                if read[i - 1] != window[j - 1] {
-                    edit += 1;
-                }
-                ops_rev.push(CigarOp::Match);
-                i -= 1;
-                j -= 1;
-            }
-            S_X => {
-                ops_rev.push(CigarOp::Ins);
-                edit += 1;
-                i -= 1;
-            }
-            _ => {
-                ops_rev.push(CigarOp::Del);
-                edit += 1;
-                j -= 1;
-            }
-        }
-        s = prev_state;
-    }
-    let window_start = j;
-
-    // Run-length encode.
-    let mut runs: Vec<(u32, CigarOp)> = Vec::new();
-    for op in ops_rev.into_iter().rev() {
-        match runs.last_mut() {
-            Some((count, last)) if *last == op => *count += 1,
-            _ => runs.push((1, op)),
-        }
-    }
-    Some(Alignment { score: best, window_start, cigar: Cigar::from_ops(runs), edit_distance: edit })
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use gpf_formats::cigar::CigarOp;
 
     fn ranks(s: &[u8]) -> Vec<u8> {
         s.iter().map(|&b| gpf_formats::base::rank4(b)).collect()
@@ -196,6 +98,13 @@ mod tests {
 
     fn align(read: &[u8], window: &[u8], diag: usize) -> Alignment {
         fit_align(&ranks(read), &ranks(window), diag, &Scoring::default()).expect("aligns")
+    }
+
+    #[test]
+    fn default_scoring_takes_the_swar_path() {
+        // The seed unit tests below all run under the default scoring; this
+        // pins that they exercise the SWAR kernel, not the fallback.
+        assert!(swar::in_envelope(150, 300, &Scoring::default()));
     }
 
     #[test]

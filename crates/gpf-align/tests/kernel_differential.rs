@@ -1,0 +1,150 @@
+//! Differential and hostile-input properties for the alignment kernels.
+//!
+//! The SWAR Smith–Waterman is pinned to the retained scalar reference —
+//! identical score, CIGAR, `window_start`, and edit distance, including
+//! `None` on uncovered bands — and the Myers bit-parallel distance to a
+//! classic O(mn) DP. The prefilter property is the one the candidate loops
+//! rely on for byte-identical output: it never skips a window the DP would
+//! have accepted.
+
+use gpf_align::myers;
+use gpf_align::sw::{self, reference::fit_align_ref, swar, Scoring};
+use gpf_support::proptest::prelude::*;
+
+fn rank_seq(max_len: usize) -> impl Strategy<Value = Vec<u8>> {
+    proptest::collection::vec(0u8..4, 0..max_len)
+}
+
+/// Byte sequences with no alphabet guarantee — the kernels promise byte
+/// equality semantics, not a 4-letter alphabet.
+fn wild_seq(max_len: usize) -> impl Strategy<Value = Vec<u8>> {
+    proptest::collection::vec(any::<u8>(), 0..max_len)
+}
+
+fn scoring() -> impl Strategy<Value = Scoring> {
+    (0i32..=4, -4i32..=0, -8i32..=0, -4i32..=0, 0usize..=24).prop_map(
+        |(match_score, mismatch, gap_open, gap_extend, band)| Scoring {
+            match_score,
+            mismatch,
+            gap_open,
+            gap_extend,
+            band,
+        },
+    )
+}
+
+/// Scorings that may fall outside the SWAR envelope (positive gap deltas,
+/// huge magnitudes) — the dispatcher must still agree with the reference
+/// by falling back.
+fn hostile_scoring() -> impl Strategy<Value = Scoring> {
+    (any::<i16>(), any::<i16>(), -40i32..=40, -40i32..=40, 0usize..=40).prop_map(
+        |(match_score, mismatch, gap_open, gap_extend, band)| Scoring {
+            match_score: match_score as i32,
+            mismatch: mismatch as i32,
+            gap_open,
+            gap_extend,
+            band,
+        },
+    )
+}
+
+/// Classic O(mn) fitting edit distance: read global, window start/end free.
+fn dp_fitting(read: &[u8], window: &[u8]) -> u32 {
+    let m = read.len();
+    let mut prev: Vec<u32> = (0..=m as u32).collect();
+    let mut cur = vec![0u32; m + 1];
+    let mut best = prev[m];
+    for j in 1..=window.len() {
+        cur[0] = 0;
+        for i in 1..=m {
+            let sub = prev[i - 1] + u32::from(read[i - 1] != window[j - 1]);
+            cur[i] = sub.min(prev[i] + 1).min(cur[i - 1] + 1);
+        }
+        best = best.min(cur[m]);
+        std::mem::swap(&mut prev, &mut cur);
+    }
+    best
+}
+
+proptest! {
+    #[test]
+    fn swar_sw_matches_reference(
+        read in rank_seq(60),
+        window in rank_seq(90),
+        diag in 0usize..12,
+        sc in scoring(),
+    ) {
+        // In-envelope scorings take the SWAR path; the result must be the
+        // reference's bit for bit (CIGAR tie-breaks included).
+        if !swar::in_envelope(read.len(), window.len(), &sc) {
+            return Ok(());
+        }
+        let fast = swar::fit_align_swar(&read, &window, diag, &sc);
+        let slow = fit_align_ref(&read, &window, diag, &sc);
+        prop_assert_eq!(fast, slow);
+    }
+
+    #[test]
+    fn dispatch_matches_reference_on_any_scoring(
+        read in wild_seq(40),
+        window in wild_seq(60),
+        diag in 0usize..8,
+        sc in hostile_scoring(),
+    ) {
+        // Wild bytes, wild scorings: whichever kernel the dispatcher
+        // picks, the public fit_align contract is the reference's.
+        let via_dispatch = sw::fit_align(&read, &window, diag, &sc);
+        let direct = fit_align_ref(&read, &window, diag, &sc);
+        prop_assert_eq!(via_dispatch, direct);
+    }
+
+    #[test]
+    fn sw_hostile_shapes_stay_clean(
+        read in rank_seq(50),
+        diag in 0usize..6,
+        sc in scoring(),
+    ) {
+        // Empty window, band 0, read longer than window: a clean Option,
+        // never a panic — and any Some consumes the whole read.
+        for window in [Vec::new(), vec![0u8; 3], vec![2u8; read.len() / 2]] {
+            if let Some(a) = sw::fit_align(&read, &window, diag, &sc) {
+                prop_assert_eq!(a.cigar.read_len(), read.len() as u64);
+                prop_assert!(a.window_start <= window.len());
+            }
+        }
+    }
+
+    #[test]
+    fn myers_matches_dp(read in wild_seq(150), window in wild_seq(200)) {
+        if read.is_empty() {
+            return Ok(());
+        }
+        let expect = dp_fitting(&read, &window);
+        prop_assert_eq!(myers::fitting_distance(&read, &window, u32::MAX), Some(expect));
+        // The cutoff form agrees on both sides of the exact distance.
+        prop_assert_eq!(myers::fitting_distance(&read, &window, expect), Some(expect));
+        if expect > 0 {
+            prop_assert_eq!(myers::fitting_distance(&read, &window, expect - 1), None);
+        }
+    }
+
+    #[test]
+    fn prefilter_never_skips_an_acceptable_candidate(
+        read in rank_seq(60),
+        window in rank_seq(90),
+        diag in 0usize..12,
+        sc in scoring(),
+        num in 0i64..=100,
+    ) {
+        // Soundness over arbitrary thresholds: if the DP reaches
+        // min_score, the prefilter must have allowed the window.
+        let perfect = read.len() as i64 * sc.match_score as i64;
+        let min_score = perfect * num / 100;
+        let allowed = myers::prefilter_allows(&read, &window, min_score, &sc);
+        if let Some(aln) = sw::fit_align(&read, &window, diag, &sc) {
+            if aln.score as i64 >= min_score {
+                prop_assert!(allowed, "skipped a window scoring {}", aln.score);
+            }
+        }
+    }
+}

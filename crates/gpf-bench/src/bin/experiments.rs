@@ -32,6 +32,7 @@ fn main() {
     let mut codec_gate = false;
     let mut shuffle_gate = false;
     let mut skew_gate = false;
+    let mut kernel_gate = false;
     let mut chaos_seed: Option<u64> = None;
     let mut ids: Vec<String> = Vec::new();
     let mut i = 0;
@@ -63,6 +64,7 @@ fn main() {
             "--codec-bench" => codec_gate = true,
             "--shuffle-bench" => shuffle_gate = true,
             "--skew-bench" => skew_gate = true,
+            "--kernel-bench" => kernel_gate = true,
             "--chaos" => {
                 // Optional numeric SEED next-arg; omitted -> default seed.
                 chaos_seed = Some(match args.get(i + 1).and_then(|s| s.parse().ok()) {
@@ -98,6 +100,9 @@ fn main() {
                      --skew-bench: adaptive repartition vs static layout on the skewed\n\
                                    workload; writes BENCH_skew.json, exit 3 if the\n\
                                    straggler-tail cut < 1.3x or the outputs diverge\n\
+                     --kernel-bench: SWAR Smith-Waterman and batched pair-HMM cell\n\
+                                     throughput vs the scalar references; writes\n\
+                                     BENCH_kernels.json, exit 3 if either speedup < 2x\n\
                      --chaos [SEED]: run the WGS pipeline under seeded fault plans and\n\
                                      require byte-identical recovery; writes BENCH_chaos.json,\n\
                                      exit 3 on divergence or an unexpected task failure\n\
@@ -133,8 +138,8 @@ fn main() {
         run_mem_report(scale);
         return;
     }
-    if codec_gate || shuffle_gate || skew_gate {
-        run_perf_gates(codec_gate, shuffle_gate, skew_gate, smoke);
+    if codec_gate || shuffle_gate || skew_gate || kernel_gate {
+        run_perf_gates(codec_gate, shuffle_gate, skew_gate, kernel_gate, smoke);
         return;
     }
     if let Some(seed) = chaos_seed {
@@ -410,14 +415,16 @@ fn measure_mem_gate(scale: f64) {
     }
 }
 
-/// `--codec-bench` / `--shuffle-bench` / `--skew-bench`: measure the
-/// hot-path codec and shuffle against their retained reference
-/// implementations and the adaptive repartition against the static layout,
-/// append the summary lines to `BENCH_codec.json` / `BENCH_shuffle.json` /
-/// `BENCH_skew.json`, and exit 3 when any ratio falls below its floor
-/// (codec 2x, shuffle 1.5x, skew straggler-tail 1.3x — a skew ratio of
-/// 0.00 means the split run's output diverged from the unsplit run).
-fn run_perf_gates(codec: bool, shuffle: bool, skew: bool, smoke: bool) {
+/// `--codec-bench` / `--shuffle-bench` / `--skew-bench` / `--kernel-bench`:
+/// measure the hot-path codec, shuffle, and alignment/likelihood kernels
+/// against their retained reference implementations and the adaptive
+/// repartition against the static layout, append the summary lines to
+/// `BENCH_codec.json` / `BENCH_shuffle.json` / `BENCH_skew.json` /
+/// `BENCH_kernels.json`, and exit 3 when any ratio falls below its floor
+/// (codec 2x, shuffle 1.5x, skew straggler-tail 1.3x, kernels 2x — a skew
+/// ratio of 0.00 means the split run's output diverged from the unsplit
+/// run).
+fn run_perf_gates(codec: bool, shuffle: bool, skew: bool, kernels: bool, smoke: bool) {
     let mut failed = false;
     let mut check = |report: gpf_bench::perf::GateReport, what: &str| {
         console_out(&report.json_line);
@@ -437,6 +444,9 @@ fn run_perf_gates(codec: bool, shuffle: bool, skew: bool, smoke: bool) {
     }
     if skew {
         check(gpf_bench::perf::skew_bench(smoke), "skew straggler-tail");
+    }
+    if kernels {
+        check(gpf_bench::perf::kernel_bench(smoke), "kernel");
     }
     if failed {
         std::process::exit(3);

@@ -1,7 +1,7 @@
 //! Hot-path perf benchmarks and the ratio gates CI defends them with.
 //!
-//! Three entry points, wired to `experiments --codec-bench`,
-//! `--shuffle-bench`, and `--skew-bench`:
+//! Four entry points, wired to `experiments --codec-bench`,
+//! `--shuffle-bench`, `--skew-bench`, and `--kernel-bench`:
 //!
 //! * [`codec_bench`] — read-field encode/decode throughput (MB/s over raw
 //!   `seq+qual` bytes) of the word-level/table-driven codec vs the retained
@@ -18,6 +18,13 @@
 //!   (max/median task CPU of the compute stage) to [`SKEW_FLOOR`]. Appends
 //!   one summary line — including 2048-core simulated makespans and the
 //!   64-piece-cap hits — to `BENCH_skew.json`.
+//! * [`kernel_bench`] — cell throughput (million DP cells/s) of the SWAR
+//!   banded Smith–Waterman vs [`gpf_align::sw::reference::fit_align_ref`]
+//!   and of the batched pair-HMM vs the scalar
+//!   [`gpf_caller::pairhmm::log10_likelihood`], measured as paired rounds
+//!   on identical inputs (both sides walk the same cells, so the time
+//!   ratio is the throughput ratio). Appends one summary line to
+//!   `BENCH_kernels.json`. Floor: **2×** on both kernels.
 //!
 //! Both take real timings even under `--smoke` (smoke only shrinks the
 //! workload): a perf gate measured from a single untimed iteration would
@@ -45,6 +52,9 @@ pub const SHUFFLE_FLOOR: f64 = 1.5;
 /// Minimum accepted straggler-tail (max/median task CPU) reduction of the
 /// adaptive repartition over the unsplit layout on the skewed workload.
 pub const SKEW_FLOOR: f64 = 1.3;
+/// Minimum accepted cell-throughput speedup of the SWAR Smith–Waterman and
+/// the batched pair-HMM over their retained scalar references.
+pub const KERNEL_FLOOR: f64 = 2.0;
 
 /// Outcome of one perf gate: the JSON summary line that was appended to
 /// the `BENCH_*.json` artifact, and the measured worst-case ratio.
@@ -379,6 +389,224 @@ pub fn skew_bench(smoke: bool) -> GateReport {
     );
     append_artifact("BENCH_skew.json", &json_line);
     GateReport { json_line, worst_ratio: tail_ratio, floor: SKEW_FLOOR }
+}
+
+/// One banded-SW case: a read, the window it came from, and the diagonal
+/// hint an aligner would pass. Windows embed the read at a known offset
+/// with ~2% substitutions, so the DP does realistic work (mostly matches,
+/// a few mismatch cells) instead of degenerate all-mismatch rows.
+struct SwCase {
+    read: Vec<u8>,
+    window: Vec<u8>,
+    diag: usize,
+}
+
+fn gen_sw_cases(n: usize, read_len: usize, flank: usize, seed: u64) -> Vec<SwCase> {
+    let mut rng = SplitMix64::new(seed);
+    (0..n)
+        .map(|_| {
+            let read: Vec<u8> = (0..read_len).map(|_| (rng.next_u64() % 4) as u8).collect();
+            let mut window = Vec::with_capacity(read_len + 2 * flank);
+            for _ in 0..flank {
+                window.push((rng.next_u64() % 4) as u8);
+            }
+            for &b in &read {
+                let r = rng.next_u64();
+                window.push(if r % 50 == 0 { (b + 1 + (r >> 8) as u8 % 3) % 4 } else { b });
+            }
+            for _ in 0..flank {
+                window.push((rng.next_u64() % 4) as u8);
+            }
+            SwCase { read, window, diag: flank }
+        })
+        .collect()
+}
+
+/// Banded cells one `fit_align` call touches (same formula both kernels).
+fn sw_cells(read_len: usize, window_len: usize, diag: usize, band: usize) -> u64 {
+    (0..=read_len)
+        .map(|i| {
+            let lo = (i + diag).saturating_sub(band);
+            let hi = (i + diag + band + 1).min(window_len + 1);
+            hi.saturating_sub(lo) as u64
+        })
+        .sum()
+}
+
+/// One pair-HMM "active region": a read with qualities plus the haplotype
+/// set the genotyper would evaluate it against (reference haplotype and a
+/// few single-base variants of it).
+struct HmmRegion {
+    read: Vec<u8>,
+    qual: Vec<u8>,
+    haps: Vec<Vec<u8>>,
+}
+
+fn gen_hmm_regions(n: usize, read_len: usize, hap_len: usize, nhaps: usize, seed: u64) -> Vec<HmmRegion> {
+    let mut rng = SplitMix64::new(seed);
+    (0..n)
+        .map(|_| {
+            let base: Vec<u8> =
+                (0..hap_len).map(|_| b"ACGT"[(rng.next_u64() % 4) as usize]).collect();
+            let off = (rng.next_u64() as usize) % (hap_len - read_len);
+            let mut read = base[off..off + read_len].to_vec();
+            let mut qual = Vec::with_capacity(read_len);
+            let mut q = 60i64;
+            for b in read.iter_mut() {
+                let r = rng.next_u64();
+                if r % 100 == 0 {
+                    *b = b"ACGT"[(r >> 8) as usize % 4];
+                }
+                q = (q + (r >> 16) as i64 % 5 - 2).clamp(33, 73);
+                qual.push(q as u8);
+            }
+            let haps = (0..nhaps)
+                .map(|k| {
+                    let mut h = base.clone();
+                    for _ in 0..k {
+                        let at = (rng.next_u64() as usize) % hap_len;
+                        h[at] = b"ACGT"[(rng.next_u64() % 4) as usize];
+                    }
+                    h
+                })
+                .collect();
+            HmmRegion { read, qual, haps }
+        })
+        .collect()
+}
+
+/// Kernel gate: paired rounds of the SWAR banded SW vs the scalar
+/// reference and the batched pair-HMM vs the scalar reference, on
+/// identical inputs. Each round times both sides back to back in
+/// alternating order (same pairing rationale as [`shuffle_bench`]); the
+/// per-side medians give cell throughput, and the fast/reference ratio of
+/// each kernel is held to [`KERNEL_FLOOR`].
+///
+/// Both sides of each comparison walk exactly the same DP cells — the SW
+/// band geometry and the pair-HMM `m×n` rectangles are input-determined —
+/// so the time ratio *is* the cell-throughput ratio.
+pub fn kernel_bench(smoke: bool) -> GateReport {
+    use gpf_align::sw::{self, reference::fit_align_ref, Scoring};
+    use gpf_caller::pairhmm::{log10_likelihood, HmmParams, PairHmmBatch};
+
+    let (sw_n, hmm_n, rounds) = if smoke { (200, 48, 9) } else { (800, 192, 15) };
+    let (read_len, flank) = (150usize, 75usize);
+    let sc = Scoring::default();
+    let cases = gen_sw_cases(sw_n, read_len, flank, 0x5aa5_2018);
+    let sw_cells_per_iter: u64 = cases
+        .iter()
+        .map(|c| sw_cells(c.read.len(), c.window.len(), c.diag, sc.band))
+        .sum();
+
+    let (hmm_read_len, hap_len, nhaps) = (120usize, 250usize, 4usize);
+    let regions = gen_hmm_regions(hmm_n, hmm_read_len, hap_len, nhaps, 0x4a11_2018);
+    let params = HmmParams::default();
+    let hmm_cells_per_iter: u64 =
+        regions.iter().map(|r| (r.read.len() * r.haps.len() * hap_len) as u64).sum();
+
+    let mut sw_new = Vec::with_capacity(rounds);
+    let mut sw_ref = Vec::with_capacity(rounds);
+    let mut hmm_new = Vec::with_capacity(rounds);
+    let mut hmm_ref = Vec::with_capacity(rounds);
+    let mut batch = PairHmmBatch::new(params);
+    for round in 0..rounds + 2 {
+        let timed = round >= 2; // two untimed warmup rounds
+        let time_sw_new = |out: &mut Vec<u64>, timed: bool| {
+            let t0 = gpf_trace::clock::now_ns();
+            let mut sink = 0i64;
+            for c in &cases {
+                if let Some(a) = sw::fit_align(&c.read, &c.window, c.diag, &sc) {
+                    sink = sink.wrapping_add(a.score as i64);
+                }
+            }
+            let dt = gpf_trace::clock::now_ns().saturating_sub(t0);
+            black_box(sink);
+            if timed {
+                out.push(dt);
+            }
+        };
+        let time_sw_ref = |out: &mut Vec<u64>, timed: bool| {
+            let t0 = gpf_trace::clock::now_ns();
+            let mut sink = 0i64;
+            for c in &cases {
+                if let Some(a) = fit_align_ref(&c.read, &c.window, c.diag, &sc) {
+                    sink = sink.wrapping_add(a.score as i64);
+                }
+            }
+            let dt = gpf_trace::clock::now_ns().saturating_sub(t0);
+            black_box(sink);
+            if timed {
+                out.push(dt);
+            }
+        };
+        let mut time_hmm_new = |out: &mut Vec<u64>, timed: bool| {
+            let t0 = gpf_trace::clock::now_ns();
+            let mut sink = 0.0f64;
+            for r in &regions {
+                for l in batch.likelihoods(&r.read, &r.qual, r.haps.iter().map(|h| h.as_slice())) {
+                    sink += l;
+                }
+            }
+            let dt = gpf_trace::clock::now_ns().saturating_sub(t0);
+            black_box(sink);
+            if timed {
+                out.push(dt);
+            }
+        };
+        let time_hmm_ref = |out: &mut Vec<u64>, timed: bool| {
+            let t0 = gpf_trace::clock::now_ns();
+            let mut sink = 0.0f64;
+            for r in &regions {
+                for h in &r.haps {
+                    sink += log10_likelihood(&r.read, &r.qual, h, &params);
+                }
+            }
+            let dt = gpf_trace::clock::now_ns().saturating_sub(t0);
+            black_box(sink);
+            if timed {
+                out.push(dt);
+            }
+        };
+        // Alternate which side of each pair goes first so neither
+        // systematically inherits a warmer cache.
+        if round % 2 == 0 {
+            time_sw_new(&mut sw_new, timed);
+            time_sw_ref(&mut sw_ref, timed);
+            time_hmm_new(&mut hmm_new, timed);
+            time_hmm_ref(&mut hmm_ref, timed);
+        } else {
+            time_sw_ref(&mut sw_ref, timed);
+            time_sw_new(&mut sw_new, timed);
+            time_hmm_ref(&mut hmm_ref, timed);
+            time_hmm_new(&mut hmm_new, timed);
+        }
+    }
+    let sw_new_ns = median_ns(&mut sw_new);
+    let sw_ref_ns = median_ns(&mut sw_ref);
+    let hmm_new_ns = median_ns(&mut hmm_new);
+    let hmm_ref_ns = median_ns(&mut hmm_ref);
+    let sw_ratio = sw_ref_ns / sw_new_ns;
+    let hmm_ratio = hmm_ref_ns / hmm_new_ns;
+    let mcps = |cells: u64, ns: f64| cells as f64 / (ns * 1e-9) / 1e6;
+
+    let json_line = format!(
+        "{{\"group\":\"kernels\",\"bench\":\"gate\",\"rounds\":{rounds},\
+         \"sw_reads\":{sw_n},\"sw_read_len\":{read_len},\"sw_band\":{},\
+         \"sw_cells_per_iter\":{sw_cells_per_iter},\
+         \"sw_new_mcells_s\":{:.1},\"sw_ref_mcells_s\":{:.1},\"sw_ratio\":{sw_ratio:.2},\
+         \"hmm_regions\":{hmm_n},\"hmm_read_len\":{hmm_read_len},\
+         \"hmm_haps\":{nhaps},\"hmm_hap_len\":{hap_len},\
+         \"hmm_cells_per_iter\":{hmm_cells_per_iter},\
+         \"hmm_new_mcells_s\":{:.1},\"hmm_ref_mcells_s\":{:.1},\"hmm_ratio\":{hmm_ratio:.2},\
+         \"floor\":{KERNEL_FLOOR},\"smoke\":{smoke}}}",
+        sc.band,
+        mcps(sw_cells_per_iter, sw_new_ns),
+        mcps(sw_cells_per_iter, sw_ref_ns),
+        mcps(hmm_cells_per_iter, hmm_new_ns),
+        mcps(hmm_cells_per_iter, hmm_ref_ns),
+    );
+    append_artifact("BENCH_kernels.json", &json_line);
+    GateReport { json_line, worst_ratio: sw_ratio.min(hmm_ratio), floor: KERNEL_FLOOR }
 }
 
 #[cfg(test)]

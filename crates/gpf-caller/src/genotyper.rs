@@ -6,7 +6,7 @@
 //! alternative haplotypes.
 
 use crate::assembly::{assemble, AssemblyOptions};
-use crate::pairhmm::{log10_likelihood, HmmParams};
+use crate::pairhmm::{HmmParams, PairHmmBatch};
 use gpf_align::sw::{fit_align, Scoring};
 use gpf_formats::base::rank4;
 use gpf_formats::cigar::CigarOp;
@@ -165,20 +165,23 @@ pub fn call_region(
     // observation production pair-HMMs exploit; the pad absorbs indel
     // coordinate shifts).
     const HMM_PAD: u64 = 32;
+    // One batch evaluator for the region: DP rows and per-read emission
+    // tables are reused across every (read, haplotype) pair, and each read
+    // is evaluated against all haplotype windows in one pass.
+    let mut hmm = PairHmmBatch::new(opts.hmm);
     let lik: Vec<Vec<f64>> = usable
         .iter()
         .map(|r| {
             let off = r.pos.saturating_sub(window.start);
-            haps.iter()
-                .map(|h| {
+            hmm.likelihoods(
+                &r.seq,
+                &r.qual,
+                haps.iter().map(|h| {
                     let lo = off.saturating_sub(HMM_PAD) as usize;
                     let hi = ((off + r.seq.len() as u64 + HMM_PAD) as usize).min(h.len());
-                    if lo >= hi {
-                        return log10_likelihood(&r.seq, &r.qual, h, &opts.hmm);
-                    }
-                    log10_likelihood(&r.seq, &r.qual, &h[lo..hi], &opts.hmm)
-                })
-                .collect()
+                    if lo >= hi { h.as_slice() } else { &h[lo..hi] }
+                }),
+            )
         })
         .collect();
 

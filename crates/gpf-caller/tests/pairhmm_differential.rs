@@ -1,0 +1,111 @@
+//! Differential and hostile-input properties for the batched pair-HMM.
+//!
+//! `PairHmmBatch` is pinned to the scalar reference `log10_likelihood`:
+//! the batch hoists per-read work but executes the same floating-point
+//! operations per (read, haplotype), so the results must agree not just to
+//! the 1e-9 acceptance bound but bit for bit. The hostile properties hold
+//! the batch total: no panic and no NaN on any byte input, which is what
+//! keeps garbage out of the genotyper's posteriors.
+
+use gpf_caller::pairhmm::{log10_likelihood, HmmParams, PairHmmBatch};
+use gpf_support::proptest::prelude::*;
+
+fn seq(max_len: usize) -> impl Strategy<Value = Vec<u8>> {
+    proptest::collection::vec(
+        prop_oneof![
+            8 => Just(b'A'),
+            8 => Just(b'C'),
+            8 => Just(b'G'),
+            8 => Just(b'T'),
+            1 => Just(b'N')
+        ],
+        0..max_len,
+    )
+}
+
+fn read_with_quals(max_len: usize) -> impl Strategy<Value = (Vec<u8>, Vec<u8>)> {
+    seq(max_len).prop_flat_map(|s| {
+        let len = s.len();
+        (Just(s), proptest::collection::vec(33u8..=126, len..=len))
+    })
+}
+
+proptest! {
+    #[test]
+    fn batch_matches_scalar_reference(
+        (read, quals) in read_with_quals(40),
+        haps in proptest::collection::vec(seq(60), 1..5),
+    ) {
+        let params = HmmParams::default();
+        let mut batch = PairHmmBatch::new(params);
+        let got = batch.likelihoods(&read, &quals, haps.iter().map(|h| h.as_slice()));
+        prop_assert_eq!(got.len(), haps.len());
+        for (h, g) in haps.iter().zip(&got) {
+            let want = log10_likelihood(&read, &quals, h, &params);
+            // The acceptance bound is 1e-9; the implementation achieves
+            // bit-equality, which we pin so genotyper output stays
+            // byte-identical.
+            if want.is_finite() {
+                prop_assert!((g - want).abs() <= 1e-9, "batch {} vs scalar {}", g, want);
+            }
+            prop_assert_eq!(g.to_bits(), want.to_bits());
+        }
+    }
+
+    #[test]
+    fn batch_reuse_keeps_buffers_clean(
+        (read_a, quals_a) in read_with_quals(30),
+        (read_b, quals_b) in read_with_quals(50),
+        hap in seq(60),
+    ) {
+        // Evaluating A then B through one batch must equal evaluating B
+        // alone — stale row contents or emission tables would surface here.
+        let params = HmmParams::default();
+        let mut batch = PairHmmBatch::new(params);
+        let _ = batch.likelihoods(&read_a, &quals_a, [hap.as_slice()].into_iter());
+        let reused = batch.likelihoods(&read_b, &quals_b, [hap.as_slice()].into_iter());
+        let fresh = log10_likelihood(&read_b, &quals_b, &hap, &params);
+        prop_assert_eq!(reused[0].to_bits(), fresh.to_bits());
+    }
+
+    #[test]
+    fn batch_is_total_and_nan_free(
+        read in proptest::collection::vec(any::<u8>(), 0..30),
+        qual_len in 0usize..30,
+        haps in proptest::collection::vec(proptest::collection::vec(any::<u8>(), 0..40), 0..4),
+    ) {
+        // Arbitrary read bytes, arbitrary (possibly mismatched) quality
+        // lengths, arbitrary haplotype bytes: every entry is a clean
+        // finite-or-NEG_INFINITY value, never NaN, never a panic.
+        let mut batch = PairHmmBatch::new(HmmParams::default());
+        let quals = vec![0u8; qual_len];
+        let got = batch.likelihoods(&read, &quals, haps.iter().map(|h| h.as_slice()));
+        prop_assert_eq!(got.len(), haps.len());
+        for l in got {
+            prop_assert!(!l.is_nan());
+            prop_assert!(l <= 0.0 || l == f64::NEG_INFINITY || l.is_finite());
+        }
+    }
+
+    #[test]
+    fn wild_quality_bytes_never_poison_likelihoods(
+        read in seq(25),
+        hap in seq(50),
+        raw_quals in proptest::collection::vec(any::<u8>(), 0..30),
+    ) {
+        // Quality bytes outside the Phred+33 range clamp through the table;
+        // the likelihood stays NaN-free and the scalar reference (also on
+        // the table) agrees exactly.
+        if read.is_empty() || hap.is_empty() {
+            return Ok(());
+        }
+        let mut quals = raw_quals;
+        quals.resize(read.len(), 0);
+        let params = HmmParams::default();
+        let mut batch = PairHmmBatch::new(params);
+        let got = batch.likelihoods(&read, &quals, [hap.as_slice()].into_iter());
+        prop_assert!(!got[0].is_nan());
+        let want = log10_likelihood(&read, &quals, &hap, &params);
+        prop_assert_eq!(got[0].to_bits(), want.to_bits());
+    }
+}

@@ -160,6 +160,9 @@ pub fn realign_interval(
 
     let strict = Scoring::default();
     let relaxed = Scoring { gap_open: -2, gap_extend: -1, band: 24, ..Scoring::default() };
+    // One rank buffer for the whole interval — re-filled per read, never
+    // re-allocated inside the haplotype loop.
+    let mut read_ranks: Vec<u8> = Vec::new();
     for r in records.iter_mut() {
         if !r.flags.is_mapped()
             || r.contig != interval.contig
@@ -169,28 +172,47 @@ pub fn realign_interval(
         {
             continue;
         }
-        let read_ranks: Vec<u8> = r.seq.iter().map(|&b| rank4(b)).collect();
+        read_ranks.clear();
+        read_ranks.extend(r.seq.iter().map(|&b| rank4(b)));
         let diag = (r.pos.saturating_sub(window_iv.start)) as usize;
         let Some(ref_aln) = fit_align(&read_ranks, &ref_window, diag, &strict) else {
             continue;
         };
+        // An alternative haplotype only matters if it beats the reference
+        // score strictly; the bit-parallel prefilter skips the affine DP
+        // for haplotypes that provably cannot.
         let best_alt = haplotypes
             .iter()
+            .filter(|h| {
+                gpf_align::myers::prefilter_allows(
+                    &read_ranks,
+                    h,
+                    ref_aln.score as i64 + 1,
+                    &strict,
+                )
+            })
             .filter_map(|h| fit_align(&read_ranks, h, diag, &strict))
             .map(|a| a.score)
             .max();
         if let Some(alt_score) = best_alt {
             if alt_score > ref_aln.score {
                 // The read prefers an indel haplotype: re-derive its
-                // reference alignment with indel-friendly scoring.
-                if let Some(new_aln) = fit_align(&read_ranks, &ref_window, diag, &relaxed) {
-                    let new_edit = new_aln.edit_distance as u16;
-                    if new_edit < r.edit_distance {
-                        r.pos = window_iv.start + new_aln.window_start as u64;
-                        r.cigar = new_aln.cigar;
-                        r.edit_distance = new_edit;
-                        stats.realigned_reads += 1;
-                    }
+                // reference alignment with indel-friendly scoring — but the
+                // strict pass above already produced one, so only pay for
+                // the relaxed re-alignment when strict didn't improve the
+                // record.
+                let strict_edit = ref_aln.edit_distance as u16;
+                let new_aln = if strict_edit < r.edit_distance {
+                    Some(ref_aln)
+                } else {
+                    fit_align(&read_ranks, &ref_window, diag, &relaxed)
+                        .filter(|a| (a.edit_distance as u16) < r.edit_distance)
+                };
+                if let Some(new_aln) = new_aln {
+                    r.pos = window_iv.start + new_aln.window_start as u64;
+                    r.cigar = new_aln.cigar;
+                    r.edit_distance = new_aln.edit_distance as u16;
+                    stats.realigned_reads += 1;
                 }
             }
         }

@@ -40,6 +40,31 @@ pub fn phred_to_error_prob(q: u8) -> f64 {
     10f64.powf(-(q as f64) / 10.0)
 }
 
+/// Lazily-built 256-entry quality-character → error-probability table.
+///
+/// Indexed by the raw Phred+33 byte; entries are bit-identical to
+/// `phred_to_error_prob(char_to_phred(c))` for legal characters, and
+/// hostile bytes clamp to the nearest legal score (below `!` → Phred 0,
+/// above `~` → Phred 93) instead of panicking — the pair-HMM kernels must
+/// stay total over arbitrary input. One `powf` per table entry at first
+/// use replaces one `powf` per read base forever after.
+static CHAR_ERROR_PROB: std::sync::OnceLock<[f64; 256]> = std::sync::OnceLock::new();
+
+/// Error probability for a raw Phred+33 quality byte, via the cached
+/// table; total over all `u8` (out-of-range bytes clamp).
+#[inline]
+pub fn char_to_error_prob(c: u8) -> f64 {
+    let table = CHAR_ERROR_PROB.get_or_init(|| {
+        let mut t = [0.0f64; 256];
+        for (i, slot) in t.iter_mut().enumerate() {
+            let q = (i as u8).clamp(PHRED_OFFSET, MAX_QUAL_CHAR) - PHRED_OFFSET;
+            *slot = phred_to_error_prob(q);
+        }
+        t
+    });
+    table[c as usize]
+}
+
 /// Phred score for an error probability, clamped to `[0, MAX_PHRED]`.
 #[inline]
 pub fn error_prob_to_phred(p: f64) -> u8 {
@@ -87,6 +112,19 @@ mod tests {
         assert_eq!(phred_sum(b"II"), 80);
         assert_eq!(phred_sum(b"!"), 0);
         assert_eq!(phred_sum(b""), 0);
+    }
+
+    #[test]
+    fn char_table_matches_powf_and_clamps() {
+        for c in PHRED_OFFSET..=MAX_QUAL_CHAR {
+            let direct = phred_to_error_prob(c - PHRED_OFFSET);
+            assert_eq!(char_to_error_prob(c).to_bits(), direct.to_bits(), "char {c}");
+        }
+        // Hostile bytes clamp to the nearest legal Phred score.
+        assert_eq!(char_to_error_prob(0), phred_to_error_prob(0));
+        assert_eq!(char_to_error_prob(32), phred_to_error_prob(0));
+        assert_eq!(char_to_error_prob(127), phred_to_error_prob(MAX_PHRED));
+        assert_eq!(char_to_error_prob(255), phred_to_error_prob(MAX_PHRED));
     }
 
     #[test]

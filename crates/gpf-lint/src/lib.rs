@@ -516,6 +516,9 @@ const PRINT_TOKENS: [&str; 4] = ["println!", "eprintln!", "print!", "eprint!"];
 /// (which may use dev-dependencies) keeps the copy in sync with the
 /// registry.
 pub const KNOWN_METRIC_NAMES: &[&str] = &[
+    "align.prefilter.hit",
+    "align.prefilter.skip",
+    "align.sw.cells",
     "codec.bases",
     "codec.deserialize.bytes",
     "codec.deserialize.records",
@@ -532,6 +535,7 @@ pub const KNOWN_METRIC_NAMES: &[&str] = &[
     "heap.tag.spill",
     "heap.tag.task",
     "heap.tag.untagged",
+    "pairhmm.cells",
     "par.busy_ns",
     "par.chunks",
     "par.idle_ns",

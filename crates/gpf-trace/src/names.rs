@@ -17,6 +17,15 @@
 /// Events dropped by bounded trace rings (bumped on overflow).
 pub const TRACE_DROPPED: &str = "trace.dropped";
 
+/// Candidate windows where the Myers prefilter admitted the banded DP.
+pub const ALIGN_PREFILTER_HIT: &str = "align.prefilter.hit";
+/// Candidate windows the Myers prefilter proved unalignable (DP skipped).
+pub const ALIGN_PREFILTER_SKIP: &str = "align.prefilter.skip";
+/// Band cells evaluated by the Smith–Waterman fitting alignment.
+pub const ALIGN_SW_CELLS: &str = "align.sw.cells";
+/// DP cells evaluated by the pair-HMM likelihood kernel.
+pub const PAIRHMM_CELLS: &str = "pairhmm.cells";
+
 /// Chunks claimed by the work-stealing pool.
 pub const PAR_CHUNKS: &str = "par.chunks";
 /// Successful steals in the work-stealing pool.
@@ -101,6 +110,9 @@ pub const HEAP_PEAK_KEY: &str = "peak";
 
 /// Every registered counter name (sorted), for the registry cross-check.
 pub const ALL_COUNTERS: &[&str] = &[
+    ALIGN_PREFILTER_HIT,
+    ALIGN_PREFILTER_SKIP,
+    ALIGN_SW_CELLS,
     CODEC_BASES,
     CODEC_DESERIALIZE_BYTES,
     CODEC_DESERIALIZE_RECORDS,
@@ -116,6 +128,7 @@ pub const ALL_COUNTERS: &[&str] = &[
     HEAP_TAG_SPILL,
     HEAP_TAG_TASK,
     HEAP_TAG_UNTAGGED,
+    PAIRHMM_CELLS,
     PAR_BUSY_NS,
     PAR_CHUNKS,
     PAR_IDLE_NS,

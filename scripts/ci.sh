@@ -83,6 +83,12 @@ echo "== skew gate (adaptive repartition: tail cut >= 1.3x, byte-identical) =="
 rm -f BENCH_skew.json
 cargo run --release --offline -p gpf-bench --bin experiments -- --smoke --skew-bench
 
+echo "== kernel gate (SWAR SW & batched pair-HMM >= 2x cell throughput) =="
+# Full-size (not --smoke): the ratio gate needs the larger workload's
+# timing stability; still ~10s wall-clock.
+rm -f BENCH_kernels.json
+cargo run --release --offline -p gpf-bench --bin experiments -- --kernel-bench
+
 echo "== chaos gate (seeded fault plans must recover byte-identically) =="
 rm -f BENCH_chaos.json
 cargo run --release --offline -p gpf-bench --bin experiments -- --smoke --chaos 2018
