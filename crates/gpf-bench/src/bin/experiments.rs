@@ -28,6 +28,7 @@ fn main() {
     let mut trace_overhead = false;
     let mut mem_report = false;
     let mut mem_gate = false;
+    let mut mem_budget_bench = false;
     let mut allow_drops = false;
     let mut codec_gate = false;
     let mut shuffle_gate = false;
@@ -60,6 +61,7 @@ fn main() {
             "--trace-overhead" => trace_overhead = true,
             "--mem-report" => mem_report = true,
             "--mem-gate" => mem_gate = true,
+            "--mem-budget-bench" => mem_budget_bench = true,
             "--allow-drops" => allow_drops = true,
             "--codec-bench" => codec_gate = true,
             "--shuffle-bench" => shuffle_gate = true,
@@ -93,6 +95,11 @@ fn main() {
                      --mem-gate: time the traced WGS run heap-tracking-off vs -on;\n\
                                  writes BENCH_mem.json (with per-stage peak bytes),\n\
                                  exit 3 if overhead >= 5%\n\
+                     --mem-budget-bench: run the WGS pipeline under memory budgets at\n\
+                                         1/2, 1/4 and 1/8 of the materialized footprint;\n\
+                                         writes BENCH_memory.json, exit 3 unless every\n\
+                                         budgeted run completes byte-identically with\n\
+                                         ledger peak <= budget + 64 KiB slack\n\
                      --codec-bench: fast vs reference read-field codec throughput;\n\
                                     writes BENCH_codec.json, exit 3 if speedup < 2x\n\
                      --shuffle-bench: clone-free vs reference shuffle records/s;\n\
@@ -136,6 +143,10 @@ fn main() {
     }
     if mem_report {
         run_mem_report(scale);
+        return;
+    }
+    if mem_budget_bench {
+        run_mem_budget_bench(scale);
         return;
     }
     if codec_gate || shuffle_gate || skew_gate || kernel_gate {
@@ -411,6 +422,117 @@ fn measure_mem_gate(scale: f64) {
     console_out(&mem_breakdown(&profile.run));
     if overhead_pct >= 5.0 {
         console_err(&format!("heap tracking overhead {overhead_pct:.2}% >= 5% budget"));
+        std::process::exit(3);
+    }
+}
+
+/// `--mem-budget-bench`: the bounded-memory streaming gate. One run under
+/// an effectively unlimited budget measures the materialized footprint
+/// (the accountant's peak with nothing forced to spill); the identical WGS
+/// pipeline then re-runs at 1/2, 1/4 and 1/8 of that footprint. Every
+/// budgeted run must complete without a breach, emit byte-identical calls,
+/// and keep the ledger peak within budget + 64 KiB slack (driver-side
+/// buffers the ledger does not track). Appends one line per fraction to
+/// `BENCH_memory.json`; exits 3 on any violation.
+fn run_mem_budget_bench(scale: f64) {
+    use gpf_compress::serializer::{serialize_batch, SerializerKind};
+    use gpf_engine::EngineConfig;
+    use std::time::Instant;
+
+    const SLACK_BYTES: u64 = 64 * 1024;
+
+    let counter_total = |name: &str| -> u64 {
+        gpf_trace::counters_snapshot()
+            .iter()
+            .find(|(n, _)| *n == name)
+            .map(|(_, v)| *v)
+            .unwrap_or(0)
+    };
+
+    let workload = gpf_bench::workload::WgsWorkload::build(scale, 2018);
+    let cfg = |budget: u64| {
+        EngineConfig::gpf().with_parallelism(workload.fastq_parts).with_memory_budget(budget)
+    };
+    let t0 = Instant::now();
+    let baseline = match workload.run_gpf_cfg(true, cfg(u64::MAX)) {
+        Ok(run) => run,
+        Err(e) => die(&format!("unbudgeted WGS run failed: {e}")),
+    };
+    let base_s = t0.elapsed().as_secs_f64();
+    let materialized = baseline.ledger_peak_bytes.unwrap_or(0);
+    if materialized == 0 {
+        die("accountant recorded no materialized footprint; budget plumbing is broken");
+    }
+    let base_bytes = serialize_batch(SerializerKind::Gpf, &baseline.calls);
+    console_err(&format!(
+        "[mem-budget] materialized footprint {materialized} bytes; {} calls \
+         ({} bytes) in {base_s:.2}s",
+        baseline.calls.len(),
+        base_bytes.len(),
+    ));
+
+    let mut failed = false;
+    let mut lines = Vec::new();
+    for denom in [2u64, 4, 8] {
+        let budget = (materialized / denom).max(1);
+        let spilled0 = counter_total("mem.budget.spilled");
+        let spilled_bytes0 = counter_total("mem.budget.spilled_bytes");
+        let restored0 = counter_total("mem.budget.restored");
+        let t = Instant::now();
+        let run = match workload.run_gpf_cfg(true, cfg(budget)) {
+            Ok(run) => run,
+            Err(e) => {
+                console_err(&format!(
+                    "[mem-budget] budget {budget} (1/{denom} materialized): \
+                     pipeline failed: {e}"
+                ));
+                failed = true;
+                continue;
+            }
+        };
+        let run_s = t.elapsed().as_secs_f64();
+        let peak = run.ledger_peak_bytes.unwrap_or(u64::MAX);
+        let spilled = counter_total("mem.budget.spilled") - spilled0;
+        let spilled_bytes = counter_total("mem.budget.spilled_bytes") - spilled_bytes0;
+        let restored = counter_total("mem.budget.restored") - restored0;
+        let bytes = serialize_batch(SerializerKind::Gpf, &run.calls);
+        let identical = bytes == base_bytes;
+        if !identical {
+            console_err(&format!(
+                "[mem-budget] budget {budget} (1/{denom}): output diverged from the \
+                 unbudgeted run ({} vs {} bytes)",
+                bytes.len(),
+                base_bytes.len(),
+            ));
+            failed = true;
+        }
+        if peak > budget + SLACK_BYTES {
+            console_err(&format!(
+                "[mem-budget] budget {budget} (1/{denom}): ledger peak {peak} exceeds \
+                 budget + {SLACK_BYTES} slack"
+            ));
+            failed = true;
+        }
+        let line = format!(
+            "{{\"group\":\"mem_budget\",\"bench\":\"sim-wgs\",\"denom\":{denom},\
+             \"budget_bytes\":{budget},\"materialized_bytes\":{materialized},\
+             \"ledger_peak_bytes\":{peak},\"spilled\":{spilled},\
+             \"spilled_bytes\":{spilled_bytes},\"restored\":{restored},\
+             \"identical\":{identical},\"base_s\":{base_s:.4},\"run_s\":{run_s:.4}}}"
+        );
+        console_out(&line);
+        lines.push(line);
+    }
+    use std::io::Write;
+    match std::fs::OpenOptions::new().create(true).append(true).open("BENCH_memory.json") {
+        Ok(mut f) => {
+            for line in &lines {
+                let _ = writeln!(f, "{line}");
+            }
+        }
+        Err(e) => console_err(&format!("cannot append BENCH_memory.json: {e}")),
+    }
+    if failed {
         std::process::exit(3);
     }
 }

@@ -51,6 +51,10 @@ pub struct GpfRun {
     pub trace: gpf_trace::Trace,
     /// Number of fused chains the optimizer found.
     pub fused_chains: usize,
+    /// Peak bytes the memory-budget accountant admitted, when the run's
+    /// config installed one ([`EngineConfig::with_memory_budget`]) — the
+    /// figure the `--mem-budget-bench` gate bounds against the budget.
+    pub ledger_peak_bytes: Option<u64>,
 }
 
 impl WgsWorkload {
@@ -149,9 +153,13 @@ impl WgsWorkload {
         pipeline.set_optimize(optimize);
         let dict = self.reference.dict().clone();
 
-        let fastq_rdd = Dataset::from_vec(Arc::clone(&ctx), self.pairs.clone(), self.fastq_parts);
+        // Under a memory budget the input RDDs are the first eviction
+        // candidates: downstream stages stream them chunk-by-chunk.
+        let fastq_rdd = Dataset::from_vec(Arc::clone(&ctx), self.pairs.clone(), self.fastq_parts)
+            .evictable();
         let fastq_bundle = FastqPairBundle::defined("fastqPair", fastq_rdd);
-        let known_rdd = Dataset::from_vec(Arc::clone(&ctx), self.known.clone(), self.fastq_parts);
+        let known_rdd = Dataset::from_vec(Arc::clone(&ctx), self.known.clone(), self.fastq_parts)
+            .evictable();
         let dbsnp =
             VcfBundle::defined("dbsnp", VcfHeaderInfo::new_header(dict.clone(), vec![]), known_rdd);
 
@@ -222,8 +230,15 @@ impl WgsWorkload {
         // Collect before draining the trace so the final collect stage is
         // part of the recorded job, exactly as the metrics tests expect.
         let calls = vcf_out.dataset().collect_local();
+        let ledger_peak_bytes = ctx.accountant().map(|a| a.peak());
         let (run, trace) = ctx.take_run_traced();
-        Ok(GpfRun { calls, run, trace, fused_chains: pipeline.fused_chains().len() })
+        Ok(GpfRun {
+            calls,
+            run,
+            trace,
+            fused_chains: pipeline.fused_chains().len(),
+            ledger_peak_bytes,
+        })
     }
 
     /// Run the Churchill-like comparator on the same inputs.
@@ -290,6 +305,8 @@ pub struct SkewRun {
     pub moved_records: u64,
     /// Partitions truncated by the 64-piece cap.
     pub cap_hits: u64,
+    /// Underfull base partitions merged into shared final partitions.
+    pub merged: u64,
 }
 
 impl SkewedWorkload {
@@ -342,8 +359,10 @@ impl SkewedWorkload {
     /// `adaptive` opts the engine config into
     /// [`EngineConfig::with_adaptive_skew`] with the automatic threshold,
     /// and the run routes through `Dataset::into_partition_by_adaptive`:
-    /// count pass, driver-side [`PartitionInfo::with_splits_stats`], split
-    /// table broadcast, shuffle through final ids.
+    /// count pass, driver-side
+    /// [`PartitionInfo::with_splits_merges_stats`] (hotspots split,
+    /// underfull runs merged), split table broadcast, shuffle through
+    /// final ids.
     pub fn run(&self, adaptive: bool) -> SkewRun {
         let base = self.base_info();
         let nbase = base.num_partitions() as usize;
@@ -352,7 +371,7 @@ impl SkewedWorkload {
         let ctx = EngineContext::new(cfg);
         let d = Dataset::from_vec(Arc::clone(&ctx), self.records.clone(), self.input_parts);
 
-        let mut stats = (0u64, 0u64, 0u64);
+        let mut stats = (0u64, 0u64, 0u64, 0u64);
         let final_info: PartitionInfo;
         let shuffled = match ctx.config().adaptive_skew {
             Some(threshold_cfg) => {
@@ -377,7 +396,9 @@ impl SkewedWorkload {
                         } else {
                             threshold_cfg
                         };
-                        let (info, s) = base_r.with_splits_stats(&pairs, threshold);
+                        // Piece-aware rebalance: split the hotspot *and*
+                        // merge runs of underfull partitions.
+                        let (info, s) = base_r.with_splits_merges_stats(&pairs, threshold);
                         let _b = ctx_b.broadcast(info.clone());
                         *slot_w.lock() = Some((info.clone(), s));
                         gpf_engine::RebalancePlan {
@@ -388,6 +409,7 @@ impl SkewedWorkload {
                             splits: s.splits as u64,
                             moved_records: s.moved_records,
                             cap_hits: s.cap_hits as u64,
+                            merged: s.merged as u64,
                         }
                     },
                 );
@@ -398,7 +420,7 @@ impl SkewedWorkload {
                     // synchronously inside into_partition_by_adaptive; an
                     // empty slot is engine breakage, not a workload error.
                     .expect("rebalance closure filled the split-table slot");
-                stats = (s.splits as u64, s.moved_records, s.cap_hits as u64);
+                stats = (s.splits as u64, s.moved_records, s.cap_hits as u64, s.merged as u64);
                 final_info = info;
                 out
             }
@@ -426,15 +448,20 @@ impl SkewedWorkload {
                 .collect()
         });
 
-        // Canonicalize per base partition: split pieces occupy contiguous
-        // final ids, so grouping + sorting erases placement differences and
-        // leaves only content.
-        let canonical: Vec<Vec<u8>> = (0..nbase as u32)
-            .map(|b| {
-                let mut group: Vec<(u64, u64)> = final_info
-                    .final_range_of_base(b)
-                    .flat_map(|t| computed.partition(t as usize).to_vec())
-                    .collect();
+        // Canonicalize per base partition, by each record's *locus*: split
+        // pieces and merged runs both change only placement, so regrouping
+        // records under the base layout + sorting erases the layout and
+        // leaves only content. (Grouping by final-id ranges would conflate
+        // merged neighbours into one group and break the differential.)
+        let mut groups: Vec<Vec<(u64, u64)>> = (0..nbase).map(|_| Vec::new()).collect();
+        for t in 0..computed.num_partitions() {
+            for &(k, v) in computed.partition(t).iter() {
+                groups[base.partition_id(unpack_locus(k)) as usize].push((k, v));
+            }
+        }
+        let canonical: Vec<Vec<u8>> = groups
+            .into_iter()
+            .map(|mut group| {
                 group.sort_unstable();
                 let mut bytes = Vec::with_capacity(group.len() * 16);
                 for (k, v) in group {
@@ -452,6 +479,7 @@ impl SkewedWorkload {
             splits: stats.0,
             moved_records: stats.1,
             cap_hits: stats.2,
+            merged: stats.3,
         }
     }
 }

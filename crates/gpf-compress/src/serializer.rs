@@ -296,6 +296,14 @@ pub trait GpfSerialize: Sized {
     fn write(&self, w: &mut ByteWriter);
     /// Read a value back.
     fn read(r: &mut ByteReader<'_>) -> Result<Self, CodecError>;
+    /// Resident heap footprint of this value in bytes (inline size plus
+    /// owned heap payloads), used by the engine's memory-budget accountant
+    /// for exact partition accounting. Deliberately counts payload *length*
+    /// rather than allocator capacity so the charge is deterministic across
+    /// runs. The default covers heap-free types; containers override.
+    fn resident_bytes(&self) -> usize {
+        std::mem::size_of_val(self)
+    }
 }
 
 /// Bump the `codec.*` throughput counters for one batch, but only while
@@ -438,6 +446,9 @@ impl GpfSerialize for String {
     fn read(r: &mut ByteReader<'_>) -> Result<Self, CodecError> {
         r.read_str()
     }
+    fn resident_bytes(&self) -> usize {
+        std::mem::size_of::<Self>() + self.len()
+    }
 }
 
 impl<T: GpfSerialize> GpfSerialize for Vec<T> {
@@ -454,6 +465,11 @@ impl<T: GpfSerialize> GpfSerialize for Vec<T> {
             out.push(T::read(r)?);
         }
         Ok(out)
+    }
+    fn resident_bytes(&self) -> usize {
+        // Each element's inline size lives in this Vec's heap buffer, so
+        // the elements' own resident_bytes already covers it.
+        std::mem::size_of::<Self>() + self.iter().map(T::resident_bytes).sum::<usize>()
     }
 }
 
@@ -474,6 +490,15 @@ impl<T: GpfSerialize> GpfSerialize for Option<T> {
             t => Err(CodecError::Corrupt(format!("bad Option tag {t}"))),
         }
     }
+    fn resident_bytes(&self) -> usize {
+        // The inline T is part of Option's own layout; add only the heap
+        // excess beyond it.
+        std::mem::size_of::<Self>()
+            + self
+                .as_ref()
+                .map(|v| v.resident_bytes().saturating_sub(std::mem::size_of::<T>()))
+                .unwrap_or(0)
+    }
 }
 
 impl<A: GpfSerialize, B: GpfSerialize> GpfSerialize for (A, B) {
@@ -483,6 +508,9 @@ impl<A: GpfSerialize, B: GpfSerialize> GpfSerialize for (A, B) {
     }
     fn read(r: &mut ByteReader<'_>) -> Result<Self, CodecError> {
         Ok((A::read(r)?, B::read(r)?))
+    }
+    fn resident_bytes(&self) -> usize {
+        self.0.resident_bytes() + self.1.resident_bytes()
     }
 }
 
@@ -494,6 +522,9 @@ impl<A: GpfSerialize, B: GpfSerialize, C: GpfSerialize> GpfSerialize for (A, B, 
     }
     fn read(r: &mut ByteReader<'_>) -> Result<Self, CodecError> {
         Ok((A::read(r)?, B::read(r)?, C::read(r)?))
+    }
+    fn resident_bytes(&self) -> usize {
+        self.0.resident_bytes() + self.1.resident_bytes() + self.2.resident_bytes()
     }
 }
 
@@ -602,6 +633,9 @@ impl GpfSerialize for FastqRecord {
         let (seq, qual) = read_seq_qual(r)?;
         Ok(FastqRecord { name, seq, qual })
     }
+    fn resident_bytes(&self) -> usize {
+        std::mem::size_of::<Self>() + self.name.len() + self.seq.len() + self.qual.len()
+    }
 }
 
 impl GpfSerialize for FastqPair {
@@ -611,6 +645,9 @@ impl GpfSerialize for FastqPair {
     }
     fn read(r: &mut ByteReader<'_>) -> Result<Self, CodecError> {
         Ok(FastqPair { r1: FastqRecord::read(r)?, r2: FastqRecord::read(r)? })
+    }
+    fn resident_bytes(&self) -> usize {
+        self.r1.resident_bytes() + self.r2.resident_bytes()
     }
 }
 
@@ -663,6 +700,9 @@ impl GpfSerialize for Cigar {
         }
         Ok(Cigar(ops))
     }
+    fn resident_bytes(&self) -> usize {
+        std::mem::size_of::<Self>() + self.0.len() * std::mem::size_of::<(u32, CigarOp)>()
+    }
 }
 
 impl GpfSerialize for SamRecord {
@@ -711,6 +751,13 @@ impl GpfSerialize for SamRecord {
             edit_distance,
         })
     }
+    fn resident_bytes(&self) -> usize {
+        std::mem::size_of::<Self>()
+            + self.name.len()
+            + self.cigar.0.len() * std::mem::size_of::<(u32, CigarOp)>()
+            + self.seq.len()
+            + self.qual.len()
+    }
 }
 
 impl GpfSerialize for VcfRecord {
@@ -744,6 +791,9 @@ impl GpfSerialize for VcfRecord {
         };
         let depth = r.read_u32()?;
         Ok(VcfRecord { contig, pos, ref_allele, alt_allele, qual, genotype, depth })
+    }
+    fn resident_bytes(&self) -> usize {
+        std::mem::size_of::<Self>() + self.ref_allele.len() + self.alt_allele.len()
     }
 }
 
@@ -942,6 +992,34 @@ mod tests {
             expect.extend_from_slice(field);
         }
         assert_eq!(buf, expect);
+    }
+
+    #[test]
+    fn resident_bytes_counts_heap_payloads() {
+        // Primitives: inline size only.
+        assert_eq!(7u64.resident_bytes(), 8);
+        // String: inline handle + payload length (not capacity — the charge
+        // must be deterministic across allocator behaviors).
+        let mut s = String::with_capacity(1024);
+        s.push_str("abc");
+        assert_eq!(s.resident_bytes(), std::mem::size_of::<String>() + 3);
+        // Vec<u8>: handle + one byte per element.
+        let v: Vec<u8> = vec![0; 100];
+        assert_eq!(v.resident_bytes(), std::mem::size_of::<Vec<u8>>() + 100);
+        // Records: strictly larger than their inline size once heap fields
+        // are non-empty, and grow with payload.
+        let r = sam();
+        assert!(r.resident_bytes() > std::mem::size_of::<SamRecord>());
+        let mut bigger = sam();
+        bigger.seq.extend_from_slice(b"ACGT");
+        bigger.qual.extend_from_slice(b"FFFF");
+        assert_eq!(bigger.resident_bytes(), r.resident_bytes() + 8);
+        // Vec of records sums element footprints.
+        let batch = vec![sam(), sam()];
+        assert_eq!(
+            batch.resident_bytes(),
+            std::mem::size_of::<Vec<SamRecord>>() + 2 * sam().resident_bytes()
+        );
     }
 
     #[test]

@@ -47,6 +47,11 @@ pub struct SplitStats {
     pub cap_hits: u32,
     /// Largest piece count any partition asked for before capping.
     pub max_pieces_requested: u64,
+    /// Underfull base partitions that were *merged* into shared final
+    /// partitions by [`PartitionInfo::with_splits_merges_stats`] — the sum
+    /// of merge-run lengths over runs of two or more. Always 0 from the
+    /// split-only [`PartitionInfo::with_splits_stats`].
+    pub merged: u32,
 }
 
 /// The position → partition-id map.
@@ -174,6 +179,114 @@ impl PartitionInfo {
         (out, stats)
     }
 
+    /// [`PartitionInfo::with_splits_stats`] plus *piece-aware merging* of
+    /// underfull partitions: after hot partitions are split, runs of
+    /// consecutive unsplit base partitions **within one contig** whose
+    /// combined read count stays at or under `threshold` collapse into one
+    /// shared final partition. Splitting removes stragglers; merging removes
+    /// the opposite pathology — hundreds of near-empty tasks whose per-task
+    /// overhead dominates — without ever creating a partition hotter than
+    /// the split threshold. [`SplitStats::merged`] counts the base
+    /// partitions absorbed into shared ids.
+    pub fn with_splits_merges_stats(
+        &self,
+        counts: &[(u32, u64)],
+        threshold: u64,
+    ) -> (Self, SplitStats) {
+        assert!(threshold > 0);
+        let n_base = self.num_base_partitions() as usize;
+        let mut count_of = vec![0u64; n_base];
+        for &(id, c) in counts {
+            if (id as usize) < n_base {
+                count_of[id as usize] += c;
+            }
+        }
+        let mut split_count = vec![1u32; n_base];
+        let mut stats = SplitStats::default();
+        for (id, &count) in count_of.iter().enumerate() {
+            if count > threshold {
+                let need = count.div_ceil(threshold);
+                stats.max_pieces_requested = stats.max_pieces_requested.max(need);
+                if need > MAX_SPLIT_PIECES as u64 {
+                    stats.cap_hits += 1;
+                }
+                split_count[id] = need.min(MAX_SPLIT_PIECES as u64) as u32;
+                stats.splits += 1;
+                stats.moved_records += count;
+            }
+        }
+        let mut out = self.clone();
+        out.splits.clear();
+        for (id, &sc) in split_count.iter().enumerate() {
+            if sc > 1 {
+                // start_id is assigned by rebuild_final_ids below.
+                out.splits.insert(id as u32, SplitEntry { split_count: sc, start_id: 0 });
+            }
+        }
+        // Greedy merge pass: extend each run while the next base partition
+        // is unsplit, lives in the same contig (a merged final partition
+        // must cover one contiguous genomic interval), and fits under the
+        // threshold.
+        let mut merge_run_len = vec![1u32; n_base];
+        let mut i = 0usize;
+        while i < n_base {
+            if split_count[i] > 1 {
+                i += 1;
+                continue;
+            }
+            let contig = self.contig_of_base(i as u32);
+            let mut j = i;
+            let mut acc = 0u64;
+            while j < n_base
+                && split_count[j] == 1
+                && self.contig_of_base(j as u32) == contig
+                && acc + count_of[j] <= threshold
+            {
+                acc += count_of[j];
+                j += 1;
+            }
+            let j = j.max(i + 1);
+            if j - i > 1 {
+                merge_run_len[i] = (j - i) as u32;
+                stats.merged += (j - i) as u32;
+            }
+            i = j;
+        }
+        out.rebuild_final_ids(&merge_run_len);
+        (out, stats)
+    }
+
+    /// Recompute dense final ids from the split table plus merge-run
+    /// lengths (`merge_run_len[i] = k > 1` starts a k-base merged run at
+    /// base `i`; all other entries are 1). Split entries get their
+    /// `start_id` assigned here.
+    fn rebuild_final_ids(&mut self, merge_run_len: &[u32]) {
+        let n = self.final_id_of_base.len();
+        let mut next = 0u32;
+        let mut i = 0usize;
+        while i < n {
+            if let Some(e) = self.splits.get_mut(&(i as u32)) {
+                e.start_id = next;
+                self.final_id_of_base[i] = next;
+                next += e.split_count;
+                i += 1;
+            } else {
+                let k = (merge_run_len[i].max(1) as usize).min(n - i);
+                for fid in &mut self.final_id_of_base[i..i + k] {
+                    *fid = next;
+                }
+                next += 1;
+                i += k;
+            }
+        }
+        self.total_final = next;
+    }
+
+    /// Contig index owning a base partition id.
+    fn contig_of_base(&self, base_id: u32) -> usize {
+        self.contig_start_id.partition_point(|&s| s <= base_id).saturating_sub(1)
+    }
+
     /// Final partition ids owned by a base partition — a one-element range
     /// when the partition is unsplit, `split_count` consecutive ids when
     /// split. Lets callers reconstruct the base layout from a split one
@@ -189,10 +302,7 @@ impl PartitionInfo {
 
     /// The genomic interval of a *base* partition id.
     pub fn base_partition_interval(&self, base_id: u32) -> GenomeInterval {
-        let contig = self
-            .contig_start_id
-            .partition_point(|&s| s <= base_id)
-            .saturating_sub(1);
+        let contig = self.contig_of_base(base_id);
         let within = base_id - self.contig_start_id[contig];
         let start = within as u64 * self.partition_len;
         let end = (start + self.partition_len).min(self.contig_lengths[contig]);
@@ -209,7 +319,18 @@ impl PartitionInfo {
             .saturating_sub(1) as u32;
         let iv = self.base_partition_interval(base);
         match self.splits.get(&base) {
-            None => iv,
+            None => {
+                // A merged final partition is shared by a contiguous run of
+                // base partitions; span from the run's first member to its
+                // last. (Unmerged ids: lo == base and this is just `iv`.)
+                let lo = self.final_id_of_base.partition_point(|&f| f < final_id) as u32;
+                if lo == base {
+                    iv
+                } else {
+                    let iv_lo = self.base_partition_interval(lo);
+                    GenomeInterval::new(iv_lo.contig, iv_lo.start, iv.end)
+                }
+            }
             Some(entry) => {
                 let piece = final_id - entry.start_id;
                 let piece_len = (self.partition_len / entry.split_count as u64).max(1);
@@ -243,6 +364,27 @@ impl GpfSerialize for PartitionInfo {
             w.write_u32(sc);
             w.write_u32(sid);
         }
+        // Merge runs, derived from shared final ids: consecutive base
+        // partitions with equal final ids were merged (splits always own
+        // distinct ids, so equality only arises from merging).
+        let fids = &self.final_id_of_base;
+        let mut runs: Vec<(u32, u32)> = Vec::new();
+        let mut i = 0usize;
+        while i < fids.len() {
+            let mut j = i + 1;
+            while j < fids.len() && fids[j] == fids[i] {
+                j += 1;
+            }
+            if j - i > 1 {
+                runs.push((i as u32, (j - i) as u32));
+            }
+            i = j;
+        }
+        w.write_u64(runs.len() as u64);
+        for (start, len) in runs {
+            w.write_u32(start);
+            w.write_u32(len);
+        }
     }
 
     fn read(r: &mut ByteReader<'_>) -> Result<Self, CodecError> {
@@ -266,12 +408,26 @@ impl GpfSerialize for PartitionInfo {
         }
         if !counts.is_empty() {
             base = base.with_splits(&counts, 1);
-            // Verify the reconstruction matches what was serialized.
-            for (k, sc, sid) in entries {
-                let got = base.splits.get(&k).copied();
-                if got != Some(SplitEntry { split_count: sc, start_id: sid }) {
-                    return Err(CodecError::Corrupt("inconsistent split table".into()));
+        }
+        let n_runs = r.read_u64()? as usize;
+        if n_runs > 0 {
+            let n_base = base.num_base_partitions() as usize;
+            let mut merge_run_len = vec![1u32; n_base];
+            for _ in 0..n_runs {
+                let start = r.read_u32()? as usize;
+                let len = r.read_u32()?;
+                if start >= n_base || len < 2 || start + len as usize > n_base {
+                    return Err(CodecError::Corrupt("merge run out of range".into()));
                 }
+                merge_run_len[start] = len;
+            }
+            base.rebuild_final_ids(&merge_run_len);
+        }
+        // Verify the reconstruction matches what was serialized.
+        for (k, sc, sid) in entries {
+            let got = base.splits.get(&k).copied();
+            if got != Some(SplitEntry { split_count: sc, start_id: sid }) {
+                return Err(CodecError::Corrupt("inconsistent split table".into()));
             }
         }
         Ok(base)
@@ -418,6 +574,65 @@ mod tests {
         let (same, none) = pi.with_splits_stats(&[(3, 50)], 1000);
         assert!(same.splits.is_empty());
         assert_eq!(none, SplitStats::default());
+    }
+
+    #[test]
+    fn merging_collapses_underfull_runs_within_contigs() {
+        let pi = PartitionInfo::new(&[1000, 500], 100); // 10 + 5 base partitions
+        let counts =
+            vec![(0u32, 100u64), (1, 200), (2, 5000), (3, 300), (4, 400)];
+        let (m, stats) = pi.with_splits_merges_stats(&counts, 1000);
+        // Base 2 splits into 5 pieces; 0..=1 merge (300 reads), 3..=9 merge
+        // (700 reads — the run absorbs the empty tail of contig 0 but stops
+        // at the contig boundary), 10..=14 merge (contig 1, all empty).
+        assert_eq!(stats.splits, 1);
+        assert_eq!(m.splits[&2].split_count, 5);
+        assert_eq!(stats.merged, 2 + 7 + 5);
+        assert_eq!(m.num_partitions(), 1 + 5 + 1 + 1);
+        // Merged runs never cross contigs, and every position still maps to
+        // an in-range id whose interval contains it.
+        for contig in 0..2u32 {
+            let len = [1000u64, 500][contig as usize];
+            for pos in (0..len).step_by(17) {
+                let p = GenomePosition::new(contig, pos);
+                let id = m.partition_id(p);
+                assert!(id < m.num_partitions());
+                let iv = m.partition_interval(id);
+                assert_eq!(iv.contig, contig, "merged interval stays in one contig");
+                assert!(iv.contains(p), "pos {pos} not in {iv:?} (id {id})");
+            }
+        }
+        // The merged final partition 0 spans bases 0..=1 of contig 0.
+        assert_eq!(m.partition_interval(0), GenomeInterval::new(0, 0, 200));
+        // No run is ever hotter than the threshold admits: two full
+        // partitions never merge with each other, but each may still absorb
+        // empty neighbours (the combined load stays at the threshold).
+        // b0 stays solo (b1 would push it over); b1..=b9 share one id
+        // (1000 + 8×0); contig 1's five empty bases share another.
+        let (full, f) = pi.with_splits_merges_stats(&[(0, 1000), (1, 1000)], 1000);
+        assert_eq!(f.merged, 9 + 5);
+        assert_eq!(full.num_partitions(), 3);
+    }
+
+    #[test]
+    fn merged_layout_serialization_round_trips() {
+        use gpf_compress::serializer::{deserialize_batch, serialize_batch, SerializerKind};
+        let pi = PartitionInfo::new(&[100_000, 40_000], 1_000);
+        let (merged, stats) =
+            pi.with_splits_merges_stats(&[(3, 10_000), (120, 9_000)], 2_000);
+        assert!(stats.merged > 0, "this layout exercises merge runs");
+        for kind in [SerializerKind::JavaSim, SerializerKind::KryoSim, SerializerKind::Gpf] {
+            let buf = serialize_batch(kind, std::slice::from_ref(&merged));
+            let out: Vec<PartitionInfo> = deserialize_batch(kind, &buf).unwrap();
+            assert_eq!(out[0], merged);
+        }
+    }
+
+    #[test]
+    fn split_only_path_reports_no_merges() {
+        let pi = PartitionInfo::new(&[1000], 100);
+        let (_, stats) = pi.with_splits_stats(&[(2, 5000)], 1000);
+        assert_eq!(stats.merged, 0);
     }
 
     #[test]

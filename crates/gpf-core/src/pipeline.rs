@@ -66,6 +66,24 @@ pub enum PipelineError {
         /// The engine-level failure detail.
         failure: gpf_engine::EngineError,
     },
+    /// The configured memory budget
+    /// ([`gpf_engine::EngineConfig::with_memory_budget`]) cannot admit the
+    /// pipeline: even after the accountant exhausted its degradation ladder
+    /// (streamed maps, spill, recompute) one operation still needed more
+    /// than the whole budget. Infeasible budgets surface here as a clean
+    /// structured error, never a panic or an OOM kill.
+    MemoryBudgetExceeded {
+        /// The Process (or fused-chain label) that was executing.
+        process: String,
+        /// Stage index at the failing operation's entry.
+        stage: u32,
+        /// Operation label (`"map"`, `"collect"`, …).
+        operator: String,
+        /// Bytes the operation tried to admit.
+        requested: u64,
+        /// The installed budget, bytes.
+        budget: u64,
+    },
 }
 
 impl fmt::Display for PipelineError {
@@ -86,6 +104,13 @@ impl fmt::Display for PipelineError {
             PipelineError::Load(msg) => write!(f, "load error: {msg}"),
             PipelineError::TaskFailed { process, failure } => {
                 write!(f, "task failed in process `{process}`: {failure}")
+            }
+            PipelineError::MemoryBudgetExceeded { process, stage, operator, requested, budget } => {
+                write!(
+                    f,
+                    "memory budget exceeded in process `{process}`, operator `{operator}` \
+                     (stage {stage}): requested {requested} bytes, budget {budget} bytes"
+                )
             }
         }
     }
@@ -240,6 +265,18 @@ impl Pipeline {
                 state_event(&log, &name, state::DONE);
                 self.executed.push(name);
             }
+            // A budget breach is the more specific failure: it may also have
+            // aborted the task layer, so check it before the generic channel
+            // and surface the operator/bytes detail instead of a retry tale.
+            if let Some(b) = self.ctx.take_budget_breach() {
+                return Err(PipelineError::MemoryBudgetExceeded {
+                    process: step_label,
+                    stage: b.stage,
+                    operator: b.operator,
+                    requested: b.requested,
+                    budget: b.budget,
+                });
+            }
             // The engine records terminal task failures in the context
             // (Process::execute has no Result channel); surface the first
             // one here with the step that was executing.
@@ -271,6 +308,10 @@ impl Pipeline {
                 &first.input_sam().dataset(),
                 known.as_ref(),
             )
+            // Fused-chain bundles are the largest live allocation of the
+            // WGS pipeline — under a memory budget they must be evictable
+            // or no budget below the materialized size is feasible.
+            .evictable()
         };
         for (k, &i) in chain.iter().enumerate() {
             let Some(stage) = self.processes[i].as_bundle_stage() else {
@@ -459,5 +500,59 @@ mod tests {
         assert!(text.contains("stage 0"), "{text}");
         assert!(text.contains("partition 0"), "{text}");
         assert!(text.contains("failed after 4 attempts"), "{text}");
+    }
+
+    #[test]
+    fn infeasible_budget_surfaces_structured_error() {
+        use gpf_formats::sam::SamRecord;
+        // A whole-partition operator must restore its partition in one
+        // piece; under a budget smaller than any single partition that
+        // restore is infeasible and must surface as a structured error.
+        struct Whole {
+            input: Arc<SamBundle>,
+            output: Arc<SamBundle>,
+        }
+        impl Process for Whole {
+            fn name(&self) -> &str {
+                "sorter"
+            }
+            fn input_resources(&self) -> Vec<Arc<dyn ResourceAny>> {
+                vec![self.input.clone()]
+            }
+            fn output_resources(&self) -> Vec<Arc<dyn ResourceAny>> {
+                vec![self.output.clone()]
+            }
+            fn execute(&self, _ctx: &Arc<EngineContext>) {
+                let whole = self.input.dataset().evictable().map_partitions(|p| p.to_vec());
+                self.output.define(whole);
+            }
+        }
+        let ctx = EngineContext::new(EngineConfig::default().with_memory_budget(64));
+        let records: Vec<SamRecord> = (0..64)
+            .map(|i| SamRecord::unmapped(format!("r{i}"), b"ACGTACGT".to_vec(), b"IIIIIIII".to_vec()))
+            .collect();
+        let a = bundle("a");
+        let b = bundle("b");
+        a.define(Dataset::from_vec(Arc::clone(&ctx), records, 1));
+        let mut pipeline = Pipeline::new("strained", Arc::clone(&ctx));
+        pipeline.add_process(Arc::new(Whole { input: a, output: b }));
+        let err = pipeline.run().unwrap_err();
+        match &err {
+            PipelineError::MemoryBudgetExceeded { process, operator, requested, budget, .. } => {
+                assert_eq!(process, "sorter");
+                assert_eq!(operator, "mapPartitions");
+                assert_eq!(*budget, 64);
+                assert!(*requested > 64, "requested {requested}");
+            }
+            other => panic!("unexpected {other}"),
+        }
+        // Pin the message: it must name the process, operator, stage and
+        // both byte figures so operators can size budgets from the error.
+        let text = err.to_string();
+        assert!(text.starts_with("memory budget exceeded in process `sorter`"), "{text}");
+        assert!(text.contains("operator `mapPartitions`"), "{text}");
+        assert!(text.contains("(stage "), "{text}");
+        assert!(text.contains("budget 64 bytes"), "{text}");
+        assert!(text.contains("requested "), "{text}");
     }
 }

@@ -232,7 +232,10 @@ fn build_bundles_adaptive(
         } else {
             threshold_cfg
         };
-        let (final_info, stats) = base_r.with_splits_stats(&pairs, threshold);
+        // Piece-aware rebalance: split the hotspots *and* merge runs of
+        // underfull partitions into shared final ids, so the adaptive
+        // layout fixes both skew pathologies in one decision.
+        let (final_info, stats) = base_r.with_splits_merges_stats(&pairs, threshold);
         // §4.4's `SparkContext.broadcast(x)`: executors need the updated
         // split table to route map-side bucket writes.
         let _b = ctx_b.broadcast(final_info.clone());
@@ -243,6 +246,7 @@ fn build_bundles_adaptive(
             splits: stats.splits as u64,
             moved_records: stats.moved_records,
             cap_hits: stats.cap_hits as u64,
+            merged: stats.merged as u64,
         }
     });
     let info = slot

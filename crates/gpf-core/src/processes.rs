@@ -264,7 +264,12 @@ impl Process for ReadRepartitioner {
             (total / base.num_base_partitions().max(1) as u64 / 2).max(1)
         });
         let (info, stats) = base.with_splits_stats(&count_vec, threshold);
-        ctx.record_repartition(stats.splits as u64, stats.moved_records, stats.cap_hits as u64);
+        ctx.record_repartition(
+            stats.splits as u64,
+            stats.moved_records,
+            stats.cap_hits as u64,
+            stats.merged as u64,
+        );
         // The per-contig start-id table is broadcast to executors (§4.4's
         // `SparkContext.broadcast(x)`).
         let _b = ctx.broadcast(info.clone());

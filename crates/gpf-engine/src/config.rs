@@ -37,6 +37,14 @@ pub struct EngineConfig {
     /// partition load, the same heuristic the static `ReadRepartitioner`
     /// uses.
     pub adaptive_skew: Option<u64>,
+    /// Memory budget for resident partition bytes, in bytes. `None` (the
+    /// default) runs fully in-memory, exactly as before. `Some(bytes)`
+    /// installs a [`crate::BudgetAccountant`] on the context: datasets
+    /// produced by shuffles/barriers (and any marked `.evictable()`)
+    /// become eviction candidates under a spill-vs-recompute policy, and
+    /// map stages over evicted partitions stream chunk-by-chunk instead of
+    /// materializing them.
+    pub memory_budget: Option<u64>,
 }
 
 impl EngineConfig {
@@ -77,6 +85,15 @@ impl EngineConfig {
         self.adaptive_skew = Some(threshold);
         self
     }
+
+    /// Cap resident partition bytes at `bytes`: install the memory-budget
+    /// accountant and enable graceful degradation (eviction to checksummed
+    /// spill, chunked streaming scans) when a stage would breach it.
+    pub fn with_memory_budget(mut self, bytes: u64) -> Self {
+        assert!(bytes > 0, "memory budget must be positive");
+        self.memory_budget = Some(bytes);
+        self
+    }
 }
 
 impl Default for EngineConfig {
@@ -88,6 +105,7 @@ impl Default for EngineConfig {
             per_record_overhead_bytes: 48,
             faults: None,
             adaptive_skew: None,
+            memory_budget: None,
         }
     }
 }
@@ -122,6 +140,19 @@ mod tests {
         assert_eq!(auto.adaptive_skew, Some(0));
         let fixed = EngineConfig::gpf().with_adaptive_skew(5000);
         assert_eq!(fixed.adaptive_skew, Some(5000));
+    }
+
+    #[test]
+    fn memory_budget_default_off_and_opt_in() {
+        assert!(EngineConfig::default().memory_budget.is_none());
+        let c = EngineConfig::gpf().with_memory_budget(1 << 20);
+        assert_eq!(c.memory_budget, Some(1 << 20));
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_memory_budget_rejected() {
+        let _ = EngineConfig::default().with_memory_budget(0);
     }
 
     #[test]

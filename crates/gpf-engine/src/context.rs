@@ -9,6 +9,7 @@
 //! simulator consumes — they cannot disagree.
 
 use crate::broadcast::Broadcast;
+use crate::budget::{BudgetAccountant, BudgetBreach};
 use crate::config::EngineConfig;
 use crate::dataset::Dataset;
 use crate::fault::{EngineError, FaultConfig};
@@ -49,6 +50,12 @@ pub struct EngineContext {
     failed_flag: AtomicBool,
     /// The first terminal failure (first-failure-wins).
     failure: Mutex<Option<EngineError>>,
+    /// The memory-budget accountant, installed when
+    /// [`EngineConfig::memory_budget`] is set.
+    accountant: Option<Arc<BudgetAccountant>>,
+    /// The first terminal budget breach (first-failure-wins), kept separate
+    /// from `failure` so `take_failure`'s contract is untouched.
+    budget_breach: Mutex<Option<BudgetBreach>>,
 }
 
 /// One task's measurements, captured on the worker and recorded
@@ -75,6 +82,7 @@ pub(crate) struct TaskSample {
 impl EngineContext {
     /// Create a context with the given configuration.
     pub fn new(config: EngineConfig) -> Arc<Self> {
+        let accountant = config.memory_budget.map(|b| Arc::new(BudgetAccountant::new(b)));
         Arc::new(Self {
             config,
             trace: Arc::new(TraceLog::with_capacity(SESSION_LOG_CAPACITY)),
@@ -82,6 +90,8 @@ impl EngineContext {
             stage_counter: AtomicU32::new(0),
             failed_flag: AtomicBool::new(false),
             failure: Mutex::new(None),
+            accountant,
+            budget_breach: Mutex::new(None),
         })
     }
 
@@ -360,14 +370,22 @@ impl EngineContext {
         gpf_trace::alloc::flush_thread_stats();
         let live = gpf_trace::alloc::live_bytes();
         let peak = gpf_trace::alloc::take_peak().max(live);
+        let mut counters = vec![
+            (Arc::from(gpf_trace::names::HEAP_LIVE_KEY), live),
+            (Arc::from(gpf_trace::names::HEAP_PEAK_KEY), peak),
+        ];
+        // With a budget installed, annotate each sample with the exact
+        // ledger value so the allocator gauge and the accountant can be
+        // cross-checked sample-by-sample. Unknown keys are ignored by the
+        // metrics fold, so unbudgeted traces stay byte-identical.
+        if let Some(acct) = &self.accountant {
+            counters.push((Arc::from(gpf_trace::names::BUDGET_LEDGER_KEY), acct.used()));
+        }
         let ev = self.ev(
             EventKind::Counter,
             Arc::from(gpf_trace::names::HEAP_LIVE_TRACK),
             Category::Scheduler,
-            vec![
-                (Arc::from(gpf_trace::names::HEAP_LIVE_KEY), live),
-                (Arc::from(gpf_trace::names::HEAP_PEAK_KEY), peak),
-            ],
+            counters,
         );
         self.trace.push(ev);
     }
@@ -444,6 +462,44 @@ impl EngineContext {
         taken
     }
 
+    /// The memory-budget accountant, when a budget is installed.
+    pub fn accountant(&self) -> Option<&Arc<BudgetAccountant>> {
+        self.accountant.as_ref()
+    }
+
+    /// Record a terminal memory-budget breach. First breach wins; later
+    /// ones are short-circuit echoes. Sets the same failed flag as
+    /// [`EngineContext::fail`] so datasets stop scheduling work.
+    pub(crate) fn fail_budget(&self, breach: BudgetBreach) {
+        let mut slot = self.budget_breach.lock();
+        if slot.is_none() {
+            self.failed_flag.store(true, Ordering::SeqCst);
+            let ev = self.ev(
+                EventKind::Instant,
+                Arc::from("budget.breach"),
+                Category::Scheduler,
+                vec![
+                    (Arc::from("stage"), breach.stage as u64),
+                    (Arc::from("requested"), breach.requested),
+                    (Arc::from("budget"), breach.budget),
+                ],
+            );
+            self.trace.push(ev);
+            *slot = Some(breach);
+        }
+    }
+
+    /// Take the recorded budget breach, if any, clearing it so the context
+    /// can be reused. Checked by `Pipeline::run` *before* `take_failure`,
+    /// because a breach's short-circuiting can echo as task failures.
+    pub fn take_budget_breach(&self) -> Option<BudgetBreach> {
+        let taken = self.budget_breach.lock().take();
+        if taken.is_some() {
+            self.failed_flag.store(false, Ordering::SeqCst);
+        }
+        taken
+    }
+
     /// Record one recovery event: a scheduler instant in the session trace
     /// plus a global counter bump. The global counters are unconditional
     /// (not gated on ambient tracing) — this path only executes when faults
@@ -473,11 +529,14 @@ impl EngineContext {
     /// [`EngineContext::record_fault_event`]: this path only runs when
     /// `adaptive_skew` is configured, so tests read them without toggling
     /// ambient tracing.
-    pub fn record_repartition(&self, splits: u64, moved_records: u64, cap_hits: u64) {
+    pub fn record_repartition(&self, splits: u64, moved_records: u64, cap_hits: u64, merged: u64) {
         gpf_trace::counter(gpf_trace::names::REPARTITION_SPLITS).add(splits);
         gpf_trace::counter(gpf_trace::names::REPARTITION_MOVED).add(moved_records);
         if cap_hits > 0 {
             gpf_trace::counter(gpf_trace::names::REPARTITION_CAP_HIT).add(cap_hits);
+        }
+        if merged > 0 {
+            gpf_trace::counter(gpf_trace::names::REPARTITION_MERGED).add(merged);
         }
         let ev = self.ev(
             EventKind::Instant,
@@ -487,6 +546,7 @@ impl EngineContext {
                 (Arc::from("splits"), splits),
                 (Arc::from("moved"), moved_records),
                 (Arc::from("cap_hits"), cap_hits),
+                (Arc::from("merged"), merged),
             ],
         );
         self.trace.push(ev);
@@ -623,9 +683,14 @@ mod tests {
             .find(|(n, _)| *n == "repartition.cap_hit")
             .map(|(_, v)| *v)
             .unwrap_or(0);
+        let before_merged = gpf_trace::counters_snapshot()
+            .iter()
+            .find(|(n, _)| *n == "repartition.merged")
+            .map(|(_, v)| *v)
+            .unwrap_or(0);
         let ctx = EngineContext::default_ctx();
-        ctx.record_repartition(3, 12_000, 0);
-        ctx.record_repartition(1, 500, 2);
+        ctx.record_repartition(3, 12_000, 0, 0);
+        ctx.record_repartition(1, 500, 2, 5);
         let (_, trace) = ctx.take_run_traced();
         let instants: Vec<&Event> = trace
             .events
@@ -636,13 +701,45 @@ mod tests {
         assert_eq!(instants[0].counter("splits"), Some(3));
         assert_eq!(instants[0].counter("moved"), Some(12_000));
         assert_eq!(instants[1].counter("cap_hits"), Some(2));
+        assert_eq!(instants[0].counter("merged"), Some(0));
+        assert_eq!(instants[1].counter("merged"), Some(5));
         let snap = gpf_trace::counters_snapshot();
         let splits_now =
             snap.iter().find(|(n, _)| *n == "repartition.splits").map(|(_, v)| *v).unwrap_or(0);
         let cap_now =
             snap.iter().find(|(n, _)| *n == "repartition.cap_hit").map(|(_, v)| *v).unwrap_or(0);
+        let merged_now =
+            snap.iter().find(|(n, _)| *n == "repartition.merged").map(|(_, v)| *v).unwrap_or(0);
         assert_eq!(splits_now - before_splits, 4);
         assert_eq!(cap_now - before_cap, 2);
+        assert_eq!(merged_now - before_merged, 5);
+    }
+
+    #[test]
+    fn budget_breach_slot_is_separate_from_failure() {
+        let ctx = EngineContext::new(EngineConfig::gpf().with_memory_budget(1 << 16));
+        assert!(ctx.accountant().is_some());
+        assert!(ctx.take_budget_breach().is_none());
+        ctx.fail_budget(crate::budget::BudgetBreach {
+            stage: 2,
+            operator: "map".into(),
+            requested: 100,
+            budget: 50,
+        });
+        // Echoes after the first breach are dropped.
+        ctx.fail_budget(crate::budget::BudgetBreach {
+            stage: 3,
+            operator: "later".into(),
+            requested: 1,
+            budget: 1,
+        });
+        assert!(ctx.has_failed());
+        assert!(ctx.take_failure().is_none(), "a breach must not masquerade as a task failure");
+        let breach = ctx.take_budget_breach().expect("breach recorded");
+        assert_eq!(breach.stage, 2);
+        assert_eq!(breach.operator, "map");
+        assert_eq!((breach.requested, breach.budget), (100, 50));
+        assert!(!ctx.has_failed(), "taking the breach clears the short-circuit flag");
     }
 
     #[test]

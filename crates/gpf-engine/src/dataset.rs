@@ -12,6 +12,7 @@
 //! cheap and read-only datasets (the FASTA/VCF partition RDDs of the paper's
 //! Figure 7) can be reused by many downstream processes without copying.
 
+use crate::budget::{BudgetBreach, TrackedParts, TrackedStore};
 use crate::context::{EngineContext, TaskSample};
 use crate::fault::{corrupt_bit, AttemptRecord, EngineError, FaultConfig, FaultKind, FaultSurface};
 use crate::timing::TaskTimer;
@@ -57,21 +58,165 @@ pub fn stable_hash<K: Hash>(key: &K) -> u64 {
 }
 
 /// FNV-1a over a byte buffer — the shuffle-segment / spill checksum.
-fn fnv64(bytes: &[u8]) -> u64 {
+pub(crate) fn fnv64(bytes: &[u8]) -> u64 {
     let mut h = Fnv1a::default();
     h.write(bytes);
     h.finish()
 }
 
+/// Physical representation of a dataset's partitions.
+///
+/// `Plain` is the classic fully-resident form — zero overhead, byte-for-byte
+/// the engine as it existed before memory budgets. `Tracked` partitions live
+/// in a budget-accounted [`TrackedStore`]: they may be evicted to checksummed
+/// spill frames under memory pressure and are restored (or streamed
+/// chunk-by-chunk) on access.
+pub(crate) enum Parts<T> {
+    Plain(Arc<Vec<Vec<T>>>),
+    Tracked(Arc<dyn TrackedParts<T>>),
+}
+
+impl<T> Clone for Parts<T> {
+    fn clone(&self) -> Self {
+        match self {
+            Parts::Plain(v) => Parts::Plain(Arc::clone(v)),
+            Parts::Tracked(s) => Parts::Tracked(Arc::clone(s)),
+        }
+    }
+}
+
+impl<T> Parts<T> {
+    fn num(&self) -> usize {
+        match self {
+            Parts::Plain(v) => v.len(),
+            Parts::Tracked(s) => s.num_parts(),
+        }
+    }
+
+    fn part_len(&self, i: usize) -> usize {
+        match self {
+            Parts::Plain(v) => v[i].len(),
+            Parts::Tracked(s) => s.part_len(i),
+        }
+    }
+
+    fn total_len(&self) -> usize {
+        (0..self.num()).map(|i| self.part_len(i)).sum()
+    }
+
+    /// Borrow (plain) or restore (tracked) partition `i`.
+    /// `Err((requested, budget))` only when a tracked restore is infeasible
+    /// under the installed memory budget.
+    fn get(&self, i: usize) -> Result<PartRef<'_, T>, (u64, u64)> {
+        match self {
+            Parts::Plain(v) => Ok(PartRef::Slice(&v[i])),
+            Parts::Tracked(s) => s.read(i).map(PartRef::Owned),
+        }
+    }
+
+    /// Visit partition `i` chunk-by-chunk without materializing it: a plain
+    /// or resident partition is one chunk, a spilled partition yields one
+    /// spill frame at a time. Infallible — nothing is charged to the budget
+    /// ledger.
+    fn stream(&self, i: usize, f: &mut dyn FnMut(&[T])) {
+        match self {
+            Parts::Plain(v) => f(&v[i]),
+            Parts::Tracked(s) => s.stream(i, f),
+        }
+    }
+
+    /// Materialize one partition as an owned vector by streaming (transient
+    /// copy; never charges the ledger). Used for lineage recompute and the
+    /// few operators that genuinely concatenate partitions.
+    fn part_to_vec(&self, i: usize) -> Vec<T>
+    where
+        T: Clone,
+    {
+        let mut out = Vec::with_capacity(self.part_len(i));
+        self.stream(i, &mut |chunk| out.extend_from_slice(chunk));
+        out
+    }
+}
+
+/// `n` empty partitions — the placeholder a failed pipeline propagates.
+fn empty_parts<T>(n: usize) -> Parts<T> {
+    Parts::Plain(Arc::new((0..n).map(|_| Vec::new()).collect()))
+}
+
+/// Wrap freshly produced output partitions: budget-tracked (evictable)
+/// when the context has a memory-budget accountant installed, plain
+/// otherwise. Shuffle and barrier outputs route through this, so under a
+/// budget every wide-operation result is an eviction candidate.
+fn output_parts<T: GpfSerialize + Send + Sync + 'static>(
+    ctx: &Arc<EngineContext>,
+    parts: Vec<Vec<T>>,
+) -> Parts<T> {
+    match ctx.accountant() {
+        Some(acct) => {
+            let faults = ctx.faults().map(|fc| (fc.plan.clone(), fc.max_task_retries));
+            Parts::Tracked(TrackedStore::build(
+                parts,
+                ctx.serializer(),
+                ctx.current_stage(),
+                Arc::clone(acct),
+                faults,
+            ))
+        }
+        None => Parts::Plain(Arc::new(parts)),
+    }
+}
+
+/// A borrowed view of one partition: a direct slice for plain datasets, a
+/// pinned `Arc` for tracked ones (the pin keeps the eviction policy from
+/// dropping the partition while it is being read). Derefs to `[T]`.
+pub enum PartRef<'a, T> {
+    Slice(&'a [T]),
+    Owned(Arc<Vec<T>>),
+}
+
+impl<T> std::ops::Deref for PartRef<'_, T> {
+    type Target = [T];
+    fn deref(&self) -> &[T] {
+        match self {
+            PartRef::Slice(s) => s,
+            PartRef::Owned(v) => v,
+        }
+    }
+}
+
+impl<'b, T: PartialEq> PartialEq<PartRef<'b, T>> for PartRef<'_, T> {
+    fn eq(&self, other: &PartRef<'b, T>) -> bool {
+        **self == **other
+    }
+}
+
+impl<T: PartialEq> PartialEq<[T]> for PartRef<'_, T> {
+    fn eq(&self, other: &[T]) -> bool {
+        **self == *other
+    }
+}
+
+impl<T: PartialEq> PartialEq<Vec<T>> for PartRef<'_, T> {
+    fn eq(&self, other: &Vec<T>) -> bool {
+        **self == **other
+    }
+}
+
+impl<T: std::fmt::Debug> std::fmt::Debug for PartRef<'_, T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        (**self).fmt(f)
+    }
+}
+
 /// A partitioned in-memory dataset (the RDD analogue).
 pub struct Dataset<T> {
     ctx: Arc<EngineContext>,
-    parts: Arc<Vec<Vec<T>>>,
+    parts: Parts<T>,
 }
 
 impl<T> Clone for Dataset<T> {
     fn clone(&self) -> Self {
-        Self { ctx: Arc::clone(&self.ctx), parts: Arc::clone(&self.parts) }
+        Self { ctx: Arc::clone(&self.ctx), parts: self.parts.clone() }
     }
 }
 
@@ -89,13 +234,13 @@ impl<T: Send + Sync + 'static> Dataset<T> {
         for _ in 0..parts {
             out.push(it.by_ref().take(chunk).collect());
         }
-        Self { ctx, parts: Arc::new(out) }
+        Self { ctx, parts: Parts::Plain(Arc::new(out)) }
     }
 
     /// Build from explicit partitions (used by shuffles and generators).
     pub fn from_partitions(ctx: Arc<EngineContext>, parts: Vec<Vec<T>>) -> Self {
         assert!(!parts.is_empty(), "dataset needs at least one partition");
-        Self { ctx, parts: Arc::new(parts) }
+        Self { ctx, parts: Parts::Plain(Arc::new(parts)) }
     }
 
     /// The engine context.
@@ -105,13 +250,13 @@ impl<T: Send + Sync + 'static> Dataset<T> {
 
     /// Number of partitions.
     pub fn num_partitions(&self) -> usize {
-        self.parts.len()
+        self.parts.num()
     }
 
     /// Total number of records (metadata peek; unlike Spark's `count()` this
     /// does not run a job — use [`Dataset::collect`] for an accounted action).
     pub fn len(&self) -> usize {
-        self.parts.iter().map(Vec::len).sum()
+        self.parts.total_len()
     }
 
     /// `true` when the dataset holds no records.
@@ -122,12 +267,50 @@ impl<T: Send + Sync + 'static> Dataset<T> {
     /// Records per partition (load-balance diagnostics; §4.4 of the paper
     /// drives its dynamic repartitioning off exactly this measure).
     pub fn partition_sizes(&self) -> Vec<usize> {
-        self.parts.iter().map(Vec::len).collect()
+        (0..self.parts.num()).map(|i| self.parts.part_len(i)).collect()
     }
 
-    /// Borrow a partition's records.
-    pub fn partition(&self, idx: usize) -> &[T] {
-        &self.parts[idx]
+    /// Borrow a partition's records. On a budget-tracked dataset this
+    /// restores the partition if it was evicted; an infeasible restore
+    /// panics, so pipelines should go through operators (which surface a
+    /// structured breach instead) — this accessor is for tests, benches and
+    /// diagnostics.
+    pub fn partition(&self, idx: usize) -> PartRef<'_, T> {
+        match self.parts.get(idx) {
+            Ok(p) => p,
+            Err((req, bud)) => {
+                // gpf-lint: allow(no-panic): diagnostics-only accessor;
+                // inside pipelines an infeasible restore surfaces as a
+                // structured budget breach through the operators instead.
+                panic!("partition({idx}): restore needs {req} bytes under a {bud}-byte budget")
+            }
+        }
+    }
+
+    /// Surface a memory-budget breach as the pipeline's structured failure.
+    fn breach(&self, label: &str, requested: u64, budget: u64) {
+        self.ctx.fail_budget(BudgetBreach {
+            stage: self.ctx.current_stage(),
+            operator: label.to_string(),
+            requested,
+            budget,
+        });
+    }
+
+    /// Serialize every partition as one batch buffer. Tracked partitions
+    /// stage through a transient streamed copy (nothing is admitted), built
+    /// serially one partition at a time, so the buffers are byte-identical
+    /// to the plain representation's under any budget.
+    fn serialize_partitions(&self, kind: SerializerKind) -> Vec<Vec<u8>>
+    where
+        T: GpfSerialize + Clone,
+    {
+        match &self.parts {
+            Parts::Plain(v) => par::map(v, |p| serialize_batch(kind, p)),
+            Parts::Tracked(_) => (0..self.parts.num())
+                .map(|i| serialize_batch(kind, &self.parts.part_to_vec(i)))
+                .collect(),
+        }
     }
 
     /// Core narrow operation: per-partition parallel transform with metric
@@ -137,10 +320,20 @@ impl<T: Send + Sync + 'static> Dataset<T> {
         label: &str,
         f: impl Fn(usize, &[T]) -> Vec<U> + Send + Sync,
     ) -> Dataset<U> {
+        if self.ctx.has_failed() {
+            return Dataset { ctx: Arc::clone(&self.ctx), parts: empty_parts(self.parts.num()) };
+        }
+        if matches!(&self.parts, Parts::Tracked(_)) {
+            return self.narrow_op_tracked(label, f);
+        }
         if let Some(fc) = self.ctx.faults() {
             return self.narrow_op_ft(label, f, fc);
         }
-        let results: Vec<(Vec<U>, TaskSample)> = par::map_indexed(&self.parts, |i, p| {
+        let Parts::Plain(plain) = &self.parts else {
+            // gpf-lint: allow(no-panic): the Tracked match above returned.
+            unreachable!("tracked handled above")
+        };
+        let results: Vec<(Vec<U>, TaskSample)> = par::map_indexed(plain, |i, p| {
             let start_ns = now_ns();
             let t0 = TaskTimer::start();
             let scope = alloc::scope(AllocTag::Task);
@@ -167,7 +360,7 @@ impl<T: Send + Sync + 'static> Dataset<T> {
         self.ctx.record_tasks(label, &samples, records, alloc);
         Dataset {
             ctx: Arc::clone(&self.ctx),
-            parts: Arc::new(results.into_iter().map(|(v, _)| v).collect()),
+            parts: Parts::Plain(Arc::new(results.into_iter().map(|(v, _)| v).collect())),
         }
     }
 
@@ -180,15 +373,14 @@ impl<T: Send + Sync + 'static> Dataset<T> {
         f: impl Fn(usize, &[T]) -> Vec<U> + Send + Sync,
         fc: &FaultConfig,
     ) -> Dataset<U> {
-        if self.ctx.has_failed() {
-            return Dataset {
-                ctx: Arc::clone(&self.ctx),
-                parts: Arc::new((0..self.parts.len()).map(|_| Vec::new()).collect()),
-            };
-        }
+        let Parts::Plain(plain) = &self.parts else {
+            // gpf-lint: allow(no-panic): narrow_op routes tracked datasets
+            // to narrow_op_tracked before the fault path is considered.
+            unreachable!("tracked datasets run the serial narrow path")
+        };
         let stage = self.ctx.current_stage();
         let results: Vec<Result<TaskRun<Vec<U>>, EngineError>> =
-            par::map_indexed(&self.parts, |i, p| {
+            par::map_indexed(plain, |i, p| {
                 run_with_retry(fc, label, stage, i as u32, FaultSurface::NarrowTask, || f(i, p))
             });
         let mut runs: Vec<TaskRun<Vec<U>>> = Vec::with_capacity(results.len());
@@ -205,12 +397,12 @@ impl<T: Send + Sync + 'static> Dataset<T> {
                     self.ctx.fail(err);
                     return Dataset {
                         ctx: Arc::clone(&self.ctx),
-                        parts: Arc::new((0..self.parts.len()).map(|_| Vec::new()).collect()),
+                        parts: empty_parts(self.parts.num()),
                     };
                 }
             }
         }
-        speculate(&self.ctx, fc, stage, &mut runs, |i| f(i, &self.parts[i]));
+        speculate(&self.ctx, fc, stage, &mut runs, |i| f(i, &plain[i]));
         record_task_fault_events(&self.ctx, stage, &runs);
         let samples: Vec<TaskSample> = runs.iter().map(|r| r.sample).collect();
         let records: u64 = runs.iter().map(|r| r.out.len() as u64).sum();
@@ -218,7 +410,163 @@ impl<T: Send + Sync + 'static> Dataset<T> {
         self.ctx.record_tasks(label, &samples, records, alloc);
         Dataset {
             ctx: Arc::clone(&self.ctx),
-            parts: Arc::new(runs.into_iter().map(|r| r.out).collect()),
+            parts: Parts::Plain(Arc::new(runs.into_iter().map(|r| r.out).collect())),
+        }
+    }
+
+    /// Narrow op over a budget-tracked dataset: partitions are restored
+    /// **serially** — at most one restore is admitted at a time, so any
+    /// budget that fits the largest single partition stays feasible. Under
+    /// memory pressure the engine deliberately trades parallelism for a
+    /// bounded footprint (graceful degradation); element-wise operators
+    /// avoid even the restore via [`Dataset::narrow_op_chunked`].
+    fn narrow_op_tracked<U: Send + Sync + 'static>(
+        &self,
+        label: &str,
+        f: impl Fn(usize, &[T]) -> Vec<U> + Send + Sync,
+    ) -> Dataset<U> {
+        let n = self.parts.num();
+        let stage = self.ctx.current_stage();
+        let fc = self.ctx.faults();
+        let mut runs: Vec<TaskRun<Vec<U>>> = Vec::with_capacity(n);
+        for i in 0..n {
+            let part = match self.parts.get(i) {
+                Ok(p) => p,
+                Err((requested, budget)) => {
+                    self.breach(label, requested, budget);
+                    return Dataset { ctx: Arc::clone(&self.ctx), parts: empty_parts(n) };
+                }
+            };
+            if let Some(fc) = fc {
+                let run = run_with_retry(fc, label, stage, i as u32, FaultSurface::NarrowTask, || {
+                    f(i, &part)
+                });
+                match run {
+                    Ok(tr) => runs.push(tr),
+                    Err(err) => {
+                        self.ctx.record_fault_event(
+                            tn::TASK_RETRIES,
+                            stage,
+                            err.partition,
+                            err.attempts.len() as u64,
+                        );
+                        self.ctx.fail(err);
+                        return Dataset { ctx: Arc::clone(&self.ctx), parts: empty_parts(n) };
+                    }
+                }
+            } else {
+                let start_ns = now_ns();
+                let t0 = TaskTimer::start();
+                let scope = alloc::scope(AllocTag::Task);
+                let ht = alloc::window_begin();
+                let out = f(i, &part);
+                let w = alloc::window_end(ht);
+                drop(scope);
+                runs.push(TaskRun {
+                    out,
+                    sample: TaskSample {
+                        cpu_s: t0.elapsed_s(),
+                        start_ns,
+                        end_ns: now_ns(),
+                        tid: current_tid(),
+                        heap_peak_bytes: w.peak_bytes,
+                        heap_alloc_bytes: w.alloc_bytes,
+                    },
+                    attempts: Vec::new(),
+                    injected: 0,
+                });
+            }
+        }
+        // No speculation on the serial path: there is no parallel wave for
+        // a straggler to lag behind.
+        record_task_fault_events(&self.ctx, stage, &runs);
+        let samples: Vec<TaskSample> = runs.iter().map(|r| r.sample).collect();
+        let records: u64 = runs.iter().map(|r| r.out.len() as u64).sum();
+        let alloc_est = records * self.ctx.config().per_record_overhead_bytes;
+        self.ctx.record_tasks(label, &samples, records, alloc_est);
+        Dataset {
+            ctx: Arc::clone(&self.ctx),
+            parts: Parts::Plain(Arc::new(runs.into_iter().map(|r| r.out).collect())),
+        }
+    }
+
+    /// Element-wise narrow operation: `f` maps a *chunk* of records to
+    /// outputs and is applied once per partition for plain datasets but
+    /// once per spill frame for evicted tracked partitions — a map stage
+    /// over an evicted partition never materializes it.
+    fn narrow_op_chunked<U: Send + Sync + 'static>(
+        &self,
+        label: &str,
+        f: impl Fn(&[T]) -> Vec<U> + Send + Sync,
+    ) -> Dataset<U> {
+        let store = match &self.parts {
+            Parts::Plain(_) => return self.narrow_op(label, move |_, p| f(p)),
+            Parts::Tracked(s) => Arc::clone(s),
+        };
+        if self.ctx.has_failed() {
+            return Dataset { ctx: Arc::clone(&self.ctx), parts: empty_parts(store.num_parts()) };
+        }
+        let n = store.num_parts();
+        let stage = self.ctx.current_stage();
+        let body = |i: usize| -> Vec<U> {
+            let mut out = Vec::new();
+            store.stream(i, &mut |chunk| out.append(&mut f(chunk)));
+            out
+        };
+        let results: Vec<Result<TaskRun<Vec<U>>, EngineError>> = match self.ctx.faults() {
+            Some(fc) => par::map_range(n, |i| {
+                run_with_retry(fc, label, stage, i as u32, FaultSurface::NarrowTask, || body(i))
+            }),
+            None => par::map_range(n, |i| {
+                let start_ns = now_ns();
+                let t0 = TaskTimer::start();
+                let scope = alloc::scope(AllocTag::Task);
+                let ht = alloc::window_begin();
+                let out = body(i);
+                let w = alloc::window_end(ht);
+                drop(scope);
+                Ok(TaskRun {
+                    out,
+                    sample: TaskSample {
+                        cpu_s: t0.elapsed_s(),
+                        start_ns,
+                        end_ns: now_ns(),
+                        tid: current_tid(),
+                        heap_peak_bytes: w.peak_bytes,
+                        heap_alloc_bytes: w.alloc_bytes,
+                    },
+                    attempts: Vec::new(),
+                    injected: 0,
+                })
+            }),
+        };
+        let mut runs: Vec<TaskRun<Vec<U>>> = Vec::with_capacity(results.len());
+        for r in results {
+            match r {
+                Ok(tr) => runs.push(tr),
+                Err(err) => {
+                    self.ctx.record_fault_event(
+                        tn::TASK_RETRIES,
+                        stage,
+                        err.partition,
+                        err.attempts.len() as u64,
+                    );
+                    self.ctx.fail(err);
+                    return Dataset { ctx: Arc::clone(&self.ctx), parts: empty_parts(n) };
+                }
+            }
+        }
+        if let Some(fc) = self.ctx.faults() {
+            speculate(&self.ctx, fc, stage, &mut runs, &body);
+        }
+        record_task_fault_events(&self.ctx, stage, &runs);
+        let samples: Vec<TaskSample> = runs.iter().map(|r| r.sample).collect();
+        let records: u64 = runs.iter().map(|r| r.out.len() as u64).sum();
+        let alloc_est = records * self.ctx.config().per_record_overhead_bytes;
+        self.ctx.record_tasks(label, &samples, records, alloc_est);
+        Dataset {
+            ctx: Arc::clone(&self.ctx),
+            parts: Parts::Plain(Arc::new(runs.into_iter().map(|r| r.out).collect())),
         }
     }
 
@@ -227,7 +575,7 @@ impl<T: Send + Sync + 'static> Dataset<T> {
         &self,
         f: impl Fn(&T) -> U + Send + Sync,
     ) -> Dataset<U> {
-        self.narrow_op("map", |_, p| p.iter().map(&f).collect())
+        self.narrow_op_chunked("map", move |p| p.iter().map(&f).collect())
     }
 
     /// Element-to-many transform.
@@ -235,7 +583,7 @@ impl<T: Send + Sync + 'static> Dataset<T> {
         &self,
         f: impl Fn(&T) -> I + Send + Sync,
     ) -> Dataset<U> {
-        self.narrow_op("flatMap", |_, p| p.iter().flat_map(&f).collect())
+        self.narrow_op_chunked("flatMap", move |p| p.iter().flat_map(&f).collect())
     }
 
     /// Keep records matching the predicate.
@@ -243,7 +591,7 @@ impl<T: Send + Sync + 'static> Dataset<T> {
     where
         T: Clone,
     {
-        self.narrow_op("filter", |_, p| p.iter().filter(|t| f(t)).cloned().collect())
+        self.narrow_op_chunked("filter", move |p| p.iter().filter(|t| f(t)).cloned().collect())
     }
 
     /// Whole-partition transform.
@@ -270,7 +618,7 @@ impl<T: Send + Sync + 'static> Dataset<T> {
     where
         T: Clone,
     {
-        self.narrow_op("keyBy", |_, p| p.iter().map(|t| (f(t), t.clone())).collect())
+        self.narrow_op_chunked("keyBy", move |p| p.iter().map(|t| (f(t), t.clone())).collect())
     }
 
     /// Concatenate two datasets' partition lists (narrow, like Spark union).
@@ -278,11 +626,16 @@ impl<T: Send + Sync + 'static> Dataset<T> {
     where
         T: Clone,
     {
-        let mut parts: Vec<Vec<T>> = self.parts.as_ref().clone();
-        parts.extend(other.parts.as_ref().iter().cloned());
+        let mut parts: Vec<Vec<T>> = Vec::with_capacity(self.parts.num() + other.parts.num());
+        for i in 0..self.parts.num() {
+            parts.push(self.parts.part_to_vec(i));
+        }
+        for i in 0..other.parts.num() {
+            parts.push(other.parts.part_to_vec(i));
+        }
         let records = parts.iter().map(|p| p.len() as u64).sum();
         self.ctx.record_narrow("union", &[], records, 0);
-        Dataset { ctx: Arc::clone(&self.ctx), parts: Arc::new(parts) }
+        Dataset { ctx: Arc::clone(&self.ctx), parts: Parts::Plain(Arc::new(parts)) }
     }
 
     /// Pairwise partition zip (both datasets must have equal partition
@@ -297,8 +650,81 @@ impl<T: Send + Sync + 'static> Dataset<T> {
             other.num_partitions(),
             "zip_partitions requires equal partition counts"
         );
-        let other_parts = Arc::clone(&other.parts);
-        self.narrow_op("zipPartitions", move |i, p| f(i, p, &other_parts[i]))
+        if self.ctx.has_failed() {
+            return Dataset { ctx: Arc::clone(&self.ctx), parts: empty_parts(self.parts.num()) };
+        }
+        // Both sides resident: parallel narrow op, right side indexed
+        // directly — zero overhead, the pre-budget fast path.
+        if let (Parts::Plain(_), Parts::Plain(rp)) = (&self.parts, &other.parts) {
+            let rp = Arc::clone(rp);
+            return self.narrow_op("zipPartitions", move |i, p| f(i, p, &rp[i]));
+        }
+        // Either side budget-tracked: zip pairwise-*serially*. At most one
+        // left/right partition pair is resident at a time, so the working
+        // set is bounded by the largest pair — not the whole right-hand
+        // dataset, which is what pinning every restore up front would cost.
+        let n = self.parts.num();
+        let stage = self.ctx.current_stage();
+        let fc = self.ctx.faults();
+        let mut runs: Vec<TaskRun<Vec<V>>> = Vec::with_capacity(n);
+        for i in 0..n {
+            let pair = self.parts.get(i).and_then(|l| other.parts.get(i).map(|r| (l, r)));
+            let (left, right) = match pair {
+                Ok(p) => p,
+                Err((requested, budget)) => {
+                    self.breach("zipPartitions", requested, budget);
+                    return Dataset { ctx: Arc::clone(&self.ctx), parts: empty_parts(n) };
+                }
+            };
+            if let Some(fc) = fc {
+                let run = run_with_retry(fc, "zipPartitions", stage, i as u32, FaultSurface::NarrowTask, || {
+                    f(i, &left, &right)
+                });
+                match run {
+                    Ok(tr) => runs.push(tr),
+                    Err(err) => {
+                        self.ctx.record_fault_event(
+                            tn::TASK_RETRIES,
+                            stage,
+                            err.partition,
+                            err.attempts.len() as u64,
+                        );
+                        self.ctx.fail(err);
+                        return Dataset { ctx: Arc::clone(&self.ctx), parts: empty_parts(n) };
+                    }
+                }
+            } else {
+                let start_ns = now_ns();
+                let t0 = TaskTimer::start();
+                let scope = alloc::scope(AllocTag::Task);
+                let ht = alloc::window_begin();
+                let out = f(i, &left, &right);
+                let w = alloc::window_end(ht);
+                drop(scope);
+                runs.push(TaskRun {
+                    out,
+                    sample: TaskSample {
+                        cpu_s: t0.elapsed_s(),
+                        start_ns,
+                        end_ns: now_ns(),
+                        tid: current_tid(),
+                        heap_peak_bytes: w.peak_bytes,
+                        heap_alloc_bytes: w.alloc_bytes,
+                    },
+                    attempts: Vec::new(),
+                    injected: 0,
+                });
+            }
+        }
+        record_task_fault_events(&self.ctx, stage, &runs);
+        let samples: Vec<TaskSample> = runs.iter().map(|r| r.sample).collect();
+        let records: u64 = runs.iter().map(|r| r.out.len() as u64).sum();
+        let alloc_est = records * self.ctx.config().per_record_overhead_bytes;
+        self.ctx.record_tasks("zipPartitions", &samples, records, alloc_est);
+        Dataset {
+            ctx: Arc::clone(&self.ctx),
+            parts: Parts::Plain(Arc::new(runs.into_iter().map(|r| r.out).collect())),
+        }
     }
 
     /// Collect every record to the driver — an *action* that closes the
@@ -312,22 +738,35 @@ impl<T: Send + Sync + 'static> Dataset<T> {
         }
         let kind = self.ctx.serializer();
         let t0 = now_ns();
-        let per_partition: Vec<u64> =
-            par::map(&self.parts, |p| serialize_batch(kind, p).len() as u64);
+        let per_partition: Vec<u64> = match &self.parts {
+            Parts::Plain(v) => par::map(v, |p| serialize_batch(kind, p).len() as u64),
+            // Tracked: serialize from streamed chunks serially, so the
+            // action never admits (or breaches) anything.
+            Parts::Tracked(_) => (0..self.parts.num())
+                .map(|i| {
+                    let mut bytes = 0u64;
+                    self.parts.stream(i, &mut |chunk| {
+                        bytes += serialize_batch(kind, chunk).len() as u64;
+                    });
+                    bytes
+                })
+                .collect(),
+        };
         self.ctx.record_serde(now_ns().saturating_sub(t0) as f64 * 1e-9);
         self.ctx.close_stage_collect("collect", per_partition);
         self.collect_local()
     }
 
     /// Concatenate all partitions without any accounting (test/diagnostic
-    /// helper — not an engine action).
+    /// helper — not an engine action). Streams tracked partitions, so it
+    /// works under any budget.
     pub fn collect_local(&self) -> Vec<T>
     where
         T: Clone,
     {
         let mut out = Vec::with_capacity(self.len());
-        for p in self.parts.iter() {
-            out.extend_from_slice(p);
+        for i in 0..self.parts.num() {
+            self.parts.stream(i, &mut |chunk| out.extend_from_slice(chunk));
         }
         out
     }
@@ -338,9 +777,20 @@ impl<T: Send + Sync + 'static> Dataset<T> {
     where
         T: GpfSerialize,
     {
-        par::map(&self.parts, |p| serialize_batch(kind, p).len() as u64)
-            .into_iter()
-            .sum()
+        match &self.parts {
+            Parts::Plain(v) => {
+                par::map(v, |p| serialize_batch(kind, p).len() as u64).into_iter().sum()
+            }
+            Parts::Tracked(_) => (0..self.parts.num())
+                .map(|i| {
+                    let mut bytes = 0u64;
+                    self.parts.stream(i, &mut |chunk| {
+                        bytes += serialize_batch(kind, chunk).len() as u64;
+                    });
+                    bytes
+                })
+                .sum(),
+        }
     }
 
     /// Mark the dataset as cached (eager engine: data is already resident;
@@ -361,12 +811,15 @@ impl<T: Send + Sync + 'static> Dataset<T> {
     where
         T: GpfSerialize + Clone,
     {
+        if self.ctx.has_failed() {
+            return Dataset { ctx: Arc::clone(&self.ctx), parts: empty_parts(self.parts.num()) };
+        }
         if let Some(fc) = self.ctx.faults() {
             return self.barrier_via_disk_ft(label, fc);
         }
         let kind = self.ctx.serializer();
         let t0 = now_ns();
-        let bufs: Vec<Vec<u8>> = par::map(&self.parts, |p| serialize_batch(kind, p));
+        let bufs: Vec<Vec<u8>> = self.serialize_partitions(kind);
         let ser_s = now_ns().saturating_sub(t0) as f64 * 1e-9;
         // (wall time acceptable here: ser_s feeds the aggregate serde metric,
         // not per-task durations)
@@ -407,7 +860,7 @@ impl<T: Send + Sync + 'static> Dataset<T> {
         self.ctx.record_serde(now_ns().saturating_sub(t1) as f64 * 1e-9);
         Dataset {
             ctx: Arc::clone(&self.ctx),
-            parts: Arc::new(parts.into_iter().map(|(v, _)| v).collect()),
+            parts: output_parts(&self.ctx, parts.into_iter().map(|(v, _)| v).collect()),
         }
     }
 
@@ -415,21 +868,21 @@ impl<T: Send + Sync + 'static> Dataset<T> {
     /// checksummed when written; on read-back a checksum, decode, or record
     /// count mismatch recomputes the partition from the in-memory lineage
     /// (`self` still holds the pre-spill partitions) instead of trusting the
-    /// corrupt bytes.
+    /// corrupt bytes. The read side additionally injects
+    /// [`FaultSurface::SpillRead`] damage (truncation or a flipped bit) into
+    /// a *transient copy* of the buffer — the durable bytes stay pristine —
+    /// which must be caught by the same checksum path.
     fn barrier_via_disk_ft(&self, label: &str, fc: &FaultConfig) -> Dataset<T>
     where
         T: GpfSerialize + Clone,
     {
         if self.ctx.has_failed() {
-            return Dataset {
-                ctx: Arc::clone(&self.ctx),
-                parts: Arc::new((0..self.parts.len()).map(|_| Vec::new()).collect()),
-            };
+            return Dataset { ctx: Arc::clone(&self.ctx), parts: empty_parts(self.parts.num()) };
         }
         let kind = self.ctx.serializer();
         let stage = self.ctx.current_stage();
         let t0 = now_ns();
-        let mut bufs: Vec<Vec<u8>> = par::map(&self.parts, |p| serialize_batch(kind, p));
+        let mut bufs: Vec<Vec<u8>> = self.serialize_partitions(kind);
         let sums: Vec<u64> = bufs.iter().map(|b| fnv64(b)).collect();
         let ser_s = now_ns().saturating_sub(t0) as f64 * 1e-9;
         // Inject spill corruption driver-side, after the checksums were
@@ -448,15 +901,38 @@ impl<T: Send + Sync + 'static> Dataset<T> {
         self.ctx.close_stage_shuffle(label, bytes.clone(), bytes.clone());
         let read_stage = self.ctx.current_stage();
         let t1 = now_ns();
-        let expected: Vec<usize> = self.parts.iter().map(Vec::len).collect();
-        let parts: Vec<(Vec<T>, TaskSample, u64)> = par::map_range(bufs.len(), |i| {
+        let expected: Vec<usize> =
+            (0..self.parts.num()).map(|i| self.parts.part_len(i)).collect();
+        let parts: Vec<(Vec<T>, TaskSample, u64, u64)> = par::map_range(bufs.len(), |i| {
             let start_ns = now_ns();
             let t = TaskTimer::start();
             let scope = alloc::scope(AllocTag::Spill);
             let ht = alloc::window_begin();
-            let ok = fnv64(&bufs[i]) == sums[i];
+            // Read-side fault surface: TruncateSpill / CorruptSpillRead
+            // damage only the transient copy this read observed — the
+            // durable buffer stays pristine — so detection (below) plus
+            // lineage recompute must recover byte-identically.
+            let mut damaged: Vec<u8>;
+            let mut injected = 0u64;
+            let read_bytes: &[u8] =
+                match fc.plan.decide(read_stage, i as u32, 0, FaultSurface::SpillRead) {
+                    Some(fkind) => {
+                        damaged = bufs[i].clone();
+                        let salt = fc.plan.corruption_salt(read_stage, i as u32);
+                        if fkind == FaultKind::TruncateSpill {
+                            let keep = (salt % damaged.len().max(1) as u64) as usize;
+                            damaged.truncate(keep);
+                        } else {
+                            corrupt_bit(&mut damaged, salt);
+                        }
+                        injected = 1;
+                        &damaged
+                    }
+                    None => &bufs[i],
+                };
+            let ok = fnv64(read_bytes) == sums[i];
             let decoded: Option<Vec<T>> = if ok {
-                match deserialize_batch(kind, &bufs[i]) {
+                match deserialize_batch(kind, read_bytes) {
                     Ok(items) if items.len() == expected[i] => Some(items),
                     _ => None,
                 }
@@ -467,7 +943,7 @@ impl<T: Send + Sync + 'static> Dataset<T> {
                 Some(items) => (items, 0u64),
                 // Lineage recompute: the pre-spill partition is still
                 // resident, so a lost spill costs one clone, not a rerun.
-                None => (self.parts[i].clone(), 1u64),
+                None => (self.parts.part_to_vec(i), 1u64),
             };
             let w = alloc::window_end(ht);
             drop(scope);
@@ -483,22 +959,26 @@ impl<T: Send + Sync + 'static> Dataset<T> {
                     heap_alloc_bytes: w.alloc_bytes,
                 },
                 recomputed,
+                injected,
             )
         });
-        for (i, (_, _, rec)) in parts.iter().enumerate() {
+        for (i, (_, _, rec, inj)) in parts.iter().enumerate() {
+            if *inj > 0 {
+                self.ctx.record_fault_event(tn::FAULT_INJECTED, read_stage, i as u32, *inj);
+            }
             if *rec > 0 {
                 self.ctx.record_fault_event(tn::SHUFFLE_RECOMPUTED, read_stage, i as u32, *rec);
             }
         }
-        let de_samples: Vec<TaskSample> = parts.iter().map(|(_, s, _)| *s).collect();
-        let records: u64 = parts.iter().map(|(v, _, _)| v.len() as u64).sum();
+        let de_samples: Vec<TaskSample> = parts.iter().map(|(_, s, _, _)| *s).collect();
+        let records: u64 = parts.iter().map(|(v, _, _, _)| v.len() as u64).sum();
         let churn: u64 =
             bytes.iter().sum::<u64>() + records * self.ctx.config().per_record_overhead_bytes;
         self.ctx.record_tasks(&format!("{label}(read)"), &de_samples, records, churn);
         self.ctx.record_serde(now_ns().saturating_sub(t1) as f64 * 1e-9);
         Dataset {
             ctx: Arc::clone(&self.ctx),
-            parts: Arc::new(parts.into_iter().map(|(v, _, _)| v).collect()),
+            parts: output_parts(&self.ctx, parts.into_iter().map(|(v, _, _, _)| v).collect()),
         }
     }
 
@@ -511,7 +991,45 @@ impl<T: Send + Sync + 'static> Dataset<T> {
     where
         T: GpfSerialize + Clone,
     {
-        shuffle(&self.ctx, Arc::clone(&self.parts), nparts, "partitionBy", route)
+        shuffle(&self.ctx, self.parts.clone(), nparts, "partitionBy", route)
+    }
+
+    /// Opt this dataset into the memory-budget eviction policy: under a
+    /// configured budget ([`crate::EngineConfig::with_memory_budget`]) its
+    /// partitions become spill-vs-recompute victims and map stages over
+    /// evicted partitions stream chunk-by-chunk. A no-op when no budget is
+    /// installed or the dataset is already tracked.
+    pub fn evictable(&self) -> Dataset<T>
+    where
+        T: GpfSerialize + Clone,
+    {
+        match (&self.parts, self.ctx.accountant()) {
+            (Parts::Plain(v), Some(_)) => {
+                let parts: Vec<Vec<T>> = v.as_ref().clone();
+                Dataset { ctx: Arc::clone(&self.ctx), parts: output_parts(&self.ctx, parts) }
+            }
+            _ => self.clone(),
+        }
+    }
+
+    /// Number of partitions currently evicted to checksummed spill frames.
+    /// Always `0` for a plain (untracked) dataset — i.e. whenever no memory
+    /// budget is installed.
+    pub fn spilled_partitions(&self) -> usize {
+        match &self.parts {
+            Parts::Plain(_) => 0,
+            Parts::Tracked(s) => (0..s.num_parts()).filter(|&i| s.is_spilled(i)).count(),
+        }
+    }
+
+    /// Serialized bytes currently sitting in spill frames for this dataset
+    /// (`0` for plain datasets). This is the volume `fsmodel`'s spill cost
+    /// model prices.
+    pub fn spilled_bytes(&self) -> u64 {
+        match &self.parts {
+            Parts::Plain(_) => 0,
+            Parts::Tracked(s) => s.spilled_bytes(),
+        }
     }
 
     /// Consuming [`Dataset::partition_by`]: when this handle holds the last
@@ -562,7 +1080,7 @@ impl<T: Send + Sync + 'static> Dataset<T> {
     where
         T: GpfSerialize + Clone,
     {
-        adaptive_shuffle(&self.ctx, Arc::clone(&self.parts), nbase, route_base, rebalance)
+        adaptive_shuffle(&self.ctx, self.parts.clone(), nbase, route_base, rebalance)
     }
 
     /// Consuming [`Dataset::partition_by_adaptive`]: the count pass still
@@ -590,7 +1108,7 @@ where
     /// Hash-partition by key, then group values per key (order of first
     /// arrival, so results are deterministic).
     pub fn group_by_key(&self, nparts: usize) -> Dataset<(K, Vec<V>)> {
-        let shuffled = shuffle(&self.ctx, Arc::clone(&self.parts), nparts, "groupByKey", |kv: &(K, V)| {
+        let shuffled = shuffle(&self.ctx, self.parts.clone(), nparts, "groupByKey", |kv: &(K, V)| {
             (stable_hash(&kv.0) % nparts as u64) as usize
         });
         shuffled.narrow_op("group", |_, p| {
@@ -672,10 +1190,10 @@ where
     where
         W: Clone + Send + Sync + GpfSerialize + 'static,
     {
-        let left = shuffle(&self.ctx, Arc::clone(&self.parts), nparts, "join(left)", |kv: &(K, V)| {
+        let left = shuffle(&self.ctx, self.parts.clone(), nparts, "join(left)", |kv: &(K, V)| {
             (stable_hash(&kv.0) % nparts as u64) as usize
         });
-        let right = shuffle(&other.ctx, Arc::clone(&other.parts), nparts, "join(right)", |kv: &(K, W)| {
+        let right = shuffle(&other.ctx, other.parts.clone(), nparts, "join(right)", |kv: &(K, W)| {
             (stable_hash(&kv.0) % nparts as u64) as usize
         });
         left.zip_partitions(&right, |_, l, r| {
@@ -702,7 +1220,7 @@ where
         nparts: usize,
         route: impl Fn(&K) -> usize + Send + Sync,
     ) -> Dataset<(K, V)> {
-        shuffle(&self.ctx, Arc::clone(&self.parts), nparts, "partitionByKey", move |kv: &(K, V)| {
+        shuffle(&self.ctx, self.parts.clone(), nparts, "partitionByKey", move |kv: &(K, V)| {
             route(&kv.0)
         })
     }
@@ -718,19 +1236,28 @@ where
         let step = (total / 1024).max(1);
         let mut sample: Vec<K> = Vec::new();
         let mut idx = 0usize;
-        for p in self.parts.iter() {
-            for (k, _) in p {
-                if idx % step == 0 {
-                    sample.push(k.clone());
+        for pi in 0..self.parts.num() {
+            self.parts.stream(pi, &mut |chunk| {
+                for (k, _) in chunk {
+                    if idx % step == 0 {
+                        sample.push(k.clone());
+                    }
+                    idx += 1;
                 }
-                idx += 1;
-            }
+            });
         }
         sample.sort();
-        let bounds: Vec<K> = (1..nparts)
-            .map(|i| sample[(i * sample.len() / nparts).min(sample.len() - 1)].clone())
-            .collect();
-        let shuffled = shuffle(&self.ctx, Arc::clone(&self.parts), nparts, "sortByKey", move |kv: &(K, V)| {
+        // An empty sample (empty input, or an upstream budget breach that
+        // degraded to an empty dataset) yields no bounds: every record —
+        // there are none — routes to partition 0 and the op stays total.
+        let bounds: Vec<K> = if sample.is_empty() {
+            Vec::new()
+        } else {
+            (1..nparts)
+                .map(|i| sample[(i * sample.len() / nparts).min(sample.len() - 1)].clone())
+                .collect()
+        };
+        let shuffled = shuffle(&self.ctx, self.parts.clone(), nparts, "sortByKey", move |kv: &(K, V)| {
             bounds.partition_point(|b| *b <= kv.0)
         });
         shuffled.narrow_op("sortPartition", |_, p| {
@@ -1091,6 +1618,11 @@ pub struct RebalancePlan<T> {
     /// 64-piece cap — surfaced so a too-hot-to-fix partition never
     /// truncates silently.
     pub cap_hits: u64,
+    /// Underfull base partitions the decision *merged* into shared final
+    /// partitions (piece-aware merging of the rebalance plan): their
+    /// records change partition id without being split. Reported via the
+    /// `repartition.merged` trace counter.
+    pub merged: u64,
 }
 
 /// Adaptive shuffle (paper §4.4): count → driver rebalance → shuffle.
@@ -1105,7 +1637,7 @@ pub struct RebalancePlan<T> {
 /// bucket on a split piece recomputes exactly that piece.
 fn adaptive_shuffle<T>(
     ctx: &Arc<EngineContext>,
-    parts: Arc<Vec<Vec<T>>>,
+    parts: Parts<T>,
     nbase: usize,
     route_base: impl Fn(&T) -> usize + Send + Sync,
     rebalance: impl FnOnce(&[u64]) -> RebalancePlan<T>,
@@ -1115,23 +1647,23 @@ where
 {
     assert!(nbase > 0, "adaptive shuffle needs at least one base partition");
     if ctx.has_failed() {
-        return Dataset {
-            ctx: Arc::clone(ctx),
-            parts: Arc::new((0..nbase).map(|_| Vec::new()).collect()),
-        };
+        return Dataset { ctx: Arc::clone(ctx), parts: empty_parts(nbase) };
     }
-    // Count pass: per-map-partition histograms over base ids.
-    let hists: Vec<(Vec<u64>, TaskSample)> = par::map(&parts, |p| {
+    // Count pass: per-map-partition histograms over base ids, streamed so an
+    // evicted partition never has to rematerialize just to be counted.
+    let hists: Vec<(Vec<u64>, TaskSample)> = par::map_range(parts.num(), |i| {
         let start_ns = now_ns();
         let t0 = TaskTimer::start();
         let scope = alloc::scope(AllocTag::Repartition);
         let ht = alloc::window_begin();
         let mut h = vec![0u64; nbase];
-        for item in p {
-            let r = route_base(item);
-            assert!(r < nbase, "base route {r} out of range ({nbase} base partitions)");
-            h[r] += 1;
-        }
+        parts.stream(i, &mut |chunk| {
+            for item in chunk {
+                let r = route_base(item);
+                assert!(r < nbase, "base route {r} out of range ({nbase} base partitions)");
+                h[r] += 1;
+            }
+        });
         let w = alloc::window_end(ht);
         drop(scope);
         (
@@ -1147,7 +1679,7 @@ where
         )
     });
     let samples: Vec<TaskSample> = hists.iter().map(|(_, s)| *s).collect();
-    let records: u64 = parts.iter().map(|p| p.len() as u64).sum();
+    let records: u64 = (0..parts.num()).map(|i| parts.part_len(i) as u64).sum();
     ctx.record_tasks(crate::metrics::names::REPARTITION_COUNT, &samples, records, 0);
     // Driver side: aggregate the histograms and let the caller decide the
     // final layout from them.
@@ -1159,7 +1691,7 @@ where
     }
     let plan = rebalance(&counts);
     assert!(plan.n_final > 0, "rebalance produced an empty final layout");
-    ctx.record_repartition(plan.splits, plan.moved_records, plan.cap_hits);
+    ctx.record_repartition(plan.splits, plan.moved_records, plan.cap_hits, plan.merged);
     shuffle(ctx, parts, plan.n_final, "partitionByAdaptive", plan.route)
 }
 
@@ -1174,7 +1706,7 @@ where
 /// once, as before.
 fn shuffle<T>(
     ctx: &Arc<EngineContext>,
-    parts: Arc<Vec<Vec<T>>>,
+    parts: Parts<T>,
     nparts: usize,
     label: &str,
     route: impl Fn(&T) -> usize + Send + Sync,
@@ -1183,50 +1715,81 @@ where
     T: GpfSerialize + Clone + Send + Sync + 'static,
 {
     assert!(nparts > 0, "shuffle needs at least one output partition");
+    if ctx.has_failed() {
+        return Dataset { ctx: Arc::clone(ctx), parts: empty_parts(nparts) };
+    }
     if let Some(fc) = ctx.faults() {
         return shuffle_ft(ctx, fc, parts, nparts, label, route);
     }
     let kind = ctx.serializer();
-    let records: u64 = parts.iter().map(|p| p.len() as u64).sum();
+    let records: u64 = (0..parts.num()).map(|i| parts.part_len(i) as u64).sum();
 
     // Map side: one routing pass plans the scatter, then records move (or,
     // when the source dataset is still live, clone) into pre-sized buckets.
-    let map_out: Vec<MapTaskOut> = match Arc::try_unwrap(parts) {
-        Ok(owned) => {
-            if gpf_trace::enabled() {
-                gpf_trace::counter(tn::SHUFFLE_PARTITIONS_MOVED).add(owned.len() as u64);
+    // Tracked inputs stream chunk-by-chunk instead: an evicted partition is
+    // routed one spill frame at a time, never rematerialized whole.
+    let map_out: Vec<MapTaskOut> = match parts {
+        Parts::Plain(arc) => match Arc::try_unwrap(arc) {
+            Ok(owned) => {
+                if gpf_trace::enabled() {
+                    gpf_trace::counter(tn::SHUFFLE_PARTITIONS_MOVED).add(owned.len() as u64);
+                }
+                par::map_vec(owned, |p| {
+                    let start_ns = now_ns();
+                    let t0 = TaskTimer::start();
+                    let scope = alloc::scope(AllocTag::Shuffle);
+                    let ht = alloc::window_begin();
+                    let (routes, counts) = plan_routes(&p, nparts, &route);
+                    let mut buckets: Vec<Vec<T>> =
+                        counts.iter().map(|&c| Vec::with_capacity(c)).collect();
+                    for (item, &r) in p.into_iter().zip(&routes) {
+                        buckets[r as usize].push(item);
+                    }
+                    let out = finish_map_task(kind, buckets, t0.elapsed_s(), start_ns, false, ht);
+                    drop(scope);
+                    out
+                })
             }
-            par::map_vec(owned, |p| {
+            Err(shared) => {
+                if gpf_trace::enabled() {
+                    gpf_trace::counter(tn::SHUFFLE_PARTITIONS_CLONED).add(shared.len() as u64);
+                }
+                par::map(&shared, |p| {
+                    let start_ns = now_ns();
+                    let t0 = TaskTimer::start();
+                    let scope = alloc::scope(AllocTag::Shuffle);
+                    let ht = alloc::window_begin();
+                    let (routes, counts) = plan_routes(p, nparts, &route);
+                    let mut buckets: Vec<Vec<T>> =
+                        counts.iter().map(|&c| Vec::with_capacity(c)).collect();
+                    for (item, &r) in p.iter().zip(&routes) {
+                        buckets[r as usize].push(item.clone());
+                    }
+                    let out = finish_map_task(kind, buckets, t0.elapsed_s(), start_ns, false, ht);
+                    drop(scope);
+                    out
+                })
+            }
+        },
+        Parts::Tracked(store) => {
+            if gpf_trace::enabled() {
+                gpf_trace::counter(tn::SHUFFLE_PARTITIONS_CLONED).add(store.num_parts() as u64);
+            }
+            par::map_range(store.num_parts(), |i| {
                 let start_ns = now_ns();
                 let t0 = TaskTimer::start();
                 let scope = alloc::scope(AllocTag::Shuffle);
                 let ht = alloc::window_begin();
-                let (routes, counts) = plan_routes(&p, nparts, &route);
-                let mut buckets: Vec<Vec<T>> =
-                    counts.iter().map(|&c| Vec::with_capacity(c)).collect();
-                for (item, &r) in p.into_iter().zip(&routes) {
-                    buckets[r as usize].push(item);
-                }
-                let out = finish_map_task(kind, buckets, t0.elapsed_s(), start_ns, false, ht);
-                drop(scope);
-                out
-            })
-        }
-        Err(shared) => {
-            if gpf_trace::enabled() {
-                gpf_trace::counter(tn::SHUFFLE_PARTITIONS_CLONED).add(shared.len() as u64);
-            }
-            par::map(&shared, |p| {
-                let start_ns = now_ns();
-                let t0 = TaskTimer::start();
-                let scope = alloc::scope(AllocTag::Shuffle);
-                let ht = alloc::window_begin();
-                let (routes, counts) = plan_routes(p, nparts, &route);
-                let mut buckets: Vec<Vec<T>> =
-                    counts.iter().map(|&c| Vec::with_capacity(c)).collect();
-                for (item, &r) in p.iter().zip(&routes) {
-                    buckets[r as usize].push(item.clone());
-                }
+                let mut buckets: Vec<Vec<T>> = (0..nparts).map(|_| Vec::new()).collect();
+                store.stream(i, &mut |chunk| {
+                    let (routes, counts) = plan_routes(chunk, nparts, &route);
+                    for (b, &c) in buckets.iter_mut().zip(&counts) {
+                        b.reserve(c);
+                    }
+                    for (item, &r) in chunk.iter().zip(&routes) {
+                        buckets[r as usize].push(item.clone());
+                    }
+                });
                 let out = finish_map_task(kind, buckets, t0.elapsed_s(), start_ns, false, ht);
                 drop(scope);
                 out
@@ -1302,7 +1865,7 @@ where
     ctx.record_serde(de_s);
     Dataset {
         ctx: Arc::clone(ctx),
-        parts: Arc::new(reduce_out.into_iter().map(|(v, _)| v).collect()),
+        parts: output_parts(ctx, reduce_out.into_iter().map(|(v, _)| v).collect()),
     }
 }
 
@@ -1318,7 +1881,7 @@ where
 fn shuffle_ft<T>(
     ctx: &Arc<EngineContext>,
     fc: &FaultConfig,
-    parts: Arc<Vec<Vec<T>>>,
+    parts: Parts<T>,
     nparts: usize,
     label: &str,
     route: impl Fn(&T) -> usize + Send + Sync,
@@ -1327,32 +1890,33 @@ where
     T: GpfSerialize + Clone + Send + Sync + 'static,
 {
     if ctx.has_failed() {
-        return Dataset {
-            ctx: Arc::clone(ctx),
-            parts: Arc::new((0..nparts).map(|_| Vec::new()).collect()),
-        };
+        return Dataset { ctx: Arc::clone(ctx), parts: empty_parts(nparts) };
     }
     let kind = ctx.serializer();
     let stage = ctx.current_stage();
     let lineage = parts;
-    let records: u64 = lineage.iter().map(|p| p.len() as u64).sum();
+    let records: u64 = (0..lineage.num()).map(|i| lineage.part_len(i) as u64).sum();
 
     let map_body = |i: usize| -> MapTaskOut {
-        let p = &lineage[i];
         let start_ns = now_ns();
         let t0 = TaskTimer::start();
         // run_with_retry opens the outer (attributing) scope and window for
         // this body; this inner window only feeds the MapTaskOut sample.
         let ht = alloc::window_begin();
-        let (routes, counts) = plan_routes(p, nparts, &route);
-        let mut buckets: Vec<Vec<T>> = counts.iter().map(|&c| Vec::with_capacity(c)).collect();
-        for (item, &r) in p.iter().zip(&routes) {
-            buckets[r as usize].push(item.clone());
-        }
+        let mut buckets: Vec<Vec<T>> = (0..nparts).map(|_| Vec::new()).collect();
+        lineage.stream(i, &mut |chunk| {
+            let (routes, counts) = plan_routes(chunk, nparts, &route);
+            for (b, &c) in buckets.iter_mut().zip(&counts) {
+                b.reserve(c);
+            }
+            for (item, &r) in chunk.iter().zip(&routes) {
+                buckets[r as usize].push(item.clone());
+            }
+        });
         finish_map_task(kind, buckets, t0.elapsed_s(), start_ns, true, ht)
     };
     let results: Vec<Result<TaskRun<MapTaskOut>, EngineError>> =
-        par::map_range(lineage.len(), |i| {
+        par::map_range(lineage.num(), |i| {
             run_with_retry(fc, label, stage, i as u32, FaultSurface::ShuffleMap, || map_body(i))
         });
     let mut runs: Vec<TaskRun<MapTaskOut>> = Vec::with_capacity(results.len());
@@ -1367,10 +1931,7 @@ where
                     err.attempts.len() as u64,
                 );
                 ctx.fail(err);
-                return Dataset {
-                    ctx: Arc::clone(ctx),
-                    parts: Arc::new((0..nparts).map(|_| Vec::new()).collect()),
-                };
+                return Dataset { ctx: Arc::clone(ctx), parts: empty_parts(nparts) };
             }
         }
     }
@@ -1436,7 +1997,9 @@ where
                 };
             if !ok {
                 out.truncate(base);
-                out.extend(lineage[mi].iter().filter(|item| route(item) == t).cloned());
+                lineage.stream(mi, &mut |chunk| {
+                    out.extend(chunk.iter().filter(|item| route(item) == t).cloned());
+                });
                 recomputes += 1;
             }
         }
@@ -1473,7 +2036,7 @@ where
     ctx.record_serde(de_s);
     Dataset {
         ctx: Arc::clone(ctx),
-        parts: Arc::new(reduce_out.into_iter().map(|(v, _, _)| v).collect()),
+        parts: output_parts(ctx, reduce_out.into_iter().map(|(v, _, _)| v).collect()),
     }
 }
 
@@ -1484,7 +2047,7 @@ where
 /// the CI perf gate measures the speedup against it.
 fn shuffle_reference<T>(
     ctx: &Arc<EngineContext>,
-    parts: &Arc<Vec<Vec<T>>>,
+    parts: &Parts<T>,
     nparts: usize,
     label: &str,
     route: impl Fn(&T) -> usize + Send + Sync,
@@ -1496,15 +2059,17 @@ where
     let kind = ctx.serializer();
 
     // Map side: bucket and serialize.
-    let map_out: Vec<(Vec<Vec<u8>>, TaskSample, f64)> = par::map(parts, |p| {
+    let map_out: Vec<(Vec<Vec<u8>>, TaskSample, f64)> = par::map_range(parts.num(), |i| {
         let start_ns = now_ns();
         let t0 = TaskTimer::start();
         let mut buckets: Vec<Vec<T>> = (0..nparts).map(|_| Vec::new()).collect();
-        for item in p {
-            let target = route(item);
-            assert!(target < nparts, "router produced partition {target} >= {nparts}");
-            buckets[target].push(item.clone());
-        }
+        parts.stream(i, &mut |chunk| {
+            for item in chunk {
+                let target = route(item);
+                assert!(target < nparts, "router produced partition {target} >= {nparts}");
+                buckets[target].push(item.clone());
+            }
+        });
         let bucket_time = t0.elapsed_s();
         let t1 = TaskTimer::start();
         // Empty buckets produce zero bytes (Spark's shuffle index marks
@@ -1536,7 +2101,7 @@ where
     let read_bytes: Vec<u64> = (0..nparts)
         .map(|t| map_out.iter().map(|(bufs, _, _)| bufs[t].len() as u64).sum())
         .collect();
-    let records: u64 = parts.iter().map(|p| p.len() as u64).sum();
+    let records: u64 = (0..parts.num()).map(|i| parts.part_len(i) as u64).sum();
     ctx.record_tasks(label, &map_samples, records, 0);
     ctx.record_serde(ser_s);
     ctx.close_stage_shuffle(label, write_bytes, read_bytes.clone());
@@ -1578,9 +2143,11 @@ where
         + out_records * ctx.config().per_record_overhead_bytes;
     ctx.record_tasks(&format!("{label}(read)"), &de_samples, out_records, churn);
     ctx.record_serde(de_s);
+    // The reference shuffle is the differential baseline: its output stays
+    // plain even under a budget, so comparisons read it without restores.
     Dataset {
         ctx: Arc::clone(ctx),
-        parts: Arc::new(reduce_out.into_iter().map(|(v, _)| v).collect()),
+        parts: Parts::Plain(Arc::new(reduce_out.into_iter().map(|(v, _)| v).collect())),
     }
 }
 
@@ -1844,6 +2411,7 @@ mod tests {
                     }),
                     splits: 1,
                     moved_records: 250,
+                    merged: 0,
                     cap_hits: 0,
                 }
             },
@@ -1883,6 +2451,7 @@ mod tests {
                 splits: 0,
                 moved_records: 0,
                 cap_hits: 0,
+                merged: 0,
             },
         );
         for t in 0..5 {

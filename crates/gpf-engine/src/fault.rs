@@ -30,6 +30,13 @@ pub enum FaultKind {
     /// One serialized spill buffer of `barrier_via_disk` has a bit flipped
     /// after checksumming (detected on read-back).
     CorruptSpill,
+    /// A spill *read* returns a truncated buffer (the stored bytes are
+    /// intact; the read path saw a short copy — detected by checksum /
+    /// record-count verification, recovered by re-read or lineage).
+    TruncateSpill,
+    /// A spill *read* returns a bit-flipped copy of an intact buffer
+    /// (detected by checksum verification on read-back).
+    CorruptSpillRead,
     /// The task completes but its measured duration is inflated by
     /// [`FaultConfig::straggler_extra_ns`] — the speculation trigger.
     Straggler,
@@ -47,6 +54,11 @@ pub enum FaultSurface {
     ShuffleBucket,
     /// One partition's `barrier_via_disk` spill buffer.
     Spill,
+    /// One partition's spill buffer on *read-back* (barrier read side and
+    /// budget-evicted partition restore). Faults here model transient read
+    /// errors: the stored bytes stay intact, only the copy handed to the
+    /// reader is damaged.
+    SpillRead,
 }
 
 impl FaultSurface {
@@ -58,6 +70,7 @@ impl FaultSurface {
             }
             FaultSurface::ShuffleBucket => &[FaultKind::CorruptBucket],
             FaultSurface::Spill => &[FaultKind::CorruptSpill],
+            FaultSurface::SpillRead => &[FaultKind::TruncateSpill, FaultKind::CorruptSpillRead],
         }
     }
 
@@ -67,6 +80,7 @@ impl FaultSurface {
             FaultSurface::ShuffleMap => 2,
             FaultSurface::ShuffleBucket => 3,
             FaultSurface::Spill => 4,
+            FaultSurface::SpillRead => 5,
         }
     }
 }
@@ -332,6 +346,32 @@ mod tests {
         // corruption cannot fire inside a narrow task.
         assert_eq!(plan.decide(1, 2, 0, FaultSurface::NarrowTask), None);
         assert_eq!(plan.decide(1, 3, 0, FaultSurface::ShuffleBucket), None);
+    }
+
+    #[test]
+    fn spill_read_surface_admits_only_read_faults() {
+        // Seeded plans at full rate on the read surface yield only the two
+        // read-side kinds, and the write-side CorruptSpill never leaks in.
+        let plan = FaultPlan::seeded(0xdead, 1000);
+        for part in 0..64u32 {
+            let k = plan.decide(3, part, 0, FaultSurface::SpillRead);
+            assert!(
+                matches!(k, Some(FaultKind::TruncateSpill | FaultKind::CorruptSpillRead)),
+                "unexpected kind {k:?}"
+            );
+        }
+        // An explicit write-side corruption site is inert on the read surface
+        // and vice versa.
+        let plan = FaultPlan::explicit(vec![
+            FaultSite { stage: 0, partition: 0, attempt: 0, kind: FaultKind::CorruptSpill },
+            FaultSite { stage: 0, partition: 1, attempt: 0, kind: FaultKind::TruncateSpill },
+        ]);
+        assert_eq!(plan.decide(0, 0, 0, FaultSurface::SpillRead), None);
+        assert_eq!(plan.decide(0, 1, 0, FaultSurface::Spill), None);
+        assert_eq!(
+            plan.decide(0, 1, 0, FaultSurface::SpillRead),
+            Some(FaultKind::TruncateSpill)
+        );
     }
 
     #[test]

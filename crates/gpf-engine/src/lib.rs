@@ -40,6 +40,7 @@
 //! rather than from synthetic constants.
 
 pub mod broadcast;
+pub mod budget;
 pub mod config;
 pub mod context;
 pub mod dataset;
@@ -50,9 +51,10 @@ pub mod sim;
 pub mod timing;
 
 pub use broadcast::Broadcast;
+pub use budget::{BudgetAccountant, BudgetBreach};
 pub use config::EngineConfig;
 pub use context::EngineContext;
-pub use dataset::{Dataset, RebalancePlan};
+pub use dataset::{Dataset, PartRef, RebalancePlan};
 pub use fault::{AttemptRecord, EngineError, FaultConfig, FaultKind, FaultPlan, FaultSite};
 pub use metrics::{JobRun, StageKind, StageMetrics};
 pub use sim::{BlockedTimeReport, SimCluster, SimOptions, SimResult};

@@ -132,6 +132,7 @@ fn adaptive_canonical(
                 splits: ms_plan.splits(),
                 moved_records: ms_plan.moved(agg),
                 cap_hits: 0,
+                merged: 0,
             }
         },
     );
@@ -285,6 +286,7 @@ fn repartition_counters_reflect_plan_stats() {
             splits: 1,
             moved_records: 57,
             cap_hits: 3,
+            merged: 5,
         },
     );
     assert_eq!(out.num_partitions(), 3);
@@ -294,6 +296,76 @@ fn repartition_counters_reflect_plan_stats() {
     assert!(counter("repartition.splits") >= splits0 + 1);
     assert!(counter("repartition.moved_records") >= moved0 + 57);
     assert!(counter("repartition.cap_hit") >= cap0 + 3);
+    assert!(counter("repartition.merged") >= 5);
+}
+
+/// Piece-aware merging pinning test: a rebalance plan that *merges* a run
+/// of underfull base partitions into one shared final partition changes
+/// placement only — regrouped by each record's base partition, the output
+/// is byte-identical to the unmerged run — and the decision is visible via
+/// the `repartition.merged` counter.
+#[test]
+fn merged_plan_is_byte_identical_to_unmerged() {
+    let merged0 = counter("repartition.merged");
+    let plen = 100u64;
+    let nbase = 6usize;
+    let mut rng = StdRng::seed_from_u64(0xBEEF);
+    // Bases 1..=3 are underfull (few records); 0, 4, 5 carry the load.
+    let data: Vec<(u64, u64)> = (0..300usize)
+        .map(|i| {
+            let b = match i % 10 {
+                0 => 1,
+                1 => 2,
+                2 => 3,
+                j if j < 6 => 0,
+                j if j < 8 => 4,
+                _ => 5,
+            } as u64;
+            (b * plen + rng.gen_range(0u64..plen), rng.next_u64())
+        })
+        .collect();
+    let baseline = unsplit_canonical(&plain_ctx(), &data, 4, nbase, plen);
+
+    let ctx = plain_ctx();
+    let d = Dataset::from_vec(Arc::clone(&ctx), data, 4);
+    // Merge bases 1..=3 into one shared final partition: 0→0, {1,2,3}→1,
+    // 4→2, 5→3.
+    let fid = |b: usize| match b {
+        0 => 0,
+        1..=3 => 1,
+        4 => 2,
+        _ => 3,
+    };
+    let out = d.into_partition_by_adaptive(
+        nbase,
+        move |kv: &(u64, u64)| ((kv.0 / plen) as usize).min(nbase - 1),
+        move |_counts| RebalancePlan {
+            n_final: 4,
+            route: Box::new(move |kv: &(u64, u64)| fid(((kv.0 / plen) as usize).min(nbase - 1))),
+            splits: 0,
+            moved_records: 0,
+            cap_hits: 0,
+            merged: 3,
+        },
+    );
+    assert_eq!(out.num_partitions(), 4);
+    // Canonicalize by each record's *base* id (the merged layout shares
+    // final ids, so final-id grouping would conflate the run).
+    let mut groups: Vec<Vec<(u64, u64)>> = (0..nbase).map(|_| Vec::new()).collect();
+    for t in 0..out.num_partitions() {
+        for &(k, v) in out.partition(t).iter() {
+            groups[((k / plen) as usize).min(nbase - 1)].push((k, v));
+        }
+    }
+    let canon: Vec<Vec<u8>> = groups
+        .into_iter()
+        .map(|mut g| {
+            g.sort_unstable();
+            serialize_batch(SerializerKind::Gpf, &g)
+        })
+        .collect();
+    assert_eq!(canon, baseline, "merging must change placement only");
+    assert!(counter("repartition.merged") >= merged0 + 3, "merge decision must be counted");
 }
 
 /// The trace-derived auto threshold ("half the mean per-base load", read

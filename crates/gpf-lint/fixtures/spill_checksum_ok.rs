@@ -1,0 +1,15 @@
+// Verified read: the fnv64 check sits within the 10-line window.
+pub fn restore(frame: &Frame, out: &mut Vec<u8>) -> bool {
+    let payload = frame.payload_unverified();
+    if fnv64(payload) != frame.checksum {
+        return false;
+    }
+    out.extend_from_slice(payload);
+    true
+}
+
+pub fn damage_for_test(frame: &Frame) -> Vec<u8> {
+    // gpf-lint: allow(spill-read-checksum): the damaged copy feeds a
+    // decoder whose own verify is the thing under test.
+    frame.payload_unverified().to_vec()
+}

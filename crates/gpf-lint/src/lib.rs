@@ -78,6 +78,11 @@ pub enum Rule {
     /// a name from the `gpf_trace::names` registry; unregistered names
     /// accumulate into metrics no report reads.
     CounterNameRegistry,
+    /// Every `.payload_unverified()` spill-frame read needs a `fnv64`
+    /// checksum verification within ±10 lines: spilled partitions are the
+    /// one place engine data leaves tracked memory, and an unverified
+    /// decode would let read-back corruption flow silently into results.
+    SpillReadChecksum,
 }
 
 impl Rule {
@@ -94,11 +99,12 @@ impl Rule {
             Rule::NoRawPrint => "no-raw-print",
             Rule::SwallowedError => "swallowed-error",
             Rule::CounterNameRegistry => "counter-name-registry",
+            Rule::SpillReadChecksum => "spill-read-checksum",
         }
     }
 
     /// Every rule, in reporting order.
-    pub fn all() -> [Rule; 9] {
+    pub fn all() -> [Rule; 10] {
         [
             Rule::NoPanic,
             Rule::SafetyComment,
@@ -109,6 +115,7 @@ impl Rule {
             Rule::NoRawPrint,
             Rule::SwallowedError,
             Rule::CounterNameRegistry,
+            Rule::SpillReadChecksum,
         ]
     }
 }
@@ -535,12 +542,19 @@ pub const KNOWN_METRIC_NAMES: &[&str] = &[
     "heap.tag.spill",
     "heap.tag.task",
     "heap.tag.untagged",
+    "mem.budget.breach",
+    "mem.budget.dropped_clean",
+    "mem.budget.restored",
+    "mem.budget.restored_bytes",
+    "mem.budget.spilled",
+    "mem.budget.spilled_bytes",
     "pairhmm.cells",
     "par.busy_ns",
     "par.chunks",
     "par.idle_ns",
     "par.steals",
     "repartition.cap_hit",
+    "repartition.merged",
     "repartition.moved_records",
     "repartition.splits",
     "shuffle.bucket.bytes",
@@ -768,6 +782,28 @@ pub fn lint_source(file: &str, source: &str) -> Vec<Finding> {
                         ),
                     });
                 }
+            }
+        }
+        // Call sites only (`.payload_unverified`): the declaration itself
+        // carries no payload to verify.
+        if code.contains(".payload_unverified")
+            && !is_allowed(&masked, idx, Rule::SpillReadChecksum)
+        {
+            let lo = idx.saturating_sub(10);
+            let hi = (idx + 11).min(masked.code.len());
+            let verified =
+                (lo..hi).any(|l| !token_positions(&masked.code[l], "fnv64").is_empty());
+            if !verified {
+                findings.push(Finding {
+                    rule: Rule::SpillReadChecksum,
+                    file: file.to_string(),
+                    line: lineno,
+                    message: "`.payload_unverified()` without a `fnv64` checksum verify \
+                              within 10 lines; spill read-backs must verify every frame \
+                              before decoding (or annotate \
+                              `// gpf-lint: allow(spill-read-checksum): <why>`)"
+                        .to_string(),
+                });
             }
         }
         let raw = raw_lines.get(idx).copied().unwrap_or("");

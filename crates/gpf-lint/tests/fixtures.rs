@@ -267,3 +267,25 @@ fn findings_render_file_line_rule() {
     assert!(json.contains("\"rule\":\"safety-comment\""), "{json}");
     assert!(json.contains("\"line\":3"), "{json}");
 }
+
+#[test]
+fn spill_read_checksum_positive() {
+    let f = lint_source(
+        "crates/gpf-engine/src/budget.rs",
+        include_str!("../fixtures/spill_checksum_bad.rs"),
+    );
+    assert_eq!(rules_hit(&f), vec![Rule::SpillReadChecksum]);
+    assert_eq!(f.len(), 1, "{f:?}");
+    assert_eq!(f[0].line, 3);
+    assert!(f[0].message.contains("fnv64"), "{f:?}");
+}
+
+#[test]
+fn spill_read_checksum_negative() {
+    // A verified read and an annotated test helper both pass clean.
+    let f = lint_source(
+        "crates/gpf-engine/src/budget.rs",
+        include_str!("../fixtures/spill_checksum_ok.rs"),
+    );
+    assert!(f.is_empty(), "{f:?}");
+}

@@ -62,11 +62,11 @@ fn binary_exit_codes_gate_ci() {
     // must live under a matching path to register in the sweep.
     let engine_src = scratch.join("crates/gpf-engine/src");
     std::fs::create_dir_all(&engine_src).expect("scratch engine dir");
-    std::fs::write(
-        engine_src.join("lib.rs"),
-        include_str!("../fixtures/swallowed_error_bad.rs"),
-    )
-    .expect("write engine bad source");
+    // `swallowed-error` and `spill-read-checksum` both live in engine code.
+    let mut engine_bad = String::new();
+    engine_bad.push_str(include_str!("../fixtures/swallowed_error_bad.rs"));
+    engine_bad.push_str(include_str!("../fixtures/spill_checksum_bad.rs"));
+    std::fs::write(engine_src.join("lib.rs"), engine_bad).expect("write engine bad source");
 
     let dirty = Command::new(bin)
         .args(["--root", &scratch.display().to_string(), "--json"])

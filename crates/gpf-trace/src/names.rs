@@ -52,6 +52,9 @@ pub const REPARTITION_SPLITS: &str = "repartition.splits";
 pub const REPARTITION_MOVED: &str = "repartition.moved_records";
 /// Times the 64-piece split cap actually bound.
 pub const REPARTITION_CAP_HIT: &str = "repartition.cap_hit";
+/// Underfull base partitions merged into a shared final partition by the
+/// piece-aware rebalance plan.
+pub const REPARTITION_MERGED: &str = "repartition.merged";
 
 /// Faults injected by the active fault plan.
 pub const FAULT_INJECTED: &str = "fault.injected";
@@ -92,6 +95,21 @@ pub const HEAP_TAG_SPILL: &str = "heap.tag.spill";
 /// Bytes charged to adaptive-repartition scopes.
 pub const HEAP_TAG_REPARTITION: &str = "heap.tag.repartition";
 
+/// Budget breaches: the accountant could not admit a charge even after
+/// exhausting every eviction victim (surfaces as a structured error).
+pub const MEM_BUDGET_BREACH: &str = "mem.budget.breach";
+/// Clean resident partitions dropped by the eviction policy (their spill
+/// ticket was already on disk, so recompute = a checksummed re-read).
+pub const MEM_BUDGET_DROPPED_CLEAN: &str = "mem.budget.dropped_clean";
+/// Spilled partitions restored (decoded + checksum-verified) on demand.
+pub const MEM_BUDGET_RESTORED: &str = "mem.budget.restored";
+/// Resident bytes restored from spill.
+pub const MEM_BUDGET_RESTORED_BYTES: &str = "mem.budget.restored_bytes";
+/// Dirty resident partitions serialized to spill frames by eviction.
+pub const MEM_BUDGET_SPILLED: &str = "mem.budget.spilled";
+/// Resident bytes evicted to spill frames.
+pub const MEM_BUDGET_SPILLED_BYTES: &str = "mem.budget.spilled_bytes";
+
 /// Allocation-size distribution (log₂ size classes).
 pub const HEAP_SIZE_CLASS: &str = "heap.size_class";
 /// Serialized shuffle bucket sizes in bytes.
@@ -107,6 +125,10 @@ pub const HEAP_LIVE_KEY: &str = "live";
 /// Counter key on a [`HEAP_LIVE_TRACK`] event: peak bytes over the window
 /// since the previous sample.
 pub const HEAP_PEAK_KEY: &str = "peak";
+/// Counter key on a [`HEAP_LIVE_TRACK`] event: exact bytes the memory-budget
+/// accountant currently holds in its ledger (only present when a budget is
+/// installed).
+pub const BUDGET_LEDGER_KEY: &str = "ledger";
 
 /// Every registered counter name (sorted), for the registry cross-check.
 pub const ALL_COUNTERS: &[&str] = &[
@@ -128,12 +150,19 @@ pub const ALL_COUNTERS: &[&str] = &[
     HEAP_TAG_SPILL,
     HEAP_TAG_TASK,
     HEAP_TAG_UNTAGGED,
+    MEM_BUDGET_BREACH,
+    MEM_BUDGET_DROPPED_CLEAN,
+    MEM_BUDGET_RESTORED,
+    MEM_BUDGET_RESTORED_BYTES,
+    MEM_BUDGET_SPILLED,
+    MEM_BUDGET_SPILLED_BYTES,
     PAIRHMM_CELLS,
     PAR_BUSY_NS,
     PAR_CHUNKS,
     PAR_IDLE_NS,
     PAR_STEALS,
     REPARTITION_CAP_HIT,
+    REPARTITION_MERGED,
     REPARTITION_MOVED,
     REPARTITION_SPLITS,
     SHUFFLE_PARTITIONS_CLONED,

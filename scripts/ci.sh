@@ -93,4 +93,8 @@ echo "== chaos gate (seeded fault plans must recover byte-identically) =="
 rm -f BENCH_chaos.json
 cargo run --release --offline -p gpf-bench --bin experiments -- --smoke --chaos 2018
 
+echo "== mem-budget gate (sim-WGS at 1/2, 1/4, 1/8 materialized: byte-identical, ledger peak <= budget) =="
+rm -f BENCH_memory.json
+cargo run --release --offline -p gpf-bench --bin experiments -- --smoke --mem-budget-bench
+
 echo "CI OK"
